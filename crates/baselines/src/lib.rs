@@ -1,0 +1,25 @@
+//! The replica-management baselines the paper compares MDCC against
+//! (§5.2):
+//!
+//! * [`qw`] — **Quorum Writes** (QW-k): the eventually-consistent
+//!   standard; writes go to all replicas, the client acks after `k`
+//!   responses, reads hit the local replica. No isolation, no atomicity,
+//!   no transactions.
+//! * [`twopc`] — **Two-Phase Commit**: prepare locks on *all* replicas of
+//!   every record, then commit/abort. Two wide-area round trips, waits
+//!   for the slowest data center, not resilient to node failure.
+//! * [`megastore`] — **Megastore\***: the paper's own re-implementation
+//!   of Megastore's replication protocol — a single entity group whose
+//!   commit log positions are agreed by Multi-Paxos, one transaction at
+//!   a time, improved (as in the paper) with Paxos-CP's non-conflicting
+//!   commits, with master and clients co-located in one data center.
+//!
+//! All three share [`store::BaselineStore`], a plain versioned record map
+//! without Paxos state.
+
+pub mod megastore;
+pub mod qw;
+pub mod store;
+pub mod twopc;
+
+pub use store::BaselineStore;

@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of the protocol engine's hot paths: cstruct
+//! algebra, acceptor validation, learner quorum computation and the
+//! demarcation check. These measure CPU cost per operation — the "more
+//! CPU cycles for sophisticated decisions" trade-off §3 of the paper
+//! accepts in exchange for fewer message rounds.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdcc_common::{
+    CommutativeUpdate, Key, NodeId, Row, TableId, TxnId, UpdateOp,
+};
+use mdcc_paxos::acceptor::FastPropose;
+use mdcc_paxos::demarcation::{escrow_accepts, EscrowView};
+use mdcc_paxos::{
+    AcceptorRecord, AttrConstraint, Ballot, CStruct, LearnOutcome, Learner, OptionStatus,
+    TxnOption, TxnOutcome,
+};
+
+fn key() -> Key {
+    Key::new(TableId(0), "bench")
+}
+
+fn comm_option(seq: u64) -> TxnOption {
+    TxnOption::solo(
+        TxnId::new(NodeId(0), seq),
+        key(),
+        UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+    )
+}
+
+fn cstruct_of(n: u64) -> CStruct {
+    let mut c = CStruct::new();
+    for i in 0..n {
+        c.append(comm_option(i), OptionStatus::Accepted);
+    }
+    c
+}
+
+fn bench_cstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cstruct");
+    for size in [4u64, 16, 32] {
+        let a = cstruct_of(size);
+        let b = cstruct_of(size);
+        group.bench_with_input(BenchmarkId::new("glb", size), &size, |bench, _| {
+            bench.iter(|| CStruct::glb_many(std::hint::black_box(&[&a, &b])));
+        });
+        group.bench_with_input(BenchmarkId::new("prefix", size), &size, |bench, _| {
+            bench.iter(|| std::hint::black_box(&a).is_prefix_of(std::hint::black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("lub", size), &size, |bench, _| {
+            bench.iter(|| std::hint::black_box(&a).lub(std::hint::black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_acceptor(c: &mut Criterion) {
+    let constraints: Arc<[AttrConstraint]> = Arc::from(vec![AttrConstraint::at_least("stock", 0)]);
+    c.bench_function("acceptor/propose_resolve_cycle", |b| {
+        b.iter_batched(
+            || {
+                AcceptorRecord::with_value(
+                    Arc::clone(&constraints),
+                    5,
+                    4,
+                    64,
+                    Row::new().with("stock", 1_000_000),
+                )
+            },
+            |mut acceptor| {
+                for i in 0..16u64 {
+                    let opt = comm_option(i);
+                    let txn = opt.txn;
+                    match acceptor.fast_propose(opt) {
+                        FastPropose::Vote(_) => {}
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    acceptor.apply_visibility(txn, TxnOutcome::Committed, true);
+                }
+                acceptor
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_learner(c: &mut Criterion) {
+    c.bench_function("learner/fast_quorum_learn", |b| {
+        let votes: Vec<_> = (0..4usize)
+            .map(|i| {
+                let mut cs = CStruct::new();
+                cs.append(comm_option(0), OptionStatus::Accepted);
+                cs.append(comm_option(1), OptionStatus::Accepted);
+                (
+                    i,
+                    mdcc_paxos::acceptor::Phase2b {
+                        ballot: Ballot::INITIAL_FAST,
+                        version: mdcc_common::Version(1),
+                        cstruct: cs,
+                    },
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut learner = Learner::new(5, 3, 4, TxnId::new(NodeId(0), 0));
+            let mut out = LearnOutcome::Undecided;
+            for (i, v) in &votes {
+                out = learner.on_vote(*i, v.clone());
+            }
+            assert!(matches!(out, LearnOutcome::Learned(_)));
+            learner
+        });
+    });
+}
+
+fn bench_demarcation(c: &mut Criterion) {
+    let constraint = AttrConstraint::at_least("stock", 0);
+    c.bench_function("demarcation/escrow_check", |b| {
+        b.iter(|| {
+            escrow_accepts(
+                std::hint::black_box(&constraint),
+                5,
+                4,
+                EscrowView {
+                    base: 1_000,
+                    committed: -120,
+                    pending_neg: -75,
+                    pending_pos: 12,
+                },
+                std::hint::black_box(-3),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cstruct,
+    bench_acceptor,
+    bench_learner,
+    bench_demarcation
+);
+criterion_main!(benches);

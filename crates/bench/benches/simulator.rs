@@ -1,0 +1,47 @@
+//! Criterion benchmark of end-to-end simulation throughput: how many
+//! simulated MDCC transactions per host-second the discrete-event engine
+//! sustains. This is the cost of regenerating the paper's figures.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdcc_cluster::{run_mdcc, ClusterSpec, MdccMode};
+use mdcc_common::{DcId, SimDuration};
+use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
+use mdcc_workloads::micro::{initial_items, MicroConfig, MicroWorkload, MICRO_ITEMS};
+use mdcc_workloads::Workload;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("micro_10clients_10s", |b| {
+        b.iter(|| {
+            let spec = ClusterSpec {
+                seed: 7,
+                clients: 10,
+                shards_per_dc: 2,
+                warmup: SimDuration::from_secs(2),
+                duration: SimDuration::from_secs(8),
+                ..ClusterSpec::default()
+            };
+            let catalog = Arc::new(Catalog::new().with(
+                TableSchema::new(MICRO_ITEMS, "item")
+                    .with_constraint(AttrConstraint::at_least("stock", 0)),
+            ));
+            let data = initial_items(1_000, 7);
+            let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
+                Box::new(MicroWorkload::new(MicroConfig {
+                    items: 1_000,
+                    ..MicroConfig::default()
+                }))
+            };
+            let (report, _) = run_mdcc(&spec, catalog, &data, &mut factory, MdccMode::Full);
+            assert!(report.write_commits() > 0);
+            report.write_commits()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

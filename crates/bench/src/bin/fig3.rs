@@ -1,0 +1,76 @@
+//! Figure 3: TPC-W write-transaction response-time CDFs.
+//!
+//! Protocols: QW-3, QW-4 (eventually consistent), MDCC, 2PC, Megastore*
+//! (strongly consistent). The paper's medians: 188, 260, 278, 668 and
+//! 17 810 ms respectively. Run with `--scale=paper` for the full setup
+//! (100 clients, SF 10 000, 1 min warm-up + 2 min measurement).
+
+use mdcc_bench::{
+    all_in_us_west, cdf_rows, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, tpcw_spec, Scale,
+};
+use mdcc_cluster::{run_megastore, run_mdcc, run_qw, run_tpc, MdccMode, Report};
+
+fn summarize(label: &str, report: &Report) -> String {
+    format!(
+        "{label}: median={:.0}ms p90={:.0}ms p99={:.0}ms commits={} aborts={} tps={:.0}",
+        report.median_write_ms().unwrap_or(f64::NAN),
+        report.write_percentile_ms(90.0).unwrap_or(f64::NAN),
+        report.write_percentile_ms(99.0).unwrap_or(f64::NAN),
+        report.write_commits(),
+        report.write_aborts(),
+        report.throughput_tps(),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (spec, items) = tpcw_spec(scale, 1003);
+    let catalog = tpcw_catalog();
+    let data = tpcw_data(items, 7);
+    let mut rows: Vec<String> = Vec::new();
+    println!("# Figure 3 — TPC-W write transaction response times (CDF)");
+    println!("# paper medians: QW-3 188ms < QW-4 260ms < MDCC 278ms < 2PC 668ms << Megastore* 17810ms");
+
+    for k in [3usize, 4usize] {
+        let mut factory = tpcw_factory(items, true);
+        let report = run_qw(&spec, catalog.clone(), &data, &mut factory, k);
+        let label = format!("QW-{k}");
+        println!("{}", summarize(&label, &report));
+        rows.extend(cdf_rows(&label, &report.write_cdf(200)));
+    }
+
+    {
+        let mut factory = tpcw_factory(items, true);
+        let (report, stats) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
+        println!("{}", summarize("MDCC", &report));
+        println!(
+            "# MDCC internals: fast_commits={} collisions={} redirects={}",
+            stats.fast_commits, stats.collisions, stats.classic_redirects
+        );
+        rows.extend(cdf_rows("MDCC", &report.write_cdf(200)));
+    }
+
+    {
+        let mut factory = tpcw_factory(items, true);
+        let report = run_tpc(&spec, catalog.clone(), &data, &mut factory);
+        println!("{}", summarize("2PC", &report));
+        rows.extend(cdf_rows("2PC", &report.write_cdf(200)));
+    }
+
+    {
+        // The paper plays in Megastore*'s favour: master and all clients
+        // in US-West.
+        let mut mega_spec = spec.clone();
+        all_in_us_west(&mut mega_spec);
+        let mut factory = tpcw_factory(items, true);
+        let (report, stats) = run_megastore(&mega_spec, catalog, &data, &mut factory);
+        println!("{}", summarize("Megastore*", &report));
+        println!(
+            "# Megastore* internals: committed={} aborted={} max_queue={}",
+            stats.committed, stats.aborted, stats.max_queue
+        );
+        rows.extend(cdf_rows("Megastore*", &report.write_cdf(200)));
+    }
+
+    save_csv("fig3_tpcw_cdf", "protocol,latency_ms,fraction", &rows);
+}

@@ -1,0 +1,213 @@
+//! Shared scaffolding for the experiment drivers.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin`
+//! (`fig3` … `fig8`, `tables`) built on the helpers here: experiment
+//! scales, workload factories, and CSV output under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mdcc_cluster::{ClientPlacement, ClusterSpec};
+use mdcc_common::{DcId, Key, Row, SimDuration, StaticPlacement};
+use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
+use mdcc_workloads::micro::{self, MicroConfig, MicroWorkload};
+use mdcc_workloads::tpcw::{self, TpcwConfig, TpcwWorkload};
+use mdcc_workloads::Workload;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (CI).
+    Quick,
+    /// Minutes-long runs matching the paper's setup sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale=quick|paper` from the process arguments
+    /// (default: quick).
+    pub fn from_args() -> Scale {
+        for arg in std::env::args() {
+            if let Some(v) = arg.strip_prefix("--scale=") {
+                return match v {
+                    "paper" => Scale::Paper,
+                    "quick" => Scale::Quick,
+                    other => panic!("unknown scale {other:?} (use quick|paper)"),
+                };
+            }
+        }
+        Scale::Quick
+    }
+
+    /// Scale factor divisor applied to clients/items/duration.
+    pub fn div(&self) -> u64 {
+        match self {
+            Scale::Quick => 4,
+            Scale::Paper => 1,
+        }
+    }
+}
+
+/// The TPC-W catalog: eight tables, `stock ≥ 0` on items.
+pub fn tpcw_catalog() -> Arc<Catalog> {
+    use tpcw::tables as t;
+    Arc::new(
+        Catalog::new()
+            .with(
+                TableSchema::new(t::ITEM, "item")
+                    .with_constraint(AttrConstraint::at_least(tpcw::STOCK, 0)),
+            )
+            .with(TableSchema::new(t::CUSTOMER, "customer"))
+            .with(TableSchema::new(t::ORDERS, "orders"))
+            .with(TableSchema::new(t::ORDER_LINE, "order_line"))
+            .with(TableSchema::new(t::CC_XACTS, "cc_xacts"))
+            .with(TableSchema::new(t::CART, "shopping_cart"))
+            .with(TableSchema::new(t::CART_LINE, "shopping_cart_line"))
+            .with(TableSchema::new(t::AUTHOR, "author")),
+    )
+}
+
+/// The micro-benchmark catalog: one item table, `stock ≥ 0`.
+pub fn micro_catalog() -> Arc<Catalog> {
+    Arc::new(Catalog::new().with(
+        TableSchema::new(micro::MICRO_ITEMS, "item")
+            .with_constraint(AttrConstraint::at_least(micro::STOCK, 0)),
+    ))
+}
+
+/// The paper's TPC-W deployment (§5.2.1): SF 10 000 items, 100 clients,
+/// four storage nodes per DC, 1 min warm-up + 2 min measurement.
+pub fn tpcw_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
+    let d = scale.div();
+    let items = 10_000 / d;
+    let spec = ClusterSpec {
+        seed,
+        clients: (100 / d) as usize,
+        shards_per_dc: ((4 / d) as usize).max(1),
+        warmup: SimDuration::from_secs(60 / d),
+        duration: SimDuration::from_secs(120 / d),
+        ..ClusterSpec::default()
+    };
+    (spec, items)
+}
+
+/// The paper's micro-benchmark deployment (§5.3): 10 000 items, 100
+/// clients, two storage nodes per DC, 1 min warm-up + 3 min measurement.
+pub fn micro_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
+    let d = scale.div();
+    let items = 10_000 / d;
+    let spec = ClusterSpec {
+        seed,
+        clients: (100 / d) as usize,
+        shards_per_dc: 2,
+        warmup: SimDuration::from_secs(60 / d),
+        duration: SimDuration::from_secs(180 / d),
+        ..ClusterSpec::default()
+    };
+    (spec, items)
+}
+
+/// TPC-W initial rows at `items` scale.
+pub fn tpcw_data(items: u64, seed: u64) -> Vec<(Key, Row)> {
+    let cfg = TpcwConfig::with_scale(items, 0);
+    tpcw::initial_data(&cfg, seed)
+}
+
+/// A TPC-W workload factory; `commutative` selects delta versus physical
+/// stock updates in Buy Confirm.
+pub fn tpcw_factory(
+    items: u64,
+    commutative: bool,
+) -> impl FnMut(usize, DcId, &Arc<StaticPlacement>) -> Box<dyn Workload> {
+    move |client, _dc, _placement| {
+        let mut cfg = TpcwConfig::with_scale(items, client as u64);
+        cfg.commutative = commutative;
+        Box::new(TpcwWorkload::new(cfg))
+    }
+}
+
+/// A micro-benchmark workload factory from a config template; per-client
+/// master-locality wiring (Figure 7) happens here.
+pub fn micro_factory(
+    template: MicroConfig,
+    local_fraction: Option<f64>,
+) -> impl FnMut(usize, DcId, &Arc<StaticPlacement>) -> Box<dyn Workload> {
+    move |_client, dc, placement| {
+        let mut cfg = template.clone();
+        if let Some(fraction) = local_fraction {
+            let p = Arc::clone(placement);
+            cfg.locality = Some(mdcc_workloads::micro::LocalityConfig {
+                local_fraction: fraction,
+                my_dc: dc.0,
+                master_dc_of: Arc::new(move |key: &Key| {
+                    use mdcc_common::Placement as _;
+                    p.master_dc(key).0
+                }),
+            });
+        }
+        Box::new(MicroWorkload::new(cfg))
+    }
+}
+
+/// Puts all clients in DC 0 (with the Megastore* master / the Figure 8
+/// vantage point), as the paper does.
+pub fn all_in_us_west(spec: &mut ClusterSpec) {
+    spec.client_placement = ClientPlacement::AllIn(DcId(0));
+}
+
+/// Writes rows as CSV under `results/` and echoes the path.
+pub fn save_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create results file");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write row");
+    }
+    println!("# wrote {}", path.display());
+}
+
+/// Formats a CDF as CSV rows.
+pub fn cdf_rows(label: &str, cdf: &[(f64, f64)]) -> Vec<String> {
+    cdf.iter()
+        .map(|(ms, frac)| format!("{label},{ms:.3},{frac:.5}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_scale_down_for_quick_runs() {
+        let (q, qi) = tpcw_spec(Scale::Quick, 1);
+        let (p, pi) = tpcw_spec(Scale::Paper, 1);
+        assert!(q.clients < p.clients);
+        assert!(qi < pi);
+        assert_eq!(p.clients, 100);
+        assert_eq!(pi, 10_000);
+        assert_eq!(p.shards_per_dc, 4);
+    }
+
+    #[test]
+    fn catalogs_have_the_stock_constraint() {
+        let c = tpcw_catalog();
+        let k = tpcw::item_key(1);
+        assert_eq!(c.constraints_for(&k).len(), 1);
+        let m = micro_catalog();
+        let k = micro::item_key(1);
+        assert_eq!(m.constraints_for(&k).len(), 1);
+    }
+
+    #[test]
+    fn micro_spec_matches_paper_defaults() {
+        let (spec, items) = micro_spec(Scale::Paper, 3);
+        assert_eq!(spec.clients, 100);
+        assert_eq!(items, 10_000);
+        assert_eq!(spec.shards_per_dc, 2);
+        assert_eq!(spec.duration, SimDuration::from_secs(180));
+    }
+}

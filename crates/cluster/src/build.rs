@@ -1,0 +1,440 @@
+//! Cluster builders and experiment runners, one per protocol.
+
+use std::sync::Arc;
+
+use mdcc_baselines::megastore::{MegaMaster, MegaReplica, MegaStats};
+use mdcc_baselines::qw::{QwStorage, QwWriter};
+use mdcc_baselines::twopc::{TpcCoordinator, TpcStorage};
+use mdcc_baselines::BaselineStore;
+use mdcc_common::placement::MasterPolicy;
+use mdcc_common::{
+    DcId, Key, NodeId, Placement, ProtocolConfig, Row, SimDuration, SimTime, StaticPlacement,
+};
+use mdcc_core::{StorageNodeProcess, TmConfig, TransactionManager, TxnStats};
+use mdcc_sim::{presets, NetworkModel, World, WorldConfig};
+use mdcc_storage::{Catalog, RecordStore};
+use mdcc_workloads::Workload;
+
+use crate::clients::{MdccClient, MegastoreClient, QwClient, TpcClient};
+use crate::metrics::{Report, TxnRecord};
+
+/// Which network model to deploy on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetKind {
+    /// The five EC2 regions of the paper (§5.1).
+    Ec2Five,
+    /// Uniform inter-DC RTT (tests, controlled experiments).
+    Uniform {
+        /// Round-trip time between any two data centers, ms.
+        rtt_ms: f64,
+    },
+}
+
+/// Where the emulated browsers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientPlacement {
+    /// Evenly spread over all data centers (the paper's default).
+    Even,
+    /// All in one data center (Megastore* and the Figure 8 experiment).
+    AllIn(DcId),
+}
+
+/// MDCC protocol configuration variants of §5.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdccMode {
+    /// The full protocol: fast ballots plus commutativity (the workload
+    /// decides whether updates are commutative).
+    Full,
+    /// Fast ballots without commutative support — pair with a workload
+    /// that emits physical updates.
+    Fast,
+    /// All instances Multi-Paxos: every proposal goes through the
+    /// record's master and fast ballots never reopen.
+    Multi,
+}
+
+/// Everything that describes one experiment deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// RNG seed (world + workloads).
+    pub seed: u64,
+    /// Number of data centers.
+    pub dcs: u8,
+    /// Storage nodes per data center (shards).
+    pub shards_per_dc: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Client placement.
+    pub client_placement: ClientPlacement,
+    /// Default-master assignment.
+    pub master_policy: MasterPolicy,
+    /// Network model.
+    pub net: NetKind,
+    /// Lognormal jitter sigma on one-way delays.
+    pub jitter: f64,
+    /// Per-message CPU cost at every node.
+    pub service_time: SimDuration,
+    /// Warm-up period excluded from the report.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub duration: SimDuration,
+    /// Data-center outages: `(offset from start, dc)`.
+    pub fail_dcs: Vec<(SimDuration, DcId)>,
+    /// Protocol parameters (quorums, timeouts, γ).
+    pub protocol: ProtocolConfig,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            dcs: 5,
+            shards_per_dc: 2,
+            clients: 20,
+            client_placement: ClientPlacement::Even,
+            master_policy: MasterPolicy::HashedPerRecord,
+            net: NetKind::Ec2Five,
+            jitter: 0.08,
+            service_time: SimDuration::from_micros(50),
+            warmup: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(60),
+            fail_dcs: Vec::new(),
+            protocol: ProtocolConfig::default(),
+        }
+    }
+}
+
+/// Builds workloads for each client: `(client index, client dc,
+/// placement)`.
+pub type WorkloadFactory<'a> = dyn FnMut(usize, DcId, &Arc<StaticPlacement>) -> Box<dyn Workload> + 'a;
+
+fn network(spec: &ClusterSpec) -> NetworkModel {
+    let model = match spec.net {
+        NetKind::Ec2Five => {
+            assert_eq!(spec.dcs, 5, "the EC2 preset is a five-region network");
+            presets::ec2_five_dc()
+        }
+        NetKind::Uniform { rtt_ms } => NetworkModel::uniform(spec.dcs as usize, rtt_ms, 1.0),
+    };
+    model.with_jitter(spec.jitter)
+}
+
+fn client_dc(spec: &ClusterSpec, i: usize) -> DcId {
+    match spec.client_placement {
+        ClientPlacement::Even => DcId((i % spec.dcs as usize) as u8),
+        ClientPlacement::AllIn(dc) => dc,
+    }
+}
+
+/// Precomputed storage-node id matrix: ids are dense spawn-order ids, so
+/// spawning dc-major yields `id = dc * shards + shard`.
+fn storage_matrix(spec: &ClusterSpec) -> Vec<Vec<NodeId>> {
+    (0..spec.dcs as u32)
+        .map(|dc| {
+            (0..spec.shards_per_dc as u32)
+                .map(|s| NodeId(dc * spec.shards_per_dc as u32 + s))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the world through the failure schedule and the full experiment
+/// span (warm-up + window, plus slack for in-flight transactions).
+fn drive<M: 'static>(world: &mut World<M>, spec: &ClusterSpec) {
+    let mut failures: Vec<(SimTime, DcId)> = spec
+        .fail_dcs
+        .iter()
+        .map(|(offset, dc)| (SimTime::ZERO + *offset, *dc))
+        .collect();
+    failures.sort_by_key(|(t, _)| *t);
+    let end = SimTime::ZERO + spec.warmup + spec.duration;
+    for (t, dc) in failures {
+        world.run_until(t.min(end));
+        world.fail_dc(dc);
+    }
+    world.run_until(end);
+}
+
+// ---------------------------------------------------------------------
+// MDCC.
+// ---------------------------------------------------------------------
+
+/// Runs an MDCC experiment; returns the report and the summed TM stats.
+pub fn run_mdcc(
+    spec: &ClusterSpec,
+    catalog: Arc<Catalog>,
+    data: &[(Key, Row)],
+    workload_factory: &mut WorkloadFactory<'_>,
+    mode: MdccMode,
+) -> (Report, TxnStats) {
+    let mut world: World<mdcc_core::Msg> = World::new(
+        network(spec),
+        WorldConfig {
+            seed: spec.seed,
+            service_time: spec.service_time,
+        },
+    );
+    let matrix = storage_matrix(spec);
+    let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
+    let allow_fast = !matches!(mode, MdccMode::Multi);
+    for dc in 0..spec.dcs {
+        for shard in 0..spec.shards_per_dc {
+            let store = RecordStore::new(spec.protocol.clone(), Arc::clone(&catalog));
+            let node = StorageNodeProcess::new(
+                spec.protocol.clone(),
+                store,
+                placement.clone() as Arc<dyn Placement>,
+                allow_fast,
+            );
+            let id = world.spawn(DcId(dc), Box::new(node));
+            assert_eq!(id, matrix[dc as usize][shard]);
+        }
+    }
+    for (key, row) in data {
+        let shard = placement.shard_of(key);
+        for dc_nodes in &matrix {
+            world
+                .get_mut::<StorageNodeProcess>(dc_nodes[shard])
+                .expect("storage node")
+                .store_mut()
+                .load(key.clone(), row.clone());
+        }
+    }
+    let mut client_ids = Vec::with_capacity(spec.clients);
+    for i in 0..spec.clients {
+        let dc = client_dc(spec, i);
+        let tm = TransactionManager::new(
+            TmConfig {
+                protocol: spec.protocol.clone(),
+                my_dc: dc,
+                assume_classic: matches!(mode, MdccMode::Multi),
+            },
+            placement.clone() as Arc<dyn Placement>,
+        );
+        let workload = workload_factory(i, dc, &placement);
+        client_ids.push(world.spawn(dc, Box::new(MdccClient::new(tm, workload))));
+    }
+    drive(&mut world, spec);
+    let mut records: Vec<TxnRecord> = Vec::new();
+    let mut stats = TxnStats::default();
+    let mut in_flight = 0usize;
+    for id in client_ids {
+        let client = world.get::<MdccClient>(id).expect("client");
+        records.extend(client.records.iter().copied());
+        let s = client.tm_stats();
+        stats.committed += s.committed;
+        stats.aborted += s.aborted;
+        stats.fast_commits += s.fast_commits;
+        stats.collisions += s.collisions;
+        stats.timeouts += s.timeouts;
+        stats.classic_redirects += s.classic_redirects;
+        in_flight += client.in_flight();
+    }
+    if std::env::var_os("MDCC_DEBUG").is_some() {
+        let mut node_stats = mdcc_core::node::NodeStats::default();
+        let mut pending = 0usize;
+        for dc_nodes in &matrix {
+            for &n in dc_nodes {
+                let node = world.get::<StorageNodeProcess>(n).expect("node");
+                let s = node.stats();
+                node_stats.fast_votes += s.fast_votes;
+                node_stats.classic_votes += s.classic_votes;
+                node_stats.not_fast_bounces += s.not_fast_bounces;
+                node_stats.instance_full += s.instance_full;
+                node_stats.recoveries_led += s.recoveries_led;
+                node_stats.dangling_resolved += s.dangling_resolved;
+                pending += node.store().pending_len();
+            }
+        }
+        eprintln!(
+            "[mdcc-debug] nodes: {node_stats:?}, pending_options={pending}, \
+             stuck_client_txns={in_flight}, world={:?}",
+            world.stats()
+        );
+    }
+    (Report::new(records, spec.warmup, spec.duration), stats)
+}
+
+// ---------------------------------------------------------------------
+// Quorum writes.
+// ---------------------------------------------------------------------
+
+/// Runs a quorum-writes experiment with write quorum `k`.
+pub fn run_qw(
+    spec: &ClusterSpec,
+    catalog: Arc<Catalog>,
+    data: &[(Key, Row)],
+    workload_factory: &mut WorkloadFactory<'_>,
+    k: usize,
+) -> Report {
+    let mut world: World<mdcc_baselines::qw::QwMsg> = World::new(
+        network(spec),
+        WorldConfig {
+            seed: spec.seed,
+            service_time: spec.service_time,
+        },
+    );
+    let matrix = storage_matrix(spec);
+    let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
+    for dc in 0..spec.dcs {
+        for shard in 0..spec.shards_per_dc {
+            let store = BaselineStore::new(Arc::clone(&catalog));
+            let id = world.spawn(DcId(dc), Box::new(QwStorage::new(store)));
+            assert_eq!(id, matrix[dc as usize][shard]);
+        }
+    }
+    for (key, row) in data {
+        let shard = placement.shard_of(key);
+        for dc_nodes in &matrix {
+            world
+                .get_mut::<QwStorage>(dc_nodes[shard])
+                .expect("storage node")
+                .store_mut()
+                .load(key.clone(), row.clone());
+        }
+    }
+    let mut client_ids = Vec::with_capacity(spec.clients);
+    for i in 0..spec.clients {
+        let dc = client_dc(spec, i);
+        let writer = QwWriter::new(placement.clone() as Arc<dyn Placement>, k);
+        let workload = workload_factory(i, dc, &placement);
+        let client = QwClient::new(writer, placement.clone() as Arc<dyn Placement>, dc, workload);
+        client_ids.push(world.spawn(dc, Box::new(client)));
+    }
+    drive(&mut world, spec);
+    let mut records = Vec::new();
+    for id in client_ids {
+        records.extend(world.get::<QwClient>(id).expect("client").records.iter().copied());
+    }
+    Report::new(records, spec.warmup, spec.duration)
+}
+
+// ---------------------------------------------------------------------
+// Two-phase commit.
+// ---------------------------------------------------------------------
+
+/// Runs a 2PC experiment.
+pub fn run_tpc(
+    spec: &ClusterSpec,
+    catalog: Arc<Catalog>,
+    data: &[(Key, Row)],
+    workload_factory: &mut WorkloadFactory<'_>,
+) -> Report {
+    let mut world: World<mdcc_baselines::twopc::TpcMsg> = World::new(
+        network(spec),
+        WorldConfig {
+            seed: spec.seed,
+            service_time: spec.service_time,
+        },
+    );
+    let matrix = storage_matrix(spec);
+    let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
+    for dc in 0..spec.dcs {
+        for shard in 0..spec.shards_per_dc {
+            let store = BaselineStore::new(Arc::clone(&catalog));
+            let id = world.spawn(DcId(dc), Box::new(TpcStorage::new(store)));
+            assert_eq!(id, matrix[dc as usize][shard]);
+        }
+    }
+    for (key, row) in data {
+        let shard = placement.shard_of(key);
+        for dc_nodes in &matrix {
+            world
+                .get_mut::<TpcStorage>(dc_nodes[shard])
+                .expect("storage node")
+                .store_mut()
+                .load(key.clone(), row.clone());
+        }
+    }
+    let mut client_ids = Vec::with_capacity(spec.clients);
+    for i in 0..spec.clients {
+        let dc = client_dc(spec, i);
+        let coord = TpcCoordinator::new(placement.clone() as Arc<dyn Placement>, spec.dcs as usize);
+        let workload = workload_factory(i, dc, &placement);
+        let client = TpcClient::new(coord, placement.clone() as Arc<dyn Placement>, dc, workload);
+        client_ids.push(world.spawn(dc, Box::new(client)));
+    }
+    drive(&mut world, spec);
+    let mut records = Vec::new();
+    for id in client_ids {
+        records.extend(world.get::<TpcClient>(id).expect("client").records.iter().copied());
+    }
+    Report::new(records, spec.warmup, spec.duration)
+}
+
+// ---------------------------------------------------------------------
+// Megastore*.
+// ---------------------------------------------------------------------
+
+/// Runs a Megastore* experiment. The master lives in DC 0 (the paper's
+/// US-West), data is one entity group, and the caller usually also puts
+/// every client in DC 0 (the paper plays in Megastore*'s favour).
+pub fn run_megastore(
+    spec: &ClusterSpec,
+    catalog: Arc<Catalog>,
+    data: &[(Key, Row)],
+    workload_factory: &mut WorkloadFactory<'_>,
+) -> (Report, MegaStats) {
+    let mut world: World<mdcc_baselines::megastore::MegaMsg> = World::new(
+        network(spec),
+        WorldConfig {
+            seed: spec.seed,
+            service_time: spec.service_time,
+        },
+    );
+    // Replicas for DCs 1..n spawn first (ids 0..n-1), master last — then
+    // reads in DC 0 go to the master's authoritative store.
+    let replica_ids: Vec<NodeId> = (1..spec.dcs)
+        .map(|dc| {
+            let mut replica = MegaReplica::new(BaselineStore::new(Arc::clone(&catalog)));
+            for (key, row) in data {
+                replica.store_mut().load(key.clone(), row.clone());
+            }
+            world.spawn(DcId(dc), Box::new(replica))
+        })
+        .collect();
+    let mut master_store = BaselineStore::new(Arc::clone(&catalog));
+    for (key, row) in data {
+        master_store.load(key.clone(), row.clone());
+    }
+    let master = world.spawn(
+        DcId(0),
+        Box::new(MegaMaster::new(
+            master_store,
+            replica_ids.clone(),
+            spec.protocol.classic_quorum,
+        )),
+    );
+    let mut replicas_by_dc = vec![master];
+    replicas_by_dc.extend(replica_ids.iter().copied());
+    // Placement is only used by workload factories (e.g. master-locality
+    // pools); Megastore* itself is a single entity group.
+    let matrix: Vec<Vec<NodeId>> = replicas_by_dc.iter().map(|n| vec![*n]).collect();
+    let placement = StaticPlacement::new(matrix, MasterPolicy::FixedDc(DcId(0)));
+    let mut client_ids = Vec::with_capacity(spec.clients);
+    for i in 0..spec.clients {
+        let dc = client_dc(spec, i);
+        let workload = workload_factory(i, dc, &placement);
+        let client = MegastoreClient::new(
+            mdcc_baselines::megastore::MegaClient::new(master),
+            replicas_by_dc.clone(),
+            dc,
+            workload,
+        );
+        client_ids.push(world.spawn(dc, Box::new(client)));
+    }
+    drive(&mut world, spec);
+    let mut records = Vec::new();
+    for id in client_ids {
+        records.extend(
+            world
+                .get::<MegastoreClient>(id)
+                .expect("client")
+                .records
+                .iter()
+                .copied(),
+        );
+    }
+    let stats = world.get::<MegaMaster>(master).expect("master").stats();
+    (Report::new(records, spec.warmup, spec.duration), stats)
+}

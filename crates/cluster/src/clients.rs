@@ -1,0 +1,527 @@
+//! Closed-loop workload clients, one flavour per protocol.
+//!
+//! Every client embeds the same loop — draw a transaction from the
+//! workload, run its (local) read phase, build the write-set, commit it
+//! through the protocol, record the outcome, repeat — mirroring the
+//! paper's emulated browsers with no think time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mdcc_baselines::megastore::{MegaClient, MegaMsg};
+use mdcc_baselines::qw::{QwMsg, QwWriter};
+use mdcc_baselines::twopc::{TpcCoordinator, TpcMsg};
+use mdcc_common::{DcId, Key, NodeId, Placement, Row, SimTime, TxnId, Version};
+use mdcc_core::{Msg, ReadConsistency, TmEvent, TransactionManager, TxnStats};
+use mdcc_paxos::TxnOutcome;
+use mdcc_sim::{Ctx, Process};
+use mdcc_workloads::{Transaction, TxnAction, Workload};
+
+use crate::metrics::TxnRecord;
+
+// ---------------------------------------------------------------------
+// MDCC client.
+// ---------------------------------------------------------------------
+
+/// An app server running the MDCC DB library plus an emulated browser.
+pub struct MdccClient {
+    tm: TransactionManager,
+    workload: Box<dyn Workload>,
+    current: Option<Box<dyn Transaction>>,
+    started: SimTime,
+    pending_read: Option<u64>,
+    /// Finished transactions (harvested by the harness).
+    pub records: Vec<TxnRecord>,
+}
+
+impl MdccClient {
+    /// Creates a client; the TM must be configured for this client's DC.
+    pub fn new(tm: TransactionManager, workload: Box<dyn Workload>) -> Self {
+        Self {
+            tm,
+            workload,
+            current: None,
+            started: SimTime::ZERO,
+            pending_read: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Aggregated TM counters.
+    pub fn tm_stats(&self) -> TxnStats {
+        self.tm.stats()
+    }
+
+    /// Commit attempts still unresolved (should be ≤ 1 per closed-loop
+    /// client; more indicates a stuck protocol path).
+    pub fn in_flight(&self) -> usize {
+        self.tm.in_flight()
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let txn = self.workload.next_txn(ctx.rng);
+        self.started = ctx.now;
+        let reads = txn.read_set();
+        self.current = Some(txn);
+        if reads.is_empty() {
+            self.after_reads(Vec::new(), ctx);
+        } else {
+            self.pending_read = Some(self.tm.read(reads, ReadConsistency::Local, ctx));
+        }
+    }
+
+    fn after_reads(&mut self, values: Vec<(Key, Version, Option<Row>)>, ctx: &mut Ctx<'_, Msg>) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        match txn.decide(&values) {
+            TxnAction::ClientAbort => {
+                self.finish(false, ctx.now);
+                self.issue(ctx);
+            }
+            TxnAction::Commit(updates) if updates.is_empty() => {
+                self.finish(true, ctx.now);
+                self.issue(ctx);
+            }
+            TxnAction::Commit(updates) => {
+                let (_, done) = self.tm.commit(updates, ctx);
+                if let Some(done) = done {
+                    self.finish(done.outcome == TxnOutcome::Committed, ctx.now);
+                    self.issue(ctx);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, committed: bool, now: SimTime) {
+        let txn = self.current.take().expect("active transaction");
+        self.records.push(TxnRecord {
+            started: self.started,
+            finished: now,
+            committed,
+            is_write: txn.is_write(),
+            label: txn.label(),
+        });
+    }
+
+    fn handle_events(&mut self, events: Vec<TmEvent>, ctx: &mut Ctx<'_, Msg>) {
+        for event in events {
+            match event {
+                TmEvent::Completed(c) => {
+                    self.finish(c.outcome == TxnOutcome::Committed, ctx.now);
+                    self.issue(ctx);
+                }
+                TmEvent::ReadDone { token, values } => {
+                    if self.pending_read == Some(token) {
+                        self.pending_read = None;
+                        self.after_reads(values, ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process<Msg> for MdccClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let events = self.tm.on_message(from, msg, ctx);
+        self.handle_events(events, ctx);
+    }
+    fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let events = self.tm.on_timer(msg, ctx);
+        self.handle_events(events, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quorum-writes client.
+// ---------------------------------------------------------------------
+
+/// A client of the eventually consistent quorum-writes deployment.
+pub struct QwClient {
+    writer: QwWriter,
+    placement: Arc<dyn Placement>,
+    my_dc: DcId,
+    workload: Box<dyn Workload>,
+    current: Option<Box<dyn Transaction>>,
+    started: SimTime,
+    next_read: u64,
+    read_wait: Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>,
+    write_wait: Option<u64>,
+    /// Finished transactions.
+    pub records: Vec<TxnRecord>,
+}
+
+impl QwClient {
+    /// Creates a client writing through `writer`.
+    pub fn new(
+        writer: QwWriter,
+        placement: Arc<dyn Placement>,
+        my_dc: DcId,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        Self {
+            writer,
+            placement,
+            my_dc,
+            workload,
+            current: None,
+            started: SimTime::ZERO,
+            next_read: 0,
+            read_wait: None,
+            write_wait: None,
+            records: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, QwMsg>) {
+        let txn = self.workload.next_txn(ctx.rng);
+        self.started = ctx.now;
+        let reads = txn.read_set();
+        self.current = Some(txn);
+        if reads.is_empty() {
+            self.after_reads(Vec::new(), ctx);
+            return;
+        }
+        let req = self.next_read;
+        self.next_read += 1;
+        for key in &reads {
+            let node = self.placement.replica_in(key, self.my_dc);
+            ctx.send(node, QwMsg::ReadReq { req, key: key.clone() });
+        }
+        self.read_wait = Some((req, reads.len(), Vec::new()));
+    }
+
+    fn after_reads(&mut self, values: Vec<(Key, Version, Option<Row>)>, ctx: &mut Ctx<'_, QwMsg>) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        match txn.decide(&values) {
+            TxnAction::ClientAbort => {
+                self.finish(false, ctx.now);
+                self.issue(ctx);
+            }
+            TxnAction::Commit(updates) => {
+                let (req, done) = self.writer.write(updates, ctx);
+                if done.is_some() {
+                    self.finish(true, ctx.now);
+                    self.issue(ctx);
+                } else {
+                    self.write_wait = Some(req);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, committed: bool, now: SimTime) {
+        let txn = self.current.take().expect("active transaction");
+        self.records.push(TxnRecord {
+            started: self.started,
+            finished: now,
+            committed,
+            is_write: txn.is_write(),
+            label: txn.label(),
+        });
+    }
+}
+
+impl Process<QwMsg> for QwClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, QwMsg>) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, _from: NodeId, msg: QwMsg, ctx: &mut Ctx<'_, QwMsg>) {
+        match msg {
+            QwMsg::ReadResp {
+                req,
+                key,
+                version,
+                value,
+            } => {
+                let Some((want, needed, values)) = &mut self.read_wait else {
+                    return;
+                };
+                if *want != req {
+                    return;
+                }
+                values.push((key, version, value));
+                if values.len() == *needed {
+                    let (_, _, values) = self.read_wait.take().expect("present");
+                    self.after_reads(values, ctx);
+                }
+            }
+            QwMsg::PutAck { req, key } => {
+                if self.write_wait == Some(req) {
+                    if self.writer.on_ack(req, key).is_some() {
+                        self.write_wait = None;
+                        self.finish(true, ctx.now);
+                        self.issue(ctx);
+                    }
+                } else {
+                    // Straggler ack for an already-finished batch.
+                    let _ = self.writer.on_ack(req, key);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two-phase-commit client.
+// ---------------------------------------------------------------------
+
+/// A client running transactions through the 2PC coordinator.
+pub struct TpcClient {
+    coord: TpcCoordinator,
+    placement: Arc<dyn Placement>,
+    my_dc: DcId,
+    workload: Box<dyn Workload>,
+    current: Option<Box<dyn Transaction>>,
+    started: SimTime,
+    next_read: u64,
+    read_wait: Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>,
+    /// Finished transactions.
+    pub records: Vec<TxnRecord>,
+}
+
+impl TpcClient {
+    /// Creates a 2PC client.
+    pub fn new(
+        coord: TpcCoordinator,
+        placement: Arc<dyn Placement>,
+        my_dc: DcId,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        Self {
+            coord,
+            placement,
+            my_dc,
+            workload,
+            current: None,
+            started: SimTime::ZERO,
+            next_read: 0,
+            read_wait: None,
+            records: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, TpcMsg>) {
+        let txn = self.workload.next_txn(ctx.rng);
+        self.started = ctx.now;
+        let reads = txn.read_set();
+        self.current = Some(txn);
+        if reads.is_empty() {
+            self.after_reads(Vec::new(), ctx);
+            return;
+        }
+        let req = self.next_read;
+        self.next_read += 1;
+        for key in &reads {
+            let node = self.placement.replica_in(key, self.my_dc);
+            ctx.send(node, TpcMsg::ReadReq { req, key: key.clone() });
+        }
+        self.read_wait = Some((req, reads.len(), Vec::new()));
+    }
+
+    fn after_reads(&mut self, values: Vec<(Key, Version, Option<Row>)>, ctx: &mut Ctx<'_, TpcMsg>) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        match txn.decide(&values) {
+            TxnAction::ClientAbort => {
+                self.finish(false, ctx.now);
+                self.issue(ctx);
+            }
+            TxnAction::Commit(updates) => {
+                let (_, done) = self.coord.commit(updates, ctx);
+                if let Some(done) = done {
+                    self.finish(done.committed, ctx.now);
+                    self.issue(ctx);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, committed: bool, now: SimTime) {
+        let txn = self.current.take().expect("active transaction");
+        self.records.push(TxnRecord {
+            started: self.started,
+            finished: now,
+            committed,
+            is_write: txn.is_write(),
+            label: txn.label(),
+        });
+    }
+}
+
+impl Process<TpcMsg> for TpcClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TpcMsg>) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, _from: NodeId, msg: TpcMsg, ctx: &mut Ctx<'_, TpcMsg>) {
+        if let TpcMsg::ReadResp {
+            req,
+            key,
+            version,
+            value,
+        } = msg
+        {
+            let Some((want, needed, values)) = &mut self.read_wait else {
+                return;
+            };
+            if *want != req {
+                return;
+            }
+            values.push((key, version, value));
+            if values.len() == *needed {
+                let (_, _, values) = self.read_wait.take().expect("present");
+                self.after_reads(values, ctx);
+            }
+            return;
+        }
+        if let Some(done) = self.coord.on_message(msg, ctx) {
+            self.finish(done.committed, ctx.now);
+            self.issue(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Megastore* client.
+// ---------------------------------------------------------------------
+
+/// A client of the Megastore* deployment (co-located with the master).
+pub struct MegastoreClient {
+    mega: MegaClient,
+    /// One log replica per DC, indexed by DcId (reads go local).
+    replicas_by_dc: Vec<NodeId>,
+    my_dc: DcId,
+    workload: Box<dyn Workload>,
+    current: Option<Box<dyn Transaction>>,
+    started: SimTime,
+    next_read: u64,
+    read_wait: Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>,
+    pending_txn: Option<TxnId>,
+    /// Finished transactions.
+    pub records: Vec<TxnRecord>,
+}
+
+impl MegastoreClient {
+    /// Creates a Megastore* client.
+    pub fn new(
+        mega: MegaClient,
+        replicas_by_dc: Vec<NodeId>,
+        my_dc: DcId,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        Self {
+            mega,
+            replicas_by_dc,
+            my_dc,
+            workload,
+            current: None,
+            started: SimTime::ZERO,
+            next_read: 0,
+            read_wait: None,
+            pending_txn: None,
+            records: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, MegaMsg>) {
+        let txn = self.workload.next_txn(ctx.rng);
+        self.started = ctx.now;
+        let reads = txn.read_set();
+        self.current = Some(txn);
+        if reads.is_empty() {
+            self.after_reads(Vec::new(), ctx);
+            return;
+        }
+        let req = self.next_read;
+        self.next_read += 1;
+        let node = self.replicas_by_dc[self.my_dc.0 as usize];
+        for key in &reads {
+            ctx.send(node, MegaMsg::ReadReq { req, key: key.clone() });
+        }
+        self.read_wait = Some((req, reads.len(), Vec::new()));
+    }
+
+    fn after_reads(&mut self, values: Vec<(Key, Version, Option<Row>)>, ctx: &mut Ctx<'_, MegaMsg>) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        match txn.decide(&values) {
+            TxnAction::ClientAbort => {
+                self.finish(false, ctx.now);
+                self.issue(ctx);
+            }
+            TxnAction::Commit(updates) => {
+                let read_versions = values.iter().map(|(k, v, _)| (k.clone(), *v)).collect();
+                let (txn_id, done) = self.mega.commit(updates, read_versions, ctx);
+                if let Some(done) = done {
+                    self.finish(done.committed, ctx.now);
+                    self.issue(ctx);
+                } else {
+                    self.pending_txn = Some(txn_id);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, committed: bool, now: SimTime) {
+        let txn = self.current.take().expect("active transaction");
+        self.records.push(TxnRecord {
+            started: self.started,
+            finished: now,
+            committed,
+            is_write: txn.is_write(),
+            label: txn.label(),
+        });
+    }
+}
+
+impl Process<MegaMsg> for MegastoreClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MegaMsg>) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, _from: NodeId, msg: MegaMsg, ctx: &mut Ctx<'_, MegaMsg>) {
+        if let MegaMsg::ReadResp {
+            req,
+            key,
+            version,
+            value,
+        } = &msg
+        {
+            let Some((want, needed, values)) = &mut self.read_wait else {
+                return;
+            };
+            if want != req {
+                return;
+            }
+            values.push((key.clone(), *version, value.clone()));
+            if values.len() == *needed {
+                let (_, _, values) = self.read_wait.take().expect("present");
+                self.after_reads(values, ctx);
+            }
+            return;
+        }
+        if let Some(done) = self.mega.on_message(&msg) {
+            if self.pending_txn == Some(done.txn) {
+                self.pending_txn = None;
+                self.finish(done.committed, ctx.now);
+                self.issue(ctx);
+            }
+        }
+    }
+}
+
+/// Helper: read results keyed for lookups in tests.
+pub fn reads_as_map(values: &[(Key, Version, Option<Row>)]) -> HashMap<Key, (Version, Option<Row>)> {
+    values
+        .iter()
+        .map(|(k, v, r)| (k.clone(), (*v, r.clone())))
+        .collect()
+}

@@ -1,0 +1,19 @@
+//! The experiment harness: five-data-center deployments, closed-loop
+//! clients and metrics.
+//!
+//! This crate assembles full clusters for every protocol in the paper's
+//! evaluation — MDCC (plus its *Fast* and *Multi* ablations), quorum
+//! writes, two-phase commit and Megastore* — loads the same initial data
+//! into each, drives the same [`mdcc_workloads::Workload`] through
+//! closed-loop clients, and reduces the resulting transaction records to
+//! the statistics the paper's figures plot (medians, CDFs, box plots,
+//! commit/abort counts, throughput, time series).
+
+pub mod build;
+pub mod clients;
+pub mod metrics;
+
+pub use build::{
+    run_megastore, run_mdcc, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
+};
+pub use metrics::{BoxStats, Report, TxnRecord};

@@ -1,0 +1,300 @@
+//! Transaction records and the statistics the paper's figures plot.
+
+use mdcc_common::{SimDuration, SimTime};
+
+/// One finished transaction as seen by a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxnRecord {
+    /// When the interaction began (before its read phase).
+    pub started: SimTime,
+    /// When the outcome was known (commit point / abort).
+    pub finished: SimTime,
+    /// Whether it committed.
+    pub committed: bool,
+    /// Whether it intended to write.
+    pub is_write: bool,
+    /// Interaction label ("buy", "buy-confirm", …).
+    pub label: &'static str,
+}
+
+impl TxnRecord {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.finished - self.started
+    }
+}
+
+/// Five-number summary for box plots (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// The reduced result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All transaction records inside the measurement window, from every
+    /// client, sorted by finish time.
+    pub records: Vec<TxnRecord>,
+    /// Measurement window start.
+    pub window_start: SimTime,
+    /// Measurement window end.
+    pub window_end: SimTime,
+}
+
+impl Report {
+    /// Builds a report from raw client records, keeping only transactions
+    /// that *finished* inside `[warmup, warmup + duration)`.
+    pub fn new(mut records: Vec<TxnRecord>, warmup: SimDuration, duration: SimDuration) -> Self {
+        let window_start = SimTime::ZERO + warmup;
+        let window_end = window_start + duration;
+        records.retain(|r| r.finished >= window_start && r.finished < window_end);
+        records.sort_by_key(|r| r.finished);
+        Self {
+            records,
+            window_start,
+            window_end,
+        }
+    }
+
+    /// Latencies (ms) of committed write transactions — the quantity the
+    /// paper's response-time figures plot.
+    pub fn write_latencies_ms(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_write && r.committed)
+            .map(|r| r.latency().as_millis_f64())
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    /// Committed write transactions.
+    pub fn write_commits(&self) -> usize {
+        self.records.iter().filter(|r| r.is_write && r.committed).count()
+    }
+
+    /// Aborted write transactions (protocol aborts and client-side
+    /// aborts).
+    pub fn write_aborts(&self) -> usize {
+        self.records.iter().filter(|r| r.is_write && !r.committed).count()
+    }
+
+    /// Committed transactions of any kind per second of window time.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = (self.window_end - self.window_start).as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.committed).count() as f64 / secs
+    }
+
+    /// Median committed-write latency in ms (`None` when no writes
+    /// committed).
+    pub fn median_write_ms(&self) -> Option<f64> {
+        percentile(&self.write_latencies_ms(), 50.0)
+    }
+
+    /// An arbitrary percentile of committed-write latency.
+    pub fn write_percentile_ms(&self, p: f64) -> Option<f64> {
+        percentile(&self.write_latencies_ms(), p)
+    }
+
+    /// Average committed-write latency in ms.
+    pub fn mean_write_ms(&self) -> Option<f64> {
+        let v = self.write_latencies_ms();
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// CDF of committed-write latencies: `(latency_ms, fraction ≤)` at
+    /// each recorded point, downsampled to at most `points` entries.
+    pub fn write_cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        let v = self.write_latencies_ms();
+        if v.is_empty() {
+            return Vec::new();
+        }
+        let n = v.len();
+        let step = (n / points.max(1)).max(1);
+        let mut out = Vec::new();
+        for i in (0..n).step_by(step) {
+            out.push((v[i], (i + 1) as f64 / n as f64));
+        }
+        if out.last().map(|(l, _)| *l) != Some(v[n - 1]) {
+            out.push((v[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// Box-plot summary of committed-write latencies.
+    pub fn write_boxplot(&self) -> Option<BoxStats> {
+        let v = self.write_latencies_ms();
+        if v.is_empty() {
+            return None;
+        }
+        Some(BoxStats {
+            min: v[0],
+            q1: percentile(&v, 25.0).expect("non-empty"),
+            median: percentile(&v, 50.0).expect("non-empty"),
+            q3: percentile(&v, 75.0).expect("non-empty"),
+            max: v[v.len() - 1],
+        })
+    }
+
+    /// Average committed-write latency per time bucket — the Figure 8
+    /// time series. Returns `(bucket_start_secs, avg_ms, count)`.
+    pub fn write_time_series(&self, bucket: SimDuration) -> Vec<(f64, f64, usize)> {
+        let mut out: Vec<(f64, f64, usize)> = Vec::new();
+        let mut t = self.window_start;
+        let mut idx = 0usize;
+        let records: Vec<&TxnRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.is_write && r.committed)
+            .collect();
+        while t < self.window_end {
+            let end = t + bucket;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            while idx < records.len() && records[idx].finished < end {
+                sum += records[idx].latency().as_millis_f64();
+                count += 1;
+                idx += 1;
+            }
+            let avg = if count > 0 { sum / count as f64 } else { 0.0 };
+            out.push((t.as_secs_f64(), avg, count));
+            t = end;
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile of a pre-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start_ms: u64, latency_ms: u64, committed: bool, is_write: bool) -> TxnRecord {
+        TxnRecord {
+            started: SimTime::from_millis(start_ms),
+            finished: SimTime::from_millis(start_ms + latency_ms),
+            committed,
+            is_write,
+            label: "t",
+        }
+    }
+
+    fn report(records: Vec<TxnRecord>) -> Report {
+        Report::new(records, SimDuration::ZERO, SimDuration::from_secs(100))
+    }
+
+    #[test]
+    fn window_filters_and_sorts() {
+        let r = Report::new(
+            vec![rec(60_000, 10, true, true), rec(1_000, 10, true, true)],
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(r.records.len(), 1, "warm-up record dropped");
+        assert_eq!(r.records[0].started, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn medians_and_percentiles() {
+        let r = report(vec![
+            rec(0, 100, true, true),
+            rec(0, 200, true, true),
+            rec(0, 300, true, true),
+            rec(0, 400, true, true),
+            rec(0, 50_000, false, true), // aborted: excluded
+            rec(0, 5, true, false),      // read: excluded
+        ]);
+        assert_eq!(r.median_write_ms(), Some(200.0));
+        assert_eq!(r.write_percentile_ms(100.0), Some(400.0));
+        assert_eq!(r.write_percentile_ms(25.0), Some(100.0));
+        assert_eq!(r.write_commits(), 4);
+        assert_eq!(r.write_aborts(), 1);
+        assert_eq!(r.mean_write_ms(), Some(250.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let r = report((0..100).map(|i| rec(0, (i + 1) * 10, true, true)).collect());
+        let cdf = r.write_cdf(10);
+        assert!(cdf.len() <= 12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn boxplot_five_numbers() {
+        let r = report((1..=100).map(|i| rec(0, i * 10, true, true)).collect());
+        let b = r.write_boxplot().unwrap();
+        assert_eq!(b.min, 10.0);
+        assert_eq!(b.q1, 250.0);
+        assert_eq!(b.median, 500.0);
+        assert_eq!(b.q3, 750.0);
+        assert_eq!(b.max, 1_000.0);
+    }
+
+    #[test]
+    fn throughput_counts_commits_over_window() {
+        let r = Report::new(
+            (0..50).map(|i| rec(i * 100, 10, true, i % 2 == 0)).collect(),
+            SimDuration::ZERO,
+            SimDuration::from_secs(10),
+        );
+        assert!((r.throughput_tps() - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn time_series_buckets_average_latency() {
+        let r = Report::new(
+            vec![
+                rec(500, 100, true, true),
+                rec(600, 300, true, true),
+                rec(1_500, 50, true, true),
+            ],
+            SimDuration::ZERO,
+            SimDuration::from_secs(2),
+        );
+        let series = r.write_time_series(SimDuration::from_secs(1));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].2, 2);
+        assert!((series[0].1 - 200.0).abs() < 0.01);
+        assert_eq!(series[1].2, 1);
+        assert!((series[1].1 - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 75.0), Some(3.0));
+        assert_eq!(percentile(&v, 1.0), Some(1.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

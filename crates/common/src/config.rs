@@ -1,0 +1,192 @@
+//! Protocol-wide configuration.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Tunable parameters of the MDCC commit protocol.
+///
+/// The defaults mirror the paper's deployment: replication factor `N = 5`
+/// (one replica per data center), classic quorum 3, fast quorum 4, and a
+/// fast-policy window of `γ = 100` classic instances after a collision
+/// (§3.3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Replication factor `N` — number of storage nodes per record.
+    pub replication: usize,
+    /// Classic quorum size `|Q_C|`.
+    pub classic_quorum: usize,
+    /// Fast quorum size `|Q_F|`.
+    pub fast_quorum: usize,
+    /// Number of instances forced classic after a collision before fast
+    /// ballots are retried (the paper's γ).
+    pub gamma: u64,
+    /// How long a coordinator waits to learn an option before starting
+    /// collision recovery.
+    pub learn_timeout: SimDuration,
+    /// How long a storage node waits on an outstanding option before
+    /// triggering dangling-transaction recovery (§3.2.3).
+    pub dangling_timeout: SimDuration,
+    /// Maximum number of options absorbed into one fast-commutative
+    /// instance before the master closes it with a classic round and
+    /// re-bases demarcation limits.
+    pub max_instance_options: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self {
+            replication: 5,
+            classic_quorum: 3,
+            fast_quorum: 4,
+            gamma: 100,
+            learn_timeout: SimDuration::from_millis(600),
+            dangling_timeout: SimDuration::from_millis(5_000),
+            max_instance_options: 32,
+        }
+    }
+}
+
+/// A violated Fast Paxos quorum-size requirement (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumRuleViolation {
+    /// Two classic quorums might not intersect: `2·|Q_C| ≤ N`.
+    ClassicClassic,
+    /// A classic and a fast quorum might not intersect: `|Q_C| + |Q_F| ≤ N`.
+    ClassicFast,
+    /// Two fast quorums and one classic quorum might have an empty common
+    /// intersection: `2·|Q_F| + |Q_C| ≤ 2·N`.
+    FastFastClassic,
+    /// A quorum size exceeds the replication factor or is zero.
+    Bounds,
+}
+
+impl fmt::Display for QuorumRuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QuorumRuleViolation::ClassicClassic => "2*Qc must exceed N",
+            QuorumRuleViolation::ClassicFast => "Qc + Qf must exceed N",
+            QuorumRuleViolation::FastFastClassic => "2*Qf + Qc must exceed 2*N",
+            QuorumRuleViolation::Bounds => "quorum sizes must be in 1..=N",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ProtocolConfig {
+    /// Builds a config for replication factor `n` with the smallest safe
+    /// quorums: `|Q_C| = ⌊n/2⌋ + 1` and the minimum `|Q_F|` satisfying the
+    /// fast-quorum requirement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdcc_common::ProtocolConfig;
+    /// let c = ProtocolConfig::for_replication(5);
+    /// assert_eq!((c.classic_quorum, c.fast_quorum), (3, 4));
+    /// let c = ProtocolConfig::for_replication(7);
+    /// assert_eq!((c.classic_quorum, c.fast_quorum), (4, 6));
+    /// ```
+    pub fn for_replication(n: usize) -> Self {
+        let classic = n / 2 + 1;
+        // Smallest Qf with Qc + Qf > n and 2*Qf + Qc > 2n.
+        let mut fast = classic.max(n - classic + 1);
+        while 2 * fast + classic <= 2 * n {
+            fast += 1;
+        }
+        Self {
+            replication: n,
+            classic_quorum: classic,
+            fast_quorum: fast.min(n),
+            ..Self::default()
+        }
+    }
+
+    /// Checks the Fast Paxos quorum requirements, returning the first
+    /// violated rule if any.
+    pub fn validate(&self) -> std::result::Result<(), QuorumRuleViolation> {
+        let n = self.replication;
+        let qc = self.classic_quorum;
+        let qf = self.fast_quorum;
+        if qc == 0 || qf == 0 || qc > n || qf > n {
+            return Err(QuorumRuleViolation::Bounds);
+        }
+        if 2 * qc <= n {
+            return Err(QuorumRuleViolation::ClassicClassic);
+        }
+        if qc + qf <= n {
+            return Err(QuorumRuleViolation::ClassicFast);
+        }
+        if 2 * qf + qc <= 2 * n {
+            return Err(QuorumRuleViolation::FastFastClassic);
+        }
+        Ok(())
+    }
+
+    /// The paper's formula for how many of the `N·X` replicated resources
+    /// may silently remain after constraint exhaustion: `(N − Q_F)·X`
+    /// spread over `N` nodes, i.e. the demarcation numerator (§3.4.2).
+    pub fn demarcation_slack_num(&self) -> usize {
+        self.replication - self.fast_quorum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_deployment() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.replication, 5);
+        assert_eq!(c.classic_quorum, 3);
+        assert_eq!(c.fast_quorum, 4);
+        assert_eq!(c.gamma, 100);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn for_replication_produces_valid_configs() {
+        for n in 1..=11 {
+            let c = ProtocolConfig::for_replication(n);
+            assert!(
+                c.validate().is_ok(),
+                "n={n} produced invalid quorums ({}, {})",
+                c.classic_quorum,
+                c.fast_quorum
+            );
+        }
+    }
+
+    #[test]
+    fn three_replicas_need_fast_quorum_of_three() {
+        // With N=3, Qc=2: 2*Qf + 2 > 6 requires Qf = 3 (every node).
+        let c = ProtocolConfig::for_replication(3);
+        assert_eq!(c.fast_quorum, 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ProtocolConfig::default();
+        c.classic_quorum = 2;
+        assert_eq!(c.validate(), Err(QuorumRuleViolation::ClassicClassic));
+
+        let mut c = ProtocolConfig::default();
+        c.fast_quorum = 3;
+        assert_eq!(c.validate(), Err(QuorumRuleViolation::FastFastClassic));
+
+        let mut c = ProtocolConfig::default();
+        c.fast_quorum = 9;
+        assert_eq!(c.validate(), Err(QuorumRuleViolation::Bounds));
+
+        let mut c = ProtocolConfig::default();
+        c.replication = 9;
+        // Qc=3, Qf=4: Qc+Qf=7 ≤ 9.
+        assert_eq!(c.validate(), Err(QuorumRuleViolation::ClassicClassic));
+    }
+
+    #[test]
+    fn demarcation_slack() {
+        assert_eq!(ProtocolConfig::default().demarcation_slack_num(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::ids::{Key, TxnId};
+
+/// Convenience alias used by all fallible MDCC APIs.
+pub type Result<T> = std::result::Result<T, MdccError>;
+
+/// Why a transaction or protocol operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdccError {
+    /// The transaction aborted because at least one option was learned as
+    /// rejected (write-write conflict or constraint violation).
+    TxnAborted {
+        /// The aborted transaction.
+        txn: TxnId,
+        /// The first record whose option was rejected.
+        conflict_key: Key,
+        /// Human-readable rejection reason from the storage nodes.
+        reason: AbortReason,
+    },
+    /// The operation did not complete before its deadline (e.g. a quorum
+    /// was unreachable).
+    Timeout {
+        /// What was being waited for.
+        what: &'static str,
+    },
+    /// A read or write referenced a table unknown to the schema.
+    UnknownTable(Key),
+    /// The record does not exist (reads and version-checked updates).
+    NotFound(Key),
+    /// An internal invariant was violated; indicates a bug, not a normal
+    /// protocol outcome.
+    Internal(String),
+}
+
+/// The storage-node-level reason an option was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// `vread` no longer matches the current version (write-write conflict).
+    StaleRead,
+    /// Another outstanding option already occupies the record's instance.
+    PendingOption,
+    /// The record already exists (failed insert).
+    AlreadyExists,
+    /// A commutative delta would violate the quorum demarcation limit.
+    DemarcationLimit,
+    /// The integrity constraint itself would be violated even without
+    /// pending options.
+    ConstraintViolation,
+    /// The coordinator (or recovery) resolved the transaction as aborted.
+    Resolved,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::StaleRead => "stale read (write-write conflict)",
+            AbortReason::PendingOption => "outstanding option on record",
+            AbortReason::AlreadyExists => "record already exists",
+            AbortReason::DemarcationLimit => "quorum demarcation limit reached",
+            AbortReason::ConstraintViolation => "integrity constraint violated",
+            AbortReason::Resolved => "resolved as aborted by recovery",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for MdccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdccError::TxnAborted {
+                txn,
+                conflict_key,
+                reason,
+            } => write!(f, "{txn} aborted on {conflict_key}: {reason}"),
+            MdccError::Timeout { what } => write!(f, "timeout waiting for {what}"),
+            MdccError::UnknownTable(key) => write!(f, "unknown table for {key}"),
+            MdccError::NotFound(key) => write!(f, "record not found: {key}"),
+            MdccError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MdccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, TableId};
+
+    #[test]
+    fn display_includes_context() {
+        let err = MdccError::TxnAborted {
+            txn: TxnId::new(NodeId(3), 9),
+            conflict_key: Key::new(TableId(1), "item7"),
+            reason: AbortReason::StaleRead,
+        };
+        let text = err.to_string();
+        assert!(text.contains("txn(n3,9)"));
+        assert!(text.contains("t1/item7"));
+        assert!(text.contains("stale read"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(MdccError::Timeout { what: "quorum" });
+        assert_eq!(err.to_string(), "timeout waiting for quorum");
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared vocabulary types for the MDCC reproduction.
+//!
+//! This crate is dependency-free and holds the types every other crate
+//! speaks: identifiers ([`NodeId`], [`TxnId`], [`Key`]), simulated time
+//! ([`time::SimTime`]), record values ([`value::Value`]), update operations
+//! ([`update::UpdateOp`]) and protocol-wide configuration
+//! ([`config::ProtocolConfig`]).
+//!
+//! Design note: all types here are plain data — no behaviour that depends on
+//! a runtime — so the protocol crates stay sans-IO and testable in isolation.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod placement;
+pub mod time;
+pub mod update;
+pub mod value;
+
+pub use config::ProtocolConfig;
+pub use error::{MdccError, Result};
+pub use ids::{DcId, Key, NodeId, TableId, TxnId};
+pub use placement::{MasterPolicy, Placement, StaticPlacement};
+pub use time::{SimDuration, SimTime};
+pub use update::{CommutativeUpdate, PhysicalUpdate, RecordUpdate, UpdateOp, Version, WriteSet};
+pub use value::{Row, Value};

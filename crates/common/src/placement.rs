@@ -1,0 +1,207 @@
+//! Record placement: which nodes replicate a record and who masters it.
+//!
+//! The paper's deployment (§5.1): every data center holds a full replica;
+//! within a data center each table is range-partitioned across storage
+//! nodes. A record therefore has one replica node per data center, and a
+//! per-record default master chosen among them (MDCC supports "an
+//! individual master per record", §2).
+
+use std::sync::Arc;
+
+use crate::ids::{DcId, Key, NodeId};
+
+/// Maps records to replica groups and masters.
+pub trait Placement: Send + Sync {
+    /// The record's replica nodes, one per data center, indexed by
+    /// [`DcId`] order. Position in this vector is the acceptor index used
+    /// by learners.
+    fn replicas(&self, key: &Key) -> Vec<NodeId>;
+
+    /// The record's default master (one of its replicas).
+    fn master(&self, key: &Key) -> NodeId;
+
+    /// Data center of the record's default master (workload locality
+    /// experiments select keys by this).
+    fn master_dc(&self, key: &Key) -> DcId;
+
+    /// The replica of this record inside `dc` (local reads).
+    fn replica_in(&self, key: &Key, dc: DcId) -> NodeId {
+        self.replicas(key)[dc.0 as usize]
+    }
+
+    /// The acceptor index of `node` within the record's replica group.
+    fn acceptor_index(&self, key: &Key, node: NodeId) -> Option<usize> {
+        self.replicas(key).iter().position(|n| *n == node)
+    }
+}
+
+/// How default masters are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterPolicy {
+    /// Master data center chosen by key hash — uniformly spread, the
+    /// paper's default for the micro-benchmark.
+    HashedPerRecord,
+    /// All records mastered in one data center (the Megastore*-style
+    /// configuration, and Figure 3's "play in favor" setup).
+    FixedDc(DcId),
+}
+
+/// Range/hash-partitioned placement over a symmetric multi-DC cluster.
+///
+/// `storage_matrix[dc][shard]` is the storage node serving shard `shard`
+/// in data center `dc`; all data centers use the same shard count, so a
+/// record's replica group is column `shard` of the matrix.
+#[derive(Debug, Clone)]
+pub struct StaticPlacement {
+    storage_matrix: Vec<Vec<NodeId>>,
+    shards: usize,
+    master_policy: MasterPolicy,
+}
+
+impl StaticPlacement {
+    /// Builds a placement from the per-DC node lists (all the same
+    /// length = shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-DC lists differ in length or are empty.
+    pub fn new(storage_matrix: Vec<Vec<NodeId>>, master_policy: MasterPolicy) -> Arc<Self> {
+        let shards = storage_matrix.first().map(|v| v.len()).unwrap_or(0);
+        assert!(shards > 0, "placement needs at least one shard");
+        assert!(
+            storage_matrix.iter().all(|v| v.len() == shards),
+            "every data center must serve every shard"
+        );
+        Arc::new(Self {
+            storage_matrix,
+            shards,
+            master_policy,
+        })
+    }
+
+    /// Number of shards per data center.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of data centers.
+    pub fn dcs(&self) -> usize {
+        self.storage_matrix.len()
+    }
+
+    /// The shard a key hashes to.
+    pub fn shard_of(&self, key: &Key) -> usize {
+        (fnv1a(key) % self.shards as u64) as usize
+    }
+}
+
+impl Placement for StaticPlacement {
+    fn replicas(&self, key: &Key) -> Vec<NodeId> {
+        let shard = self.shard_of(key);
+        self.storage_matrix.iter().map(|dc| dc[shard]).collect()
+    }
+
+    fn master(&self, key: &Key) -> NodeId {
+        let dc = self.master_dc(key);
+        self.replica_in(key, dc)
+    }
+
+    fn master_dc(&self, key: &Key) -> DcId {
+        match self.master_policy {
+            MasterPolicy::FixedDc(dc) => dc,
+            MasterPolicy::HashedPerRecord => {
+                // Decorrelate from the shard hash so shards do not pin
+                // masters.
+                DcId(((fnv1a(key) >> 32) % self.dcs() as u64) as u8)
+            }
+        }
+    }
+}
+
+/// FNV-1a over the key's table id and primary key.
+fn fnv1a(key: &Key) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in key.table.0.to_le_bytes() {
+        eat(b);
+    }
+    for b in key.pk.as_bytes() {
+        eat(*b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TableId;
+
+    fn matrix() -> Vec<Vec<NodeId>> {
+        // 3 DCs × 2 shards; node ids arbitrary but distinct.
+        vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(10), NodeId(11)],
+            vec![NodeId(20), NodeId(21)],
+        ]
+    }
+
+    fn key(pk: &str) -> Key {
+        Key::new(TableId(1), pk)
+    }
+
+    #[test]
+    fn replica_group_is_one_node_per_dc() {
+        let p = StaticPlacement::new(matrix(), MasterPolicy::HashedPerRecord);
+        let reps = p.replicas(&key("a"));
+        assert_eq!(reps.len(), 3);
+        let shard = p.shard_of(&key("a"));
+        assert_eq!(reps[0], NodeId(shard as u32));
+        assert_eq!(reps[1], NodeId(10 + shard as u32));
+        assert_eq!(reps[2], NodeId(20 + shard as u32));
+    }
+
+    #[test]
+    fn master_is_one_of_the_replicas() {
+        let p = StaticPlacement::new(matrix(), MasterPolicy::HashedPerRecord);
+        for pk in ["a", "b", "c", "zeta", "item42"] {
+            let k = key(pk);
+            let m = p.master(&k);
+            assert!(p.replicas(&k).contains(&m), "{pk}");
+            assert_eq!(p.acceptor_index(&k, m).unwrap(), p.master_dc(&k).0 as usize);
+        }
+    }
+
+    #[test]
+    fn fixed_master_policy_pins_the_dc() {
+        let p = StaticPlacement::new(matrix(), MasterPolicy::FixedDc(DcId(2)));
+        for pk in ["a", "b", "c"] {
+            assert_eq!(p.master_dc(&key(pk)), DcId(2));
+            assert_eq!(p.master(&key(pk)), p.replica_in(&key(pk), DcId(2)));
+        }
+    }
+
+    #[test]
+    fn hashed_masters_spread_across_dcs() {
+        let p = StaticPlacement::new(matrix(), MasterPolicy::HashedPerRecord);
+        let mut seen = [0usize; 3];
+        for i in 0..300 {
+            let dc = p.master_dc(&key(&format!("k{i}")));
+            seen[dc.0 as usize] += 1;
+        }
+        for (dc, count) in seen.iter().enumerate() {
+            assert!(*count > 50, "dc{dc} got only {count} masters of 300");
+        }
+    }
+
+    #[test]
+    fn local_replica_lookup() {
+        let p = StaticPlacement::new(matrix(), MasterPolicy::HashedPerRecord);
+        let k = key("a");
+        let local = p.replica_in(&k, DcId(1));
+        assert_eq!(local, p.replicas(&k)[1]);
+        assert_eq!(p.acceptor_index(&k, NodeId(99)), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! The MDCC commit protocol, mounted on the simulator.
+//!
+//! This crate turns the sans-IO machines of `mdcc-paxos` into simulated
+//! processes and adds the transaction layer of the paper:
+//!
+//! * [`msg::Msg`] — every message exchanged between app servers and
+//!   storage nodes;
+//! * [`placement::Placement`] — record → replica group / master mapping
+//!   (range partitioning per data center, §2);
+//! * [`node::StorageNodeProcess`] — a storage node: per-record acceptors,
+//!   per-record leaders (masters), dangling-transaction recovery;
+//! * [`tm::TransactionManager`] — the stateless "DB library" embedded in
+//!   app servers: optimistic execution, parallel option proposal, the
+//!   learn-then-commit rule, visibility fan-out and reads (§3.2, §4).
+
+pub mod msg;
+pub mod node;
+pub mod tm;
+
+/// Re-export of the placement layer (now in `mdcc-common`).
+pub use mdcc_common::placement;
+
+pub use msg::Msg;
+pub use node::StorageNodeProcess;
+pub use placement::{Placement, StaticPlacement};
+pub use tm::{ReadConsistency, TmConfig, TmEvent, TransactionManager, TxnCompletion, TxnStats};

@@ -1,0 +1,189 @@
+//! Protocol messages between app servers (TMs) and storage nodes.
+
+use mdcc_common::{Key, Row, TxnId, Version};
+use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
+use mdcc_paxos::{Ballot, TxnOption, TxnOutcome};
+
+/// Everything that travels between MDCC processes (and, via self-timers,
+/// within them).
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // Proposals (TM → storage nodes).
+    // ------------------------------------------------------------------
+    /// Fast-path proposal straight to an acceptor (Algorithm 1, line 13).
+    Propose(TxnOption),
+    /// Classic-path proposal to the record's master (line 11).
+    ProposeToMaster(TxnOption),
+    /// Outcome fan-out once the coordinator learned all options
+    /// (the Visibility/Learned message of §3.2.1).
+    Visibility {
+        /// Resolved transaction.
+        txn: TxnId,
+        /// Record this copy of the message is for.
+        key: Key,
+        /// Commit or abort.
+        outcome: TxnOutcome,
+        /// Whether this record's option was *learned* as accepted — the
+        /// authoritative status that drives version accounting on nodes
+        /// whose local vote was in the minority.
+        learned_accepted: bool,
+    },
+    /// Ask the (potential) master to run collision recovery for a record
+    /// (Algorithm 1, lines 19 and 26).
+    StartRecovery {
+        /// Record to recover.
+        key: Key,
+    },
+
+    // ------------------------------------------------------------------
+    // Acceptor responses (storage node → learners/TM).
+    // ------------------------------------------------------------------
+    /// Phase2b vote (fast or classic), fanned out to the proposer and to
+    /// the coordinators of every option in the cstruct.
+    Vote {
+        /// Record voted on.
+        key: Key,
+        /// The vote.
+        vote: Phase2b,
+    },
+    /// The record is under a classic ballot; retry via its master.
+    NotFast {
+        /// Record concerned.
+        key: Key,
+        /// The option that was bounced.
+        opt: TxnOption,
+        /// The classic ballot in force — its proposer is the master.
+        promised: Ballot,
+    },
+    /// The record's instance is full; the proposer should request
+    /// recovery so the master closes and re-bases it.
+    InstanceFull {
+        /// Record concerned.
+        key: Key,
+        /// The bounced option (re-proposed after recovery).
+        opt: TxnOption,
+    },
+    /// The proposed transaction was already resolved earlier (the
+    /// proposal is a stale retry); here is its outcome.
+    AlreadyResolved {
+        /// Record concerned.
+        key: Key,
+        /// Transaction in question.
+        txn: TxnId,
+        /// Its decided outcome.
+        outcome: TxnOutcome,
+    },
+    /// The master reports the record is back in fast mode; the TM should
+    /// drop its classic-mode cache entry and re-propose directly.
+    GoFast {
+        /// Record concerned.
+        key: Key,
+        /// The bounced option.
+        opt: TxnOption,
+    },
+
+    // ------------------------------------------------------------------
+    // Leader ↔ acceptors (classic ballots).
+    // ------------------------------------------------------------------
+    /// Phase1a broadcast.
+    P1a {
+        /// Record concerned.
+        key: Key,
+        /// New classic ballot.
+        ballot: Ballot,
+    },
+    /// Phase1b response.
+    P1b {
+        /// Record concerned.
+        key: Key,
+        /// Promise payload.
+        payload: Phase1b,
+    },
+    /// Phase2a broadcast.
+    P2a {
+        /// Record concerned.
+        key: Key,
+        /// Proposal payload.
+        payload: Box<Phase2a>,
+    },
+    /// Phase2a refused: ballot too old.
+    P2aNack {
+        /// Record concerned.
+        key: Key,
+        /// The acceptor's promise.
+        promised: Ballot,
+    },
+    /// Phase2a refused: the leader's snapshot lags this acceptor.
+    P2aStale {
+        /// Record concerned.
+        key: Key,
+        /// Newer committed state for leader catch-up.
+        snapshot: RecordSnapshot,
+    },
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+    /// Read the committed value of a record.
+    ReadReq {
+        /// Request id, echoed in the response.
+        req: u64,
+        /// Record to read.
+        key: Key,
+    },
+    /// Read response.
+    ReadResp {
+        /// Echoed request id.
+        req: u64,
+        /// Record read.
+        key: Key,
+        /// Committed version (zero for never-written records).
+        version: Version,
+        /// Committed value, if the record exists.
+        value: Option<Row>,
+    },
+
+    // ------------------------------------------------------------------
+    // Dangling-transaction recovery (storage node → storage nodes).
+    // ------------------------------------------------------------------
+    /// Ask a replica for the status of one transaction's option on one
+    /// record (quorum read of the instance state, §3.2.3).
+    QueryStatus {
+        /// Transaction being reconstructed.
+        txn: TxnId,
+        /// Record queried.
+        key: Key,
+    },
+    /// Response: the replica's current vote plus, if it already knows it,
+    /// the transaction outcome.
+    StatusResp {
+        /// Transaction being reconstructed.
+        txn: TxnId,
+        /// Record queried.
+        key: Key,
+        /// The replica's current vote for the record's instance.
+        vote: Phase2b,
+        /// Outcome if this replica already learned it.
+        outcome: Option<TxnOutcome>,
+    },
+
+    // ------------------------------------------------------------------
+    // Self-timers.
+    // ------------------------------------------------------------------
+    /// TM: the learn timeout of a transaction fired.
+    LearnTimeout {
+        /// Transaction still unresolved.
+        txn: TxnId,
+    },
+    /// Storage node: periodic dangling-transaction sweep.
+    DanglingSweep,
+    /// Storage node: a recovery attempt stalled; retry it.
+    RecoveryRetry {
+        /// Transaction being recovered.
+        txn: TxnId,
+    },
+    /// Client processes: issue the next transaction (used by harness
+    /// clients; carried here so every process shares one message type).
+    ClientTick,
+}

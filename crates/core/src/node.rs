@@ -1,0 +1,581 @@
+//! The storage-node process: acceptors, masters and dangling recovery.
+//!
+//! One `StorageNodeProcess` serves every record of its shard within its
+//! data center. It plays three roles:
+//!
+//! * **acceptor** for fast proposals, Phase1a/Phase2a and visibility
+//!   messages, delegating to [`mdcc_storage::RecordStore`];
+//! * **master (leader)** for records whose classic ballots it owns,
+//!   delegating to [`mdcc_paxos::LeaderRecord`];
+//! * **recovery coordinator** for dangling transactions (§3.2.3): options
+//!   outstanding past the timeout are reconstructed by quorum-reading
+//!   every key in the option's write-set and resolved deterministically.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use mdcc_common::{Key, NodeId, ProtocolConfig, SimDuration, TxnId};
+use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase2b};
+use mdcc_paxos::leader::{LeaderAction, LeaderConfig};
+use mdcc_paxos::{LearnOutcome, Learner, LeaderRecord, OptionStatus, TxnOutcome};
+use mdcc_sim::{Ctx, Process};
+use mdcc_storage::RecordStore;
+
+use crate::msg::Msg;
+use crate::placement::Placement;
+
+/// Counters a storage node keeps about itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Fast proposals voted on.
+    pub fast_votes: u64,
+    /// Classic Phase2a proposals voted on.
+    pub classic_votes: u64,
+    /// Fast proposals bounced because a classic ballot was in force.
+    pub not_fast_bounces: u64,
+    /// Instance-full bounces.
+    pub instance_full: u64,
+    /// Collision/limit recoveries this node led.
+    pub recoveries_led: u64,
+    /// Dangling transactions this node resolved.
+    pub dangling_resolved: u64,
+}
+
+/// One in-flight dangling-transaction reconstruction.
+#[derive(Debug)]
+struct RecoveryTask {
+    keys: Arc<[Key]>,
+    learners: HashMap<Key, Learner>,
+    decided: HashMap<Key, OptionStatus>,
+    recovering_keys: HashSet<Key>,
+    /// Retry sweeps performed; after a few rounds of "nobody has seen the
+    /// option at the current instance" the transaction is resolved as
+    /// aborted. Sound because recovery only starts `dangling_timeout`
+    /// (seconds) after acceptance while message delays are sub-second —
+    /// the same synchrony assumption the paper's timeout-based recovery
+    /// makes (§3.2.3).
+    retries: u32,
+}
+
+/// Retry sweeps before an unseen option is declared dead.
+const RECOVERY_ABANDON_RETRIES: u32 = 3;
+
+/// A storage node (one per shard per data center).
+pub struct StorageNodeProcess {
+    cfg: ProtocolConfig,
+    store: RecordStore,
+    placement: Arc<dyn Placement>,
+    leaders: HashMap<Key, LeaderRecord>,
+    /// `false` reproduces the *Multi* configuration: masters never hand
+    /// records back to fast ballots.
+    allow_fast: bool,
+    recoveries: HashMap<TxnId, RecoveryTask>,
+    sweep_interval: SimDuration,
+    stats: NodeStats,
+}
+
+impl StorageNodeProcess {
+    /// Creates a storage node over `store`.
+    pub fn new(
+        cfg: ProtocolConfig,
+        store: RecordStore,
+        placement: Arc<dyn Placement>,
+        allow_fast: bool,
+    ) -> Self {
+        let sweep_interval = cfg.dangling_timeout / 2;
+        Self {
+            cfg,
+            store,
+            placement,
+            leaders: HashMap::new(),
+            allow_fast,
+            recoveries: HashMap::new(),
+            sweep_interval,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Read access to the underlying store (tests, metrics).
+    pub fn store(&self) -> &RecordStore {
+        &self.store
+    }
+
+    /// Mutable store access (bulk loading before the simulation starts).
+    pub fn store_mut(&mut self) -> &mut RecordStore {
+        &mut self.store
+    }
+
+    /// This node's counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Leader state per record this node masters (debugging/tests):
+    /// `(key, leading, establishing, inflight, queue length)`.
+    pub fn leader_debug(&self) -> Vec<(Key, bool, bool, bool, usize)> {
+        let mut v: Vec<_> = self
+            .leaders
+            .iter()
+            .map(|(k, l)| {
+                (
+                    k.clone(),
+                    l.is_leading(),
+                    l.is_establishing(),
+                    l.is_inflight(),
+                    l.queue_len(),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    fn leader_for(&mut self, key: &Key, ctx: &Ctx<'_, Msg>) -> &mut LeaderRecord {
+        let snapshot = self
+            .store
+            .record(key)
+            .map(|r| r.snapshot())
+            .unwrap_or(mdcc_paxos::RecordSnapshot {
+                version: mdcc_common::Version::ZERO,
+                value: None,
+            });
+        let cfg = LeaderConfig {
+            n: self.cfg.replication,
+            qc: self.cfg.classic_quorum,
+            qf: self.cfg.fast_quorum,
+            gamma: self.cfg.gamma,
+            allow_fast: self.allow_fast,
+            max_instance_options: self.cfg.max_instance_options,
+        };
+        let self_id = ctx.self_id;
+        self.leaders
+            .entry(key.clone())
+            .or_insert_with(|| LeaderRecord::new(cfg, self_id, snapshot))
+    }
+
+    fn run_leader_actions(&mut self, key: &Key, actions: Vec<LeaderAction>, ctx: &mut Ctx<'_, Msg>) {
+        let replicas = self.placement.replicas(key);
+        for action in actions {
+            match action {
+                LeaderAction::Phase1a(ballot) => {
+                    self.stats.recoveries_led += 1;
+                    for &r in &replicas {
+                        ctx.send(r, Msg::P1a { key: key.clone(), ballot });
+                    }
+                }
+                LeaderAction::Phase2a(payload) => {
+                    for &r in &replicas {
+                        ctx.send(
+                            r,
+                            Msg::P2a {
+                                key: key.clone(),
+                                payload: Box::new(payload.clone()),
+                            },
+                        );
+                    }
+                }
+                LeaderAction::RedirectFast(opt) => {
+                    // The record reopened fast mode while this option was
+                    // queued: hand it back to its coordinator.
+                    ctx.send(
+                        opt.txn.coordinator,
+                        Msg::GoFast {
+                            key: key.clone(),
+                            opt,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fans a vote out to the proposer (`also`) and to the coordinator of
+    /// every option in the cstruct, so recovery-adopted options reach
+    /// their transaction managers (learners).
+    fn fan_out_vote(&self, key: &Key, vote: Phase2b, also: NodeId, ctx: &mut Ctx<'_, Msg>) {
+        let mut sent = HashSet::new();
+        sent.insert(also);
+        ctx.send(
+            also,
+            Msg::Vote {
+                key: key.clone(),
+                vote: vote.clone(),
+            },
+        );
+        for entry in vote.cstruct.entries() {
+            let coord = entry.opt.txn.coordinator;
+            if sent.insert(coord) {
+                ctx.send(
+                    coord,
+                    Msg::Vote {
+                        key: key.clone(),
+                        vote: vote.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Notifies the co-located leader (if any) that the local acceptor
+    /// advanced past its instance.
+    fn notify_leader_advance(&mut self, key: &Key, ctx: &mut Ctx<'_, Msg>) {
+        let Some(snapshot) = self.store.record(key).map(|r| r.snapshot()) else {
+            return;
+        };
+        if let Some(leader) = self.leaders.get_mut(key) {
+            let actions = leader.on_advance(snapshot);
+            self.run_leader_actions(key, actions, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dangling-transaction recovery.
+    // ------------------------------------------------------------------
+
+    fn start_dangling_recovery(
+        &mut self,
+        txn: TxnId,
+        keys: Arc<[Key]>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        if self.recoveries.contains_key(&txn) {
+            return;
+        }
+        let mut learners = HashMap::new();
+        for key in keys.iter() {
+            learners.insert(
+                key.clone(),
+                Learner::new(
+                    self.cfg.replication,
+                    self.cfg.classic_quorum,
+                    self.cfg.fast_quorum,
+                    txn,
+                ),
+            );
+            for r in self.placement.replicas(key) {
+                ctx.send(
+                    r,
+                    Msg::QueryStatus {
+                        txn,
+                        key: key.clone(),
+                    },
+                );
+            }
+        }
+        self.recoveries.insert(
+            txn,
+            RecoveryTask {
+                keys,
+                learners,
+                decided: HashMap::new(),
+                recovering_keys: HashSet::new(),
+                retries: 0,
+            },
+        );
+        ctx.set_timer(self.cfg.learn_timeout, Msg::RecoveryRetry { txn });
+    }
+
+    fn finish_recovery(&mut self, txn: TxnId, outcome: TxnOutcome, ctx: &mut Ctx<'_, Msg>) {
+        let Some(task) = self.recoveries.remove(&txn) else {
+            return;
+        };
+        self.stats.dangling_resolved += 1;
+        for key in task.keys.iter() {
+            let learned_accepted = task
+                .decided
+                .get(key)
+                .map(|s| s.is_accepted())
+                .unwrap_or(outcome == TxnOutcome::Committed);
+            for r in self.placement.replicas(key) {
+                ctx.send(
+                    r,
+                    Msg::Visibility {
+                        txn,
+                        key: key.clone(),
+                        outcome,
+                        learned_accepted,
+                    },
+                );
+            }
+        }
+    }
+
+    fn recovery_check_done(&mut self, txn: TxnId, ctx: &mut Ctx<'_, Msg>) {
+        let Some(task) = self.recoveries.get(&txn) else {
+            return;
+        };
+        if task.decided.len() < task.keys.len() {
+            return;
+        }
+        // Deterministic outcome rule — identical to the coordinator's:
+        // commit iff every option was learned accepted.
+        let all_accepted = task.decided.values().all(|s| s.is_accepted());
+        let outcome = if all_accepted {
+            TxnOutcome::Committed
+        } else {
+            TxnOutcome::Aborted
+        };
+        self.finish_recovery(txn, outcome, ctx);
+    }
+}
+
+impl Process<Msg> for StorageNodeProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(self.sweep_interval, Msg::DanglingSweep);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Propose(opt) => {
+                let key = opt.key.clone();
+                let txn = opt.txn;
+                match self.store.fast_propose(opt.clone(), ctx.now) {
+                    FastPropose::Vote(vote) => {
+                        self.stats.fast_votes += 1;
+                        self.fan_out_vote(&key, vote, from, ctx);
+                    }
+                    FastPropose::NotFast { promised } => {
+                        self.stats.not_fast_bounces += 1;
+                        ctx.send(from, Msg::NotFast { key, opt, promised });
+                    }
+                    FastPropose::InstanceFull => {
+                        self.stats.instance_full += 1;
+                        ctx.send(from, Msg::InstanceFull { key, opt });
+                    }
+                    FastPropose::AlreadyResolved(outcome) => {
+                        ctx.send(from, Msg::AlreadyResolved { key, txn, outcome });
+                    }
+                }
+            }
+            Msg::ProposeToMaster(opt) => {
+                let key = opt.key.clone();
+                // If the record is actually in fast mode and fast ballots
+                // are allowed, redirect the TM back to the fast path.
+                let leading = self.leaders.get(&key).map(|l| l.is_leading()).unwrap_or(false);
+                let record_fast = self
+                    .store
+                    .record(&key)
+                    .map(|r| r.promised().is_fast())
+                    .unwrap_or(true);
+                if self.allow_fast && !leading && record_fast {
+                    ctx.send(from, Msg::GoFast { key, opt });
+                    return;
+                }
+                let actions = self.leader_for(&key, ctx).enqueue(opt);
+                self.run_leader_actions(&key, actions, ctx);
+            }
+            Msg::StartRecovery { key } => {
+                let actions = self.leader_for(&key, ctx).start_recovery();
+                self.run_leader_actions(&key, actions, ctx);
+            }
+            Msg::P1a { key, ballot } => {
+                let payload = self.store.phase1a(&key, ballot);
+                ctx.send(from, Msg::P1b { key, payload });
+            }
+            Msg::P1b { key, payload } => {
+                let Some(idx) = self.placement.acceptor_index(&key, from) else {
+                    return;
+                };
+                if let Some(leader) = self.leaders.get_mut(&key) {
+                    let actions = leader.on_phase1b(idx, payload);
+                    self.run_leader_actions(&key, actions, ctx);
+                }
+            }
+            Msg::P2a { key, payload } => {
+                let before = self.store.version_of(&key);
+                match self.store.classic_accept(&key, *payload, ctx.now) {
+                    ClassicAccept::Vote(vote) => {
+                        self.stats.classic_votes += 1;
+                        self.fan_out_vote(&key, vote, from, ctx);
+                    }
+                    ClassicAccept::Nack { promised } => {
+                        ctx.send(from, Msg::P2aNack { key: key.clone(), promised });
+                    }
+                    ClassicAccept::Stale { snapshot } => {
+                        ctx.send(from, Msg::P2aStale { key: key.clone(), snapshot });
+                    }
+                }
+                if self.store.version_of(&key) != before {
+                    self.notify_leader_advance(&key, ctx);
+                }
+            }
+            Msg::P2aNack { key, promised } => {
+                if let Some(leader) = self.leaders.get_mut(&key) {
+                    let actions = leader.on_nack(promised);
+                    self.run_leader_actions(&key, actions, ctx);
+                }
+            }
+            Msg::P2aStale { key, snapshot } => {
+                if let Some(leader) = self.leaders.get_mut(&key) {
+                    let actions = leader.on_stale(snapshot);
+                    self.run_leader_actions(&key, actions, ctx);
+                }
+            }
+            Msg::Visibility {
+                txn,
+                key,
+                outcome,
+                learned_accepted,
+            } => {
+                // A visibility also settles any recovery we were running.
+                if self.recoveries.contains_key(&txn) {
+                    self.finish_recovery(txn, outcome, ctx);
+                }
+                let advanced =
+                    self.store
+                        .apply_visibility(&key, txn, outcome, learned_accepted, ctx.now);
+                if advanced {
+                    self.notify_leader_advance(&key, ctx);
+                }
+            }
+            Msg::ReadReq { req, key } => {
+                let (version, value) = match self.store.read_committed(&key) {
+                    Some((v, row)) => (v, Some(row)),
+                    None => (self.store.version_of(&key), None),
+                };
+                ctx.send(
+                    from,
+                    Msg::ReadResp {
+                        req,
+                        key,
+                        version,
+                        value,
+                    },
+                );
+            }
+            Msg::QueryStatus { txn, key } => {
+                let (vote, outcome) = match self.store.record(&key) {
+                    Some(rec) => (rec.phase2b(), rec.outcome_of(txn)),
+                    None => (
+                        Phase2b {
+                            ballot: mdcc_paxos::Ballot::INITIAL_FAST,
+                            version: mdcc_common::Version::ZERO,
+                            cstruct: mdcc_paxos::CStruct::new(),
+                        },
+                        None,
+                    ),
+                };
+                ctx.send(
+                    from,
+                    Msg::StatusResp {
+                        txn,
+                        key,
+                        vote,
+                        outcome,
+                    },
+                );
+            }
+            Msg::StatusResp {
+                txn,
+                key,
+                vote,
+                outcome,
+            } => {
+                if let Some(outcome) = outcome {
+                    // Someone already knows the verdict: just propagate it.
+                    if self.recoveries.contains_key(&txn) {
+                        self.finish_recovery(txn, outcome, ctx);
+                    }
+                    return;
+                }
+                let Some(idx) = self.placement.acceptor_index(&key, from) else {
+                    return;
+                };
+                let Some(task) = self.recoveries.get_mut(&txn) else {
+                    return;
+                };
+                let Some(learner) = task.learners.get_mut(&key) else {
+                    return;
+                };
+                match learner.on_vote(idx, vote) {
+                    LearnOutcome::Learned(status) => {
+                        task.decided.insert(key, status);
+                        self.recovery_check_done(txn, ctx);
+                    }
+                    LearnOutcome::Collision => {
+                        if task.recovering_keys.insert(key.clone()) {
+                            let master = self.placement.master(&key);
+                            ctx.send(master, Msg::StartRecovery { key });
+                        }
+                    }
+                    LearnOutcome::Undecided => {}
+                }
+            }
+            Msg::NotFast { .. }
+            | Msg::InstanceFull { .. }
+            | Msg::AlreadyResolved { .. }
+            | Msg::GoFast { .. }
+            | Msg::Vote { .. }
+            | Msg::ReadResp { .. } => {
+                // TM-side messages; a storage node can receive them only
+                // if it acted as a recovery coordinator whose task is
+                // already finished — ignore.
+            }
+            Msg::LearnTimeout { .. } | Msg::DanglingSweep | Msg::RecoveryRetry { .. } | Msg::ClientTick => {
+                // Timer payloads arrive via on_timer, not as messages.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::DanglingSweep => {
+                let dangling = self.store.dangling(ctx.now);
+                for p in dangling {
+                    self.start_dangling_recovery(p.txn, p.peers, ctx);
+                }
+                ctx.set_timer(self.sweep_interval, Msg::DanglingSweep);
+            }
+            Msg::RecoveryRetry { txn } => {
+                let Some(task) = self.recoveries.get_mut(&txn) else {
+                    return;
+                };
+                task.retries += 1;
+                let give_up = task.retries >= RECOVERY_ABANDON_RETRIES;
+                let n = self.cfg.replication;
+                // Re-query undecided keys; re-trigger master recovery for
+                // keys that still cannot be learned; after enough rounds,
+                // declare options nobody holds as dead (see RecoveryTask).
+                let mut undecided: Vec<Key> = Vec::new();
+                for k in task.keys.iter() {
+                    if task.decided.contains_key(k) {
+                        continue;
+                    }
+                    let learner = &task.learners[k];
+                    if give_up && learner.responses() == n && !learner.seen_at_latest() {
+                        task.decided.insert(
+                            k.clone(),
+                            OptionStatus::Rejected(mdcc_common::error::AbortReason::Resolved),
+                        );
+                    } else {
+                        undecided.push(k.clone());
+                    }
+                }
+                let attempt = task.retries;
+                for key in undecided {
+                    for r in self.placement.replicas(&key) {
+                        ctx.send(
+                            r,
+                            Msg::QueryStatus {
+                                txn,
+                                key: key.clone(),
+                            },
+                        );
+                    }
+                    // Rotate the recovery leader in case the default
+                    // master's data center is down (§3.2.3); stay on one
+                    // target for a few sweeps to avoid dueling leaders.
+                    let replicas = self.placement.replicas(&key);
+                    let start = self.placement.master_dc(&key).0 as usize;
+                    let target = replicas[(start + attempt as usize / 3) % replicas.len()];
+                    ctx.send(target, Msg::StartRecovery { key });
+                }
+                self.recovery_check_done(txn, ctx);
+                if self.recoveries.contains_key(&txn) {
+                    ctx.set_timer(self.cfg.learn_timeout, Msg::RecoveryRetry { txn });
+                }
+            }
+            _ => {}
+        }
+    }
+}

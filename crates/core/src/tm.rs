@@ -1,0 +1,602 @@
+//! The transaction manager — the paper's stateless "DB library" (§2).
+//!
+//! Embedded in an app-server process, the TM implements the optimistic
+//! commit protocol of §3.2:
+//!
+//! 1. the application executes reads (local read-committed by default,
+//!    up-to-date quorum reads on request, §4.2) and collects a write-set;
+//! 2. at commit, the TM proposes one option per record — directly to the
+//!    acceptors when the record is (believed) fast, via the record's
+//!    master otherwise;
+//! 3. it learns each option from Phase2b quorums; **it may not abort a
+//!    proposed transaction** — on learn failure it can only trigger
+//!    recovery and keep waiting (the key difference from 2PC, §3.2.1);
+//! 4. commit iff every option is learned accepted; the outcome fans out
+//!    asynchronously as Visibility messages and does not add latency.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use mdcc_common::error::AbortReason;
+use mdcc_common::{DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimTime, TxnId, Version, WriteSet};
+use mdcc_paxos::{LearnOutcome, Learner, OptionStatus, TxnOption, TxnOutcome};
+use mdcc_sim::event::TimerId;
+use mdcc_sim::Ctx;
+
+use crate::msg::Msg;
+use crate::placement::Placement;
+
+/// Read consistency levels (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadConsistency {
+    /// Read the local replica's committed value — may be stale, never
+    /// dirty (read committed, §4.1).
+    Local,
+    /// Read a classic quorum and return the highest committed version.
+    UpToDate,
+}
+
+/// TM configuration.
+#[derive(Debug, Clone)]
+pub struct TmConfig {
+    /// Protocol parameters (quorums, timeouts).
+    pub protocol: ProtocolConfig,
+    /// The data center this app server runs in (local reads).
+    pub my_dc: DcId,
+    /// Always propose via the record's master — the *Multi*
+    /// configuration of §5.3.1. When `false` (MDCC default) records are
+    /// assumed fast until a master says otherwise.
+    pub assume_classic: bool,
+}
+
+/// Aggregate TM counters (the ingredients of Figures 5–7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxnStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Transactions whose every option was learned from fast quorums.
+    pub fast_commits: u64,
+    /// Collisions observed (recovery requests sent).
+    pub collisions: u64,
+    /// Learn timeouts fired.
+    pub timeouts: u64,
+    /// Proposals bounced from fast to classic mode.
+    pub classic_redirects: u64,
+}
+
+/// The result of one finished transaction, handed to the client process.
+#[derive(Debug, Clone)]
+pub struct TxnCompletion {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Commit or abort.
+    pub outcome: TxnOutcome,
+    /// When `commit` was called.
+    pub started: SimTime,
+    /// When the last option was learned (the commit point).
+    pub finished: SimTime,
+    /// For aborts: the first rejection reason.
+    pub abort_reason: Option<AbortReason>,
+    /// Every option was learned via fast ballots (no master involved).
+    pub fast_path: bool,
+}
+
+/// Events the TM reports to its hosting process.
+#[derive(Debug, Clone)]
+pub enum TmEvent {
+    /// A commit attempt finished.
+    Completed(TxnCompletion),
+    /// A read issued with [`TransactionManager::read`] finished.
+    ReadDone {
+        /// Token returned by `read`.
+        token: u64,
+        /// Per-key results: committed version and value.
+        values: Vec<(Key, Version, Option<Row>)>,
+    },
+}
+
+// Iteration order of these maps drives message emission order, so they
+// must be deterministic (`BTreeMap`) for reproducible simulations.
+#[derive(Debug)]
+struct ActiveTxn {
+    started: SimTime,
+    options: BTreeMap<Key, TxnOption>,
+    learners: BTreeMap<Key, Learner>,
+    decided: BTreeMap<Key, OptionStatus>,
+    all_fast: bool,
+    timer: TimerId,
+    recovery_sent: HashSet<Key>,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct ReadTask {
+    token: u64,
+    consistency: ReadConsistency,
+    needed: usize,
+    responses: HashMap<Key, Vec<(Version, Option<Row>)>>,
+    keys: Vec<Key>,
+}
+
+/// The per-app-server transaction manager.
+pub struct TransactionManager {
+    cfg: TmConfig,
+    placement: Arc<dyn Placement>,
+    next_seq: u64,
+    next_read: u64,
+    active: BTreeMap<TxnId, ActiveTxn>,
+    reads: HashMap<u64, ReadTask>,
+    /// Records believed to be under a classic ballot, with their master.
+    classic_cache: HashMap<Key, NodeId>,
+    stats: TxnStats,
+}
+
+impl TransactionManager {
+    /// Creates a TM for the app server in `cfg.my_dc`.
+    pub fn new(cfg: TmConfig, placement: Arc<dyn Placement>) -> Self {
+        Self {
+            cfg,
+            placement,
+            next_seq: 0,
+            next_read: 0,
+            active: BTreeMap::new(),
+            reads: HashMap::new(),
+            classic_cache: HashMap::new(),
+            stats: TxnStats::default(),
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> TxnStats {
+        self.stats
+    }
+
+    /// Number of unfinished commit attempts.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+
+    /// Issues a read of `keys`; the result arrives later as
+    /// [`TmEvent::ReadDone`] carrying the returned token.
+    pub fn read(
+        &mut self,
+        keys: Vec<Key>,
+        consistency: ReadConsistency,
+        ctx: &mut Ctx<'_, Msg>,
+    ) -> u64 {
+        let token = self.next_read;
+        self.next_read += 1;
+        let needed = match consistency {
+            ReadConsistency::Local => 1,
+            ReadConsistency::UpToDate => self.cfg.protocol.classic_quorum,
+        };
+        for key in &keys {
+            match consistency {
+                ReadConsistency::Local => {
+                    let node = self.placement.replica_in(key, self.cfg.my_dc);
+                    ctx.send(node, Msg::ReadReq { req: token, key: key.clone() });
+                }
+                ReadConsistency::UpToDate => {
+                    for node in self.placement.replicas(key) {
+                        ctx.send(node, Msg::ReadReq { req: token, key: key.clone() });
+                    }
+                }
+            }
+        }
+        self.reads.insert(
+            token,
+            ReadTask {
+                token,
+                consistency,
+                needed,
+                responses: HashMap::new(),
+                keys,
+            },
+        );
+        token
+    }
+
+    // ------------------------------------------------------------------
+    // Commit.
+    // ------------------------------------------------------------------
+
+    /// Starts a **serializable** commit (§4.4): besides the write-set,
+    /// the transaction's read-set is validated — every read key becomes a
+    /// [`mdcc_common::UpdateOp::ReadGuard`] option that the acceptors
+    /// accept only if the version is still current and no write is
+    /// pending. Guards ride fast ballots like any other option, so
+    /// serializability still costs one wide-area round trip in the
+    /// common case. Keys also written by the transaction need no guard
+    /// (their write already validates the version).
+    pub fn commit_serializable(
+        &mut self,
+        mut updates: Vec<RecordUpdate>,
+        read_set: Vec<(Key, Version)>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) -> (TxnId, Option<TxnCompletion>) {
+        let written: HashSet<Key> = updates.iter().map(|u| u.key.clone()).collect();
+        for (key, version) in read_set {
+            if !written.contains(&key) {
+                updates.push(RecordUpdate::new(key, mdcc_common::UpdateOp::ReadGuard(version)));
+            }
+        }
+        self.commit(updates, ctx)
+    }
+
+    /// Starts the commit of a write-set (Algorithm 1, TransactionStart).
+    ///
+    /// Returns the transaction id and, for empty write-sets, an immediate
+    /// completion (a read-only transaction commits trivially).
+    pub fn commit(
+        &mut self,
+        updates: Vec<RecordUpdate>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) -> (TxnId, Option<TxnCompletion>) {
+        let txn = TxnId::new(ctx.self_id, self.next_seq);
+        self.next_seq += 1;
+        if updates.is_empty() {
+            let done = TxnCompletion {
+                txn,
+                outcome: TxnOutcome::Committed,
+                started: ctx.now,
+                finished: ctx.now,
+                abort_reason: None,
+                fast_path: true,
+            };
+            self.stats.committed += 1;
+            self.stats.fast_commits += 1;
+            return (txn, Some(done));
+        }
+        let ws = WriteSet::new(txn, updates);
+        let mut options = BTreeMap::new();
+        let mut learners = BTreeMap::new();
+        for u in &ws.updates {
+            let opt = TxnOption {
+                txn,
+                key: u.key.clone(),
+                op: u.op.clone(),
+                peers: Arc::clone(&ws.keys),
+            };
+            learners.insert(
+                u.key.clone(),
+                Learner::new(
+                    self.cfg.protocol.replication,
+                    self.cfg.protocol.classic_quorum,
+                    self.cfg.protocol.fast_quorum,
+                    txn,
+                ),
+            );
+            options.insert(u.key.clone(), opt);
+        }
+        for opt in options.values() {
+            self.propose(opt.clone(), ctx);
+        }
+        let timer = ctx.set_timer(self.cfg.protocol.learn_timeout, Msg::LearnTimeout { txn });
+        self.active.insert(
+            txn,
+            ActiveTxn {
+                started: ctx.now,
+                options,
+                learners,
+                decided: BTreeMap::new(),
+                all_fast: true,
+                timer,
+                recovery_sent: HashSet::new(),
+                retries: 0,
+            },
+        );
+        (txn, None)
+    }
+
+    /// The node to ask for recovery on `attempt` (0 = the default
+    /// master). Master failover, §3.2.3: after *several* timeouts the
+    /// next replica is asked to take over the record's mastership — any
+    /// storage node can lead. Rotating too eagerly creates dueling
+    /// leaders under contention (each stuck coordinator nominating a
+    /// different node), so three attempts go to the same target before
+    /// moving on.
+    fn recovery_target(&self, key: &Key, attempt: u32) -> NodeId {
+        let replicas = self.placement.replicas(key);
+        let start = self.placement.master_dc(key).0 as usize;
+        replicas[(start + attempt as usize / 3) % replicas.len()]
+    }
+
+    /// Routes one proposal per the record's believed mode (SENDPROPOSAL,
+    /// Algorithm 1 lines 9–13).
+    fn propose(&mut self, opt: TxnOption, ctx: &mut Ctx<'_, Msg>) {
+        let master = self
+            .classic_cache
+            .get(&opt.key)
+            .copied()
+            .or_else(|| self.cfg.assume_classic.then(|| self.placement.master(&opt.key)));
+        match master {
+            Some(m) => ctx.send(m, Msg::ProposeToMaster(opt)),
+            None => {
+                for r in self.placement.replicas(&opt.key) {
+                    ctx.send(r, Msg::Propose(opt.clone()));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling.
+    // ------------------------------------------------------------------
+
+    /// Feeds a network message; returns completions/read results to act on.
+    pub fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) -> Vec<TmEvent> {
+        match msg {
+            Msg::Vote { key, vote } => self.on_vote(from, key, vote, ctx),
+            Msg::NotFast { key, opt, promised } => {
+                // The record is under a classic ballot: remember the
+                // master and retry through it (§3.3.1 fallback).
+                self.stats.classic_redirects += 1;
+                if self.relevant(&opt) {
+                    self.classic_cache.insert(key, promised.proposer);
+                    ctx.send(promised.proposer, Msg::ProposeToMaster(opt));
+                }
+                Vec::new()
+            }
+            Msg::GoFast { key, opt } => {
+                // The record reopened fast ballots: drop the cache entry
+                // and propose directly.
+                self.classic_cache.remove(&key);
+                if self.relevant(&opt) {
+                    for r in self.placement.replicas(&key) {
+                        ctx.send(r, Msg::Propose(opt.clone()));
+                    }
+                }
+                Vec::new()
+            }
+            Msg::InstanceFull { key, opt } => {
+                // Ask the master to close + re-base the instance, then
+                // route the option through it.
+                self.stats.collisions += 1;
+                let master = self.placement.master(&key);
+                if self.relevant(&opt) {
+                    ctx.send(master, Msg::StartRecovery { key: key.clone() });
+                    self.classic_cache.insert(key, master);
+                    ctx.send(master, Msg::ProposeToMaster(opt));
+                }
+                Vec::new()
+            }
+            Msg::AlreadyResolved { key, txn, outcome } => {
+                let status = match outcome {
+                    TxnOutcome::Committed => OptionStatus::Accepted,
+                    TxnOutcome::Aborted => OptionStatus::Rejected(AbortReason::Resolved),
+                };
+                self.record_decision(txn, key, status, ctx)
+            }
+            Msg::ReadResp {
+                req,
+                key,
+                version,
+                value,
+            } => self.on_read_resp(req, key, version, value),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a fired timer; same contract as [`Self::on_message`].
+    pub fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) -> Vec<TmEvent> {
+        let Msg::LearnTimeout { txn } = msg else {
+            return Vec::new();
+        };
+        let Some(active) = self.active.get_mut(&txn) else {
+            return Vec::new();
+        };
+        self.stats.timeouts += 1;
+        active.retries += 1;
+        let undecided: Vec<Key> = active
+            .options
+            .keys()
+            .filter(|k| !active.decided.contains_key(*k))
+            .cloned()
+            .collect();
+        // We may *not* abort: options might already be learned by others.
+        // Trigger recovery on stuck records and re-propose (acceptors and
+        // masters deduplicate).
+        let opts: Vec<TxnOption> = undecided
+            .iter()
+            .map(|k| active.options[k].clone())
+            .collect();
+        // Exponential backoff: under heavy contention a recovery round can
+        // outlast the base timeout, and re-triggering it on every tick
+        // turns congestion into livelock.
+        let backoff = self.cfg.protocol.learn_timeout * (1u64 << active.retries.min(4));
+        active.timer = ctx.set_timer(backoff, Msg::LearnTimeout { txn });
+        let attempt = self.active[&txn].retries;
+        for (key, opt) in undecided.into_iter().zip(opts) {
+            // Rotate through the replicas: the default master may be in a
+            // failed data center (master failover, §3.2.3).
+            let target = self.recovery_target(&key, attempt);
+            ctx.send(target, Msg::StartRecovery { key: key.clone() });
+            if attempt >= 3 {
+                // The believed master may be the dead one; fall back to
+                // fast proposals, which any live node can vote on.
+                self.classic_cache.remove(&key);
+            }
+            self.propose(opt, ctx);
+        }
+        Vec::new()
+    }
+
+    fn relevant(&self, opt: &TxnOption) -> bool {
+        self.active
+            .get(&opt.txn)
+            .map(|a| !a.decided.contains_key(&opt.key))
+            .unwrap_or(false)
+    }
+
+    fn on_vote(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        vote: mdcc_paxos::acceptor::Phase2b,
+        ctx: &mut Ctx<'_, Msg>,
+    ) -> Vec<TmEvent> {
+        // A vote can decide any of our in-flight transactions touching
+        // this record; find the ones with an option on `key`.
+        let candidates: Vec<TxnId> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.options.contains_key(&key) && !a.decided.contains_key(&key))
+            .map(|(t, _)| *t)
+            .collect();
+        let mut events = Vec::new();
+        for txn in candidates {
+            let Some(idx) = self.placement.acceptor_index(&key, from) else {
+                continue;
+            };
+            let active = self.active.get_mut(&txn).expect("candidate exists");
+            let learner = active.learners.get_mut(&key).expect("learner exists");
+            let outcome = learner.on_vote(idx, vote.clone());
+            if std::env::var_os("MDCC_TRACE").is_some() {
+                eprintln!(
+                    "[tm-trace t={}] {txn} {key} vote from a{idx} v={} b={} cstruct={} -> {outcome:?} ({} resp)",
+                    ctx.now,
+                    vote.version.0,
+                    vote.ballot,
+                    vote.cstruct,
+                    learner.responses()
+                );
+            }
+            match outcome {
+                LearnOutcome::Learned(status) => {
+                    if !learner.learned_fast() {
+                        active.all_fast = false;
+                    }
+                    let commutative = active.options[&key].is_commutative();
+                    let fast = learner.learned_fast();
+                    events.extend(self.record_decision(txn, key.clone(), status, ctx));
+                    // Algorithm 1, lines 24–26: a rejected commutative
+                    // option in a fast ballot signals a demarcation-limit
+                    // hit; the master must re-base.
+                    if commutative && fast && !status.is_accepted() {
+                        let master = self.placement.master(&key);
+                        ctx.send(master, Msg::StartRecovery { key: key.clone() });
+                    }
+                }
+                LearnOutcome::Collision => {
+                    self.stats.collisions += 1;
+                    let active = self.active.get_mut(&txn).expect("candidate exists");
+                    if active.recovery_sent.insert(key.clone()) {
+                        let master = self.placement.master(&key);
+                        ctx.send(master, Msg::StartRecovery { key: key.clone() });
+                    }
+                }
+                LearnOutcome::Undecided => {}
+            }
+        }
+        events
+    }
+
+    fn record_decision(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        status: OptionStatus,
+        ctx: &mut Ctx<'_, Msg>,
+    ) -> Vec<TmEvent> {
+        let Some(active) = self.active.get_mut(&txn) else {
+            return Vec::new();
+        };
+        active.decided.insert(key, status);
+        if active.decided.len() < active.options.len() {
+            return Vec::new();
+        }
+        // All options decided: the outcome is now deterministic (§3.2.1).
+        let active = self.active.remove(&txn).expect("present");
+        ctx.cancel_timer(active.timer);
+        let mut abort_reason = None;
+        for status in active.decided.values() {
+            if let OptionStatus::Rejected(r) = status {
+                abort_reason = Some(*r);
+                break;
+            }
+        }
+        let outcome = if abort_reason.is_none() {
+            TxnOutcome::Committed
+        } else {
+            TxnOutcome::Aborted
+        };
+        let finished = ctx.now;
+        // Visibility fan-out is asynchronous: it happens after the commit
+        // point and does not add to transaction latency.
+        for key in active.options.keys() {
+            let learned_accepted = active.decided[key].is_accepted();
+            for r in self.placement.replicas(key) {
+                ctx.send(
+                    r,
+                    Msg::Visibility {
+                        txn,
+                        key: key.clone(),
+                        outcome,
+                        learned_accepted,
+                    },
+                );
+            }
+        }
+        match outcome {
+            TxnOutcome::Committed => {
+                self.stats.committed += 1;
+                if active.all_fast {
+                    self.stats.fast_commits += 1;
+                }
+            }
+            TxnOutcome::Aborted => self.stats.aborted += 1,
+        }
+        vec![TmEvent::Completed(TxnCompletion {
+            txn,
+            outcome,
+            started: active.started,
+            finished,
+            abort_reason,
+            fast_path: active.all_fast,
+        })]
+    }
+
+    fn on_read_resp(
+        &mut self,
+        req: u64,
+        key: Key,
+        version: Version,
+        value: Option<Row>,
+    ) -> Vec<TmEvent> {
+        let Some(task) = self.reads.get_mut(&req) else {
+            return Vec::new();
+        };
+        task.responses.entry(key).or_default().push((version, value));
+        let done = task
+            .keys
+            .iter()
+            .all(|k| task.responses.get(k).map(|v| v.len()).unwrap_or(0) >= task.needed);
+        if !done {
+            return Vec::new();
+        }
+        let task = self.reads.remove(&req).expect("present");
+        let values = task
+            .keys
+            .iter()
+            .map(|k| {
+                let responses = &task.responses[k];
+                let best = match task.consistency {
+                    ReadConsistency::Local => responses.first(),
+                    ReadConsistency::UpToDate => responses.iter().max_by_key(|(v, _)| *v),
+                };
+                let (version, value) = best.cloned().unwrap_or((Version::ZERO, None));
+                (k.clone(), version, value)
+            })
+            .collect();
+        vec![TmEvent::ReadDone {
+            token: task.token,
+            values,
+        }]
+    }
+}

@@ -1,0 +1,395 @@
+//! End-to-end protocol tests: full MDCC commits across a simulated
+//! five-data-center deployment.
+
+use std::sync::Arc;
+
+use mdcc_common::{
+    CommutativeUpdate, DcId, Key, NodeId, PhysicalUpdate, ProtocolConfig, RecordUpdate, Row,
+    SimDuration, SimTime, TableId, UpdateOp, Version,
+};
+use mdcc_core::placement::MasterPolicy;
+use mdcc_core::{Msg, StaticPlacement, StorageNodeProcess, TmConfig, TmEvent, TransactionManager, TxnCompletion};
+use mdcc_core::placement::Placement;
+use mdcc_paxos::{AttrConstraint, TxnOutcome};
+use mdcc_sim::{Ctx, NetworkModel, Process, World, WorldConfig};
+use mdcc_storage::{Catalog, RecordStore, TableSchema};
+
+const ITEMS: TableId = TableId(1);
+
+fn key(pk: &str) -> Key {
+    Key::new(ITEMS, pk)
+}
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::new().with(
+            TableSchema::new(ITEMS, "item").with_constraint(AttrConstraint::at_least("stock", 0)),
+        ),
+    )
+}
+
+/// A scripted client: runs its transactions one after another and records
+/// completions.
+struct TestClient {
+    tm: TransactionManager,
+    plan: Vec<Vec<RecordUpdate>>,
+    next: usize,
+    completions: Vec<TxnCompletion>,
+}
+
+impl TestClient {
+    fn new(cfg: TmConfig, placement: Arc<StaticPlacement>, plan: Vec<Vec<RecordUpdate>>) -> Self {
+        Self {
+            tm: TransactionManager::new(cfg, placement),
+            plan,
+            next: 0,
+            completions: Vec::new(),
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.next >= self.plan.len() {
+            return;
+        }
+        let updates = self.plan[self.next].clone();
+        self.next += 1;
+        let (_, done) = self.tm.commit(updates, ctx);
+        if let Some(done) = done {
+            self.completions.push(done);
+            self.issue_next(ctx);
+        }
+    }
+
+    fn handle(&mut self, events: Vec<TmEvent>, ctx: &mut Ctx<'_, Msg>) {
+        for e in events {
+            if let TmEvent::Completed(c) = e {
+                self.completions.push(c);
+                self.issue_next(ctx);
+            }
+        }
+    }
+}
+
+impl Process<Msg> for TestClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.issue_next(ctx);
+    }
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let events = self.tm.on_message(from, msg, ctx);
+        self.handle(events, ctx);
+    }
+    fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let events = self.tm.on_timer(msg, ctx);
+        self.handle(events, ctx);
+    }
+}
+
+/// Five DCs, one storage node each, uniform 100 ms inter-DC RTT.
+struct TestCluster {
+    world: World<Msg>,
+    storage: Vec<NodeId>,
+    placement: Arc<StaticPlacement>,
+}
+
+fn build_cluster(seed: u64, master_policy: MasterPolicy) -> TestCluster {
+    let net = NetworkModel::uniform(5, 100.0, 1.0).with_jitter(0.0);
+    let mut world = World::new(
+        net,
+        WorldConfig {
+            seed,
+            service_time: SimDuration::from_micros(10),
+        },
+    );
+    // Storage node ids are assigned in spawn order: 0..5.
+    let storage: Vec<NodeId> = (0..5).map(|i| NodeId(i)).collect();
+    let matrix: Vec<Vec<NodeId>> = storage.iter().map(|n| vec![*n]).collect();
+    let placement = StaticPlacement::new(matrix, master_policy);
+    for dc in 0..5u8 {
+        let store = RecordStore::new(ProtocolConfig::default(), catalog());
+        let node = StorageNodeProcess::new(
+            ProtocolConfig::default(),
+            store,
+            placement.clone() as Arc<dyn Placement>,
+            true,
+        );
+        let id = world.spawn(DcId(dc), Box::new(node));
+        assert_eq!(id, storage[dc as usize]);
+    }
+    TestCluster {
+        world,
+        storage,
+        placement,
+    }
+}
+
+fn load_everywhere(cluster: &mut TestCluster, key: Key, row: Row) {
+    for &node in &cluster.storage {
+        cluster
+            .world
+            .get_mut::<StorageNodeProcess>(node)
+            .unwrap()
+            .store_mut()
+            .load(key.clone(), row.clone());
+    }
+}
+
+fn spawn_client(cluster: &mut TestCluster, dc: u8, plan: Vec<Vec<RecordUpdate>>) -> NodeId {
+    let cfg = TmConfig {
+        protocol: ProtocolConfig::default(),
+        my_dc: DcId(dc),
+        assume_classic: false,
+    };
+    let client = TestClient::new(cfg, cluster.placement.clone(), plan);
+    cluster.world.spawn(DcId(dc), Box::new(client))
+}
+
+fn stock_at(cluster: &World<Msg>, node: NodeId, key: &Key) -> Option<i64> {
+    cluster
+        .get::<StorageNodeProcess>(node)
+        .unwrap()
+        .store()
+        .read_committed(key)
+        .map(|(_, row)| row.get_int("stock").unwrap())
+}
+
+fn decrement(key: Key, by: i64) -> RecordUpdate {
+    RecordUpdate::new(key, UpdateOp::Commutative(CommutativeUpdate::delta("stock", -by)))
+}
+
+#[test]
+fn single_commutative_txn_commits_in_one_fast_round() {
+    let mut c = build_cluster(1, MasterPolicy::HashedPerRecord);
+    load_everywhere(&mut c, key("i1"), Row::new().with("stock", 10));
+    let client = spawn_client(&mut c, 0, vec![vec![decrement(key("i1"), 3)]]);
+    c.world.run_for(SimDuration::from_secs(10));
+    let completions = &c.world.get::<TestClient>(client).unwrap().completions;
+    assert_eq!(completions.len(), 1);
+    let done = &completions[0];
+    assert_eq!(done.outcome, TxnOutcome::Committed);
+    assert!(done.fast_path, "no master involved");
+    // One wide-area round trip: ~100 ms plus intra-DC chatter.
+    let latency = (done.finished - done.started).as_millis();
+    assert!(
+        (95..160).contains(&latency),
+        "fast commit should take one round trip, got {latency} ms"
+    );
+    // Visibility propagated everywhere.
+    for &n in &c.storage {
+        assert_eq!(stock_at(&c.world, n, &key("i1")), Some(7), "node {n}");
+    }
+}
+
+#[test]
+fn conflicting_physical_writes_no_lost_updates() {
+    let mut c = build_cluster(2, MasterPolicy::HashedPerRecord);
+    load_everywhere(&mut c, key("acct"), Row::new().with("stock", 100));
+    // Both clients read version 1 and race a physical write.
+    let w1 = RecordUpdate::new(
+        key("acct"),
+        UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 1))),
+    );
+    let w2 = RecordUpdate::new(
+        key("acct"),
+        UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 2))),
+    );
+    let c1 = spawn_client(&mut c, 0, vec![vec![w1]]);
+    let c2 = spawn_client(&mut c, 2, vec![vec![w2]]);
+    c.world.run_for(SimDuration::from_secs(30));
+    let d1 = &c.world.get::<TestClient>(c1).unwrap().completions;
+    let d2 = &c.world.get::<TestClient>(c2).unwrap().completions;
+    assert_eq!(d1.len(), 1);
+    assert_eq!(d2.len(), 1);
+    let committed: Vec<i64> = [(&d1[0], 1i64), (&d2[0], 2i64)]
+        .iter()
+        .filter(|(d, _)| d.outcome == TxnOutcome::Committed)
+        .map(|(_, v)| *v)
+        .collect();
+    assert!(
+        committed.len() <= 1,
+        "write-write conflict must not let both commit"
+    );
+    // All replicas converge to the committed value (or keep 100).
+    let expect = committed.first().copied().unwrap_or(100);
+    for &n in &c.storage {
+        assert_eq!(stock_at(&c.world, n, &key("acct")), Some(expect));
+    }
+}
+
+#[test]
+fn constraint_never_violated_under_contention() {
+    // Five concurrent decrements of 1 against stock 4: demarcation admits
+    // at most 3 through fast ballots (Figure 2) and recovery may admit a
+    // 4th, but stock must never go negative.
+    let mut c = build_cluster(3, MasterPolicy::HashedPerRecord);
+    load_everywhere(&mut c, key("hot"), Row::new().with("stock", 4));
+    let clients: Vec<NodeId> = (0..5u8)
+        .map(|dc| spawn_client(&mut c, dc, vec![vec![decrement(key("hot"), 1)]]))
+        .collect();
+    c.world.run_for(SimDuration::from_secs(60));
+    let mut committed = 0;
+    let mut aborted = 0;
+    for &cl in &clients {
+        for d in &c.world.get::<TestClient>(cl).unwrap().completions {
+            match d.outcome {
+                TxnOutcome::Committed => committed += 1,
+                TxnOutcome::Aborted => aborted += 1,
+            }
+        }
+    }
+    assert_eq!(committed + aborted, 5, "every txn must resolve");
+    assert!(committed <= 4, "stock 4 admits at most 4 decrements");
+    assert!(committed >= 1, "contention must not starve everyone");
+    // Every replica converges to the same non-negative stock.
+    let values: Vec<i64> = c
+        .storage
+        .iter()
+        .map(|&n| stock_at(&c.world, n, &key("hot")).unwrap())
+        .collect();
+    assert!(values.iter().all(|v| *v == values[0]), "divergence: {values:?}");
+    assert_eq!(values[0], 4 - committed as i64);
+    assert!(values[0] >= 0, "constraint violated: {values:?}");
+}
+
+#[test]
+fn sequential_txns_from_all_dcs_commit_fast() {
+    let mut c = build_cluster(4, MasterPolicy::HashedPerRecord);
+    for i in 0..5 {
+        load_everywhere(&mut c, key(&format!("i{i}")), Row::new().with("stock", 50));
+    }
+    let clients: Vec<NodeId> = (0..5u8)
+        .map(|dc| {
+            let plan = (0..4)
+                .map(|j| vec![decrement(key(&format!("i{}", (dc as i64 + j) % 5)), 1)])
+                .collect();
+            spawn_client(&mut c, dc, plan)
+        })
+        .collect();
+    c.world.run_for(SimDuration::from_secs(30));
+    let mut total = 0;
+    for &cl in &clients {
+        let completions = &c.world.get::<TestClient>(cl).unwrap().completions;
+        total += completions.len();
+        for d in completions {
+            assert_eq!(d.outcome, TxnOutcome::Committed);
+        }
+    }
+    assert_eq!(total, 20);
+}
+
+#[test]
+fn dc_failure_is_masked_by_quorums() {
+    let mut c = build_cluster(5, MasterPolicy::HashedPerRecord);
+    load_everywhere(&mut c, key("i1"), Row::new().with("stock", 100));
+    // Fail a non-client DC before the transaction starts.
+    c.world.fail_dc(DcId(4));
+    let client = spawn_client(&mut c, 0, vec![vec![decrement(key("i1"), 1)]]);
+    c.world.run_for(SimDuration::from_secs(20));
+    let completions = &c.world.get::<TestClient>(client).unwrap().completions;
+    assert_eq!(completions.len(), 1);
+    assert_eq!(completions[0].outcome, TxnOutcome::Committed);
+    // The four live replicas converge.
+    for &n in &c.storage[..4] {
+        assert_eq!(stock_at(&c.world, n, &key("i1")), Some(99));
+    }
+}
+
+#[test]
+fn two_dc_failures_fall_back_to_classic_and_still_commit() {
+    let mut c = build_cluster(6, MasterPolicy::FixedDc(DcId(0)));
+    load_everywhere(&mut c, key("i1"), Row::new().with("stock", 100));
+    c.world.fail_dc(DcId(3));
+    c.world.fail_dc(DcId(4));
+    let client = spawn_client(&mut c, 0, vec![vec![decrement(key("i1"), 1)]]);
+    c.world.run_for(SimDuration::from_secs(60));
+    let completions = &c.world.get::<TestClient>(client).unwrap().completions;
+    assert_eq!(completions.len(), 1, "classic fallback must commit");
+    assert_eq!(completions[0].outcome, TxnOutcome::Committed);
+    assert!(!completions[0].fast_path, "a fast quorum was impossible");
+    for &n in &c.storage[..3] {
+        assert_eq!(stock_at(&c.world, n, &key("i1")), Some(99));
+    }
+}
+
+#[test]
+fn coordinator_failure_resolves_via_dangling_recovery() {
+    let mut c = build_cluster(7, MasterPolicy::HashedPerRecord);
+    load_everywhere(&mut c, key("i1"), Row::new().with("stock", 10));
+    let client = spawn_client(&mut c, 0, vec![vec![decrement(key("i1"), 2)]]);
+    // Let the proposals reach the acceptors, then kill the coordinator
+    // before any vote returns (one-way latency is 50 ms).
+    c.world.run_until(SimTime::from_millis(60));
+    c.world.crash_node(client);
+    // Dangling timeout (5 s) + recovery rounds.
+    c.world.run_for(SimDuration::from_secs(60));
+    // The storage nodes must have resolved the orphaned option on their
+    // own — and all to the same outcome.
+    let stocks: Vec<i64> = c
+        .storage
+        .iter()
+        .map(|&n| stock_at(&c.world, n, &key("i1")).unwrap())
+        .collect();
+    assert!(
+        stocks.iter().all(|s| *s == stocks[0]),
+        "replicas diverged after recovery: {stocks:?}"
+    );
+    assert!(
+        stocks[0] == 8 || stocks[0] == 10,
+        "outcome must be all-or-nothing, got {stocks:?}"
+    );
+    // No replica still holds the option as pending.
+    for &n in &c.storage {
+        assert_eq!(
+            c.world
+                .get::<StorageNodeProcess>(n)
+                .unwrap()
+                .store()
+                .pending_len(),
+            0,
+            "node {n} still has pending options"
+        );
+    }
+}
+
+#[test]
+fn multi_record_transaction_is_atomic() {
+    let mut c = build_cluster(8, MasterPolicy::HashedPerRecord);
+    load_everywhere(&mut c, key("a"), Row::new().with("stock", 5));
+    load_everywhere(&mut c, key("b"), Row::new().with("stock", 0));
+    // Txn decrements a by 1 and b by 1; b has stock 0 so its option is
+    // rejected → the whole transaction must abort, including a's part.
+    let updates = vec![decrement(key("a"), 1), decrement(key("b"), 1)];
+    let client = spawn_client(&mut c, 1, vec![updates]);
+    c.world.run_for(SimDuration::from_secs(30));
+    let completions = &c.world.get::<TestClient>(client).unwrap().completions;
+    assert_eq!(completions.len(), 1);
+    assert_eq!(completions[0].outcome, TxnOutcome::Aborted);
+    for &n in &c.storage {
+        assert_eq!(stock_at(&c.world, n, &key("a")), Some(5), "a must be untouched");
+        assert_eq!(stock_at(&c.world, n, &key("b")), Some(0));
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let run = |seed: u64| -> Vec<(TxnOutcome, u64)> {
+        let mut c = build_cluster(seed, MasterPolicy::HashedPerRecord);
+        load_everywhere(&mut c, key("hot"), Row::new().with("stock", 6));
+        let clients: Vec<NodeId> = (0..5u8)
+            .map(|dc| spawn_client(&mut c, dc, vec![vec![decrement(key("hot"), 1)]]))
+            .collect();
+        c.world.run_for(SimDuration::from_secs(30));
+        clients
+            .iter()
+            .flat_map(|&cl| {
+                c.world
+                    .get::<TestClient>(cl)
+                    .unwrap()
+                    .completions
+                    .iter()
+                    .map(|d| (d.outcome, (d.finished - d.started).as_micros()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    assert_eq!(run(42), run(42), "same seed, same execution");
+}

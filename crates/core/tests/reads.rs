@@ -1,0 +1,186 @@
+//! Read-consistency tests (§4.2): local read-committed versus up-to-date
+//! quorum reads.
+
+use std::sync::Arc;
+
+use mdcc_common::placement::MasterPolicy;
+use mdcc_common::{
+    CommutativeUpdate, DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimDuration,
+    StaticPlacement, TableId, UpdateOp, Version,
+};
+use mdcc_core::placement::Placement;
+use mdcc_core::{
+    Msg, ReadConsistency, StorageNodeProcess, TmConfig, TmEvent, TransactionManager,
+};
+use mdcc_paxos::AttrConstraint;
+use mdcc_sim::{Ctx, NetworkModel, Process, World, WorldConfig};
+use mdcc_storage::{Catalog, RecordStore, TableSchema};
+
+const ITEMS: TableId = TableId(1);
+
+fn key(pk: &str) -> Key {
+    Key::new(ITEMS, pk)
+}
+
+/// Scripted client: write a record, then read it back with the requested
+/// consistency, recording what it saw.
+struct WriteThenRead {
+    tm: TransactionManager,
+    consistency: ReadConsistency,
+    /// Delay between learning the commit and issuing the read.
+    read_delay: SimDuration,
+    state: State,
+    pub observed: Option<(Version, Option<i64>)>,
+}
+
+enum State {
+    Idle,
+    Wrote,
+    Reading,
+}
+
+impl Process<Msg> for WriteThenRead {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let update = RecordUpdate::new(
+            key("x"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -5)),
+        );
+        let (_, done) = self.tm.commit(vec![update], ctx);
+        assert!(done.is_none());
+        self.state = State::Wrote;
+    }
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        for e in self.tm.on_message(from, msg, ctx) {
+            match e {
+                TmEvent::Completed(_) => {
+                    if matches!(self.state, State::Wrote) {
+                        self.state = State::Reading;
+                        // Delay the read via a self-timer (ClientTick).
+                        ctx.set_timer(self.read_delay, Msg::ClientTick);
+                    }
+                }
+                TmEvent::ReadDone { values, .. } => {
+                    let (_, version, row) = &values[0];
+                    self.observed =
+                        Some((*version, row.as_ref().and_then(|r| r.get_int("stock"))));
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        if matches!(msg, Msg::ClientTick) {
+            self.tm.read(vec![key("x")], self.consistency, ctx);
+            return;
+        }
+        for e in self.tm.on_timer(msg, ctx) {
+            if let TmEvent::ReadDone { values, .. } = e {
+                let (_, version, row) = &values[0];
+                self.observed = Some((*version, row.as_ref().and_then(|r| r.get_int("stock"))));
+            }
+        }
+    }
+}
+
+fn build(consistency: ReadConsistency, read_delay: SimDuration) -> (World<Msg>, NodeId) {
+    let catalog = Arc::new(Catalog::new().with(
+        TableSchema::new(ITEMS, "item").with_constraint(AttrConstraint::at_least("stock", 0)),
+    ));
+    // Uniform latency, no jitter: visibility messages land at all
+    // replicas 50 ms after the commit point.
+    let net = NetworkModel::uniform(5, 100.0, 1.0).with_jitter(0.0);
+    let mut world = World::new(
+        net,
+        WorldConfig {
+            seed: 5,
+            service_time: SimDuration::from_micros(10),
+        },
+    );
+    let storage: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let matrix: Vec<Vec<NodeId>> = storage.iter().map(|n| vec![*n]).collect();
+    let placement = StaticPlacement::new(matrix, MasterPolicy::HashedPerRecord);
+    for dc in 0..5u8 {
+        let store = RecordStore::new(ProtocolConfig::default(), catalog.clone());
+        let node = StorageNodeProcess::new(
+            ProtocolConfig::default(),
+            store,
+            placement.clone() as Arc<dyn Placement>,
+            true,
+        );
+        world.spawn(DcId(dc), Box::new(node));
+    }
+    for &n in &storage {
+        world
+            .get_mut::<StorageNodeProcess>(n)
+            .unwrap()
+            .store_mut()
+            .load(key("x"), Row::new().with("stock", 100));
+    }
+    let tm = TransactionManager::new(
+        TmConfig {
+            protocol: ProtocolConfig::default(),
+            my_dc: DcId(0),
+            assume_classic: false,
+        },
+        placement as Arc<dyn Placement>,
+    );
+    let client = world.spawn(
+        DcId(0),
+        Box::new(WriteThenRead {
+            tm,
+            consistency,
+            read_delay,
+            state: State::Idle,
+            observed: None,
+        }),
+    );
+    (world, client)
+}
+
+#[test]
+fn local_reads_return_committed_data_eventually() {
+    // A generous delay lets the visibility land: the local replica serves
+    // the new value.
+    let (mut world, client) = build(ReadConsistency::Local, SimDuration::from_secs(2));
+    world.run_for(SimDuration::from_secs(10));
+    let observed = world.get::<WriteThenRead>(client).unwrap().observed;
+    assert_eq!(observed, Some((Version(1), Some(95))));
+}
+
+#[test]
+fn local_reads_never_see_uncommitted_options() {
+    // Read immediately after the commit point: the local replica has the
+    // option pending but unresolved — it must serve the OLD committed
+    // value, not the uncommitted delta (§4.1).
+    let (mut world, client) = build(ReadConsistency::Local, SimDuration::ZERO);
+    world.run_for(SimDuration::from_secs(10));
+    let observed = world.get::<WriteThenRead>(client).unwrap().observed;
+    let (_, value) = observed.expect("read completed");
+    assert!(
+        value == Some(100) || value == Some(95),
+        "dirty or phantom value: {value:?}"
+    );
+}
+
+#[test]
+fn up_to_date_reads_see_the_write_immediately() {
+    // The up-to-date read queries a classic quorum and picks the highest
+    // version; even right after the commit point some replica already
+    // resolved the option... or not — but the result must never be a
+    // *dirty* value, and with a small delay it must be the new one.
+    let (mut world, client) = build(ReadConsistency::UpToDate, SimDuration::from_millis(200));
+    world.run_for(SimDuration::from_secs(10));
+    let observed = world.get::<WriteThenRead>(client).unwrap().observed;
+    assert_eq!(observed, Some((Version(1), Some(95))));
+}
+
+#[test]
+fn reads_of_missing_records_report_version_zero() {
+    let (mut world, _) = build(ReadConsistency::Local, SimDuration::from_secs(1));
+    // Drive a separate read of a key that does not exist via a throwaway
+    // client embedded in the same world is overkill; instead assert the
+    // store-level contract directly.
+    world.run_for(SimDuration::from_secs(5));
+    let node: &StorageNodeProcess = world.get(NodeId(0)).unwrap();
+    assert!(node.store().read_committed(&key("ghost")).is_none());
+    assert_eq!(node.store().version_of(&key("ghost")), Version(0));
+}

@@ -1,0 +1,939 @@
+//! Per-record acceptor state (Algorithm 3 of the paper).
+//!
+//! Every record runs its own sequence of Paxos instances, one per record
+//! *version*; instance `i+1` starts only when instance `i` is decided and
+//! resolved. Within the current instance the acceptor holds the classic
+//! Paxos triple — promised ballot `mbal`, accepted ballot `bal`, accepted
+//! cstruct `val` — plus MDCC's additions: option validation (the "active
+//! decision" of §3.2.1), escrow/demarcation bookkeeping for commutative
+//! updates, and visibility application.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use mdcc_common::error::AbortReason;
+use mdcc_common::{Row, TxnId, UpdateOp, Version};
+
+use crate::ballot::Ballot;
+use crate::cstruct::CStruct;
+use crate::demarcation::{escrow_accepts, AttrConstraint, EscrowView};
+use crate::options::{OptionStatus, TxnOption, TxnOutcome};
+
+/// Committed record state, shipped in Phase1b/Phase2a for catch-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSnapshot {
+    /// Number of decided instances.
+    pub version: Version,
+    /// Committed, visible value (`None`: absent or deleted).
+    pub value: Option<Row>,
+}
+
+/// Phase1b response payload.
+#[derive(Debug, Clone)]
+pub struct Phase1b {
+    /// The acceptor's promise after processing the Phase1a — equals the
+    /// leader's ballot iff the promise was granted.
+    pub promised: Ballot,
+    /// Ballot and cstruct last accepted in the current instance, if any.
+    pub accepted: Option<(Ballot, CStruct)>,
+    /// Committed state for leader catch-up.
+    pub snapshot: RecordSnapshot,
+}
+
+/// Phase2b vote payload.
+#[derive(Debug, Clone)]
+pub struct Phase2b {
+    /// Ballot the vote belongs to.
+    pub ballot: Ballot,
+    /// Instance (record version) the vote belongs to.
+    pub version: Version,
+    /// The acceptor's full cstruct `val_a` — learners compute quorum
+    /// glbs over these.
+    pub cstruct: CStruct,
+}
+
+/// Result of a direct (fast-ballot) proposal, Algorithm 3 line 78.
+#[derive(Debug, Clone)]
+pub enum FastPropose {
+    /// The option was appended (or was already present); here is the vote.
+    Vote(Phase2b),
+    /// The record is in a classic ballot; the proposer must go through
+    /// the master.
+    NotFast {
+        /// Current promised ballot (its proposer is the master to ask).
+        promised: Ballot,
+    },
+    /// The instance has absorbed its maximum number of options; the
+    /// proposer should ask the master to close and re-base it.
+    InstanceFull,
+    /// The proposing transaction was already resolved on this node — the
+    /// proposal is a stale retry and must not re-enter an instance.
+    AlreadyResolved(TxnOutcome),
+}
+
+/// Result of a classic Phase2a.
+#[derive(Debug, Clone)]
+pub enum ClassicAccept {
+    /// Accepted; here is the vote.
+    Vote(Phase2b),
+    /// The ballot was too old.
+    Nack {
+        /// The acceptor's current promise.
+        promised: Ballot,
+    },
+    /// The leader's snapshot is older than this acceptor's committed
+    /// state; it must catch up and retry.
+    Stale {
+        /// The acceptor's newer committed state.
+        snapshot: RecordSnapshot,
+    },
+}
+
+/// Classic Phase2a payload (leader → acceptors).
+#[derive(Debug, Clone)]
+pub struct Phase2a {
+    /// Classic ballot (must have been established by Phase1).
+    pub ballot: Ballot,
+    /// Instance this proposal targets.
+    pub version: Version,
+    /// The leader's committed state; acceptors behind it catch up.
+    pub snapshot: RecordSnapshot,
+    /// Proved-safe cstruct whose statuses are already decided. `Some`
+    /// only on recovery rounds (the acceptor adopts it wholesale);
+    /// `None` for pipelined appends, which leave the existing cstruct in
+    /// place.
+    pub safe: Option<CStruct>,
+    /// Fresh options for the acceptor to validate and append.
+    pub new_options: Vec<TxnOption>,
+    /// Close the instance once every accepted option resolves, then
+    /// re-base (new base value and demarcation limits, §3.4.2).
+    pub close_instance: bool,
+    /// After the instance advances, reopen fast mode at this ballot
+    /// (γ policy, §3.3.2).
+    pub reopen_fast: Option<Ballot>,
+}
+
+/// Per-record acceptor.
+#[derive(Debug, Clone)]
+pub struct AcceptorRecord {
+    n: usize,
+    qf: usize,
+    max_instance_options: usize,
+    constraints: Arc<[AttrConstraint]>,
+    version: Version,
+    value: Option<Row>,
+    /// Value when the current instance opened — the demarcation base `X`.
+    base: Option<Row>,
+    promised: Ballot,
+    accepted_ballot: Option<Ballot>,
+    cstruct: CStruct,
+    /// Transaction resolutions this node has heard (Visibility messages);
+    /// kept across instances so duplicate or early messages are harmless.
+    outcomes: HashMap<TxnId, Resolution>,
+    /// Transactions whose entry-level resolution already executed here
+    /// (idempotence under re-delivery and stale retries).
+    resolved_entries: HashSet<TxnId>,
+    close_on_resolve: bool,
+    reopen_fast_after: Option<Ballot>,
+}
+
+/// A transaction outcome together with the *globally learned* status of
+/// this record's option — the coordinator knows both; the local vote may
+/// have been in the minority and must not drive instance accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Commit or abort of the whole transaction.
+    pub outcome: TxnOutcome,
+    /// Whether this record's option was learned as accepted. Always true
+    /// for commits; for aborts it decides whether the instance's version
+    /// is consumed (§3.2.1: learning generates a new version id whether
+    /// the learned option commits or aborts).
+    pub learned_accepted: bool,
+}
+
+impl AcceptorRecord {
+    /// A fresh, non-existent record in the implicit initial fast ballot.
+    pub fn new(constraints: Arc<[AttrConstraint]>, n: usize, qf: usize, max_instance_options: usize) -> Self {
+        Self {
+            n,
+            qf,
+            max_instance_options,
+            constraints,
+            version: Version::ZERO,
+            value: None,
+            base: None,
+            promised: Ballot::INITIAL_FAST,
+            accepted_ballot: None,
+            cstruct: CStruct::new(),
+            outcomes: HashMap::new(),
+            resolved_entries: HashSet::new(),
+            close_on_resolve: false,
+            reopen_fast_after: None,
+        }
+    }
+
+    /// Creates a record that already exists with `value` (bulk load).
+    pub fn with_value(
+        constraints: Arc<[AttrConstraint]>,
+        n: usize,
+        qf: usize,
+        max_instance_options: usize,
+        value: Row,
+    ) -> Self {
+        let mut a = Self::new(constraints, n, qf, max_instance_options);
+        a.value = Some(value.clone());
+        a.base = Some(value);
+        a.version = Version(1);
+        a
+    }
+
+    /// Committed version (decided instances).
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Committed, visible value.
+    pub fn value(&self) -> Option<&Row> {
+        self.value.as_ref()
+    }
+
+    /// Current promise.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// The current instance's cstruct (tests and recovery inspection).
+    pub fn cstruct(&self) -> &CStruct {
+        &self.cstruct
+    }
+
+    /// The outcome this node has recorded for `txn`, if any (recovery
+    /// queries short-circuit on it).
+    pub fn outcome_of(&self, txn: TxnId) -> Option<TxnOutcome> {
+        self.outcomes.get(&txn).map(|r| r.outcome)
+    }
+
+    /// Committed state for catch-up messages.
+    pub fn snapshot(&self) -> RecordSnapshot {
+        RecordSnapshot {
+            version: self.version,
+            value: self.value.clone(),
+        }
+    }
+
+    /// Phase1a (Algorithm 3, line 68): promise if the ballot is new, and
+    /// report the accepted state either way so the caller learns about
+    /// competing masters.
+    pub fn phase1a(&mut self, m: Ballot) -> Phase1b {
+        if m > self.promised {
+            self.promised = m;
+        }
+        Phase1b {
+            promised: self.promised,
+            accepted: self
+                .accepted_ballot
+                .map(|b| (b, self.cstruct.clone())),
+            snapshot: self.snapshot(),
+        }
+    }
+
+    /// Direct fast-ballot proposal (Algorithm 3, line 78): accept the
+    /// option iff the record is still in a fast ballot, validating it
+    /// against local state ("the active decision", §3.2.1).
+    pub fn fast_propose(&mut self, opt: TxnOption) -> FastPropose {
+        if !self.promised.is_fast() {
+            return FastPropose::NotFast {
+                promised: self.promised,
+            };
+        }
+        if self.cstruct.status_of(opt.txn).is_some() {
+            // Duplicate delivery: re-vote idempotently.
+            return FastPropose::Vote(self.phase2b());
+        }
+        if self.resolved_entries.contains(&opt.txn) {
+            // The transaction was resolved and processed here already; a
+            // retried proposal must not be decided twice.
+            let outcome = self.outcomes[&opt.txn].outcome;
+            return FastPropose::AlreadyResolved(outcome);
+        }
+        if self.unresolved_len() >= self.max_instance_options {
+            return FastPropose::InstanceFull;
+        }
+        let status = self.validate(&opt);
+        let txn = opt.txn;
+        self.cstruct.append(opt, status);
+        self.accepted_ballot = Some(self.promised);
+        // A Visibility that overtook the proposal resolves immediately.
+        if self.outcomes.contains_key(&txn) {
+            self.resolve_entry(txn);
+            self.try_advance();
+        }
+        FastPropose::Vote(self.phase2b())
+    }
+
+    /// Classic Phase2a (Algorithm 3, line 72), extended with catch-up and
+    /// instance-close/reopen control.
+    pub fn classic_accept(&mut self, p: Phase2a) -> ClassicAccept {
+        if p.ballot < self.promised {
+            return ClassicAccept::Nack {
+                promised: self.promised,
+            };
+        }
+        if p.version > self.version {
+            // We missed decisions; adopt the leader's committed state.
+            // Accepted-but-unresolved options carry over into the new
+            // instance: their acceptance may already be part of a learned
+            // quorum, so dropping them could lose an update (their
+            // resolution arrives later as a Visibility message either
+            // way).
+            let carried: Vec<crate::cstruct::Entry> = self
+                .cstruct
+                .entries()
+                .filter(|e| {
+                    e.status.is_accepted() && !self.outcomes.contains_key(&e.opt.txn)
+                })
+                .cloned()
+                .collect();
+            self.version = p.snapshot.version;
+            self.value = p.snapshot.value.clone();
+            self.base = self.value.clone();
+            self.cstruct = CStruct::new();
+            for entry in carried {
+                self.cstruct.append_entry(entry);
+            }
+            self.accepted_ballot = None;
+            self.close_on_resolve = false;
+        } else if p.version < self.version {
+            return ClassicAccept::Stale {
+                snapshot: self.snapshot(),
+            };
+        }
+        self.promised = p.ballot;
+        self.accepted_ballot = Some(p.ballot);
+        // On recovery rounds, adopt the proved-safe cstruct wholesale;
+        // pipelined appends leave the current cstruct as is. Then
+        // validate fresh options in payload order. Every step is a
+        // deterministic function of (payload, committed state), and the
+        // leader serializes payloads, so acceptors that accept this
+        // ballot's Phase2a stream hold identical cstructs — that is why
+        // "all storage nodes will always make the same abort or commit
+        // decision" (§3.2.1).
+        if let Some(safe) = p.safe {
+            self.cstruct = safe;
+        }
+        for opt in p.new_options {
+            // Skip duplicates and transactions this node already resolved
+            // in an earlier instance (stale retries routed via the master).
+            if self.cstruct.status_of(opt.txn).is_none() && !self.outcomes.contains_key(&opt.txn) {
+                let status = self.validate(&opt);
+                self.cstruct.append(opt, status);
+            }
+        }
+        // Sticky within the instance: once a close is requested, later
+        // appends must not cancel it (the demarcation re-base depends on
+        // it, §3.4.2).
+        self.close_on_resolve |= p.close_instance;
+        if p.reopen_fast.is_some() {
+            self.reopen_fast_after = p.reopen_fast;
+        }
+        // Resolve anything we already know the outcome of.
+        let known: Vec<TxnId> = self
+            .cstruct
+            .entries()
+            .filter(|e| self.outcomes.contains_key(&e.opt.txn))
+            .map(|e| e.opt.txn)
+            .collect();
+        for txn in known {
+            self.resolve_entry(txn);
+        }
+        self.try_advance();
+        ClassicAccept::Vote(self.phase2b())
+    }
+
+    /// Handles a Visibility/Learned message (Algorithm 3, line 100).
+    /// Returns `true` if this resolution advanced the instance.
+    ///
+    /// `learned_accepted` is the coordinator's learned status for this
+    /// record's option — the authoritative decision, which may differ
+    /// from this node's minority vote.
+    pub fn apply_visibility(&mut self, txn: TxnId, outcome: TxnOutcome, learned_accepted: bool) -> bool {
+        if self.outcomes.contains_key(&txn) {
+            // Duplicate (e.g. both the coordinator and a recovery
+            // coordinator resolved the transaction).
+            return false;
+        }
+        self.outcomes.insert(
+            txn,
+            Resolution {
+                outcome,
+                learned_accepted,
+            },
+        );
+        let before = self.version;
+        self.resolve_entry(txn);
+        self.try_advance();
+        self.version != before
+    }
+
+    /// The vote for the current state.
+    pub fn phase2b(&self) -> Phase2b {
+        Phase2b {
+            ballot: self.accepted_ballot.unwrap_or(self.promised),
+            version: self.version,
+            cstruct: self.cstruct.clone(),
+        }
+    }
+
+    /// Options accepted but with unknown transaction outcome.
+    fn pending(&self) -> impl Iterator<Item = &crate::cstruct::Entry> {
+        self.cstruct
+            .entries()
+            .filter(|e| e.status.is_accepted() && !self.outcomes.contains_key(&e.opt.txn))
+    }
+
+    fn unresolved_len(&self) -> usize {
+        self.pending().count()
+    }
+
+    /// SETCOMPATIBLE (Algorithm 3, lines 83–99): the storage node's active
+    /// accept/reject decision.
+    fn validate(&self, opt: &TxnOption) -> OptionStatus {
+        match &opt.op {
+            UpdateOp::Physical(p) => {
+                // validSingle: no other pending option may exist.
+                if self.pending().next().is_some() {
+                    return OptionStatus::Rejected(AbortReason::PendingOption);
+                }
+                match p.vread {
+                    None => {
+                        // Insert: the record must not exist.
+                        if self.value.is_some() {
+                            OptionStatus::Rejected(AbortReason::AlreadyExists)
+                        } else {
+                            OptionStatus::Accepted
+                        }
+                    }
+                    Some(vread) => {
+                        if self.value.is_none() {
+                            OptionStatus::Rejected(AbortReason::StaleRead)
+                        } else if vread != self.version {
+                            OptionStatus::Rejected(AbortReason::StaleRead)
+                        } else {
+                            OptionStatus::Accepted
+                        }
+                    }
+                }
+            }
+            UpdateOp::ReadGuard(vread) => {
+                // §4.4 serializability: the read is valid iff the version
+                // still matches and no write can sneak between the read
+                // and the commit (pending writes reject the guard; other
+                // guards — shared locks — coexist).
+                if self.value.is_none() || *vread != self.version {
+                    return OptionStatus::Rejected(AbortReason::StaleRead);
+                }
+                if self.pending().any(|e| !e.opt.op.is_guard()) {
+                    return OptionStatus::Rejected(AbortReason::PendingOption);
+                }
+                OptionStatus::Accepted
+            }
+            UpdateOp::Commutative(c) => {
+                let Some(base) = &self.base else {
+                    return OptionStatus::Rejected(AbortReason::ConstraintViolation);
+                };
+                // A pending physical replacement — or a pending read
+                // guard (shared lock) — blocks deltas.
+                if self.pending().any(|e| !e.opt.is_commutative()) {
+                    return OptionStatus::Rejected(AbortReason::PendingOption);
+                }
+                for constraint in self.constraints.iter() {
+                    let candidate = c.delta_for(&constraint.attr);
+                    if candidate == 0 {
+                        continue;
+                    }
+                    let view = self.escrow_view(base, &constraint.attr);
+                    if let Err(reason) =
+                        escrow_accepts(constraint, self.n, self.qf, view, candidate)
+                    {
+                        return OptionStatus::Rejected(reason);
+                    }
+                }
+                OptionStatus::Accepted
+            }
+        }
+    }
+
+    /// Builds the escrow view of one attribute: base `X`, the net of
+    /// deltas already committed within this instance, and the sign-split
+    /// pending deltas.
+    fn escrow_view(&self, base: &Row, attr: &str) -> EscrowView {
+        let base_v = base.get_int(attr).unwrap_or(0);
+        let current = self
+            .value
+            .as_ref()
+            .and_then(|v| v.get_int(attr))
+            .unwrap_or(0);
+        let mut pending_neg = 0;
+        let mut pending_pos = 0;
+        for e in self.pending() {
+            if let UpdateOp::Commutative(c) = &e.opt.op {
+                let d = c.delta_for(attr);
+                if d < 0 {
+                    pending_neg += d;
+                } else {
+                    pending_pos += d;
+                }
+            }
+        }
+        EscrowView {
+            base: base_v,
+            committed: current - base_v,
+            pending_neg,
+            pending_pos,
+        }
+    }
+
+    /// Applies the recorded resolution of `txn` to its entry in the
+    /// current instance, exactly once per node.
+    ///
+    /// The *learned* status in the resolution — not this node's possibly
+    /// minority local vote — drives the effects, so every replica makes
+    /// identical instance-accounting decisions:
+    ///
+    /// * committed → execute the update; physical updates close the
+    ///   instance (new version);
+    /// * aborted but learned-accepted → the instance's version is still
+    ///   consumed for physical options (§3.2.1);
+    /// * aborted and learned-rejected → the entry simply leaves the
+    ///   cstruct (escrow release; it was never going to execute).
+    fn resolve_entry(&mut self, txn: TxnId) {
+        if self.cstruct.entry_of(txn).is_none() {
+            return;
+        }
+        if !self.resolved_entries.insert(txn) {
+            return;
+        }
+        let entry = self.cstruct.entry_of(txn).expect("checked above");
+        let op = entry.opt.op.clone();
+        let resolution = self.outcomes[&txn];
+        match resolution.outcome {
+            TxnOutcome::Committed => {
+                // Execute even if *locally* rejected: the learned global
+                // decision outranks this node's minority vote, and data
+                // must converge.
+                match &op {
+                    UpdateOp::Physical(p) => {
+                        self.value = p.value.clone();
+                    }
+                    UpdateOp::Commutative(c) => {
+                        let mut row = self.value.take().unwrap_or_default();
+                        for (attr, delta) in &c.deltas {
+                            row.apply_delta(attr, *delta);
+                        }
+                        self.value = Some(row);
+                    }
+                    UpdateOp::ReadGuard(_) => {
+                        // Guards execute as no-ops; the lock releases.
+                        self.cstruct.remove(txn);
+                    }
+                }
+                if op.is_physical() {
+                    self.advance_instance();
+                }
+            }
+            TxnOutcome::Aborted => {
+                if resolution.learned_accepted && op.is_physical() {
+                    self.advance_instance();
+                } else {
+                    self.cstruct.remove(txn);
+                }
+            }
+        }
+    }
+
+    fn try_advance(&mut self) {
+        if self.close_on_resolve && self.pending().next().is_none() {
+            self.advance_instance();
+        }
+    }
+
+    /// Closes the current instance: bump the version, re-base the value
+    /// (new demarcation base, §3.4.2) and open the next instance in fast
+    /// or classic mode per the leader's instruction.
+    fn advance_instance(&mut self) {
+        self.version = self.version.next();
+        self.base = self.value.clone();
+        self.cstruct = CStruct::new();
+        self.accepted_ballot = None;
+        self.close_on_resolve = false;
+        if let Some(fast) = self.reopen_fast_after.take() {
+            if fast > self.promised {
+                self.promised = fast;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::{CommutativeUpdate, Key, NodeId, PhysicalUpdate, TableId};
+
+    fn key() -> Key {
+        Key::new(TableId(0), "item1")
+    }
+
+    fn stock_constraints() -> Arc<[AttrConstraint]> {
+        Arc::from(vec![AttrConstraint::at_least("stock", 0)])
+    }
+
+    fn acceptor_with_stock(stock: i64) -> AcceptorRecord {
+        AcceptorRecord::with_value(
+            stock_constraints(),
+            5,
+            4,
+            32,
+            Row::new().with("stock", stock),
+        )
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(9), seq)
+    }
+
+    fn dec(seq: u64, amount: i64) -> TxnOption {
+        TxnOption::solo(
+            txn(seq),
+            key(),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -amount)),
+        )
+    }
+
+    fn phys_write(seq: u64, vread: u64, stock: i64) -> TxnOption {
+        TxnOption::solo(
+            txn(seq),
+            key(),
+            UpdateOp::Physical(PhysicalUpdate::write(
+                Version(vread),
+                Row::new().with("stock", stock),
+            )),
+        )
+    }
+
+    fn status_of(v: &FastPropose, t: TxnId) -> OptionStatus {
+        match v {
+            FastPropose::Vote(p) => p.cstruct.status_of(t).expect("present"),
+            other => panic!("expected vote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_record_accepts_insert_and_rejects_duplicate() {
+        let mut a = AcceptorRecord::new(stock_constraints(), 5, 4, 32);
+        let ins = TxnOption::solo(
+            txn(1),
+            key(),
+            UpdateOp::Physical(PhysicalUpdate::insert(Row::new().with("stock", 5))),
+        );
+        let v = a.fast_propose(ins.clone());
+        assert!(status_of(&v, txn(1)).is_accepted());
+        // Commit it: the record now exists at version 1.
+        assert!(a.apply_visibility(txn(1), TxnOutcome::Committed, true));
+        assert_eq!(a.version(), Version(1));
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(5));
+        // A second insert must be rejected.
+        let ins2 = TxnOption::solo(
+            txn(2),
+            key(),
+            UpdateOp::Physical(PhysicalUpdate::insert(Row::new())),
+        );
+        let v2 = a.fast_propose(ins2);
+        assert_eq!(
+            status_of(&v2, txn(2)),
+            OptionStatus::Rejected(AbortReason::AlreadyExists)
+        );
+    }
+
+    #[test]
+    fn physical_update_checks_vread() {
+        let mut a = acceptor_with_stock(5);
+        assert_eq!(a.version(), Version(1));
+        let stale = phys_write(1, 0, 9);
+        assert_eq!(
+            status_of(&a.fast_propose(stale), txn(1)),
+            OptionStatus::Rejected(AbortReason::StaleRead)
+        );
+        let fresh = phys_write(2, 1, 9);
+        assert!(status_of(&a.fast_propose(fresh), txn(2)).is_accepted());
+        a.apply_visibility(txn(2), TxnOutcome::Committed, true);
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(9));
+        assert_eq!(a.version(), Version(2));
+    }
+
+    #[test]
+    fn pending_physical_option_blocks_the_next_writer() {
+        // The deadlock-avoidance rule (§3.2.2): reject instead of wait.
+        let mut a = acceptor_with_stock(5);
+        assert!(status_of(&a.fast_propose(phys_write(1, 1, 6)), txn(1)).is_accepted());
+        assert_eq!(
+            status_of(&a.fast_propose(phys_write(2, 1, 7)), txn(2)),
+            OptionStatus::Rejected(AbortReason::PendingOption)
+        );
+    }
+
+    #[test]
+    fn aborted_physical_option_still_consumes_the_version() {
+        let mut a = acceptor_with_stock(5);
+        a.fast_propose(phys_write(1, 1, 6));
+        assert!(a.apply_visibility(txn(1), TxnOutcome::Aborted, true));
+        assert_eq!(a.version(), Version(2), "version consumed by the abort");
+        assert_eq!(
+            a.value().unwrap().get_int("stock"),
+            Some(5),
+            "value untouched"
+        );
+        // A transaction that re-reads (version 2) succeeds now.
+        let v = a.fast_propose(phys_write(2, 2, 7));
+        assert!(status_of(&v, txn(2)).is_accepted());
+    }
+
+    #[test]
+    fn commutative_options_coexist() {
+        let mut a = acceptor_with_stock(10);
+        assert!(status_of(&a.fast_propose(dec(1, 2)), txn(1)).is_accepted());
+        assert!(status_of(&a.fast_propose(dec(2, 3)), txn(2)).is_accepted());
+        // Both commit; the deltas fold into the value, version unchanged
+        // until the instance is closed by the master.
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        a.apply_visibility(txn(2), TxnOutcome::Committed, true);
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(5));
+        assert_eq!(a.version(), Version(1));
+    }
+
+    #[test]
+    fn demarcation_limit_rejects_fourth_pending_decrement() {
+        // Figure 2: X=4, five −1 options; a single node accepts three.
+        let mut a = acceptor_with_stock(4);
+        for i in 1..=3 {
+            assert!(
+                status_of(&a.fast_propose(dec(i, 1)), txn(i)).is_accepted(),
+                "txn {i}"
+            );
+        }
+        assert_eq!(
+            status_of(&a.fast_propose(dec(4, 1)), txn(4)),
+            OptionStatus::Rejected(AbortReason::DemarcationLimit)
+        );
+    }
+
+    #[test]
+    fn aborts_release_escrow() {
+        let mut a = acceptor_with_stock(4);
+        for i in 1..=3 {
+            a.fast_propose(dec(i, 1));
+        }
+        a.apply_visibility(txn(2), TxnOutcome::Aborted, true);
+        assert!(
+            status_of(&a.fast_propose(dec(4, 1)), txn(4)).is_accepted(),
+            "released escrow re-admits the fourth option"
+        );
+    }
+
+    #[test]
+    fn pending_commutative_blocks_physical_but_not_vice_versa_check() {
+        let mut a = acceptor_with_stock(10);
+        a.fast_propose(dec(1, 1));
+        // Physical write while a delta is pending → rejected (validSingle).
+        assert_eq!(
+            status_of(&a.fast_propose(phys_write(2, 1, 99)), txn(2)),
+            OptionStatus::Rejected(AbortReason::PendingOption)
+        );
+    }
+
+    #[test]
+    fn pending_physical_blocks_commutative() {
+        let mut a = acceptor_with_stock(10);
+        a.fast_propose(phys_write(1, 1, 99));
+        assert_eq!(
+            status_of(&a.fast_propose(dec(2, 1)), txn(2)),
+            OptionStatus::Rejected(AbortReason::PendingOption)
+        );
+    }
+
+    #[test]
+    fn classic_ballot_bounces_fast_proposals() {
+        let mut a = acceptor_with_stock(5);
+        let m = Ballot::classic(1, NodeId(3));
+        a.phase1a(m);
+        match a.fast_propose(dec(1, 1)) {
+            FastPropose::NotFast { promised } => assert_eq!(promised, m),
+            other => panic!("expected NotFast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase1a_promises_monotonically() {
+        let mut a = acceptor_with_stock(5);
+        let m1 = Ballot::classic(2, NodeId(1));
+        let m2 = Ballot::classic(1, NodeId(2));
+        assert_eq!(a.phase1a(m1).promised, m1);
+        // A lower ballot cannot regress the promise.
+        assert_eq!(a.phase1a(m2).promised, m1);
+    }
+
+    #[test]
+    fn classic_accept_validates_new_options_and_closes() {
+        let mut a = acceptor_with_stock(4);
+        let m = Ballot::classic(1, NodeId(3));
+        a.phase1a(m);
+        let result = a.classic_accept(Phase2a {
+            ballot: m,
+            version: Version(1),
+            snapshot: a.snapshot(),
+            safe: None,
+            new_options: vec![dec(1, 2)],
+            close_instance: true,
+            reopen_fast: Some(Ballot::fast(2, NodeId(3))),
+        });
+        let ClassicAccept::Vote(vote) = result else {
+            panic!("expected vote");
+        };
+        assert!(vote.cstruct.status_of(txn(1)).unwrap().is_accepted());
+        // Resolving the only pending option closes and re-bases the
+        // instance, reopening fast mode.
+        assert!(a.apply_visibility(txn(1), TxnOutcome::Committed, true));
+        assert_eq!(a.version(), Version(2));
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(2));
+        assert!(a.promised().is_fast());
+        // Demarcation now works against the new base of 2.
+        assert!(status_of(&a.fast_propose(dec(5, 1)), txn(5)).is_accepted());
+    }
+
+    #[test]
+    fn classic_accept_nacks_old_ballots() {
+        let mut a = acceptor_with_stock(5);
+        let high = Ballot::classic(5, NodeId(1));
+        a.phase1a(high);
+        let low = Ballot::classic(1, NodeId(2));
+        match a.classic_accept(Phase2a {
+            ballot: low,
+            version: Version(1),
+            snapshot: a.snapshot(),
+            safe: None,
+            new_options: vec![],
+            close_instance: false,
+            reopen_fast: None,
+        }) {
+            ClassicAccept::Nack { promised } => assert_eq!(promised, high),
+            other => panic!("expected nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catch_up_adopts_leader_snapshot() {
+        let mut behind = acceptor_with_stock(5);
+        let m = Ballot::classic(1, NodeId(3));
+        behind.phase1a(m);
+        let newer = RecordSnapshot {
+            version: Version(4),
+            value: Some(Row::new().with("stock", 1)),
+        };
+        let r = behind.classic_accept(Phase2a {
+            ballot: m,
+            version: Version(4),
+            snapshot: newer.clone(),
+            safe: None,
+            new_options: vec![],
+            close_instance: false,
+            reopen_fast: None,
+        });
+        assert!(matches!(r, ClassicAccept::Vote(_)));
+        assert_eq!(behind.version(), Version(4));
+        assert_eq!(behind.value().unwrap().get_int("stock"), Some(1));
+    }
+
+    #[test]
+    fn stale_leader_is_told_to_catch_up() {
+        let mut ahead = acceptor_with_stock(5);
+        // Advance to version 2 locally.
+        ahead.fast_propose(phys_write(1, 1, 6));
+        ahead.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        assert_eq!(ahead.version(), Version(2));
+        let m = Ballot::classic(1, NodeId(3));
+        ahead.phase1a(m);
+        match ahead.classic_accept(Phase2a {
+            ballot: m,
+            version: Version(1),
+            snapshot: RecordSnapshot {
+                version: Version(1),
+                value: None,
+            },
+            safe: None,
+            new_options: vec![],
+            close_instance: false,
+            reopen_fast: None,
+        }) {
+            ClassicAccept::Stale { snapshot } => assert_eq!(snapshot.version, Version(2)),
+            other => panic!("expected stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visibility_before_proposal_resolves_on_arrival() {
+        let mut a = acceptor_with_stock(10);
+        // The Visibility overtakes the Propose in the network.
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        a.fast_propose(dec(1, 4));
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(6));
+    }
+
+    #[test]
+    fn duplicate_visibilities_apply_once() {
+        let mut a = acceptor_with_stock(10);
+        a.fast_propose(dec(1, 4));
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(6));
+    }
+
+    #[test]
+    fn instance_full_reports_to_proposer() {
+        let mut a = acceptor_with_stock(1_000_000);
+        let cap = 4;
+        let mut small = AcceptorRecord::with_value(
+            stock_constraints(),
+            5,
+            4,
+            cap,
+            Row::new().with("stock", 1_000_000),
+        );
+        for i in 0..cap as u64 {
+            assert!(matches!(small.fast_propose(dec(i + 1, 1)), FastPropose::Vote(_)));
+        }
+        assert!(matches!(
+            small.fast_propose(dec(99, 1)),
+            FastPropose::InstanceFull
+        ));
+        // The default cap (32) is far from full here.
+        assert!(matches!(a.fast_propose(dec(1, 1)), FastPropose::Vote(_)));
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let mut a = acceptor_with_stock(5);
+        let del = TxnOption::solo(
+            txn(1),
+            key(),
+            UpdateOp::Physical(PhysicalUpdate::delete(Version(1))),
+        );
+        assert!(status_of(&a.fast_propose(del), txn(1)).is_accepted());
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        assert!(a.value().is_none(), "tombstoned");
+        let ins = TxnOption::solo(
+            txn(2),
+            key(),
+            UpdateOp::Physical(PhysicalUpdate::insert(Row::new().with("stock", 1))),
+        );
+        assert!(status_of(&a.fast_propose(ins), txn(2)).is_accepted());
+    }
+}

@@ -1,0 +1,168 @@
+//! Ballot numbers.
+//!
+//! MDCC distinguishes *classic* and *fast* ballots (§3.3.1). Collision
+//! recovery must be able to override any fast activity of the same round,
+//! so "classic ballot numbers are always higher ranked than fast ballot
+//! numbers". Within a kind, ballots order by round and then by proposer
+//! id (the paper concatenates the requester's IP address for uniqueness).
+
+use std::fmt;
+
+use mdcc_common::NodeId;
+
+/// Whether a ballot is coordinated by a master (classic) or open to any
+/// proposer (fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BallotKind {
+    /// Any proposer may send options directly to the acceptors; learning
+    /// needs a fast quorum.
+    Fast,
+    /// A single leader serializes proposals; learning needs only a classic
+    /// quorum.
+    Classic,
+}
+
+/// A ballot number: `(round, kind, proposer)` with classic > fast within a
+/// round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ballot {
+    /// Monotonically increasing round.
+    pub round: u32,
+    /// Fast or classic.
+    pub kind: BallotKind,
+    /// The node that started the ballot; tie-breaker, and the master for
+    /// classic ballots.
+    pub proposer: NodeId,
+}
+
+impl Ballot {
+    /// The implicit default ballot every record starts in: round 0, fast,
+    /// no distinguished proposer (§3.3.1: "all versions start as an
+    /// implicitly fast ballot number").
+    pub const INITIAL_FAST: Ballot = Ballot {
+        round: 0,
+        kind: BallotKind::Fast,
+        proposer: NodeId(0),
+    };
+
+    /// A classic ballot at `round` led by `proposer`.
+    pub fn classic(round: u32, proposer: NodeId) -> Self {
+        Self {
+            round,
+            kind: BallotKind::Classic,
+            proposer,
+        }
+    }
+
+    /// A fast ballot at `round` opened by `proposer`.
+    pub fn fast(round: u32, proposer: NodeId) -> Self {
+        Self {
+            round,
+            kind: BallotKind::Fast,
+            proposer,
+        }
+    }
+
+    /// True for fast ballots.
+    pub fn is_fast(&self) -> bool {
+        self.kind == BallotKind::Fast
+    }
+
+    /// The smallest classic ballot led by `proposer` that beats `self`.
+    pub fn next_classic(&self, proposer: NodeId) -> Ballot {
+        match self.kind {
+            // A classic ballot of the same round already beats any fast
+            // ballot of that round.
+            BallotKind::Fast => Ballot::classic(self.round.max(1), proposer),
+            BallotKind::Classic => Ballot::classic(self.round + 1, proposer),
+        }
+    }
+
+    /// The smallest fast ballot that beats `self` (used by a master
+    /// reopening fast mode after γ classic transactions).
+    pub fn next_fast(&self, proposer: NodeId) -> Ballot {
+        Ballot::fast(self.round + 1, proposer)
+    }
+
+    fn rank(&self) -> (u32, u8, u32) {
+        let kind = match self.kind {
+            BallotKind::Fast => 0,
+            BallotKind::Classic => 1,
+        };
+        (self.round, kind, self.proposer.0)
+    }
+}
+
+impl PartialOrd for Ballot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ballot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = if self.is_fast() { "F" } else { "C" };
+        write!(f, "b{}{}@{}", self.round, k, self.proposer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_outranks_fast_of_same_round() {
+        let f = Ballot::fast(3, NodeId(9));
+        let c = Ballot::classic(3, NodeId(1));
+        assert!(c > f, "classic must beat fast within a round");
+        assert!(Ballot::fast(4, NodeId(0)) > c, "higher round beats kind");
+    }
+
+    #[test]
+    fn proposer_breaks_ties() {
+        let a = Ballot::classic(2, NodeId(1));
+        let b = Ballot::classic(2, NodeId(2));
+        assert!(a < b);
+        assert_eq!(a, Ballot::classic(2, NodeId(1)));
+    }
+
+    #[test]
+    fn next_classic_always_beats_current() {
+        let cases = [
+            Ballot::INITIAL_FAST,
+            Ballot::fast(7, NodeId(3)),
+            Ballot::classic(7, NodeId(3)),
+        ];
+        for b in cases {
+            let n = b.next_classic(NodeId(0));
+            assert!(n > b, "{n} must beat {b}");
+            assert_eq!(n.kind, BallotKind::Classic);
+        }
+    }
+
+    #[test]
+    fn next_fast_beats_current_classic() {
+        let c = Ballot::classic(5, NodeId(2));
+        let f = c.next_fast(NodeId(2));
+        assert!(f > c);
+        assert!(f.is_fast());
+    }
+
+    #[test]
+    fn initial_fast_is_the_minimum_fast_ballot() {
+        assert!(Ballot::INITIAL_FAST <= Ballot::fast(0, NodeId(0)));
+        assert!(Ballot::INITIAL_FAST < Ballot::classic(0, NodeId(0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ballot::classic(4, NodeId(2)).to_string(), "b4C@n2");
+        assert_eq!(Ballot::fast(0, NodeId(0)).to_string(), "b0F@n0");
+    }
+}

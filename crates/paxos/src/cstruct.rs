@@ -1,0 +1,465 @@
+//! Command structures (cstructs) from Generalized Paxos, §3.4.
+//!
+//! A cstruct is an append-only sequence of decided options ω(up, ✓/✗) over
+//! one record's current instance, considered up to *trace equivalence*:
+//!
+//! * accepted **commutative** options commute with each other;
+//! * **rejected** options never execute, so they commute with everything;
+//! * accepted **physical** options are barriers — they commute with
+//!   nothing but rejected options.
+//!
+//! On top of that equivalence the crate implements the partial order `⊑`
+//! (trace prefix), the least upper bound `⊔`, the greatest lower bound `⊓`
+//! over sets, all of which `ProvedSafe` (Algorithm 2, lines 49–57) and the
+//! learner need.
+//!
+//! Within one record a letter is identified by `(txn, status)`: a
+//! transaction holds at most one option per record, and two cstructs that
+//! disagree on a transaction's status are simply incompatible (no common
+//! upper bound), which surfaces as a Fast Paxos collision.
+
+use std::fmt;
+
+use mdcc_common::TxnId;
+
+use crate::options::{OptionStatus, TxnOption};
+
+/// One decided option inside a cstruct.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The proposed update.
+    pub opt: TxnOption,
+    /// The acceptance decision.
+    pub status: OptionStatus,
+}
+
+impl Entry {
+    /// True when this entry never executes (rejected) and therefore
+    /// commutes with everything.
+    pub fn is_neutral(&self) -> bool {
+        !self.status.is_accepted()
+    }
+
+    /// Trace commutation relation: rejected options are neutral; accepted
+    /// commutative deltas commute with each other; accepted read guards
+    /// (shared locks) commute with each other; everything else conflicts.
+    pub fn commutes_with(&self, other: &Entry) -> bool {
+        if self.is_neutral() || other.is_neutral() {
+            return true;
+        }
+        (self.opt.is_commutative() && other.opt.is_commutative())
+            || (self.opt.op.is_guard() && other.opt.op.is_guard())
+    }
+
+    /// Canonical letter identity and sort key: `(txn, decision)`.
+    ///
+    /// The rejection *reason* is deliberately excluded: two acceptors that
+    /// reject the same option for different local reasons (say stale read
+    /// versus demarcation) still agree on the decision, and the learner
+    /// must be able to assemble an abort quorum from them.
+    fn letter(&self) -> (TxnId, u8) {
+        (self.opt.txn, status_rank(self.status))
+    }
+}
+
+/// Deterministic rank of a status: 0 accepted, 1 rejected (any reason).
+fn status_rank(s: OptionStatus) -> u8 {
+    match s {
+        OptionStatus::Accepted => 0,
+        OptionStatus::Rejected(_) => 1,
+    }
+}
+
+/// A command structure: sequence of decided options modulo commutation.
+#[derive(Debug, Clone, Default)]
+pub struct CStruct {
+    entries: Vec<Entry>,
+}
+
+impl CStruct {
+    /// The empty cstruct (⊥, the lattice bottom).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no options were decided yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in (one representative of the) recorded order.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// The recorded status of `txn`'s option, if present.
+    pub fn status_of(&self, txn: TxnId) -> Option<OptionStatus> {
+        self.entries
+            .iter()
+            .find(|e| e.opt.txn == txn)
+            .map(|e| e.status)
+    }
+
+    /// The full entry of `txn`'s option, if present.
+    pub fn entry_of(&self, txn: TxnId) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.opt.txn == txn)
+    }
+
+    /// Appends ω(opt, status) — the `val • ω(up,_)` operator of Table 1.
+    ///
+    /// Returns `false` (and leaves the cstruct unchanged) if `opt`'s
+    /// transaction already holds an option here, making the call
+    /// idempotent under message duplication.
+    pub fn append(&mut self, opt: TxnOption, status: OptionStatus) -> bool {
+        if self.status_of(opt.txn).is_some() {
+            return false;
+        }
+        self.entries.push(Entry { opt, status });
+        true
+    }
+
+    /// Appends an existing entry (recovery adoption path).
+    pub fn append_entry(&mut self, entry: Entry) -> bool {
+        self.append(entry.opt, entry.status)
+    }
+
+    /// Removes `txn`'s entry, returning it. Used when a transaction
+    /// resolves without consuming the instance (aborts of options that
+    /// were not globally learned as accepted): the entry leaves the
+    /// pending set and stops acting as a barrier.
+    pub fn remove(&mut self, txn: TxnId) -> Option<Entry> {
+        let pos = self.entries.iter().position(|e| e.opt.txn == txn)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Accepted entries in order.
+    pub fn accepted(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(|e| e.status.is_accepted())
+    }
+
+    /// Trace-prefix test: `self ⊑ other` iff `other` equals `self`
+    /// followed by more options, modulo commutation.
+    pub fn is_prefix_of(&self, other: &CStruct) -> bool {
+        let mut remaining: Vec<&Entry> = other.entries.iter().collect();
+        // Consume self's letters in order. Non-commuting pairs keep a
+        // fixed relative order across equivalent representatives, so
+        // consuming in recorded order is sound.
+        for e in &self.entries {
+            let Some(pos) = remaining.iter().position(|r| r.letter() == e.letter()) else {
+                return false;
+            };
+            if !remaining[..pos].iter().all(|r| r.commutes_with(e)) {
+                return false;
+            }
+            remaining.remove(pos);
+        }
+        true
+    }
+
+    /// Trace equivalence.
+    pub fn equivalent(&self, other: &CStruct) -> bool {
+        self.len() == other.len() && self.is_prefix_of(other)
+    }
+
+    /// Least upper bound `self ⊔ other`; `None` when the two conflict
+    /// (status disagreement or incompatible ordering of barriers).
+    pub fn lub(&self, other: &CStruct) -> Option<CStruct> {
+        // Decision disagreement on any transaction ⇒ incompatible.
+        for e in &other.entries {
+            if let Some(s) = self.status_of(e.opt.txn) {
+                if status_rank(s) != status_rank(e.status) {
+                    return None;
+                }
+            }
+        }
+        let mut merged = self.clone();
+        for e in &other.entries {
+            if merged.status_of(e.opt.txn).is_none() {
+                merged.entries.push(e.clone());
+            }
+        }
+        if self.is_prefix_of(&merged) && other.is_prefix_of(&merged) {
+            Some(merged)
+        } else {
+            None
+        }
+    }
+
+    /// Least upper bound of many cstructs, `None` if any pair conflicts.
+    pub fn lub_many<'a, I: IntoIterator<Item = &'a CStruct>>(items: I) -> Option<CStruct> {
+        let mut acc = CStruct::new();
+        for c in items {
+            acc = acc.lub(c)?;
+        }
+        Some(acc)
+    }
+
+    /// Greatest lower bound `⊓` of a non-empty set of cstructs.
+    ///
+    /// Greedily extracts letters that are *front-movable* in every input:
+    /// a letter is extractable from a sequence when everything recorded
+    /// before it commutes with it. Removing a letter never disables other
+    /// extractions, so the reachable set is order-independent; picking the
+    /// canonically smallest letter each round makes the representative
+    /// deterministic.
+    pub fn glb_many(items: &[&CStruct]) -> CStruct {
+        if items.is_empty() {
+            return CStruct::new();
+        }
+        let mut rems: Vec<Vec<Entry>> = items.iter().map(|c| c.entries.clone()).collect();
+        let mut out = CStruct::new();
+        loop {
+            // Letters extractable from every remaining sequence.
+            let mut best: Option<(TxnId, u8)> = None;
+            for cand in extractable(&rems[0]) {
+                if rems[1..].iter().all(|r| extractable(r).contains(&cand))
+                    && best.is_none_or(|b| cand < b)
+                {
+                    best = Some(cand);
+                }
+            }
+            let Some(letter) = best else {
+                break;
+            };
+            for (i, rem) in rems.iter_mut().enumerate() {
+                let pos = rem
+                    .iter()
+                    .position(|e| e.letter() == letter)
+                    .expect("extractable letter present");
+                let e = rem.remove(pos);
+                if i == 0 {
+                    out.entries.push(e);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Letters that can be commuted to the front of `seq`.
+fn extractable(seq: &[Entry]) -> Vec<(TxnId, u8)> {
+    let mut out = Vec::new();
+    for (i, e) in seq.iter().enumerate() {
+        if seq[..i].iter().all(|p| p.commutes_with(e)) {
+            out.push(e.letter());
+        }
+    }
+    out
+}
+
+impl PartialEq for CStruct {
+    fn eq(&self, other: &Self) -> bool {
+        self.equivalent(other)
+    }
+}
+
+impl Eq for CStruct {}
+
+impl fmt::Display for CStruct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let s = match e.status {
+                OptionStatus::Accepted => "✓",
+                OptionStatus::Rejected(_) => "✗",
+            };
+            write!(f, "{}{s}", e.opt.txn)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::error::AbortReason;
+    use mdcc_common::{CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, TableId, UpdateOp, Version};
+
+    fn key() -> Key {
+        Key::new(TableId(0), "r")
+    }
+
+    fn comm(seq: u64) -> TxnOption {
+        TxnOption::solo(
+            TxnId::new(NodeId(0), seq),
+            key(),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+        )
+    }
+
+    fn phys(seq: u64) -> TxnOption {
+        TxnOption::solo(
+            TxnId::new(NodeId(0), seq),
+            key(),
+            UpdateOp::Physical(PhysicalUpdate::write(Version(0), Row::new())),
+        )
+    }
+
+    fn acc(o: TxnOption) -> (TxnOption, OptionStatus) {
+        (o, OptionStatus::Accepted)
+    }
+
+    fn rej(o: TxnOption) -> (TxnOption, OptionStatus) {
+        (o, OptionStatus::Rejected(AbortReason::StaleRead))
+    }
+
+    fn cs(parts: Vec<(TxnOption, OptionStatus)>) -> CStruct {
+        let mut c = CStruct::new();
+        for (o, s) in parts {
+            assert!(c.append(o, s));
+        }
+        c
+    }
+
+    #[test]
+    fn append_is_idempotent_per_txn() {
+        let mut c = CStruct::new();
+        assert!(c.append(comm(1), OptionStatus::Accepted));
+        assert!(!c.append(comm(1), OptionStatus::Accepted));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn commutative_orders_are_equivalent() {
+        let a = cs(vec![acc(comm(1)), acc(comm(2))]);
+        let b = cs(vec![acc(comm(2)), acc(comm(1))]);
+        assert_eq!(a, b);
+        assert!(a.is_prefix_of(&b) && b.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn physical_orders_are_not_equivalent() {
+        let a = cs(vec![acc(phys(1)), acc(phys(2))]);
+        let b = cs(vec![acc(phys(2)), acc(phys(1))]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejected_options_are_neutral() {
+        let a = cs(vec![acc(phys(1)), rej(phys(2))]);
+        let b = cs(vec![rej(phys(2)), acc(phys(1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_respects_barriers() {
+        let small = cs(vec![acc(phys(1))]);
+        let big = cs(vec![acc(phys(1)), acc(phys(2))]);
+        let wrong = cs(vec![acc(phys(2)), acc(phys(1))]);
+        assert!(small.is_prefix_of(&big));
+        assert!(!small.is_prefix_of(&wrong), "barrier before 1 blocks consumption");
+        assert!(!big.is_prefix_of(&small));
+    }
+
+    #[test]
+    fn empty_is_prefix_of_everything() {
+        let e = CStruct::new();
+        assert!(e.is_prefix_of(&cs(vec![acc(phys(1))])));
+        assert!(e.is_prefix_of(&e.clone()));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn lub_of_commutative_is_union() {
+        let a = cs(vec![acc(comm(1)), acc(comm(2))]);
+        let b = cs(vec![acc(comm(2)), acc(comm(3))]);
+        let l = a.lub(&b).expect("compatible");
+        assert_eq!(l.len(), 3);
+        assert!(a.is_prefix_of(&l) && b.is_prefix_of(&l));
+    }
+
+    #[test]
+    fn lub_detects_status_conflicts() {
+        let a = cs(vec![acc(comm(1))]);
+        let b = cs(vec![rej(comm(1))]);
+        assert!(a.lub(&b).is_none(), "✓ vs ✗ on the same txn conflicts");
+    }
+
+    #[test]
+    fn lub_detects_barrier_conflicts() {
+        let a = cs(vec![acc(phys(1))]);
+        let b = cs(vec![acc(phys(2))]);
+        assert!(a.lub(&b).is_none(), "two barrier options have no common extension");
+    }
+
+    #[test]
+    fn lub_with_commutative_and_physical_conflicts() {
+        // An accepted physical write does not commute with an accepted
+        // commutative delta, so divergent first options collide.
+        let a = cs(vec![acc(comm(1))]);
+        let b = cs(vec![acc(phys(2))]);
+        assert!(a.lub(&b).is_none());
+    }
+
+    #[test]
+    fn glb_is_the_common_prefix() {
+        let a = cs(vec![acc(comm(1)), acc(comm(2)), acc(comm(4))]);
+        let b = cs(vec![acc(comm(2)), acc(comm(1)), acc(comm(3))]);
+        let g = CStruct::glb_many(&[&a, &b]);
+        assert_eq!(g.len(), 2);
+        assert!(g.status_of(TxnId::new(NodeId(0), 1)).is_some());
+        assert!(g.status_of(TxnId::new(NodeId(0), 2)).is_some());
+        assert!(g.is_prefix_of(&a) && g.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn glb_stops_at_diverging_barriers() {
+        let a = cs(vec![acc(phys(1)), acc(phys(3))]);
+        let b = cs(vec![acc(phys(1)), acc(phys(4))]);
+        let g = CStruct::glb_many(&[&a, &b]);
+        assert_eq!(g.len(), 1, "only the shared barrier prefix survives");
+        assert!(g.is_prefix_of(&a) && g.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn glb_excludes_status_disagreement() {
+        let a = cs(vec![acc(comm(1)), acc(comm(2))]);
+        let b = cs(vec![rej(comm(1)), acc(comm(2))]);
+        let g = CStruct::glb_many(&[&a, &b]);
+        // txn 1 disagrees; txn 2 is extractable in both (neutral/commuting
+        // prefixes), so only txn 2 survives.
+        assert_eq!(g.len(), 1);
+        assert_eq!(
+            g.status_of(TxnId::new(NodeId(0), 2)),
+            Some(OptionStatus::Accepted)
+        );
+    }
+
+    #[test]
+    fn glb_of_identical_is_identity() {
+        let a = cs(vec![acc(phys(1)), rej(phys(2))]);
+        let g = CStruct::glb_many(&[&a, &a, &a]);
+        assert_eq!(g, a);
+    }
+
+    #[test]
+    fn paper_collision_example() {
+        // §3.3.1's recovery example, restated with options: acceptors 2, 3
+        // and 5 report ballot-4 cstructs; only v1→v2 (our txn 12) appears
+        // in a potential fast-quorum intersection.
+        let v12 = phys(12); // v1 → v2
+        let v13 = phys(13); // v1 → v3
+        let a2 = cs(vec![acc(v12.clone()), rej(v13.clone())]);
+        let a3 = cs(vec![acc(v13.clone()), rej(v12.clone())]);
+        let a5 = cs(vec![acc(v12.clone()), rej(v13.clone())]);
+        // Intersection {2,5} agrees on v12 accepted.
+        let g25 = CStruct::glb_many(&[&a2, &a5]);
+        assert_eq!(
+            g25.status_of(v12.txn),
+            Some(OptionStatus::Accepted),
+            "the option common to the quorum intersection must be proposed next"
+        );
+        // Intersections containing acceptor 3 agree on nothing.
+        let g23 = CStruct::glb_many(&[&a2, &a3]);
+        assert_eq!(g23.status_of(v12.txn), None);
+        assert_eq!(g23.status_of(v13.txn), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! Quorum demarcation: value constraints under quorum replication (§3.4.2).
+//!
+//! Plain escrow — accept an option only if the constraint survives every
+//! commit/abort permutation of pending options — is not enough in a quorum
+//! system: acceptors decide on local knowledge, and Figure 2 of the paper
+//! shows how five stock-decrements can all gather fast quorums even though
+//! only four fit the `stock ≥ 0` constraint.
+//!
+//! The fix is a per-node limit derived like the demarcation protocol's:
+//! viewing each of the `N` replicated copies of base value `X` as
+//! resources, a committed transaction consumes at least `Q_F` of them, so
+//! after the constraint is exhausted at most `(N − Q_F)·X` resources can
+//! linger. Spreading those evenly over the `N` nodes yields the node-local
+//! floor
+//!
+//! ```text
+//! L = min + (N − Q_F)/N · (X − min)
+//! ```
+//!
+//! (the paper states the `min = 0` case `L = (N−Q_F)/N · X`). A node
+//! rejects any option whose worst-case pending outcome could push the
+//! value below `L`; the symmetric ceiling guards `value ≤ max`. All
+//! arithmetic below is exact (cross-multiplied integers), so there is no
+//! float rounding to argue about.
+
+use mdcc_common::error::AbortReason;
+
+/// An integrity constraint on one integer attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrConstraint {
+    /// Attribute the constraint applies to.
+    pub attr: String,
+    /// Inclusive lower bound, if any.
+    pub min: Option<i64>,
+    /// Inclusive upper bound, if any.
+    pub max: Option<i64>,
+}
+
+impl AttrConstraint {
+    /// `attr ≥ min`, the paper's running example (`stock ≥ 0`).
+    pub fn at_least(attr: impl Into<String>, min: i64) -> Self {
+        Self {
+            attr: attr.into(),
+            min: Some(min),
+            max: None,
+        }
+    }
+
+    /// `attr ≤ max`.
+    pub fn at_most(attr: impl Into<String>, max: i64) -> Self {
+        Self {
+            attr: attr.into(),
+            min: None,
+            max: Some(max),
+        }
+    }
+
+    /// `min ≤ attr ≤ max`.
+    pub fn between(attr: impl Into<String>, min: i64, max: i64) -> Self {
+        Self {
+            attr: attr.into(),
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+}
+
+/// The attribute state a node consults when judging one candidate delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscrowView {
+    /// Ballot base value `X`: the committed value when the current
+    /// instance (fast commutative ballot) opened.
+    pub base: i64,
+    /// Net delta of options already committed within this instance.
+    pub committed: i64,
+    /// Sum of all negative deltas of pending (accepted, unresolved)
+    /// options, excluding the candidate.
+    pub pending_neg: i64,
+    /// Sum of all positive deltas of pending options, excluding the
+    /// candidate.
+    pub pending_pos: i64,
+}
+
+/// Decides whether a node may accept `candidate` for the attribute under
+/// `constraint`, given replication `n`, fast quorum `qf` and the node's
+/// local [`EscrowView`].
+///
+/// Returns the rejection reason when the option must be refused:
+/// [`AbortReason::DemarcationLimit`] when the quorum limit `L`/`U` is the
+/// binding obstacle, [`AbortReason::ConstraintViolation`] when even the
+/// raw constraint would be violated.
+pub fn escrow_accepts(
+    constraint: &AttrConstraint,
+    n: usize,
+    qf: usize,
+    view: EscrowView,
+    candidate: i64,
+) -> Result<(), AbortReason> {
+    let n_i = n as i64;
+    let slack = (n - qf.min(n)) as i64;
+    // Only the bound the candidate can harm is checked: rejecting an
+    // increment never protects a floor (and vice versa), it only blocks
+    // restorative traffic.
+    if candidate < 0 {
+        if let Some(min) = constraint.min {
+            // Worst case for the floor: every pending decrement commits,
+            // every pending increment aborts, and the candidate commits.
+            let worst = view.base + view.committed + view.pending_neg + candidate;
+            if worst < min {
+                return Err(AbortReason::ConstraintViolation);
+            }
+            // (worst - min) >= slack/n * (base - min), cross-multiplied.
+            if (worst - min) * n_i < slack * (view.base - min).max(0) {
+                return Err(AbortReason::DemarcationLimit);
+            }
+        }
+    }
+    if candidate > 0 {
+        if let Some(max) = constraint.max {
+            let worst = view.base + view.committed + view.pending_pos + candidate;
+            if worst > max {
+                return Err(AbortReason::ConstraintViolation);
+            }
+            if (max - worst) * n_i < slack * (max - view.base).max(0) {
+                return Err(AbortReason::DemarcationLimit);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The node-local floor `L` as an exact rational `(numerator, denominator)`
+/// — exposed for documentation, reports and tests; the accept decision
+/// itself uses [`escrow_accepts`].
+pub fn lower_limit(n: usize, qf: usize, base: i64, min: i64) -> (i64, i64) {
+    let slack = (n - qf.min(n)) as i64;
+    (min * n as i64 + slack * (base - min).max(0), n as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 5;
+    const QF: usize = 4;
+
+    fn view(base: i64, committed: i64, pending_neg: i64, pending_pos: i64) -> EscrowView {
+        EscrowView {
+            base,
+            committed,
+            pending_neg,
+            pending_pos,
+        }
+    }
+
+    #[test]
+    fn figure2_limit_is_four_fifths() {
+        // X = 4, min = 0 ⇒ L = (5−4)/5 · 4 = 0.8.
+        let (num, den) = lower_limit(N, QF, 4, 0);
+        assert_eq!((num, den), (4, 5));
+    }
+
+    #[test]
+    fn figure2_each_node_accepts_exactly_three_decrements() {
+        // The paper's Figure 2 scenario: stock = 4, five txns each with
+        // δ = −1. A node must accept the first three and reject the
+        // fourth (0 < 0.8) — so at most ⌊15/4⌋ = 3 can globally commit,
+        // and the constraint can never be violated.
+        let c = AttrConstraint::at_least("stock", 0);
+        for already_pending in 0..3 {
+            let v = view(4, 0, -already_pending, 0);
+            assert_eq!(escrow_accepts(&c, N, QF, v, -1), Ok(()), "pending {already_pending}");
+        }
+        let v = view(4, 0, -3, 0);
+        assert_eq!(
+            escrow_accepts(&c, N, QF, v, -1),
+            Err(AbortReason::DemarcationLimit)
+        );
+    }
+
+    #[test]
+    fn plain_constraint_violation_reported_distinctly() {
+        let c = AttrConstraint::at_least("stock", 0);
+        // Candidate alone would push below min regardless of quorums.
+        let v = view(2, 0, 0, 0);
+        assert_eq!(
+            escrow_accepts(&c, N, QF, v, -3),
+            Err(AbortReason::ConstraintViolation)
+        );
+    }
+
+    #[test]
+    fn committed_deltas_tighten_the_check() {
+        let c = AttrConstraint::at_least("stock", 0);
+        // Base 10, but 7 already committed away: only ~1 more fits above
+        // L = 2 (slack 1/5 of 10).
+        let v = view(10, -7, 0, 0);
+        assert_eq!(escrow_accepts(&c, N, QF, v, -1), Ok(()));
+        assert_eq!(
+            escrow_accepts(&c, N, QF, v, -2),
+            Err(AbortReason::DemarcationLimit)
+        );
+    }
+
+    #[test]
+    fn increments_do_not_hurt_the_floor() {
+        let c = AttrConstraint::at_least("stock", 0);
+        let v = view(1, 0, 0, 50);
+        assert_eq!(escrow_accepts(&c, N, QF, v, 5), Ok(()));
+    }
+
+    #[test]
+    fn upper_bound_is_symmetric() {
+        let c = AttrConstraint::at_most("seats", 100);
+        // Base 96: U = 100 − (1/5)·4 = 99.2, so pending +3 plus candidate
+        // +1 (worst 100) violates the demarcation ceiling.
+        let v = view(96, 0, 0, 3);
+        assert_eq!(
+            escrow_accepts(&c, N, QF, v, 1),
+            Err(AbortReason::DemarcationLimit)
+        );
+        assert_eq!(escrow_accepts(&c, N, QF, view(96, 0, 0, 0), 1), Ok(()));
+    }
+
+    #[test]
+    fn both_bounds_checked_together() {
+        let c = AttrConstraint::between("level", 0, 10);
+        let v = view(5, 0, -2, 2);
+        assert_eq!(escrow_accepts(&c, N, QF, v, 0), Ok(()));
+        assert!(escrow_accepts(&c, N, QF, v, -3).is_err());
+        assert!(escrow_accepts(&c, N, QF, v, 4).is_err());
+    }
+
+    #[test]
+    fn full_fast_quorum_degenerates_to_plain_escrow() {
+        // Qf = N means no silent resources: L = min.
+        let c = AttrConstraint::at_least("stock", 0);
+        let v = view(4, 0, -3, 0);
+        assert_eq!(escrow_accepts(&c, 5, 5, v, -1), Ok(()), "exactly to zero is fine");
+        assert_eq!(
+            escrow_accepts(&c, 5, 5, view(4, 0, -4, 0), -1),
+            Err(AbortReason::ConstraintViolation)
+        );
+    }
+
+    #[test]
+    fn aborted_pending_options_release_escrow() {
+        // Once options resolve as aborted they leave the pending set; the
+        // caller models that by shrinking `pending_neg`.
+        let c = AttrConstraint::at_least("stock", 0);
+        assert!(escrow_accepts(&c, N, QF, view(4, 0, -3, 0), -1).is_err());
+        // One of the three aborts: pending shrinks, acceptance resumes.
+        assert_eq!(escrow_accepts(&c, N, QF, view(4, 0, -2, 0), -1), Ok(()));
+    }
+
+    #[test]
+    fn base_below_min_rejects_all_harmful_deltas() {
+        let c = AttrConstraint::at_least("stock", 0);
+        assert!(escrow_accepts(&c, N, QF, view(-1, 0, 0, 0), -1).is_err());
+        // Restorative increments are always welcome.
+        assert_eq!(escrow_accepts(&c, N, QF, view(-1, 0, 0, 0), 2), Ok(()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Quorum arithmetic and subset enumeration.
+//!
+//! Replication factors are tiny (the paper uses 5), so enumerating all
+//! `C(n, k)` quorum subsets as bitmasks is both exact and cheap; the
+//! learner and `ProvedSafe` both rely on it.
+
+use mdcc_common::ProtocolConfig;
+
+use crate::ballot::BallotKind;
+
+/// Quorum size required to decide at a ballot of `kind`.
+pub fn quorum_size(cfg: &ProtocolConfig, kind: BallotKind) -> usize {
+    match kind {
+        BallotKind::Fast => cfg.fast_quorum,
+        BallotKind::Classic => cfg.classic_quorum,
+    }
+}
+
+/// All `k`-subsets of `0..n` as bitmasks, in ascending mask order.
+///
+/// # Panics
+///
+/// Panics if `n > 31` (replication factors are single digits in practice).
+pub fn subsets(n: usize, k: usize) -> Vec<u32> {
+    assert!(n <= 31, "subset enumeration is for small replica sets");
+    if k > n {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize == k {
+            out.push(mask);
+        }
+    }
+    out
+}
+
+/// Iterates the set bit indices of `mask`.
+pub fn mask_indices(mask: u32) -> impl Iterator<Item = usize> {
+    (0..32).filter(move |i| mask & (1 << i) != 0)
+}
+
+/// Number of distinct `k`-subsets of `0..n` (sanity checks in tests).
+pub fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1usize;
+    let mut den = 1usize;
+    for i in 0..k {
+        num *= n - i;
+        den *= i + 1;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomial() {
+        for n in 0..=7 {
+            for k in 0..=n {
+                assert_eq!(subsets(n, k).len(), binomial(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn five_choose_four_gives_the_five_fast_quorums() {
+        let qs = subsets(5, 4);
+        assert_eq!(qs.len(), 5);
+        for q in &qs {
+            assert_eq!(q.count_ones(), 4);
+        }
+        // Every pair of fast quorums overlaps in at least 3 nodes.
+        for a in &qs {
+            for b in &qs {
+                assert!((a & b).count_ones() >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_indices_round_trip() {
+        let mask = 0b10110;
+        let idx: Vec<usize> = mask_indices(mask).collect();
+        assert_eq!(idx, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn quorum_sizes_follow_config() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(quorum_size(&cfg, BallotKind::Classic), 3);
+        assert_eq!(quorum_size(&cfg, BallotKind::Fast), 4);
+    }
+
+    #[test]
+    fn fast_fast_classic_triple_intersection_holds_for_default() {
+        // Requirement (ii) of §3.3.1, checked exhaustively for (5, 3, 4).
+        let fasts = subsets(5, 4);
+        let classics = subsets(5, 3);
+        for f1 in &fasts {
+            for f2 in &fasts {
+                for c in &classics {
+                    assert!(
+                        f1 & f2 & c != 0,
+                        "empty triple intersection: {f1:b} {f2:b} {c:b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for the cstruct algebra: the partial-order and lattice
+//! laws Generalized Paxos relies on (§3.4.1).
+
+use mdcc_common::error::AbortReason;
+use mdcc_common::{
+    CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, TableId, TxnId, UpdateOp, Version,
+};
+use mdcc_paxos::{Ballot, CStruct, OptionStatus, TxnOption};
+use proptest::prelude::*;
+
+fn key() -> Key {
+    Key::new(TableId(0), "r")
+}
+
+/// A generated letter: transaction id, commutative?, accepted?.
+#[derive(Debug, Clone, Copy)]
+struct Letter {
+    txn: u64,
+    commutative: bool,
+    accepted: bool,
+}
+
+fn letter_strategy() -> impl Strategy<Value = Letter> {
+    (0u64..12, any::<bool>(), any::<bool>()).prop_map(|(txn, commutative, accepted)| Letter {
+        txn,
+        commutative,
+        accepted,
+    })
+}
+
+/// Distinct-transaction letter sequences: a transaction holds at most one
+/// option per record, so generators must not emit the same txn twice
+/// (shuffling duplicates would change which occurrence wins the dedupe).
+fn letters_strategy(max: usize) -> impl Strategy<Value = Vec<Letter>> {
+    prop::collection::vec(letter_strategy(), 0..max).prop_map(|mut v| {
+        let mut seen = std::collections::HashSet::new();
+        v.retain(|l| seen.insert(l.txn));
+        v
+    })
+}
+
+fn build(letters: &[Letter]) -> CStruct {
+    let mut c = CStruct::new();
+    for l in letters {
+        let op = if l.commutative {
+            UpdateOp::Commutative(CommutativeUpdate::delta("x", -1))
+        } else {
+            UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new()))
+        };
+        let status = if l.accepted {
+            OptionStatus::Accepted
+        } else {
+            OptionStatus::Rejected(AbortReason::StaleRead)
+        };
+        // `append` dedupes by txn, mirroring acceptor behaviour.
+        c.append(TxnOption::solo(TxnId::new(NodeId(0), l.txn), key(), op), status);
+    }
+    c
+}
+
+/// Shuffles only adjacent commuting pairs — produces an equivalent trace.
+fn commuting_shuffle(letters: &[Letter], swaps: &[usize]) -> Vec<Letter> {
+    let mut v: Vec<Letter> = letters.to_vec();
+    for &s in swaps {
+        if v.len() < 2 {
+            break;
+        }
+        let i = s % (v.len() - 1);
+        let commute = |a: &Letter, b: &Letter| {
+            !a.accepted || !b.accepted || (a.commutative && b.commutative)
+        };
+        if commute(&v[i], &v[i + 1]) {
+            v.swap(i, i + 1);
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prefix_is_reflexive(letters in letters_strategy(8)) {
+        let c = build(&letters);
+        prop_assert!(c.is_prefix_of(&c));
+        prop_assert!(CStruct::new().is_prefix_of(&c));
+    }
+
+    #[test]
+    fn prefixes_of_built_history_hold(letters in letters_strategy(8)) {
+        // Every "append history" prefix must be ⊑ the final cstruct.
+        for cut in 0..=letters.len() {
+            let small = build(&letters[..cut]);
+            let big = build(&letters);
+            prop_assert!(
+                small.is_prefix_of(&big),
+                "prefix {cut} not ⊑ full ({small} vs {big})"
+            );
+        }
+    }
+
+    #[test]
+    fn commuting_shuffles_are_equivalent(
+        letters in letters_strategy(8),
+        swaps in prop::collection::vec(0usize..16, 0..12),
+    ) {
+        let a = build(&letters);
+        let b = build(&commuting_shuffle(&letters, &swaps));
+        prop_assert!(a.equivalent(&b), "{a} !~ {b}");
+        prop_assert!(b.equivalent(&a));
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound(
+        xs in letters_strategy(6),
+        ys in letters_strategy(6),
+    ) {
+        let a = build(&xs);
+        let b = build(&ys);
+        if let Some(l) = a.lub(&b) {
+            prop_assert!(a.is_prefix_of(&l), "a={a} not ⊑ lub={l}");
+            prop_assert!(b.is_prefix_of(&l), "b={b} not ⊑ lub={l}");
+        }
+    }
+
+    #[test]
+    fn lub_with_self_is_identity(letters in letters_strategy(8)) {
+        let a = build(&letters);
+        let l = a.lub(&a).expect("self-compatible");
+        prop_assert!(l.equivalent(&a));
+    }
+
+    #[test]
+    fn glb_is_a_lower_bound(
+        xs in letters_strategy(6),
+        ys in letters_strategy(6),
+        zs in letters_strategy(6),
+    ) {
+        let a = build(&xs);
+        let b = build(&ys);
+        let c = build(&zs);
+        let g = CStruct::glb_many(&[&a, &b, &c]);
+        prop_assert!(g.is_prefix_of(&a), "glb={g} not ⊑ a={a}");
+        prop_assert!(g.is_prefix_of(&b), "glb={g} not ⊑ b={b}");
+        prop_assert!(g.is_prefix_of(&c), "glb={g} not ⊑ c={c}");
+    }
+
+    #[test]
+    fn glb_of_prefix_pair_is_the_prefix(
+        letters in letters_strategy(8),
+        cut in 0usize..8,
+    ) {
+        let cut = cut.min(letters.len());
+        let small = build(&letters[..cut]);
+        let big = build(&letters);
+        let g = CStruct::glb_many(&[&small, &big]);
+        prop_assert!(g.equivalent(&small), "glb({small}, {big}) = {g}");
+    }
+
+    #[test]
+    fn glb_is_idempotent(letters in letters_strategy(8)) {
+        let a = build(&letters);
+        let g = CStruct::glb_many(&[&a, &a]);
+        prop_assert!(g.equivalent(&a));
+    }
+
+    #[test]
+    fn lub_glb_absorption(
+        xs in letters_strategy(6),
+        ys in letters_strategy(6),
+    ) {
+        // a ⊔ (a ⊓ b) ~ a, whenever the lub exists.
+        let a = build(&xs);
+        let b = build(&ys);
+        let g = CStruct::glb_many(&[&a, &b]);
+        if let Some(l) = a.lub(&g) {
+            prop_assert!(l.equivalent(&a), "a={a} g={g} lub={l}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ballot_order_is_total_and_respects_kind(
+        r1 in 0u32..50, r2 in 0u32..50,
+        p1 in 0u32..8, p2 in 0u32..8,
+        f1 in any::<bool>(), f2 in any::<bool>(),
+    ) {
+        let make = |r: u32, p: u32, fast: bool| if fast {
+            Ballot::fast(r, NodeId(p))
+        } else {
+            Ballot::classic(r, NodeId(p))
+        };
+        let a = make(r1, p1, f1);
+        let b = make(r2, p2, f2);
+        // Totality + antisymmetry.
+        prop_assert_eq!(a < b, b > a);
+        prop_assert_eq!(a == b, (r1, p1, f1) == (r2, p2, f2));
+        // Classic beats fast within a round.
+        if r1 == r2 && !f1 && f2 {
+            prop_assert!(a > b);
+        }
+        // next_classic beats everything it was derived from.
+        prop_assert!(a.next_classic(NodeId(0)) > a);
+        prop_assert!(a.next_fast(NodeId(0)) > a);
+    }
+}

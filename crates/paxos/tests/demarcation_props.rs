@@ -1,0 +1,154 @@
+//! Property test of the paper's central safety claim (§3.4.2): under
+//! *any* interleaving of proposals, commit/abort outcomes and message
+//! orders, quorum demarcation never lets committed decrements violate the
+//! `stock ≥ 0` constraint — the guarantee Figure 2 shows plain escrow
+//! does not give.
+
+use std::sync::Arc;
+
+use mdcc_common::{CommutativeUpdate, Key, NodeId, TableId, TxnId, UpdateOp};
+use mdcc_paxos::acceptor::FastPropose;
+use mdcc_paxos::{AcceptorRecord, AttrConstraint, TxnOption, TxnOutcome};
+use proptest::prelude::*;
+
+const N: usize = 5;
+const QF: usize = 4;
+
+fn key() -> Key {
+    Key::new(TableId(0), "hot")
+}
+
+fn constraints() -> Arc<[AttrConstraint]> {
+    Arc::from(vec![AttrConstraint::at_least("stock", 0)])
+}
+
+fn acceptors(stock: i64) -> Vec<AcceptorRecord> {
+    (0..N)
+        .map(|_| {
+            AcceptorRecord::with_value(
+                constraints(),
+                N,
+                QF,
+                64,
+                mdcc_common::Row::new().with("stock", stock),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Proposals arrive at each acceptor in an adversarial order;
+    /// transactions whose option gathers a fast quorum commit. The sum of
+    /// committed decrements must never exceed the initial stock.
+    #[test]
+    fn committed_decrements_never_violate_the_constraint(
+        stock in 1i64..20,
+        deltas in prop::collection::vec(1i64..4, 1..12),
+        perm_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(perm_seed);
+        let mut nodes = acceptors(stock);
+        let options: Vec<TxnOption> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| TxnOption::solo(
+                TxnId::new(NodeId(9), i as u64),
+                key(),
+                UpdateOp::Commutative(CommutativeUpdate::delta("stock", -d)),
+            ))
+            .collect();
+        // Deliver every proposal to every acceptor in an independent
+        // random order (the Figure 2 adversary).
+        let mut accepted_at: Vec<Vec<bool>> = vec![vec![false; options.len()]; N];
+        for (a, node) in nodes.iter_mut().enumerate() {
+            let mut order: Vec<usize> = (0..options.len()).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for idx in order {
+                if let FastPropose::Vote(vote) = node.fast_propose(options[idx].clone()) {
+                    accepted_at[a][idx] = vote
+                        .cstruct
+                        .status_of(options[idx].txn)
+                        .map(|s| s.is_accepted())
+                        .unwrap_or(false);
+                }
+            }
+        }
+        // A transaction commits iff a fast quorum accepted its option.
+        let mut committed_total = 0i64;
+        for (idx, opt) in options.iter().enumerate() {
+            let votes = (0..N).filter(|a| accepted_at[*a][idx]).count();
+            let outcome = if votes >= QF {
+                committed_total += deltas[idx];
+                TxnOutcome::Committed
+            } else {
+                TxnOutcome::Aborted
+            };
+            for (a, node) in nodes.iter_mut().enumerate() {
+                node.apply_visibility(opt.txn, outcome, accepted_at[a][idx]);
+            }
+        }
+        prop_assert!(
+            committed_total <= stock,
+            "committed {committed_total} from stock {stock}"
+        );
+        // Every replica converges to the same non-negative value.
+        let finals: Vec<i64> = nodes
+            .iter()
+            .map(|n| n.value().unwrap().get_int("stock").unwrap())
+            .collect();
+        prop_assert!(finals.iter().all(|v| *v == finals[0]), "diverged: {finals:?}");
+        prop_assert_eq!(finals[0], stock - committed_total);
+        prop_assert!(finals[0] >= 0, "constraint violated: {finals:?}");
+    }
+
+    /// With aborts injected at random (simulating multi-record
+    /// transactions failing elsewhere), escrow must release and later
+    /// options must still respect the constraint.
+    #[test]
+    fn random_aborts_release_escrow_safely(
+        stock in 1i64..20,
+        script in prop::collection::vec((1i64..4, any::<bool>()), 1..16),
+    ) {
+        let mut nodes = acceptors(stock);
+        let mut committed_total = 0i64;
+        for (i, (delta, force_abort)) in script.iter().enumerate() {
+            let opt = TxnOption::solo(
+                TxnId::new(NodeId(9), i as u64),
+                key(),
+                UpdateOp::Commutative(CommutativeUpdate::delta("stock", -delta)),
+            );
+            let mut votes = 0;
+            let mut accepted_at = [false; N];
+            for (a, node) in nodes.iter_mut().enumerate() {
+                if let FastPropose::Vote(v) = node.fast_propose(opt.clone()) {
+                    if v.cstruct.status_of(opt.txn).is_some_and(|s| s.is_accepted()) {
+                        votes += 1;
+                        accepted_at[a] = true;
+                    }
+                }
+            }
+            let outcome = if votes >= QF && !force_abort {
+                committed_total += delta;
+                TxnOutcome::Committed
+            } else {
+                TxnOutcome::Aborted
+            };
+            for (a, node) in nodes.iter_mut().enumerate() {
+                node.apply_visibility(opt.txn, outcome, accepted_at[a]);
+            }
+        }
+        prop_assert!(committed_total <= stock);
+        for node in &nodes {
+            prop_assert_eq!(
+                node.value().unwrap().get_int("stock"),
+                Some(stock - committed_total)
+            );
+        }
+    }
+}

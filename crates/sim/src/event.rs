@@ -1,0 +1,196 @@
+//! The event queue: a time-ordered heap with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mdcc_common::{NodeId, SimTime};
+
+/// Identifier of a pending timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+/// What a popped event asks the world to do.
+#[derive(Debug, Clone)]
+pub enum EventKind<M> {
+    /// Deliver a network message to `target`.
+    Deliver {
+        /// Sender of the message.
+        from: NodeId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Fire a timer previously set by `target` itself.
+    Timer {
+        /// Id returned by `set_timer`, checked against cancellations.
+        id: TimerId,
+        /// Payload the process attached to the timer.
+        msg: M,
+    },
+    /// Invoke `Process::on_start` for `target` (scheduled at spawn).
+    Start,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// Virtual time at which the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number; breaks ties deterministically (FIFO).
+    pub seq: u64,
+    /// Node the event is addressed to.
+    pub target: NodeId,
+    /// Payload.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (smallest time, then smallest sequence number) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of events ordered by `(time, seq)`.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` for `target` at time `at`.
+    pub fn push(&mut self, at: SimTime, target: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            at,
+            seq,
+            target,
+            kind,
+        });
+    }
+
+    /// Re-inserts an already-sequenced event (used when a busy node defers
+    /// handling); the original sequence number keeps FIFO order among
+    /// deferred events.
+    pub fn push_deferred(&mut self, event: Event<M>) {
+        self.heap.push(event);
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(n: u32) -> EventKind<&'static str> {
+        EventKind::Deliver {
+            from: NodeId(n),
+            msg: "m",
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), NodeId(0), deliver(1));
+        q.push(SimTime::from_millis(10), NodeId(0), deliver(2));
+        q.push(SimTime::from_millis(20), NodeId(0), deliver(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_millis())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100u32 {
+            q.push(t, NodeId(i), deliver(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.target.0)
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deferred_events_keep_their_sequence() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1), NodeId(0), deliver(0));
+        q.push(SimTime::from_millis(1), NodeId(1), deliver(1));
+        let mut first = q.pop().unwrap();
+        // Defer the first event to t=2; it now races the event at t=1 and
+        // must lose, but at t=2 it beats any *newly pushed* t=2 event.
+        first.at = SimTime::from_millis(2);
+        q.push_deferred(first);
+        q.push(SimTime::from_millis(2), NodeId(2), deliver(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.target.0)
+            .collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(9), NodeId(0), deliver(0));
+        q.push(SimTime::from_millis(4), NodeId(0), deliver(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation of a multi-data-center deployment.
+//!
+//! The paper evaluates MDCC on five Amazon EC2 regions. This crate replaces
+//! that testbed with a seeded, single-threaded discrete-event simulator:
+//!
+//! * [`world::World`] owns the virtual clock, the event queue and every
+//!   simulated process;
+//! * [`process::Process`] is the sans-IO handler interface protocol crates
+//!   implement (message in → effects out);
+//! * [`net::NetworkModel`] samples message latencies from an inter-DC
+//!   round-trip matrix with lognormal jitter and injects losses;
+//! * [`topology::Topology`] maps nodes to data centers;
+//! * [`presets`] ships the 2012-era EC2 latency matrix used by every
+//!   experiment.
+//!
+//! Determinism: given the same seed and the same sequence of API calls, a
+//! `World` produces byte-identical traces. Ties in the event queue are
+//! broken by insertion order, and all randomness flows from one
+//! [`rand::rngs::SmallRng`].
+
+pub mod event;
+pub mod net;
+pub mod presets;
+pub mod process;
+pub mod topology;
+pub mod world;
+
+pub use event::TimerId;
+pub use net::{LinkSpec, NetworkModel};
+pub use process::{Ctx, Process};
+pub use topology::Topology;
+pub use world::{World, WorldConfig, WorldStats};

@@ -1,0 +1,92 @@
+//! Canned topologies, most importantly the paper's five EC2 regions.
+
+use mdcc_common::DcId;
+
+use crate::net::{LinkSpec, NetworkModel};
+
+/// Index of US-West (N. California) in [`ec2_five_dc`].
+pub const US_WEST: DcId = DcId(0);
+/// Index of US-East (Virginia) in [`ec2_five_dc`].
+pub const US_EAST: DcId = DcId(1);
+/// Index of EU (Ireland) in [`ec2_five_dc`].
+pub const EU_IRELAND: DcId = DcId(2);
+/// Index of Asia-Pacific (Singapore) in [`ec2_five_dc`].
+pub const AP_SINGAPORE: DcId = DcId(3);
+/// Index of Asia-Pacific (Tokyo) in [`ec2_five_dc`].
+pub const AP_TOKYO: DcId = DcId(4);
+
+/// Human-readable names of the five regions, indexed by [`DcId`].
+pub const DC_NAMES: [&str; 5] = ["us-west", "us-east", "eu-ireland", "ap-singapore", "ap-tokyo"];
+
+/// The five-data-center network of the paper's evaluation (§5.1): US West
+/// (N. California), US East (Virginia), EU (Ireland), AP (Singapore) and
+/// AP (Tokyo), with 2012-era inter-region round-trip times.
+///
+/// The exact milliseconds are estimates from contemporaneous measurements;
+/// what matters for reproduction is the *ordering* of distances (e.g.
+/// US-East is US-West's closest peer, so killing it in the Figure 8
+/// experiment forces quorums to reach farther).
+pub fn ec2_five_dc() -> NetworkModel {
+    let links = [
+        LinkSpec::new(0, 1, 80.0),  // us-west  <-> us-east
+        LinkSpec::new(0, 2, 160.0), // us-west  <-> eu
+        LinkSpec::new(0, 3, 190.0), // us-west  <-> singapore
+        LinkSpec::new(0, 4, 120.0), // us-west  <-> tokyo
+        LinkSpec::new(1, 2, 90.0),  // us-east  <-> eu
+        LinkSpec::new(1, 3, 240.0), // us-east  <-> singapore
+        LinkSpec::new(1, 4, 170.0), // us-east  <-> tokyo
+        LinkSpec::new(2, 3, 250.0), // eu       <-> singapore
+        LinkSpec::new(2, 4, 270.0), // eu       <-> tokyo
+        LinkSpec::new(3, 4, 80.0),  // singapore<-> tokyo
+    ];
+    NetworkModel::from_links(5, &links, 1.0)
+}
+
+/// RTT from `dc` to every region, sorted ascending — handy for reasoning
+/// about quorum latencies in tests and reports.
+pub fn sorted_rtts_from(net: &NetworkModel, dc: DcId) -> Vec<(DcId, f64)> {
+    let mut v: Vec<(DcId, f64)> = (0..net.dc_count() as u8)
+        .map(|d| (DcId(d), net.base_rtt_ms(dc, DcId(d))))
+        .collect();
+    v.sort_by(|a, b| a.1.total_cmp(&b.1));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_regions_with_expected_neighbours() {
+        let net = ec2_five_dc();
+        assert_eq!(net.dc_count(), 5);
+        // US-East is US-West's nearest remote region (drives Figure 8).
+        let order = sorted_rtts_from(&net, US_WEST);
+        assert_eq!(order[0].0, US_WEST, "self is nearest");
+        assert_eq!(order[1].0, US_EAST);
+        assert_eq!(order[2].0, AP_TOKYO);
+    }
+
+    #[test]
+    fn fast_quorum_from_us_west_is_the_eu_link() {
+        // A fast quorum (4/5) as seen from US-West needs the 4th-closest
+        // response: CA(1) < VA(80) < JP(120) < IE(160) — so ~160 ms RTT.
+        let net = ec2_five_dc();
+        let order = sorted_rtts_from(&net, US_WEST);
+        assert_eq!(order[3].0, EU_IRELAND);
+        assert_eq!(order[3].1, 160.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let net = ec2_five_dc();
+        for a in 0..5u8 {
+            for b in 0..5u8 {
+                assert_eq!(
+                    net.base_rtt_ms(DcId(a), DcId(b)),
+                    net.base_rtt_ms(DcId(b), DcId(a))
+                );
+            }
+        }
+    }
+}

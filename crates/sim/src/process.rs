@@ -1,0 +1,178 @@
+//! The sans-IO process interface.
+//!
+//! A [`Process`] is a deterministic state machine: the world hands it a
+//! message or timer plus a [`Ctx`], and the process responds by recording
+//! *effects* (sends, timers) on the context. Effects are applied by the
+//! world after the handler returns, so handlers never touch the event
+//! queue directly and protocol code contains no runtime dependencies.
+
+use std::any::Any;
+
+use mdcc_common::{NodeId, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+use crate::event::TimerId;
+
+/// An action a process asked the world to perform.
+#[derive(Debug)]
+pub enum Effect<M> {
+    /// Send `msg` to `to` over the simulated network.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Deliver `msg` back to the process after `delay`.
+    SetTimer {
+        /// Cancellation handle.
+        id: TimerId,
+        /// Delay from now.
+        delay: SimDuration,
+        /// Payload passed to `on_timer`.
+        msg: M,
+    },
+    /// Suppress a previously set timer.
+    CancelTimer(TimerId),
+}
+
+/// Handler context: the process's window onto the world for one event.
+pub struct Ctx<'a, M> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The id of the process being invoked.
+    pub self_id: NodeId,
+    /// Seeded RNG for protocol-level randomness (backoff jitter etc.).
+    pub rng: &'a mut SmallRng,
+    effects: &'a mut Vec<Effect<M>>,
+    next_timer: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Creates a context; called by the world (and by tests that drive a
+    /// process by hand).
+    pub fn new(
+        now: SimTime,
+        self_id: NodeId,
+        rng: &'a mut SmallRng,
+        effects: &'a mut Vec<Effect<M>>,
+        next_timer: &'a mut u64,
+    ) -> Self {
+        Self {
+            now,
+            self_id,
+            rng,
+            effects,
+            next_timer,
+        }
+    }
+
+    /// Sends `msg` to `to`; latency and loss are the network model's call.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Schedules `msg` to be delivered to `on_timer` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, msg: M) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, delay, msg });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+}
+
+/// A simulated node: storage node, app server or workload client.
+///
+/// The `Any` supertrait lets the harness downcast processes back to their
+/// concrete type after a run to harvest metrics.
+pub trait Process<M>: Any {
+    /// Invoked once when the node is spawned.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Invoked for every delivered network message.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Invoked when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _msg: M, _ctx: &mut Ctx<'_, M>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct Echo;
+    impl Process<u32> for Echo {
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(from, msg + 1);
+        }
+    }
+
+    #[test]
+    fn ctx_records_effects_in_order() {
+        let mut effects = Vec::new();
+        let mut next_timer = 0;
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(
+            SimTime::ZERO,
+            NodeId(0),
+            &mut rng,
+            &mut effects,
+            &mut next_timer,
+        );
+        ctx.send(NodeId(1), 10u32);
+        let t = ctx.set_timer(SimDuration::from_millis(5), 20);
+        ctx.cancel_timer(t);
+        assert_eq!(effects.len(), 3);
+        assert!(matches!(effects[0], Effect::Send { to: NodeId(1), msg: 10 }));
+        assert!(matches!(
+            effects[1],
+            Effect::SetTimer {
+                id: TimerId(0),
+                msg: 20,
+                ..
+            }
+        ));
+        assert!(matches!(effects[2], Effect::CancelTimer(TimerId(0))));
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut effects = Vec::new();
+        let mut next_timer = 0;
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(
+            SimTime::ZERO,
+            NodeId(0),
+            &mut rng,
+            &mut effects,
+            &mut next_timer,
+        );
+        let a = ctx.set_timer(SimDuration::from_millis(1), 1);
+        let b = ctx.set_timer(SimDuration::from_millis(1), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn handler_can_be_driven_by_hand() {
+        let mut echo = Echo;
+        let mut effects = Vec::new();
+        let mut next_timer = 0;
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(
+            SimTime::ZERO,
+            NodeId(5),
+            &mut rng,
+            &mut effects,
+            &mut next_timer,
+        );
+        echo.on_message(NodeId(9), 41, &mut ctx);
+        assert!(matches!(effects[0], Effect::Send { to: NodeId(9), msg: 42 }));
+    }
+}

@@ -1,0 +1,79 @@
+//! Node-to-data-center mapping.
+
+use mdcc_common::{DcId, NodeId};
+
+/// Which data center each node lives in.
+///
+/// Node ids are dense and assigned in spawn order by the
+/// [`World`](crate::world::World); the topology grows alongside.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    node_dc: Vec<DcId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the next node as living in `dc`, returning its id.
+    pub fn add_node(&mut self, dc: DcId) -> NodeId {
+        let id = NodeId(self.node_dc.len() as u32);
+        self.node_dc.push(dc);
+        id
+    }
+
+    /// Data center of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never registered.
+    pub fn dc_of(&self, node: NodeId) -> DcId {
+        self.node_dc[node.0 as usize]
+    }
+
+    /// All nodes in `dc`, in id order.
+    pub fn nodes_in(&self, dc: DcId) -> Vec<NodeId> {
+        self.node_dc
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == dc)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Total number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.node_dc.len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.node_dc.is_empty()
+    }
+
+    /// True when both nodes are in the same data center.
+    pub fn colocated(&self, a: NodeId, b: NodeId) -> bool {
+        self.dc_of(a) == self.dc_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_dense_ids_and_remembers_dcs() {
+        let mut t = Topology::new();
+        let a = t.add_node(DcId(0));
+        let b = t.add_node(DcId(1));
+        let c = t.add_node(DcId(0));
+        assert_eq!((a, b, c), (NodeId(0), NodeId(1), NodeId(2)));
+        assert_eq!(t.dc_of(b), DcId(1));
+        assert_eq!(t.nodes_in(DcId(0)), vec![NodeId(0), NodeId(2)]);
+        assert!(t.colocated(a, c));
+        assert!(!t.colocated(a, b));
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,480 @@
+//! The world: clock, event queue, processes and failure injection.
+
+use std::collections::HashSet;
+
+use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{EventKind, EventQueue, TimerId};
+use crate::net::NetworkModel;
+use crate::process::{Ctx, Effect, Process};
+use crate::topology::Topology;
+
+/// World-level knobs.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; two worlds with equal seeds and equal call sequences
+    /// produce identical executions.
+    pub seed: u64,
+    /// CPU cost a node pays to handle one message. Messages arriving at a
+    /// busy node queue FIFO behind it — this is what creates the paper's
+    /// queueing effects (most visibly Megastore*'s serialization collapse).
+    pub service_time: SimDuration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x4D44_4343, // "MDCC" in ASCII.
+            service_time: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// Counters the world maintains about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to a live process.
+    pub delivered: u64,
+    /// Messages lost (network loss, dead node, failed DC).
+    pub dropped: u64,
+    /// Timers that fired (excludes cancelled).
+    pub timers_fired: u64,
+}
+
+/// A deterministic discrete-event simulation of one deployment.
+pub struct World<M> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    procs: Vec<Option<Box<dyn Process<M>>>>,
+    topology: Topology,
+    net: NetworkModel,
+    rng: SmallRng,
+    busy_until: Vec<SimTime>,
+    alive: Vec<bool>,
+    dc_down: Vec<bool>,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    service_time: SimDuration,
+    stats: WorldStats,
+    effects_scratch: Vec<Effect<M>>,
+}
+
+impl<M: 'static> World<M> {
+    /// Creates a world over `net` with the given config.
+    pub fn new(net: NetworkModel, config: WorldConfig) -> Self {
+        let dc_count = net.dc_count();
+        Self {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            procs: Vec::new(),
+            topology: Topology::new(),
+            net,
+            rng: SmallRng::seed_from_u64(config.seed),
+            busy_until: Vec::new(),
+            alive: Vec::new(),
+            dc_down: vec![false; dc_count],
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            service_time: config.service_time,
+            stats: WorldStats::default(),
+            effects_scratch: Vec::new(),
+        }
+    }
+
+    /// Spawns a process in `dc`; its `on_start` runs at the current time.
+    pub fn spawn(&mut self, dc: DcId, proc_: Box<dyn Process<M>>) -> NodeId {
+        assert!(
+            (dc.0 as usize) < self.net.dc_count(),
+            "dc outside network model"
+        );
+        let id = self.topology.add_node(dc);
+        self.procs.push(Some(proc_));
+        self.busy_until.push(SimTime::ZERO);
+        self.alive.push(true);
+        self.queue.push(self.now, id, EventKind::Start);
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node-to-DC mapping.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// World-level counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// Injects a message from outside the simulation (tests only; regular
+    /// traffic should originate in processes).
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.queue.push(self.now, to, EventKind::Deliver { from, msg });
+    }
+
+    /// Marks a node crashed: inbound messages drop, timers are suppressed,
+    /// and the process is no longer invoked.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.alive[node.0 as usize] = false;
+    }
+
+    /// Revives a crashed node (its state is whatever it was at crash time,
+    /// mirroring a process restart with durable state).
+    pub fn revive_node(&mut self, node: NodeId) {
+        self.alive[node.0 as usize] = true;
+    }
+
+    /// True if the node is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0 as usize]
+    }
+
+    /// Simulates a data-center outage the way the paper does (§5.3.4):
+    /// nodes in `dc` stop *receiving* messages. Their timers still fire,
+    /// so coordinators inside the failed DC keep timing out — which is the
+    /// externally observable behaviour of an unreachable region.
+    pub fn fail_dc(&mut self, dc: DcId) {
+        self.dc_down[dc.0 as usize] = true;
+    }
+
+    /// Ends a data-center outage.
+    pub fn heal_dc(&mut self, dc: DcId) {
+        self.dc_down[dc.0 as usize] = false;
+    }
+
+    /// True while `dc` is failed.
+    pub fn is_dc_down(&self, dc: DcId) -> bool {
+        self.dc_down[dc.0 as usize]
+    }
+
+    /// Immutable access to a process, downcast to its concrete type.
+    pub fn get<P: Process<M>>(&self, node: NodeId) -> Option<&P> {
+        self.procs[node.0 as usize]
+            .as_deref()
+            .and_then(|p| (p as &dyn std::any::Any).downcast_ref())
+    }
+
+    /// Mutable access to a process, downcast to its concrete type.
+    pub fn get_mut<P: Process<M>>(&mut self, node: NodeId) -> Option<&mut P> {
+        self.procs[node.0 as usize]
+            .as_deref_mut()
+            .and_then(|p| (p as &mut dyn std::any::Any).downcast_mut())
+    }
+
+    /// Executes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(mut ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        let target = ev.target;
+        let idx = target.0 as usize;
+        match ev.kind {
+            EventKind::Start => {
+                self.now = ev.at;
+                if self.alive[idx] {
+                    self.dispatch(target, DispatchKind::Start);
+                }
+            }
+            EventKind::Timer { id, msg } => {
+                self.now = ev.at;
+                if self.cancelled.remove(&id) || !self.alive[idx] {
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                self.dispatch(target, DispatchKind::Timer(msg));
+            }
+            EventKind::Deliver { from, msg } => {
+                if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
+                    self.now = ev.at;
+                    self.stats.dropped += 1;
+                    return true;
+                }
+                // Model per-message CPU cost: a busy node defers handling.
+                let busy = self.busy_until[idx];
+                if busy > ev.at {
+                    ev.at = busy;
+                    ev.kind = EventKind::Deliver { from, msg };
+                    self.queue.push_deferred(ev);
+                    return true;
+                }
+                self.now = ev.at;
+                self.busy_until[idx] = ev.at + self.service_time;
+                self.stats.delivered += 1;
+                self.dispatch(target, DispatchKind::Message { from, msg });
+            }
+        }
+        true
+    }
+
+    /// Runs all events up to and including time `until`, then sets the
+    /// clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Drains the queue completely (tests; real experiments use
+    /// [`World::run_until`] because closed-loop clients never go idle).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    fn dispatch(&mut self, target: NodeId, kind: DispatchKind<M>) {
+        let idx = target.0 as usize;
+        // Take the process out so effects application can borrow `self`.
+        let Some(mut proc_) = self.procs[idx].take() else {
+            return;
+        };
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        {
+            let mut ctx = Ctx::new(
+                self.now,
+                target,
+                &mut self.rng,
+                &mut effects,
+                &mut self.next_timer,
+            );
+            match kind {
+                DispatchKind::Start => proc_.on_start(&mut ctx),
+                DispatchKind::Timer(msg) => proc_.on_timer(msg, &mut ctx),
+                DispatchKind::Message { from, msg } => proc_.on_message(from, msg, &mut ctx),
+            }
+        }
+        self.procs[idx] = Some(proc_);
+        for effect in effects.drain(..) {
+            self.apply_effect(target, effect);
+        }
+        self.effects_scratch = effects;
+    }
+
+    fn apply_effect(&mut self, source: NodeId, effect: Effect<M>) {
+        match effect {
+            Effect::Send { to, msg } => {
+                self.stats.sent += 1;
+                let from_dc = self.topology.dc_of(source);
+                let to_dc = self.topology.dc_of(to);
+                match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
+                    Some(delay) => {
+                        self.queue
+                            .push(self.now + delay, to, EventKind::Deliver { from: source, msg });
+                    }
+                    None => self.stats.dropped += 1,
+                }
+            }
+            Effect::SetTimer { id, delay, msg } => {
+                self.queue
+                    .push(self.now + delay, source, EventKind::Timer { id, msg });
+            }
+            Effect::CancelTimer(id) => {
+                self.cancelled.insert(id);
+            }
+        }
+    }
+}
+
+enum DispatchKind<M> {
+    Start,
+    Timer(M),
+    Message { from: NodeId, msg: M },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkModel;
+    use mdcc_common::SimDuration;
+
+    /// Ping-pong pair recording receive times; used to verify latency and
+    /// determinism.
+    struct Pinger {
+        peer: NodeId,
+        rounds: u32,
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl Process<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.peer, 0);
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.log.push((ctx.now, msg));
+            if msg < self.rounds {
+                ctx.send(self.peer, msg + 1);
+            }
+        }
+    }
+
+    fn two_node_world(seed: u64) -> (World<u32>, NodeId, NodeId) {
+        let net = NetworkModel::uniform(2, 100.0, 1.0).with_jitter(0.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed,
+                service_time: SimDuration::ZERO,
+            },
+        );
+        // Pre-assign ids: spawn order is deterministic.
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let pa = Pinger {
+            peer: b,
+            rounds: 10,
+            log: Vec::new(),
+        };
+        let pb = Pinger {
+            peer: a,
+            rounds: 10,
+            log: Vec::new(),
+        };
+        assert_eq!(w.spawn(DcId(0), Box::new(pa)), a);
+        assert_eq!(w.spawn(DcId(1), Box::new(pb)), b);
+        (w, a, b)
+    }
+
+    #[test]
+    fn ping_pong_measures_one_way_latency() {
+        let (mut w, _a, b) = two_node_world(1);
+        w.run_to_quiescence();
+        let pb: &Pinger = w.get(b).unwrap();
+        // Both pingers initiate at t=0; each hop takes 50 ms one-way, so b
+        // receives message k at (k+1)*50 ms.
+        assert_eq!(pb.log[0].0.as_millis(), 50);
+        assert_eq!(pb.log[0].1, 0);
+        assert_eq!(pb.log[1].0.as_millis(), 100);
+        assert_eq!(pb.log[1].1, 1);
+    }
+
+    #[test]
+    fn same_seed_same_execution() {
+        let (mut w1, a1, _) = two_node_world(99);
+        let (mut w2, a2, _) = two_node_world(99);
+        w1.run_to_quiescence();
+        w2.run_to_quiescence();
+        let l1 = &w1.get::<Pinger>(a1).unwrap().log;
+        let l2 = &w2.get::<Pinger>(a2).unwrap().log;
+        assert_eq!(l1, l2);
+        assert_eq!(w1.stats(), w2.stats());
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let (mut w, a, b) = two_node_world(5);
+        w.crash_node(b);
+        w.run_to_quiescence();
+        // b was crashed before starting: it neither sends nor receives,
+        // and a's initial ping to it is dropped.
+        assert!(w.get::<Pinger>(b).unwrap().log.is_empty());
+        assert!(w.get::<Pinger>(a).unwrap().log.is_empty());
+        assert_eq!(w.stats().dropped, 1, "a's initial ping dropped");
+    }
+
+    #[test]
+    fn failed_dc_drops_inbound_only() {
+        let (mut w, a, b) = two_node_world(5);
+        w.fail_dc(DcId(1));
+        w.run_to_quiescence();
+        // b never hears a's ping; a still received b's initial ping (sent
+        // from inside the failed DC, which the paper's fault model allows).
+        assert!(w.get::<Pinger>(b).unwrap().log.is_empty());
+        assert_eq!(w.get::<Pinger>(a).unwrap().log.len(), 1);
+        w.heal_dc(DcId(1));
+        assert!(!w.is_dc_down(DcId(1)));
+    }
+
+    #[test]
+    fn service_time_serializes_a_hot_node() {
+        struct Sink {
+            handled: Vec<SimTime>,
+        }
+        impl Process<u32> for Sink {
+            fn on_message(&mut self, _f: NodeId, _m: u32, ctx: &mut Ctx<'_, u32>) {
+                self.handled.push(ctx.now);
+            }
+        }
+        struct Blast {
+            target: NodeId,
+        }
+        impl Process<u32> for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                for i in 0..4 {
+                    ctx.send(self.target, i);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u32, _ctx: &mut Ctx<'_, u32>) {}
+        }
+        let net = NetworkModel::uniform(1, 0.0, 10.0).with_jitter(0.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 0,
+                service_time: SimDuration::from_millis(2),
+            },
+        );
+        let sink = w.spawn(DcId(0), Box::new(Sink { handled: vec![] }));
+        let _ = w.spawn(DcId(0), Box::new(Blast { target: sink }));
+        w.run_to_quiescence();
+        let times: Vec<u64> = w
+            .get::<Sink>(sink)
+            .unwrap()
+            .handled
+            .iter()
+            .map(|t| t.as_millis())
+            .collect();
+        // All four arrive at t=5 (half of 10 ms intra RTT); the 2 ms service
+        // time spaces handling at 5,7,9,11.
+        assert_eq!(times, vec![5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct T {
+            fired: Vec<u32>,
+        }
+        impl Process<u32> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let id = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(id);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u32, _ctx: &mut Ctx<'_, u32>) {}
+            fn on_timer(&mut self, msg: u32, _ctx: &mut Ctx<'_, u32>) {
+                self.fired.push(msg);
+            }
+        }
+        let net = NetworkModel::uniform(1, 0.0, 1.0);
+        let mut w = World::new(net, WorldConfig::default());
+        let n = w.spawn(DcId(0), Box::new(T { fired: vec![] }));
+        w.run_to_quiescence();
+        assert_eq!(w.get::<T>(n).unwrap().fired, vec![1, 3]);
+        assert_eq!(w.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let net = NetworkModel::uniform(1, 0.0, 1.0);
+        let mut w: World<u32> = World::new(net, WorldConfig::default());
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.now(), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,23 @@
+//! The storage-node substrate: a versioned, schema-aware record store.
+//!
+//! The paper's architecture (§2) separates a stateless DB library from
+//! stateful storage nodes; each storage node owns a set of records, and
+//! each record embeds its own Paxos state. This crate provides that
+//! stateful half:
+//!
+//! * [`schema::Catalog`] — table definitions with integrity constraints
+//!   (the `stock ≥ 0` class of constraints that demarcation enforces);
+//! * [`store::RecordStore`] — key → [`mdcc_paxos::AcceptorRecord`] map
+//!   with committed-read paths, bulk load, and pending-option tracking
+//!   for dangling-transaction detection (§3.2.3);
+//! * [`log::OptionLog`] — the append-only log of learned options each
+//!   storage node keeps so that "any node can recover the transaction".
+
+pub mod log;
+pub mod schema;
+pub mod store;
+
+pub use log::{LogEvent, OptionLog};
+pub use mdcc_paxos::AttrConstraint;
+pub use schema::{Catalog, TableSchema};
+pub use store::{PendingTxn, RecordStore};

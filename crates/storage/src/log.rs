@@ -1,0 +1,153 @@
+//! The learned-option log.
+//!
+//! §3.2.3: "additionally keeping a log of all learned options at the
+//! storage node … every option includes all necessary information to
+//! reconstruct the state of the corresponding transactions". The log is
+//! the durable trail a write-ahead log would hold on disk; tests and the
+//! recovery audit read it back.
+
+use mdcc_common::{Key, SimTime, TxnId};
+use mdcc_paxos::{OptionStatus, TxnOutcome};
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEvent {
+    /// An option was decided locally with this status.
+    Decided {
+        /// Transaction owning the option.
+        txn: TxnId,
+        /// Record the option targets.
+        key: Key,
+        /// Local accept/reject decision.
+        status: OptionStatus,
+    },
+    /// A transaction outcome (Visibility) was applied.
+    Outcome {
+        /// The resolved transaction.
+        txn: TxnId,
+        /// Key the visibility was applied at.
+        key: Key,
+        /// Commit or abort.
+        outcome: TxnOutcome,
+    },
+}
+
+/// Append-only log with a monotone timestamp per entry.
+#[derive(Debug, Clone, Default)]
+pub struct OptionLog {
+    entries: Vec<(SimTime, LogEvent)>,
+}
+
+impl OptionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at time `now`.
+    pub fn push(&mut self, now: SimTime, event: LogEvent) {
+        debug_assert!(
+            self.entries.last().map(|(t, _)| *t <= now).unwrap_or(true),
+            "log time went backwards"
+        );
+        self.entries.push((now, event));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, LogEvent)> {
+        self.entries.iter()
+    }
+
+    /// All events involving `txn`, oldest-first.
+    pub fn for_txn(&self, txn: TxnId) -> Vec<&LogEvent> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| match e {
+                LogEvent::Decided { txn: t, .. } | LogEvent::Outcome { txn: t, .. } => *t == txn,
+            })
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// The final outcome logged for `txn`, if any.
+    pub fn outcome_of(&self, txn: TxnId) -> Option<TxnOutcome> {
+        self.entries.iter().rev().find_map(|(_, e)| match e {
+            LogEvent::Outcome { txn: t, outcome, .. } if *t == txn => Some(*outcome),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::{NodeId, TableId};
+
+    fn key(pk: &str) -> Key {
+        Key::new(TableId(0), pk)
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn records_and_filters_by_txn() {
+        let mut log = OptionLog::new();
+        log.push(
+            SimTime::from_millis(1),
+            LogEvent::Decided {
+                txn: txn(1),
+                key: key("a"),
+                status: OptionStatus::Accepted,
+            },
+        );
+        log.push(
+            SimTime::from_millis(2),
+            LogEvent::Decided {
+                txn: txn(2),
+                key: key("a"),
+                status: OptionStatus::Accepted,
+            },
+        );
+        log.push(
+            SimTime::from_millis(3),
+            LogEvent::Outcome {
+                txn: txn(1),
+                key: key("a"),
+                outcome: TxnOutcome::Committed,
+            },
+        );
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.for_txn(txn(1)).len(), 2);
+        assert_eq!(log.outcome_of(txn(1)), Some(TxnOutcome::Committed));
+        assert_eq!(log.outcome_of(txn(2)), None);
+    }
+
+    #[test]
+    fn last_outcome_wins() {
+        // Recovery may first resolve a transaction as aborted and a later
+        // (buggy/duplicate) message repeat it; reading the latest entry is
+        // the contract.
+        let mut log = OptionLog::new();
+        log.push(
+            SimTime::from_millis(1),
+            LogEvent::Outcome {
+                txn: txn(1),
+                key: key("a"),
+                outcome: TxnOutcome::Aborted,
+            },
+        );
+        assert_eq!(log.outcome_of(txn(1)), Some(TxnOutcome::Aborted));
+    }
+}

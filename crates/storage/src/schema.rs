@@ -1,0 +1,120 @@
+//! Table catalog: names, ids and integrity constraints.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mdcc_common::{Key, TableId};
+use mdcc_paxos::AttrConstraint;
+
+/// Definition of one table.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Stable identifier, embedded in every [`Key`].
+    pub id: TableId,
+    /// Human-readable name (reports, examples).
+    pub name: String,
+    /// Integrity constraints enforced by acceptors on commutative updates.
+    pub constraints: Arc<[AttrConstraint]>,
+}
+
+impl TableSchema {
+    /// A table without constraints.
+    pub fn new(id: TableId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            constraints: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Builder-style constraint attachment.
+    pub fn with_constraint(mut self, c: AttrConstraint) -> Self {
+        let mut v: Vec<AttrConstraint> = self.constraints.iter().cloned().collect();
+        v.push(c);
+        self.constraints = Arc::from(v);
+        self
+    }
+
+    /// Builds a key into this table.
+    pub fn key(&self, pk: impl Into<String>) -> Key {
+        Key::new(self.id, pk)
+    }
+}
+
+/// The set of tables a deployment serves.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<TableId, TableSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table; replaces any previous definition with the same id.
+    pub fn add(&mut self, schema: TableSchema) -> &mut Self {
+        self.tables.insert(schema.id, schema);
+        self
+    }
+
+    /// Builder-style [`Catalog::add`].
+    pub fn with(mut self, schema: TableSchema) -> Self {
+        self.add(schema);
+        self
+    }
+
+    /// Looks up a table definition.
+    pub fn table(&self, id: TableId) -> Option<&TableSchema> {
+        self.tables.get(&id)
+    }
+
+    /// Constraints for the table a key lives in (empty for unknown tables,
+    /// which keeps bulk paths infallible; writes to unknown tables are
+    /// rejected at the API layer instead).
+    pub fn constraints_for(&self, key: &Key) -> Arc<[AttrConstraint]> {
+        self.tables
+            .get(&key.table)
+            .map(|t| Arc::clone(&t.constraints))
+            .unwrap_or_else(|| Arc::from(Vec::new()))
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are defined.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup_and_constraints() {
+        let items = TableSchema::new(TableId(1), "item")
+            .with_constraint(AttrConstraint::at_least("stock", 0));
+        let catalog = Catalog::new().with(items).with(TableSchema::new(TableId(2), "orders"));
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.table(TableId(1)).unwrap().name, "item");
+        let k = catalog.table(TableId(1)).unwrap().key("i1");
+        assert_eq!(catalog.constraints_for(&k).len(), 1);
+        let k2 = Key::new(TableId(2), "o1");
+        assert!(catalog.constraints_for(&k2).is_empty());
+        let unknown = Key::new(TableId(9), "x");
+        assert!(catalog.constraints_for(&unknown).is_empty());
+    }
+
+    #[test]
+    fn with_constraint_accumulates() {
+        let t = TableSchema::new(TableId(1), "t")
+            .with_constraint(AttrConstraint::at_least("a", 0))
+            .with_constraint(AttrConstraint::at_most("b", 10));
+        assert_eq!(t.constraints.len(), 2);
+    }
+}

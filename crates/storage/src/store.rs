@@ -1,0 +1,323 @@
+//! The per-node record store: key → acceptor state, plus bookkeeping.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use mdcc_common::{Key, ProtocolConfig, Row, SimTime, TxnId, Version};
+use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase1b, Phase2a};
+use mdcc_paxos::{AcceptorRecord, Ballot, OptionStatus, TxnOption, TxnOutcome};
+
+use crate::log::{LogEvent, OptionLog};
+use crate::schema::Catalog;
+
+/// A transaction with an outstanding (accepted, unresolved) option on this
+/// node — the raw material of dangling-transaction detection (§3.2.3).
+#[derive(Debug, Clone)]
+pub struct PendingTxn {
+    /// The transaction.
+    pub txn: TxnId,
+    /// When this node accepted the option.
+    pub since: SimTime,
+    /// All keys of the transaction's write-set (from the option).
+    pub peers: Arc<[Key]>,
+}
+
+/// All records a storage node is responsible for.
+#[derive(Debug)]
+pub struct RecordStore {
+    cfg: ProtocolConfig,
+    catalog: Arc<Catalog>,
+    records: HashMap<Key, AcceptorRecord>,
+    log: OptionLog,
+    /// txn → (first-accept time, peers). Ordered so that dangling
+    /// sweeps emit recovery traffic deterministically.
+    pending: BTreeMap<TxnId, PendingTxn>,
+}
+
+impl RecordStore {
+    /// An empty store for the given schema and protocol config.
+    pub fn new(cfg: ProtocolConfig, catalog: Arc<Catalog>) -> Self {
+        Self {
+            cfg,
+            catalog,
+            records: HashMap::new(),
+            log: OptionLog::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Bulk-loads a record as already committed at version 1 (initial data
+    /// distribution; every replica loads the same rows).
+    pub fn load(&mut self, key: Key, row: Row) {
+        let constraints = self.catalog.constraints_for(&key);
+        let rec = AcceptorRecord::with_value(
+            constraints,
+            self.cfg.replication,
+            self.cfg.fast_quorum,
+            self.cfg.max_instance_options,
+            row,
+        );
+        self.records.insert(key, rec);
+    }
+
+    /// Number of materialized records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The learned-option log.
+    pub fn log(&self) -> &OptionLog {
+        &self.log
+    }
+
+    /// Committed (read-committed) local read: version and value.
+    /// Uncommitted options are never visible (§4.1).
+    pub fn read_committed(&self, key: &Key) -> Option<(Version, Row)> {
+        let rec = self.records.get(key)?;
+        rec.value().map(|row| (rec.version(), row.clone()))
+    }
+
+    /// The record's committed version even if the value is absent
+    /// (deleted records report their tombstone version).
+    pub fn version_of(&self, key: &Key) -> Version {
+        self.records
+            .get(key)
+            .map(|r| r.version())
+            .unwrap_or(Version::ZERO)
+    }
+
+    /// Immutable acceptor access (tests, recovery audit).
+    pub fn record(&self, key: &Key) -> Option<&AcceptorRecord> {
+        self.records.get(key)
+    }
+
+    fn record_mut(&mut self, key: &Key) -> &mut AcceptorRecord {
+        let cfg = &self.cfg;
+        let catalog = &self.catalog;
+        self.records.entry(key.clone()).or_insert_with(|| {
+            AcceptorRecord::new(
+                catalog.constraints_for(key),
+                cfg.replication,
+                cfg.fast_quorum,
+                cfg.max_instance_options,
+            )
+        })
+    }
+
+    /// Phase1a for one record.
+    pub fn phase1a(&mut self, key: &Key, ballot: Ballot) -> Phase1b {
+        self.record_mut(key).phase1a(ballot)
+    }
+
+    /// Fast-ballot proposal for one record, with logging and pending
+    /// tracking.
+    pub fn fast_propose(&mut self, opt: TxnOption, now: SimTime) -> FastPropose {
+        let key = opt.key.clone();
+        let txn = opt.txn;
+        let peers = Arc::clone(&opt.peers);
+        let result = self.record_mut(&key).fast_propose(opt);
+        if let FastPropose::Vote(vote) = &result {
+            if let Some(status) = vote.cstruct.status_of(txn) {
+                self.note_decided(now, txn, key, status, peers);
+            }
+        }
+        result
+    }
+
+    /// Classic Phase2a for one record, with logging and pending tracking.
+    pub fn classic_accept(&mut self, key: &Key, p2a: Phase2a, now: SimTime) -> ClassicAccept {
+        let new_txns: Vec<(TxnId, Arc<[Key]>)> = p2a
+            .new_options
+            .iter()
+            .map(|o| (o.txn, Arc::clone(&o.peers)))
+            .collect();
+        let result = self.record_mut(key).classic_accept(p2a);
+        if let ClassicAccept::Vote(vote) = &result {
+            for (txn, peers) in new_txns {
+                if let Some(status) = vote.cstruct.status_of(txn) {
+                    self.note_decided(now, txn, key.clone(), status, peers);
+                }
+            }
+        }
+        result
+    }
+
+    /// Applies a transaction outcome to one record. Returns `true` when
+    /// the record's instance advanced. `learned_accepted` is the globally
+    /// learned status of this record's option (see
+    /// [`mdcc_paxos::acceptor::Resolution`]).
+    pub fn apply_visibility(
+        &mut self,
+        key: &Key,
+        txn: TxnId,
+        outcome: TxnOutcome,
+        learned_accepted: bool,
+        now: SimTime,
+    ) -> bool {
+        let advanced = self
+            .record_mut(key)
+            .apply_visibility(txn, outcome, learned_accepted);
+        self.log.push(
+            now,
+            LogEvent::Outcome {
+                txn,
+                key: key.clone(),
+                outcome,
+            },
+        );
+        self.pending.remove(&txn);
+        advanced
+    }
+
+    /// Transactions whose options have been outstanding on this node for
+    /// longer than the dangling timeout — candidates for recovery.
+    pub fn dangling(&self, now: SimTime) -> Vec<PendingTxn> {
+        self.pending
+            .values()
+            .filter(|p| now.since(p.since) >= self.cfg.dangling_timeout)
+            .cloned()
+            .collect()
+    }
+
+    /// All currently pending transactions (metrics/tests).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn note_decided(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        key: Key,
+        status: OptionStatus,
+        peers: Arc<[Key]>,
+    ) {
+        self.log.push(
+            now,
+            LogEvent::Decided {
+                txn,
+                key,
+                status,
+            },
+        );
+        if status.is_accepted() {
+            self.pending.entry(txn).or_insert(PendingTxn {
+                txn,
+                since: now,
+                peers,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::{CommutativeUpdate, NodeId, PhysicalUpdate, SimDuration, TableId, UpdateOp};
+    use mdcc_paxos::AttrConstraint;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(Catalog::new().with(
+            crate::schema::TableSchema::new(TableId(1), "item")
+                .with_constraint(AttrConstraint::at_least("stock", 0)),
+        ))
+    }
+
+    fn store() -> RecordStore {
+        RecordStore::new(ProtocolConfig::default(), catalog())
+    }
+
+    fn key(pk: &str) -> Key {
+        Key::new(TableId(1), pk)
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn load_and_read_committed() {
+        let mut s = store();
+        s.load(key("i1"), Row::new().with("stock", 7));
+        let (v, row) = s.read_committed(&key("i1")).unwrap();
+        assert_eq!(v, Version(1));
+        assert_eq!(row.get_int("stock"), Some(7));
+        assert!(s.read_committed(&key("nope")).is_none());
+        assert_eq!(s.version_of(&key("nope")), Version::ZERO);
+    }
+
+    #[test]
+    fn fast_propose_logs_and_tracks_pending() {
+        let mut s = store();
+        s.load(key("i1"), Row::new().with("stock", 7));
+        let opt = TxnOption::solo(
+            txn(1),
+            key("i1"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+        );
+        let now = SimTime::from_millis(10);
+        let r = s.fast_propose(opt, now);
+        assert!(matches!(r, FastPropose::Vote(_)));
+        assert_eq!(s.pending_len(), 1);
+        assert_eq!(s.log().len(), 1);
+        // Resolution clears the pending set and logs the outcome.
+        s.apply_visibility(&key("i1"), txn(1), TxnOutcome::Committed, true, SimTime::from_millis(20));
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.log().outcome_of(txn(1)), Some(TxnOutcome::Committed));
+        let (_, row) = s.read_committed(&key("i1")).unwrap();
+        assert_eq!(row.get_int("stock"), Some(6));
+    }
+
+    #[test]
+    fn rejected_options_do_not_become_pending() {
+        let mut s = store();
+        // Record does not exist: a commutative update is rejected.
+        let opt = TxnOption::solo(
+            txn(1),
+            key("ghost"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+        );
+        let r = s.fast_propose(opt, SimTime::ZERO);
+        assert!(matches!(r, FastPropose::Vote(_)));
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.log().len(), 1, "the rejection is still logged");
+    }
+
+    #[test]
+    fn dangling_detection_uses_timeout() {
+        let mut s = store();
+        s.load(key("i1"), Row::new().with("stock", 7));
+        let opt = TxnOption::solo(
+            txn(1),
+            key("i1"),
+            UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 1))),
+        );
+        s.fast_propose(opt, SimTime::ZERO);
+        let timeout = ProtocolConfig::default().dangling_timeout;
+        assert!(s.dangling(SimTime::ZERO + timeout - SimDuration::from_millis(1)).is_empty());
+        let d = s.dangling(SimTime::ZERO + timeout);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].txn, txn(1));
+        assert_eq!(&*d[0].peers, &[key("i1")]);
+    }
+
+    #[test]
+    fn uncommitted_options_are_invisible_to_reads() {
+        let mut s = store();
+        s.load(key("i1"), Row::new().with("stock", 7));
+        let opt = TxnOption::solo(
+            txn(1),
+            key("i1"),
+            UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 0))),
+        );
+        s.fast_propose(opt, SimTime::ZERO);
+        let (v, row) = s.read_committed(&key("i1")).unwrap();
+        assert_eq!(v, Version(1));
+        assert_eq!(row.get_int("stock"), Some(7), "read committed, not the option");
+    }
+}

@@ -1,0 +1,407 @@
+//! The paper's micro-benchmark (§5.3).
+//!
+//! A single `item` table with a `stock ≥ 0` constraint; the *buy*
+//! transaction picks 3 items and decrements each stock by 1–3. Knobs:
+//!
+//! * **commutative** — deltas (the MDCC configuration) versus
+//!   version-checked physical writes (the *Fast*/*Multi*/2PC
+//!   configurations);
+//! * **hot spot** — Figure 6's conflict-rate experiment: 90 % of
+//!   accesses go to the hottest x % of items;
+//! * **master locality** — Figure 7's experiment: a fraction of
+//!   transactions picks only items whose master is in the client's own
+//!   data center.
+
+use std::sync::Arc;
+
+use mdcc_common::{
+    CommutativeUpdate, Key, PhysicalUpdate, RecordUpdate, Row, TableId, UpdateOp, Version,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{Transaction, TxnAction, Workload};
+
+/// Table id of the micro-benchmark's item table.
+pub const MICRO_ITEMS: TableId = TableId(1);
+
+/// The stock attribute name.
+pub const STOCK: &str = "stock";
+
+/// Builds the item key for id `i`.
+pub fn item_key(i: u64) -> Key {
+    Key::new(MICRO_ITEMS, format!("i{i}"))
+}
+
+/// Initial rows for the micro-benchmark table: "randomly chosen stock
+/// values" (we use uniform 50–500, deterministic in `seed` — sized so a
+/// uniform-access run barely dents any item (aborts at low conflict stay
+/// near zero, as in Figure 6's large-hot-spot bars) while small hot
+/// spots exhaust mid-run and abort).
+pub fn initial_items(items: u64, seed: u64) -> Vec<(Key, Row)> {
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..items)
+        .map(|i| {
+            let stock: i64 = rng.gen_range(50..=500);
+            (item_key(i), Row::new().with(STOCK, stock))
+        })
+        .collect()
+}
+
+/// Micro-benchmark knobs.
+#[derive(Debug, Clone)]
+pub struct MicroConfig {
+    /// Number of items in the table.
+    pub items: u64,
+    /// Items per buy transaction (the paper uses 3).
+    pub items_per_txn: usize,
+    /// Maximum decrement per item (uniform 1..=max, the paper uses 3).
+    pub max_decrement: i64,
+    /// Use commutative deltas (MDCC) instead of physical read-modify-
+    /// write (Fast/Multi/2PC configurations).
+    pub commutative: bool,
+    /// Hot-spot: `(fraction_of_items, access_probability)`, e.g.
+    /// `(0.05, 0.9)` = 90 % of accesses hit the hottest 5 %.
+    pub hotspot: Option<(f64, f64)>,
+    /// Serializable mode (§4.4): each buy also browses two extra items
+    /// and validates those reads with read guards at commit.
+    pub serializable_reads: bool,
+    /// Master locality: `(fraction_of_local_txns, my_dc, master_dc_fn)`.
+    /// A "local" transaction picks only items mastered in `my_dc`.
+    pub locality: Option<LocalityConfig>,
+}
+
+/// Master-locality knob (Figure 7).
+#[derive(Clone)]
+pub struct LocalityConfig {
+    /// Fraction of transactions forced to use local-master items.
+    pub local_fraction: f64,
+    /// The client's data center.
+    pub my_dc: u8,
+    /// Master data center of an item key (provided by the cluster's
+    /// placement).
+    pub master_dc_of: Arc<dyn Fn(&Key) -> u8 + Send + Sync>,
+}
+
+impl std::fmt::Debug for LocalityConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalityConfig")
+            .field("local_fraction", &self.local_fraction)
+            .field("my_dc", &self.my_dc)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        Self {
+            items: 10_000,
+            items_per_txn: 3,
+            max_decrement: 3,
+            commutative: true,
+            hotspot: None,
+            serializable_reads: false,
+            locality: None,
+        }
+    }
+}
+
+/// The micro-benchmark generator for one client.
+pub struct MicroWorkload {
+    cfg: MicroConfig,
+    /// Item ids whose master is local (materialized once).
+    local_pool: Vec<u64>,
+}
+
+impl MicroWorkload {
+    /// Builds a generator; materializes the local-master pool if the
+    /// locality knob is on.
+    pub fn new(cfg: MicroConfig) -> Self {
+        let local_pool = match &cfg.locality {
+            Some(loc) => (0..cfg.items)
+                .filter(|i| (loc.master_dc_of)(&item_key(*i)) == loc.my_dc)
+                .collect(),
+            None => Vec::new(),
+        };
+        Self { cfg, local_pool }
+    }
+
+    fn pick_item(&self, rng: &mut SmallRng, local_only: bool) -> u64 {
+        if local_only && !self.local_pool.is_empty() {
+            return self.local_pool[rng.gen_range(0..self.local_pool.len())];
+        }
+        if let Some((fraction, prob)) = self.cfg.hotspot {
+            let hot_items = ((self.cfg.items as f64) * fraction).max(1.0) as u64;
+            if rng.gen::<f64>() < prob {
+                return rng.gen_range(0..hot_items);
+            }
+            if hot_items < self.cfg.items {
+                return rng.gen_range(hot_items..self.cfg.items);
+            }
+        }
+        rng.gen_range(0..self.cfg.items)
+    }
+}
+
+impl Workload for MicroWorkload {
+    fn next_txn(&mut self, rng: &mut SmallRng) -> Box<dyn Transaction> {
+        let local_only = match &self.cfg.locality {
+            Some(loc) => rng.gen::<f64>() < loc.local_fraction,
+            None => false,
+        };
+        let mut items = Vec::with_capacity(self.cfg.items_per_txn);
+        while items.len() < self.cfg.items_per_txn {
+            let id = self.pick_item(rng, local_only);
+            if items.iter().all(|(i, _)| *i != id) {
+                let amount = rng.gen_range(1..=self.cfg.max_decrement);
+                items.push((id, amount));
+            }
+        }
+        let mut browse = Vec::new();
+        if self.cfg.serializable_reads {
+            while browse.len() < 2 {
+                let id = self.pick_item(rng, false);
+                if items.iter().all(|(i, _)| *i != id) && !browse.contains(&item_key(id)) {
+                    browse.push(item_key(id));
+                }
+            }
+        }
+        Box::new(BuyTxn {
+            items: items
+                .into_iter()
+                .map(|(i, amount)| (item_key(i), amount))
+                .collect(),
+            browse,
+            commutative: self.cfg.commutative,
+        })
+    }
+}
+
+/// The buy transaction: read the items, then decrement their stock.
+/// In serializable mode it also browses extra items whose reads are
+/// validated with read guards (§4.4).
+pub struct BuyTxn {
+    items: Vec<(Key, i64)>,
+    browse: Vec<Key>,
+    commutative: bool,
+}
+
+impl Transaction for BuyTxn {
+    fn read_set(&self) -> Vec<Key> {
+        self.items
+            .iter()
+            .map(|(k, _)| k.clone())
+            .chain(self.browse.iter().cloned())
+            .collect()
+    }
+
+    fn decide(&mut self, reads: &[(Key, Version, Option<Row>)]) -> TxnAction {
+        let mut updates = Vec::with_capacity(self.items.len());
+        for (key, amount) in &self.items {
+            let Some((_, version, value)) = reads
+                .iter()
+                .map(|(k, v, r)| (k, *v, r))
+                .find(|(k, _, _)| *k == key)
+            else {
+                return TxnAction::ClientAbort;
+            };
+            let Some(row) = value else {
+                return TxnAction::ClientAbort;
+            };
+            let stock = row.get_int(STOCK).unwrap_or(0);
+            if self.commutative {
+                // The acceptors enforce `stock ≥ 0` via demarcation; the
+                // client proposes unconditionally (a hopeless delta is
+                // rejected there). Only an already-empty read aborts
+                // client-side.
+                if stock <= 0 {
+                    return TxnAction::ClientAbort;
+                }
+                updates.push(RecordUpdate::new(
+                    key.clone(),
+                    UpdateOp::Commutative(CommutativeUpdate::delta(STOCK, -amount)),
+                ));
+            } else {
+                let new_stock = stock - amount;
+                if new_stock < 0 {
+                    return TxnAction::ClientAbort;
+                }
+                let mut new_row = row.clone();
+                new_row.set(STOCK, new_stock);
+                updates.push(RecordUpdate::new(
+                    key.clone(),
+                    UpdateOp::Physical(PhysicalUpdate::write(version, new_row)),
+                ));
+            }
+        }
+        // Serializable mode: validate the browsed reads with guards.
+        for key in &self.browse {
+            let Some((_, version, _)) = reads.iter().find(|(k, _, _)| k == key) else {
+                return TxnAction::ClientAbort;
+            };
+            updates.push(RecordUpdate::new(key.clone(), UpdateOp::ReadGuard(*version)));
+        }
+        TxnAction::Commit(updates)
+    }
+
+    fn is_write(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> &'static str {
+        "buy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn reads_for(txn: &dyn Transaction, stock: i64) -> Vec<(Key, Version, Option<Row>)> {
+        txn.read_set()
+            .into_iter()
+            .map(|k| (k, Version(1), Some(Row::new().with(STOCK, stock))))
+            .collect()
+    }
+
+    #[test]
+    fn buy_reads_three_distinct_items() {
+        let mut w = MicroWorkload::new(MicroConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let txn = w.next_txn(&mut rng);
+        let keys = txn.read_set();
+        assert_eq!(keys.len(), 3);
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "items must be distinct");
+        assert!(txn.is_write());
+    }
+
+    #[test]
+    fn commutative_mode_emits_deltas() {
+        let mut w = MicroWorkload::new(MicroConfig::default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut txn = w.next_txn(&mut rng);
+        let reads = reads_for(&*txn, 50);
+        match txn.decide(&reads) {
+            TxnAction::Commit(updates) => {
+                assert_eq!(updates.len(), 3);
+                for u in &updates {
+                    let UpdateOp::Commutative(c) = &u.op else {
+                        panic!("expected commutative update");
+                    };
+                    let d = c.delta_for(STOCK);
+                    assert!((-3..=-1).contains(&d), "delta {d}");
+                }
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn physical_mode_uses_read_versions() {
+        let cfg = MicroConfig {
+            commutative: false,
+            ..MicroConfig::default()
+        };
+        let mut w = MicroWorkload::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut txn = w.next_txn(&mut rng);
+        let reads = reads_for(&*txn, 50);
+        match txn.decide(&reads) {
+            TxnAction::Commit(updates) => {
+                for u in &updates {
+                    let UpdateOp::Physical(p) = &u.op else {
+                        panic!("expected physical update");
+                    };
+                    assert_eq!(p.vread, Some(Version(1)));
+                    let row = p.value.as_ref().unwrap();
+                    assert!(row.get_int(STOCK).unwrap() < 50);
+                }
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn physical_mode_aborts_on_insufficient_stock() {
+        let cfg = MicroConfig {
+            commutative: false,
+            ..MicroConfig::default()
+        };
+        let mut w = MicroWorkload::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut txn = w.next_txn(&mut rng);
+        let reads = reads_for(&*txn, 0);
+        assert!(matches!(txn.decide(&reads), TxnAction::ClientAbort));
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let cfg = MicroConfig {
+            items: 1_000,
+            hotspot: Some((0.05, 0.9)),
+            ..MicroConfig::default()
+        };
+        let mut w = MicroWorkload::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let txn = w.next_txn(&mut rng);
+            for k in txn.read_set() {
+                let id: u64 = k.pk[1..].parse().unwrap();
+                if id < 50 {
+                    hot += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(
+            (0.85..0.95).contains(&frac),
+            "expected ~90% hot accesses, got {frac}"
+        );
+    }
+
+    #[test]
+    fn locality_pool_restricts_items() {
+        let master_dc_of: Arc<dyn Fn(&Key) -> u8 + Send + Sync> = Arc::new(|k: &Key| {
+            let id: u64 = k.pk[1..].parse().unwrap();
+            (id % 5) as u8
+        });
+        let cfg = MicroConfig {
+            items: 100,
+            locality: Some(LocalityConfig {
+                local_fraction: 1.0,
+                my_dc: 2,
+                master_dc_of,
+            }),
+            ..MicroConfig::default()
+        };
+        let mut w = MicroWorkload::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let txn = w.next_txn(&mut rng);
+            for k in txn.read_set() {
+                let id: u64 = k.pk[1..].parse().unwrap();
+                assert_eq!(id % 5, 2, "all items must have a local master");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_items_are_deterministic_and_in_range() {
+        let a = initial_items(100, 9);
+        let b = initial_items(100, 9);
+        assert_eq!(a.len(), 100);
+        for ((k1, r1), (k2, r2)) in a.iter().zip(&b) {
+            assert_eq!(k1, k2);
+            assert_eq!(r1, r2);
+            let s = r1.get_int(STOCK).unwrap();
+            assert!((50..=500).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The TPC-W web-interaction mix.
+//!
+//! The paper stresses the system with "the most write-heavy profile" —
+//! the TPC-W *ordering* mix (≈50 % browse / 50 % order). The percentages
+//! below are the standard ordering-mix values.
+
+/// The fourteen TPC-W web interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WebInteraction {
+    /// Home page: customer + promotional items.
+    Home,
+    /// New-products listing.
+    NewProducts,
+    /// Best-sellers listing.
+    BestSellers,
+    /// Product detail page.
+    ProductDetail,
+    /// Search form.
+    SearchRequest,
+    /// Search result listing.
+    SearchResults,
+    /// Shopping-cart add/update (write).
+    ShoppingCart,
+    /// Customer registration (write).
+    CustomerRegistration,
+    /// Buy request: cart + customer summary.
+    BuyRequest,
+    /// Buy confirm: the product-buy transaction (write; the one that
+    /// benefits from commutative stock decrements).
+    BuyConfirm,
+    /// Order inquiry form.
+    OrderInquiry,
+    /// Order display.
+    OrderDisplay,
+    /// Admin item lookup.
+    AdminRequest,
+    /// Admin item update (write).
+    AdminConfirm,
+}
+
+/// `(interaction, permille)` — the TPC-W ordering mix in 1/10 000 units
+/// so the table stays integral (sums to exactly 10 000).
+pub const ORDERING_MIX: [(WebInteraction, u32); 14] = [
+    (WebInteraction::Home, 912),
+    (WebInteraction::NewProducts, 46),
+    (WebInteraction::BestSellers, 46),
+    (WebInteraction::ProductDetail, 1_235),
+    (WebInteraction::SearchRequest, 1_453),
+    (WebInteraction::SearchResults, 1_308),
+    (WebInteraction::ShoppingCart, 1_353),
+    (WebInteraction::CustomerRegistration, 1_286),
+    (WebInteraction::BuyRequest, 1_273),
+    (WebInteraction::BuyConfirm, 1_018),
+    (WebInteraction::OrderInquiry, 25),
+    (WebInteraction::OrderDisplay, 22),
+    (WebInteraction::AdminRequest, 12),
+    (WebInteraction::AdminConfirm, 11),
+];
+
+impl WebInteraction {
+    /// True for interactions that issue writes.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            WebInteraction::ShoppingCart
+                | WebInteraction::CustomerRegistration
+                | WebInteraction::BuyConfirm
+                | WebInteraction::AdminConfirm
+        )
+    }
+
+    /// Draws an interaction from the ordering mix given a uniform draw
+    /// in `0..10_000`.
+    pub fn from_draw(draw: u32) -> WebInteraction {
+        let mut acc = 0;
+        for (wi, weight) in ORDERING_MIX {
+            acc += weight;
+            if draw < acc {
+                return wi;
+            }
+        }
+        WebInteraction::Home
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_ten_thousand() {
+        let total: u32 = ORDERING_MIX.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn write_fraction_is_about_37_percent() {
+        let writes: u32 = ORDERING_MIX
+            .iter()
+            .filter(|(wi, _)| wi.is_write())
+            .map(|(_, w)| w)
+            .sum();
+        assert_eq!(writes, 1_353 + 1_286 + 1_018 + 11);
+        assert!((3_000..4_500).contains(&writes), "ordering mix is write-heavy");
+    }
+
+    #[test]
+    fn from_draw_covers_the_whole_range() {
+        assert_eq!(WebInteraction::from_draw(0), WebInteraction::Home);
+        assert_eq!(WebInteraction::from_draw(9_999), WebInteraction::AdminConfirm);
+        // Boundary: first draw after Home's 912 goes to NewProducts.
+        assert_eq!(WebInteraction::from_draw(912), WebInteraction::NewProducts);
+    }
+
+    #[test]
+    fn from_draw_distribution_matches_weights() {
+        let mut counts = std::collections::HashMap::new();
+        for draw in 0..10_000 {
+            *counts.entry(WebInteraction::from_draw(draw)).or_insert(0u32) += 1;
+        }
+        for (wi, weight) in ORDERING_MIX {
+            assert_eq!(counts[&wi], weight, "{wi:?}");
+        }
+    }
+}
