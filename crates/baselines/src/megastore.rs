@@ -418,9 +418,12 @@ mod tests {
     }
 
     fn catalog() -> Arc<Catalog> {
-        Arc::new(Catalog::new().with(
-            TableSchema::new(TableId(1), "item").with_constraint(AttrConstraint::at_least("stock", 0)),
-        ))
+        Arc::new(
+            Catalog::new().with(
+                TableSchema::new(TableId(1), "item")
+                    .with_constraint(AttrConstraint::at_least("stock", 0)),
+            ),
+        )
     }
 
     struct Client {
@@ -460,7 +463,9 @@ mod tests {
 
     /// Master in DC0, replicas in DC1–4, client in DC0 (the paper's
     /// favourable Megastore* placement).
-    fn build(batches: Vec<Vec<Vec<RecordUpdate>>>) -> (World<MegaMsg>, NodeId, Vec<NodeId>, Vec<NodeId>) {
+    fn build(
+        batches: Vec<Vec<Vec<RecordUpdate>>>,
+    ) -> (World<MegaMsg>, NodeId, Vec<NodeId>, Vec<NodeId>) {
         let net = NetworkModel::uniform(5, 100.0, 1.0).with_jitter(0.0);
         let mut world = World::new(
             net,
@@ -548,7 +553,10 @@ mod tests {
         let w = |v: i64| {
             vec![RecordUpdate::new(
                 key("a"),
-                UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", v))),
+                UpdateOp::Physical(PhysicalUpdate::write(
+                    Version(1),
+                    Row::new().with("stock", v),
+                )),
             )]
         };
         let (world, master, _, clients) = build(vec![vec![w(1)], vec![w(2)]]);
@@ -567,7 +575,10 @@ mod tests {
         let (world, _, replicas, _) = build(vec![vec![dec(4)]]);
         for r in replicas {
             let rep = world.get::<MegaReplica>(r).unwrap();
-            assert_eq!(rep.store().read(&key("a")).unwrap().1.get_int("stock"), Some(6));
+            assert_eq!(
+                rep.store().read(&key("a")).unwrap().1.get_int("stock"),
+                Some(6)
+            );
         }
     }
 

@@ -142,7 +142,11 @@ impl QwWriter {
 
     /// Sends a write batch to every replica of every key. Empty batches
     /// complete immediately.
-    pub fn write(&mut self, updates: Vec<RecordUpdate>, ctx: &mut Ctx<'_, QwMsg>) -> (u64, Option<QwDone>) {
+    pub fn write(
+        &mut self,
+        updates: Vec<RecordUpdate>,
+        ctx: &mut Ctx<'_, QwMsg>,
+    ) -> (u64, Option<QwDone>) {
         let req = self.next_req;
         self.next_req += 1;
         if updates.is_empty() {
@@ -285,7 +289,10 @@ mod tests {
         // All replicas eventually applied (eventual consistency).
         for n in storage {
             let s = world.get::<QwStorage>(n).unwrap();
-            assert_eq!(s.store().read(&key("a")).unwrap().1.get_int("stock"), Some(9));
+            assert_eq!(
+                s.store().read(&key("a")).unwrap().1.get_int("stock"),
+                Some(9)
+            );
         }
     }
 
@@ -301,7 +308,13 @@ mod tests {
         let mut next_timer = 0;
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
-        let mut ctx = Ctx::new(SimTime::ZERO, NodeId(9), &mut rng, &mut effects, &mut next_timer);
+        let mut ctx = Ctx::new(
+            SimTime::ZERO,
+            NodeId(9),
+            &mut rng,
+            &mut effects,
+            &mut next_timer,
+        );
         let (_, done) = writer.write(Vec::new(), &mut ctx);
         assert!(done.is_some());
         assert_eq!(writer.in_flight(), 0);
@@ -317,16 +330,34 @@ mod tests {
         let mut next_timer = 0;
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
-        let mut ctx = Ctx::new(SimTime::ZERO, NodeId(9), &mut rng, &mut effects, &mut next_timer);
+        let mut ctx = Ctx::new(
+            SimTime::ZERO,
+            NodeId(9),
+            &mut rng,
+            &mut effects,
+            &mut next_timer,
+        );
         let updates = vec![
-            RecordUpdate::new(key("a"), UpdateOp::Commutative(CommutativeUpdate::delta("x", 1))),
-            RecordUpdate::new(key("b"), UpdateOp::Commutative(CommutativeUpdate::delta("x", 1))),
+            RecordUpdate::new(
+                key("a"),
+                UpdateOp::Commutative(CommutativeUpdate::delta("x", 1)),
+            ),
+            RecordUpdate::new(
+                key("b"),
+                UpdateOp::Commutative(CommutativeUpdate::delta("x", 1)),
+            ),
         ];
         let (req, done) = writer.write(updates, &mut ctx);
         assert!(done.is_none());
         assert!(writer.on_ack(req, key("a")).is_none());
-        assert!(writer.on_ack(req, key("a")).is_none(), "a reached quorum, b did not");
+        assert!(
+            writer.on_ack(req, key("a")).is_none(),
+            "a reached quorum, b did not"
+        );
         assert!(writer.on_ack(req, key("b")).is_none());
-        assert!(writer.on_ack(req, key("b")).is_some(), "both reached quorum");
+        assert!(
+            writer.on_ack(req, key("b")).is_some(),
+            "both reached quorum"
+        );
     }
 }

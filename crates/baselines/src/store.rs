@@ -50,7 +50,10 @@ impl BaselineStore {
 
     /// The version of a key (zero if never written).
     pub fn version_of(&self, key: &Key) -> Version {
-        self.records.get(key).map(|(v, _)| *v).unwrap_or(Version::ZERO)
+        self.records
+            .get(key)
+            .map(|(v, _)| *v)
+            .unwrap_or(Version::ZERO)
     }
 
     /// Number of materialized records.

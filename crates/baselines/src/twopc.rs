@@ -331,9 +331,12 @@ mod tests {
     }
 
     fn catalog() -> Arc<Catalog> {
-        Arc::new(Catalog::new().with(
-            TableSchema::new(TableId(1), "item").with_constraint(AttrConstraint::at_least("stock", 0)),
-        ))
+        Arc::new(
+            Catalog::new().with(
+                TableSchema::new(TableId(1), "item")
+                    .with_constraint(AttrConstraint::at_least("stock", 0)),
+            ),
+        )
     }
 
     struct Client {
@@ -410,7 +413,10 @@ mod tests {
         );
         for n in storage {
             let s = world.get::<TpcStorage>(n).unwrap();
-            assert_eq!(s.store().read(&key("a")).unwrap().1.get_int("stock"), Some(9));
+            assert_eq!(
+                s.store().read(&key("a")).unwrap().1.get_int("stock"),
+                Some(9)
+            );
             assert_eq!(s.lock_count(), 0, "locks must be released");
         }
     }
@@ -422,7 +428,10 @@ mod tests {
         assert!(!done.committed);
         for n in storage {
             let s = world.get::<TpcStorage>(n).unwrap();
-            assert_eq!(s.store().read(&key("a")).unwrap().1.get_int("stock"), Some(10));
+            assert_eq!(
+                s.store().read(&key("a")).unwrap().1.get_int("stock"),
+                Some(10)
+            );
         }
     }
 
@@ -438,10 +447,19 @@ mod tests {
                 committed += 1;
             }
         }
-        assert!(committed <= 1, "locks must serialize conflicting decrements");
+        assert!(
+            committed <= 1,
+            "locks must serialize conflicting decrements"
+        );
         for n in storage {
             let s = world.get::<TpcStorage>(n).unwrap();
-            let stock = s.store().read(&key("a")).unwrap().1.get_int("stock").unwrap();
+            let stock = s
+                .store()
+                .read(&key("a"))
+                .unwrap()
+                .1
+                .get_int("stock")
+                .unwrap();
             assert!(stock >= 0, "constraint held");
             assert_eq!(s.lock_count(), 0);
         }

@@ -7,9 +7,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdcc_common::{
-    CommutativeUpdate, Key, NodeId, Row, TableId, TxnId, UpdateOp,
-};
+use mdcc_common::{CommutativeUpdate, Key, NodeId, Row, TableId, TxnId, UpdateOp};
 use mdcc_paxos::acceptor::FastPropose;
 use mdcc_paxos::demarcation::{escrow_accepts, EscrowView};
 use mdcc_paxos::{

@@ -24,10 +24,12 @@ fn bench_cluster(c: &mut Criterion) {
                 duration: SimDuration::from_secs(8),
                 ..ClusterSpec::default()
             };
-            let catalog = Arc::new(Catalog::new().with(
-                TableSchema::new(MICRO_ITEMS, "item")
-                    .with_constraint(AttrConstraint::at_least("stock", 0)),
-            ));
+            let catalog = Arc::new(
+                Catalog::new().with(
+                    TableSchema::new(MICRO_ITEMS, "item")
+                        .with_constraint(AttrConstraint::at_least("stock", 0)),
+                ),
+            );
             let data = initial_items(1_000, 7);
             let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
                 Box::new(MicroWorkload::new(MicroConfig {

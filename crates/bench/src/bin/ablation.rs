@@ -11,7 +11,6 @@
 //!   versus full serializability (read guards, §4.4) on the same
 //!   workload.
 
-
 use mdcc_bench::{micro_catalog, micro_factory, micro_spec, save_csv, Scale};
 use mdcc_cluster::{run_mdcc, ClusterSpec, MdccMode, NetKind};
 use mdcc_common::{ProtocolConfig, SimDuration};
@@ -37,7 +36,13 @@ fn main() {
             ..MicroConfig::default()
         };
         let mut factory = micro_factory(cfg, None);
-        let (report, stats) = run_mdcc(&run_spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
+        let (report, stats) = run_mdcc(
+            &run_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Full,
+        );
         let median = report.median_write_ms().unwrap_or(f64::NAN);
         println!(
             "gamma={gamma}: median={median:.0}ms commits={} collisions={} redirects={}",
@@ -76,7 +81,13 @@ fn main() {
             ..MicroConfig::default()
         };
         let mut factory = micro_factory(cfg, None);
-        let (report, _) = run_mdcc(&run_spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
+        let (report, _) = run_mdcc(
+            &run_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Full,
+        );
         let median = report.median_write_ms().unwrap_or(f64::NAN);
         println!(
             "N={dcs} (Qc={}, Qf={}): median={median:.0}ms commits={}",
@@ -102,7 +113,11 @@ fn main() {
         };
         let mut factory = micro_factory(cfg, None);
         let (report, stats) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
-        let label = if serializable { "serializable" } else { "read-committed" };
+        let label = if serializable {
+            "serializable"
+        } else {
+            "read-committed"
+        };
         let median = report.median_write_ms().unwrap_or(f64::NAN);
         println!(
             "{label}: median={median:.0}ms commits={} aborts={} fast={}",

@@ -8,7 +8,7 @@
 use mdcc_bench::{
     all_in_us_west, cdf_rows, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, tpcw_spec, Scale,
 };
-use mdcc_cluster::{run_megastore, run_mdcc, run_qw, run_tpc, MdccMode, Report};
+use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 
 fn summarize(label: &str, report: &Report) -> String {
     format!(
@@ -29,7 +29,9 @@ fn main() {
     let data = tpcw_data(items, 7);
     let mut rows: Vec<String> = Vec::new();
     println!("# Figure 3 — TPC-W write transaction response times (CDF)");
-    println!("# paper medians: QW-3 188ms < QW-4 260ms < MDCC 278ms < 2PC 668ms << Megastore* 17810ms");
+    println!(
+        "# paper medians: QW-3 188ms < QW-4 260ms < MDCC 278ms < 2PC 668ms << Megastore* 17810ms"
+    );
 
     for k in [3usize, 4usize] {
         let mut factory = tpcw_factory(items, true);

@@ -7,7 +7,7 @@
 //! (low and flat).
 
 use mdcc_bench::{all_in_us_west, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, Scale};
-use mdcc_cluster::{run_megastore, run_mdcc, run_qw, run_tpc, ClusterSpec, MdccMode};
+use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, ClusterSpec, MdccMode};
 use mdcc_common::SimDuration;
 
 fn main() {
@@ -15,8 +15,11 @@ fn main() {
     let d = scale.div();
     let mut rows: Vec<String> = Vec::new();
     println!("# Figure 4 — TPC-W transactions per second vs concurrent clients");
-    for (clients, items, shards) in [(50u64, 5_000u64, 2usize), (100, 10_000, 4), (200, 20_000, 8)]
-    {
+    for (clients, items, shards) in [
+        (50u64, 5_000u64, 2usize),
+        (100, 10_000, 4),
+        (200, 20_000, 8),
+    ] {
         let clients = (clients / d).max(2) as usize;
         let items = items / d;
         let spec = ClusterSpec {

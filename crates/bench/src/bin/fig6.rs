@@ -47,5 +47,9 @@ fn main() {
             rows.push(format!("{hot_pct},{label},{commits},{aborts}"));
         }
     }
-    save_csv("fig6_conflict_rates", "hotspot_pct,config,commits,aborts", &rows);
+    save_csv(
+        "fig6_conflict_rates",
+        "hotspot_pct,config,commits,aborts",
+        &rows,
+    );
 }

@@ -22,9 +22,10 @@ fn main() {
         // 20 % locality == uniform choice over five DCs; the knob is the
         // fraction of transactions forced local beyond that baseline.
         let forced = ((local_pct - 20.0) / 80.0).clamp(0.0, 1.0);
-        for (label, mode, commutative) in
-            [("Multi", MdccMode::Multi, false), ("MDCC", MdccMode::Full, true)]
-        {
+        for (label, mode, commutative) in [
+            ("Multi", MdccMode::Multi, false),
+            ("MDCC", MdccMode::Full, true),
+        ] {
             let cfg = MicroConfig {
                 items,
                 commutative,

@@ -9,14 +9,17 @@ use mdcc_bench::{
     all_in_us_west, micro_catalog, micro_factory, micro_spec, save_csv, tpcw_catalog, tpcw_data,
     tpcw_factory, tpcw_spec, Scale,
 };
-use mdcc_cluster::{run_megastore, run_mdcc, run_qw, run_tpc, MdccMode};
+use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
 fn main() {
     let scale = Scale::from_args();
     let mut rows: Vec<String> = Vec::new();
     println!("# Medians table (paper §5.2.1 and §5.3.1)");
-    println!("{:<22} {:>12} {:>12}", "configuration", "median ms", "paper ms");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "configuration", "median ms", "paper ms"
+    );
 
     // ---------------- TPC-W ----------------
     let (spec, items) = tpcw_spec(scale, 2001);

@@ -71,10 +71,12 @@ pub fn tpcw_catalog() -> Arc<Catalog> {
 
 /// The micro-benchmark catalog: one item table, `stock ≥ 0`.
 pub fn micro_catalog() -> Arc<Catalog> {
-    Arc::new(Catalog::new().with(
-        TableSchema::new(micro::MICRO_ITEMS, "item")
-            .with_constraint(AttrConstraint::at_least(micro::STOCK, 0)),
-    ))
+    Arc::new(
+        Catalog::new().with(
+            TableSchema::new(micro::MICRO_ITEMS, "item")
+                .with_constraint(AttrConstraint::at_least(micro::STOCK, 0)),
+        ),
+    )
 }
 
 /// The paper's TPC-W deployment (§5.2.1): SF 10 000 items, 100 clients,

@@ -16,7 +16,8 @@ use mdcc_storage::{Catalog, RecordStore};
 use mdcc_workloads::Workload;
 
 use crate::clients::{MdccClient, MegastoreClient, QwClient, TpcClient};
-use crate::metrics::{Report, TxnRecord};
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::metrics::{ClusterAudit, NodeRecovery, Report, TxnRecord};
 
 /// Which network model to deploy on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,14 +73,28 @@ pub struct ClusterSpec {
     pub net: NetKind,
     /// Lognormal jitter sigma on one-way delays.
     pub jitter: f64,
+    /// Probability that any one message is silently lost in transit.
+    pub drop_prob: f64,
     /// Per-message CPU cost at every node.
     pub service_time: SimDuration,
     /// Warm-up period excluded from the report.
     pub warmup: SimDuration,
     /// Measurement window length.
     pub duration: SimDuration,
-    /// Data-center outages: `(offset from start, dc)`.
+    /// Post-window drain: clients stop issuing at `warmup + duration`
+    /// and the world runs this much longer so in-flight and dangling
+    /// transactions resolve and replicas converge (recovery audits need
+    /// a quiesced cluster). Zero disables draining.
+    pub drain: SimDuration,
+    /// Data-center outages: `(offset from start, dc)`. Kept alongside
+    /// [`ClusterSpec::faults`] for the simple §5.3.4 experiments.
     pub fail_dcs: Vec<(SimDuration, DcId)>,
+    /// Scripted crash/restart fault schedule (MDCC runs only).
+    pub faults: FaultPlan,
+    /// Write-ahead-log every storage-node input to the simulated disk
+    /// and checkpoint periodically. Required for `faults` that restart
+    /// nodes; off by default because figure runs don't pay for it.
+    pub durability: bool,
     /// Protocol parameters (quorums, timeouts, γ).
     pub protocol: ProtocolConfig,
 }
@@ -95,10 +110,14 @@ impl Default for ClusterSpec {
             master_policy: MasterPolicy::HashedPerRecord,
             net: NetKind::Ec2Five,
             jitter: 0.08,
+            drop_prob: 0.0,
             service_time: SimDuration::from_micros(50),
             warmup: SimDuration::from_secs(10),
             duration: SimDuration::from_secs(60),
+            drain: SimDuration::ZERO,
             fail_dcs: Vec::new(),
+            faults: FaultPlan::new(),
+            durability: false,
             protocol: ProtocolConfig::default(),
         }
     }
@@ -106,7 +125,8 @@ impl Default for ClusterSpec {
 
 /// Builds workloads for each client: `(client index, client dc,
 /// placement)`.
-pub type WorkloadFactory<'a> = dyn FnMut(usize, DcId, &Arc<StaticPlacement>) -> Box<dyn Workload> + 'a;
+pub type WorkloadFactory<'a> =
+    dyn FnMut(usize, DcId, &Arc<StaticPlacement>) -> Box<dyn Workload> + 'a;
 
 fn network(spec: &ClusterSpec) -> NetworkModel {
     let model = match spec.net {
@@ -116,7 +136,9 @@ fn network(spec: &ClusterSpec) -> NetworkModel {
         }
         NetKind::Uniform { rtt_ms } => NetworkModel::uniform(spec.dcs as usize, rtt_ms, 1.0),
     };
-    model.with_jitter(spec.jitter)
+    model
+        .with_jitter(spec.jitter)
+        .with_drop_prob(spec.drop_prob)
 }
 
 fn client_dc(spec: &ClusterSpec, i: usize) -> DcId {
@@ -138,19 +160,60 @@ fn storage_matrix(spec: &ClusterSpec) -> Vec<Vec<NodeId>> {
         .collect()
 }
 
+/// Resolves a fault-plan `(dc, shard)` to its node id, with a clear
+/// error for out-of-range plan entries.
+fn storage_target(matrix: &[Vec<NodeId>], dc: DcId, shard: usize) -> NodeId {
+    let dc_nodes = matrix.get(dc.0 as usize).unwrap_or_else(|| {
+        panic!(
+            "fault plan names dc{} but the spec has {} DCs",
+            dc.0,
+            matrix.len()
+        )
+    });
+    *dc_nodes.get(shard).unwrap_or_else(|| {
+        panic!(
+            "fault plan names shard {shard} in dc{} but the spec has {} shards per DC",
+            dc.0,
+            dc_nodes.len()
+        )
+    })
+}
+
 /// Runs the world through the failure schedule and the full experiment
 /// span (warm-up + window, plus slack for in-flight transactions).
+/// Baseline protocols support only DC-level faults; node/client crash
+/// schedules are an MDCC capability (see [`run_mdcc`]).
+/// The merged, time-sorted fault timeline: the scripted plan plus the
+/// legacy `fail_dcs` outages.
+fn fault_timeline(spec: &ClusterSpec) -> Vec<FaultEvent> {
+    let mut timeline: Vec<FaultEvent> = spec.faults.sorted();
+    for (offset, dc) in &spec.fail_dcs {
+        timeline.push(FaultEvent::FailDc {
+            at: *offset,
+            dc: *dc,
+        });
+    }
+    timeline.sort_by_key(|e| e.at());
+    timeline
+}
+
 fn drive<M: 'static>(world: &mut World<M>, spec: &ClusterSpec) {
-    let mut failures: Vec<(SimTime, DcId)> = spec
-        .fail_dcs
-        .iter()
-        .map(|(offset, dc)| (SimTime::ZERO + *offset, *dc))
-        .collect();
-    failures.sort_by_key(|(t, _)| *t);
+    assert!(
+        spec.faults
+            .events
+            .iter()
+            .all(|e| matches!(e, FaultEvent::FailDc { .. } | FaultEvent::HealDc { .. })),
+        "storage/client crash schedules require run_mdcc"
+    );
+    let timeline = fault_timeline(spec);
     let end = SimTime::ZERO + spec.warmup + spec.duration;
-    for (t, dc) in failures {
-        world.run_until(t.min(end));
-        world.fail_dc(dc);
+    for event in timeline {
+        world.run_until((SimTime::ZERO + event.at()).min(end));
+        match event {
+            FaultEvent::FailDc { dc, .. } => world.fail_dc(dc),
+            FaultEvent::HealDc { dc, .. } => world.heal_dc(dc),
+            _ => unreachable!("checked above"),
+        }
     }
     world.run_until(end);
 }
@@ -160,6 +223,13 @@ fn drive<M: 'static>(world: &mut World<M>, spec: &ClusterSpec) {
 // ---------------------------------------------------------------------
 
 /// Runs an MDCC experiment; returns the report and the summed TM stats.
+///
+/// MDCC runs understand the full [`FaultPlan`]: storage nodes crash
+/// (volatile state destroyed, simulated disk preserved), restart (store
+/// rebuilt from checkpoint + WAL replay via `mdcc-recovery`, after which
+/// the node re-learns in-flight options and drives dangling-transaction
+/// resolution), and clients die with their TMs. Set
+/// [`ClusterSpec::durability`] for any plan that restarts nodes.
 pub fn run_mdcc(
     spec: &ClusterSpec,
     catalog: Arc<Catalog>,
@@ -178,16 +248,19 @@ pub fn run_mdcc(
     let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
     let allow_fast = !matches!(mode, MdccMode::Multi);
     for dc in 0..spec.dcs {
-        for shard in 0..spec.shards_per_dc {
+        for &expected in &matrix[dc as usize] {
             let store = RecordStore::new(spec.protocol.clone(), Arc::clone(&catalog));
-            let node = StorageNodeProcess::new(
+            let mut node = StorageNodeProcess::new(
                 spec.protocol.clone(),
                 store,
                 placement.clone() as Arc<dyn Placement>,
                 allow_fast,
             );
+            if spec.durability {
+                node.enable_durability();
+            }
             let id = world.spawn(DcId(dc), Box::new(node));
-            assert_eq!(id, matrix[dc as usize][shard]);
+            assert_eq!(id, expected);
         }
     }
     for (key, row) in data {
@@ -200,6 +273,24 @@ pub fn run_mdcc(
                 .load(key.clone(), row.clone());
         }
     }
+    if spec.durability {
+        // Make the initial data distribution durable: each node starts
+        // from a checkpoint so a crash before its first periodic
+        // checkpoint still recovers the loaded records.
+        for dc_nodes in &matrix {
+            for &n in dc_nodes {
+                let state = world
+                    .get::<StorageNodeProcess>(n)
+                    .expect("storage node")
+                    .store()
+                    .export_state();
+                let snapshot = mdcc_recovery::to_bytes(&state);
+                world.disk_mut(n).install_snapshot(snapshot);
+            }
+        }
+    }
+    let end = SimTime::ZERO + spec.warmup + spec.duration;
+    let stop_issuing_at = (spec.drain > SimDuration::ZERO).then_some(end);
     let mut client_ids = Vec::with_capacity(spec.clients);
     for i in 0..spec.clients {
         let dc = client_dc(spec, i);
@@ -212,14 +303,75 @@ pub fn run_mdcc(
             placement.clone() as Arc<dyn Placement>,
         );
         let workload = workload_factory(i, dc, &placement);
-        client_ids.push(world.spawn(dc, Box::new(MdccClient::new(tm, workload))));
+        let mut client = MdccClient::new(tm, workload);
+        if let Some(stop) = stop_issuing_at {
+            client.stop_issuing_at(stop);
+        }
+        client_ids.push(world.spawn(dc, Box::new(client)));
     }
-    drive(&mut world, spec);
+
+    // Drive through the merged fault timeline: legacy DC outages plus
+    // the scripted crash/restart plan.
+    let timeline = fault_timeline(spec);
+    let mut recoveries: Vec<NodeRecovery> = Vec::new();
+    let mut crash_times: std::collections::HashMap<NodeId, SimTime> =
+        std::collections::HashMap::new();
+    let run_end = end + spec.drain;
+    for event in timeline {
+        let at = (SimTime::ZERO + event.at()).min(run_end);
+        world.run_until(at);
+        match event {
+            FaultEvent::CrashStorage { dc, shard, .. } => {
+                let node = storage_target(&matrix, dc, shard);
+                world.crash_node(node);
+                crash_times.insert(node, world.now());
+            }
+            FaultEvent::RestartStorage { dc, shard, .. } => {
+                assert!(spec.durability, "restarting nodes requires durability");
+                let node = storage_target(&matrix, dc, shard);
+                let (store, info) = mdcc_recovery::recover_store(
+                    spec.protocol.clone(),
+                    Arc::clone(&catalog),
+                    world.disk(node),
+                )
+                .expect("disk state parses: the simulated disk is never torn");
+                let proc_ = StorageNodeProcess::from_recovery(
+                    spec.protocol.clone(),
+                    store,
+                    placement.clone() as Arc<dyn Placement>,
+                    allow_fast,
+                    info,
+                );
+                world.restart_node(node, Box::new(proc_));
+                recoveries.push(NodeRecovery {
+                    node,
+                    dc,
+                    shard,
+                    crashed_at: crash_times.get(&node).copied().unwrap_or(SimTime::ZERO),
+                    restarted_at: world.now(),
+                    info,
+                });
+            }
+            FaultEvent::CrashClient { client, .. } => {
+                assert!(
+                    client < client_ids.len(),
+                    "fault plan crashes client {client} but the spec has {} clients",
+                    client_ids.len()
+                );
+                world.crash_node(client_ids[client]);
+            }
+            FaultEvent::FailDc { dc, .. } => world.fail_dc(dc),
+            FaultEvent::HealDc { dc, .. } => world.heal_dc(dc),
+        }
+    }
+    world.run_until(run_end);
+
+    let crashed_clients = spec.faults.crashed_clients();
     let mut records: Vec<TxnRecord> = Vec::new();
     let mut stats = TxnStats::default();
     let mut in_flight = 0usize;
-    for id in client_ids {
-        let client = world.get::<MdccClient>(id).expect("client");
+    for (i, id) in client_ids.iter().enumerate() {
+        let client = world.get::<MdccClient>(*id).expect("client");
         records.extend(client.records.iter().copied());
         let s = client.tm_stats();
         stats.committed += s.committed;
@@ -228,31 +380,105 @@ pub fn run_mdcc(
         stats.collisions += s.collisions;
         stats.timeouts += s.timeouts;
         stats.classic_redirects += s.classic_redirects;
-        in_flight += client.in_flight();
+        if !crashed_clients.contains(&i) {
+            in_flight += client.in_flight();
+        }
     }
-    if std::env::var_os("MDCC_DEBUG").is_some() {
-        let mut node_stats = mdcc_core::node::NodeStats::default();
-        let mut pending = 0usize;
-        for dc_nodes in &matrix {
-            for &n in dc_nodes {
-                let node = world.get::<StorageNodeProcess>(n).expect("node");
-                let s = node.stats();
-                node_stats.fast_votes += s.fast_votes;
-                node_stats.classic_votes += s.classic_votes;
-                node_stats.not_fast_bounces += s.not_fast_bounces;
-                node_stats.instance_full += s.instance_full;
-                node_stats.recoveries_led += s.recoveries_led;
-                node_stats.dangling_resolved += s.dangling_resolved;
-                pending += node.store().pending_len();
+
+    // End-of-run consistency audit across every storage node.
+    let mut audit = ClusterAudit::default();
+    let mut node_stats = mdcc_core::node::NodeStats::default();
+    let mut minima: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    for dc_nodes in &matrix {
+        for &n in dc_nodes {
+            let node = world.get::<StorageNodeProcess>(n).expect("node");
+            let s = node.stats();
+            node_stats.fast_votes += s.fast_votes;
+            node_stats.classic_votes += s.classic_votes;
+            node_stats.not_fast_bounces += s.not_fast_bounces;
+            node_stats.instance_full += s.instance_full;
+            node_stats.recoveries_led += s.recoveries_led;
+            node_stats.dangling_resolved += s.dangling_resolved;
+            audit.dangling_resolved += s.dangling_resolved;
+            audit.sync_adoptions += s.sync_adoptions;
+            audit.checkpoints += s.checkpoints;
+            audit.pending_options += node.store().pending_len();
+            let committed = node.store().committed_state();
+            audit
+                .committed_digests
+                .push(mdcc_recovery::committed_state_digest(&committed));
+            for (_, _, value) in committed {
+                let Some(row) = value else { continue };
+                for (attr, v) in row.iter() {
+                    if let Some(i) = v.as_int() {
+                        minima
+                            .entry(attr.to_owned())
+                            .and_modify(|m| *m = (*m).min(i))
+                            .or_insert(i);
+                    }
+                }
+            }
+            audit.wal_bytes_written += world.disk(n).stats().wal_bytes_written;
+        }
+    }
+    audit.stuck_clients = in_flight;
+    audit.attr_minima = minima.into_iter().collect();
+    if std::env::var_os("MDCC_DIVERGE_DEBUG").is_some() {
+        eprintln!(
+            "[diverge] audit: adoptions={} checkpoints={} dangling={} pending={} rounds={:?}",
+            audit.sync_adoptions,
+            audit.checkpoints,
+            audit.dangling_resolved,
+            audit.pending_options,
+            matrix
+                .iter()
+                .flatten()
+                .map(|&n| world
+                    .get::<StorageNodeProcess>(n)
+                    .unwrap()
+                    .stats()
+                    .sync_rounds)
+                .collect::<Vec<_>>()
+        );
+        // Dump per-key differences between replica 0 of each shard and
+        // the others — the microscope for recovery-audit failures.
+        for shard in 0..spec.shards_per_dc {
+            let reference = matrix[0][shard];
+            let ref_state = world
+                .get::<StorageNodeProcess>(reference)
+                .expect("node")
+                .store()
+                .committed_state();
+            for dc_nodes in &matrix[1..] {
+                let n = dc_nodes[shard];
+                let state = world
+                    .get::<StorageNodeProcess>(n)
+                    .expect("node")
+                    .store()
+                    .committed_state();
+                for (a, b) in ref_state.iter().zip(state.iter()) {
+                    if a != b {
+                        eprintln!(
+                            "[diverge] shard {shard}: {reference} has {:?} v{} ; {n} has {:?} v{} (key {})",
+                            a.2, a.1 .0, b.2, b.1 .0, a.0
+                        );
+                    }
+                }
             }
         }
+    }
+    if std::env::var_os("MDCC_DEBUG").is_some() {
         eprintln!(
-            "[mdcc-debug] nodes: {node_stats:?}, pending_options={pending}, \
+            "[mdcc-debug] nodes: {node_stats:?}, pending_options={}, \
              stuck_client_txns={in_flight}, world={:?}",
+            audit.pending_options,
             world.stats()
         );
     }
-    (Report::new(records, spec.warmup, spec.duration), stats)
+    let mut report = Report::new(records, spec.warmup, spec.duration);
+    report.recoveries = recoveries;
+    report.audit = Some(audit);
+    (report, stats)
 }
 
 // ---------------------------------------------------------------------
@@ -277,10 +503,10 @@ pub fn run_qw(
     let matrix = storage_matrix(spec);
     let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
     for dc in 0..spec.dcs {
-        for shard in 0..spec.shards_per_dc {
+        for &expected in &matrix[dc as usize] {
             let store = BaselineStore::new(Arc::clone(&catalog));
             let id = world.spawn(DcId(dc), Box::new(QwStorage::new(store)));
-            assert_eq!(id, matrix[dc as usize][shard]);
+            assert_eq!(id, expected);
         }
     }
     for (key, row) in data {
@@ -298,13 +524,25 @@ pub fn run_qw(
         let dc = client_dc(spec, i);
         let writer = QwWriter::new(placement.clone() as Arc<dyn Placement>, k);
         let workload = workload_factory(i, dc, &placement);
-        let client = QwClient::new(writer, placement.clone() as Arc<dyn Placement>, dc, workload);
+        let client = QwClient::new(
+            writer,
+            placement.clone() as Arc<dyn Placement>,
+            dc,
+            workload,
+        );
         client_ids.push(world.spawn(dc, Box::new(client)));
     }
     drive(&mut world, spec);
     let mut records = Vec::new();
     for id in client_ids {
-        records.extend(world.get::<QwClient>(id).expect("client").records.iter().copied());
+        records.extend(
+            world
+                .get::<QwClient>(id)
+                .expect("client")
+                .records
+                .iter()
+                .copied(),
+        );
     }
     Report::new(records, spec.warmup, spec.duration)
 }
@@ -330,10 +568,10 @@ pub fn run_tpc(
     let matrix = storage_matrix(spec);
     let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
     for dc in 0..spec.dcs {
-        for shard in 0..spec.shards_per_dc {
+        for &expected in &matrix[dc as usize] {
             let store = BaselineStore::new(Arc::clone(&catalog));
             let id = world.spawn(DcId(dc), Box::new(TpcStorage::new(store)));
-            assert_eq!(id, matrix[dc as usize][shard]);
+            assert_eq!(id, expected);
         }
     }
     for (key, row) in data {
@@ -357,7 +595,14 @@ pub fn run_tpc(
     drive(&mut world, spec);
     let mut records = Vec::new();
     for id in client_ids {
-        records.extend(world.get::<TpcClient>(id).expect("client").records.iter().copied());
+        records.extend(
+            world
+                .get::<TpcClient>(id)
+                .expect("client")
+                .records
+                .iter()
+                .copied(),
+        );
     }
     Report::new(records, spec.warmup, spec.duration)
 }

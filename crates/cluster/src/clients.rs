@@ -19,6 +19,10 @@ use mdcc_workloads::{Transaction, TxnAction, Workload};
 
 use crate::metrics::TxnRecord;
 
+/// In-progress read batch: `(request id, responses needed, collected
+/// values)`.
+type ReadWait = Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>;
+
 // ---------------------------------------------------------------------
 // MDCC client.
 // ---------------------------------------------------------------------
@@ -30,6 +34,9 @@ pub struct MdccClient {
     current: Option<Box<dyn Transaction>>,
     started: SimTime,
     pending_read: Option<u64>,
+    /// Stop issuing new transactions at this time (drain phase: lets the
+    /// cluster quiesce so recovery audits compare converged replicas).
+    stop_at: Option<SimTime>,
     /// Finished transactions (harvested by the harness).
     pub records: Vec<TxnRecord>,
 }
@@ -43,8 +50,15 @@ impl MdccClient {
             current: None,
             started: SimTime::ZERO,
             pending_read: None,
+            stop_at: None,
             records: Vec::new(),
         }
+    }
+
+    /// The closed loop stops issuing new transactions at `stop`
+    /// (in-flight ones still run to completion).
+    pub fn stop_issuing_at(&mut self, stop: SimTime) {
+        self.stop_at = Some(stop);
     }
 
     /// Aggregated TM counters.
@@ -59,6 +73,9 @@ impl MdccClient {
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.stop_at.is_some_and(|stop| ctx.now >= stop) {
+            return;
+        }
         let txn = self.workload.next_txn(ctx.rng);
         self.started = ctx.now;
         let reads = txn.read_set();
@@ -149,7 +166,7 @@ pub struct QwClient {
     current: Option<Box<dyn Transaction>>,
     started: SimTime,
     next_read: u64,
-    read_wait: Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>,
+    read_wait: ReadWait,
     write_wait: Option<u64>,
     /// Finished transactions.
     pub records: Vec<TxnRecord>,
@@ -190,7 +207,13 @@ impl QwClient {
         self.next_read += 1;
         for key in &reads {
             let node = self.placement.replica_in(key, self.my_dc);
-            ctx.send(node, QwMsg::ReadReq { req, key: key.clone() });
+            ctx.send(
+                node,
+                QwMsg::ReadReq {
+                    req,
+                    key: key.clone(),
+                },
+            );
         }
         self.read_wait = Some((req, reads.len(), Vec::new()));
     }
@@ -282,7 +305,7 @@ pub struct TpcClient {
     current: Option<Box<dyn Transaction>>,
     started: SimTime,
     next_read: u64,
-    read_wait: Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>,
+    read_wait: ReadWait,
     /// Finished transactions.
     pub records: Vec<TxnRecord>,
 }
@@ -321,7 +344,13 @@ impl TpcClient {
         self.next_read += 1;
         for key in &reads {
             let node = self.placement.replica_in(key, self.my_dc);
-            ctx.send(node, TpcMsg::ReadReq { req, key: key.clone() });
+            ctx.send(
+                node,
+                TpcMsg::ReadReq {
+                    req,
+                    key: key.clone(),
+                },
+            );
         }
         self.read_wait = Some((req, reads.len(), Vec::new()));
     }
@@ -403,7 +432,7 @@ pub struct MegastoreClient {
     current: Option<Box<dyn Transaction>>,
     started: SimTime,
     next_read: u64,
-    read_wait: Option<(u64, usize, Vec<(Key, Version, Option<Row>)>)>,
+    read_wait: ReadWait,
     pending_txn: Option<TxnId>,
     /// Finished transactions.
     pub records: Vec<TxnRecord>,
@@ -444,12 +473,22 @@ impl MegastoreClient {
         self.next_read += 1;
         let node = self.replicas_by_dc[self.my_dc.0 as usize];
         for key in &reads {
-            ctx.send(node, MegaMsg::ReadReq { req, key: key.clone() });
+            ctx.send(
+                node,
+                MegaMsg::ReadReq {
+                    req,
+                    key: key.clone(),
+                },
+            );
         }
         self.read_wait = Some((req, reads.len(), Vec::new()));
     }
 
-    fn after_reads(&mut self, values: Vec<(Key, Version, Option<Row>)>, ctx: &mut Ctx<'_, MegaMsg>) {
+    fn after_reads(
+        &mut self,
+        values: Vec<(Key, Version, Option<Row>)>,
+        ctx: &mut Ctx<'_, MegaMsg>,
+    ) {
         let Some(txn) = self.current.as_mut() else {
             return;
         };
@@ -519,7 +558,9 @@ impl Process<MegaMsg> for MegastoreClient {
 }
 
 /// Helper: read results keyed for lookups in tests.
-pub fn reads_as_map(values: &[(Key, Version, Option<Row>)]) -> HashMap<Key, (Version, Option<Row>)> {
+pub fn reads_as_map(
+    values: &[(Key, Version, Option<Row>)],
+) -> HashMap<Key, (Version, Option<Row>)> {
     values
         .iter()
         .map(|(k, v, r)| (k.clone(), (*v, r.clone())))

@@ -1,0 +1,201 @@
+//! Fault schedules: scripted crash/restart/outage events for one run.
+//!
+//! A [`FaultPlan`] upgrades the chaos story from "lossy links" to "nodes
+//! die and come back": storage nodes crash (volatile state destroyed,
+//! disk preserved), restart (store rebuilt from checkpoint + WAL
+//! replay), clients die taking their transaction managers with them, and
+//! whole data centers brown out — all at scripted simulation times, so
+//! every run is reproducible.
+
+use mdcc_common::{DcId, SimDuration};
+
+/// One scripted fault. Times are offsets from simulation start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash the storage node of `shard` in `dc`: volatile state is
+    /// destroyed, inbound messages drop, timers die; the disk survives.
+    CrashStorage {
+        /// When the crash happens.
+        at: SimDuration,
+        /// Data center of the victim.
+        dc: DcId,
+        /// Shard index of the victim within the data center.
+        shard: usize,
+    },
+    /// Restart a previously crashed storage node: its store is rebuilt
+    /// from its disk (checkpoint + WAL replay) and the fresh process
+    /// drives dangling-transaction resolution and peer sync.
+    RestartStorage {
+        /// When the restart happens.
+        at: SimDuration,
+        /// Data center of the node.
+        dc: DcId,
+        /// Shard index within the data center.
+        shard: usize,
+    },
+    /// Crash a client (app server) permanently: its transaction manager
+    /// dies with whatever transactions were in flight — the scenario
+    /// §3.2.3's dangling-transaction recovery exists for.
+    CrashClient {
+        /// When the crash happens.
+        at: SimDuration,
+        /// Index of the client in spawn order.
+        client: usize,
+    },
+    /// Data-center outage (§5.3.4): nodes in `dc` stop receiving.
+    FailDc {
+        /// When the outage starts.
+        at: SimDuration,
+        /// The failed data center.
+        dc: DcId,
+    },
+    /// End of a data-center outage.
+    HealDc {
+        /// When the outage ends.
+        at: SimDuration,
+        /// The healed data center.
+        dc: DcId,
+    },
+}
+
+impl FaultEvent {
+    /// The event's scheduled offset.
+    pub fn at(&self) -> SimDuration {
+        match self {
+            FaultEvent::CrashStorage { at, .. }
+            | FaultEvent::RestartStorage { at, .. }
+            | FaultEvent::CrashClient { at, .. }
+            | FaultEvent::FailDc { at, .. }
+            | FaultEvent::HealDc { at, .. } => *at,
+        }
+    }
+}
+
+/// A scripted fault schedule for one experiment run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scripted events (sorted by time before execution).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style event addition.
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Convenience: crash `(dc, shard)` at `at` and restart it
+    /// `down_for` later.
+    pub fn crash_restart(
+        self,
+        dc: DcId,
+        shard: usize,
+        at: SimDuration,
+        down_for: SimDuration,
+    ) -> Self {
+        self.with(FaultEvent::CrashStorage { at, dc, shard })
+            .with(FaultEvent::RestartStorage {
+                at: at + down_for,
+                dc,
+                shard,
+            })
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events sorted by time (stable: simultaneous events keep
+    /// insertion order).
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at());
+        events
+    }
+
+    /// Every `(dc, shard)` that is crash-restarted by this plan.
+    pub fn restarted_storage(&self) -> Vec<(DcId, usize)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::RestartStorage { dc, shard, .. } => Some((*dc, *shard)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every client index crashed by this plan.
+    pub fn crashed_clients(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CrashClient { client, .. } => Some(*client),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl std::ops::Add<SimDuration> for FaultPlan {
+    type Output = FaultPlan;
+    /// Shifts every event later by `offset`.
+    fn add(mut self, offset: SimDuration) -> FaultPlan {
+        for event in &mut self.events {
+            match event {
+                FaultEvent::CrashStorage { at, .. }
+                | FaultEvent::RestartStorage { at, .. }
+                | FaultEvent::CrashClient { at, .. }
+                | FaultEvent::FailDc { at, .. }
+                | FaultEvent::HealDc { at, .. } => *at += offset,
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_and_summarizes() {
+        let plan = FaultPlan::new()
+            .crash_restart(
+                DcId(2),
+                0,
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(5),
+            )
+            .with(FaultEvent::CrashClient {
+                at: SimDuration::from_secs(3),
+                client: 4,
+            });
+        assert_eq!(plan.events.len(), 3);
+        let sorted = plan.sorted();
+        assert_eq!(sorted[0].at(), SimDuration::from_secs(3));
+        assert_eq!(sorted[2].at(), SimDuration::from_secs(15));
+        assert_eq!(plan.restarted_storage(), vec![(DcId(2), 0)]);
+        assert_eq!(plan.crashed_clients(), vec![4]);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn time_shift_moves_every_event() {
+        let plan = FaultPlan::new().crash_restart(
+            DcId(1),
+            0,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+        ) + SimDuration::from_secs(10);
+        assert_eq!(plan.sorted()[0].at(), SimDuration::from_secs(11));
+        assert_eq!(plan.sorted()[1].at(), SimDuration::from_secs(12));
+    }
+}

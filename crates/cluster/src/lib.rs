@@ -11,9 +11,11 @@
 
 pub mod build;
 pub mod clients;
+pub mod faults;
 pub mod metrics;
 
 pub use build::{
-    run_megastore, run_mdcc, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
+    run_mdcc, run_megastore, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
 };
-pub use metrics::{BoxStats, Report, TxnRecord};
+pub use faults::{FaultEvent, FaultPlan};
+pub use metrics::{BoxStats, ClusterAudit, NodeRecovery, Report, TxnRecord};

@@ -1,6 +1,69 @@
-//! Transaction records and the statistics the paper's figures plot.
+//! Transaction records and the statistics the paper's figures plot,
+//! plus the durability/recovery telemetry of fault-schedule runs.
 
-use mdcc_common::{SimDuration, SimTime};
+use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
+use mdcc_recovery::RecoveryInfo;
+
+/// One storage-node restart as observed by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecovery {
+    /// The restarted node.
+    pub node: NodeId,
+    /// Its data center.
+    pub dc: DcId,
+    /// Its shard index within the data center.
+    pub shard: usize,
+    /// When the node crashed.
+    pub crashed_at: SimTime,
+    /// When it restarted (recovery replay happens at this instant).
+    pub restarted_at: SimTime,
+    /// What the replay cost (checkpoint records, WAL records, bytes,
+    /// restored pending transactions).
+    pub info: RecoveryInfo,
+}
+
+impl NodeRecovery {
+    /// How long the node was down.
+    pub fn downtime(&self) -> SimDuration {
+        self.restarted_at - self.crashed_at
+    }
+}
+
+/// End-of-run consistency audit of an MDCC cluster, harvested from every
+/// storage node after the experiment (and its drain period) finished.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterAudit {
+    /// FNV digest of each storage node's committed state `(key, version,
+    /// value)`, indexed by dense node id (dc-major). Replicas of the same
+    /// shard that have converged hold equal digests.
+    pub committed_digests: Vec<u64>,
+    /// Options still pending (accepted, unresolved) across all nodes.
+    pub pending_options: usize,
+    /// Live clients with unfinished commit attempts.
+    pub stuck_clients: usize,
+    /// Minimum committed value per integer attribute across every record
+    /// and replica, sorted by attribute name — the `stock ≥ 0` check
+    /// reads its attribute here.
+    pub attr_minima: Vec<(String, i64)>,
+    /// Dangling transactions resolved by storage nodes (peer recovery).
+    pub dangling_resolved: u64,
+    /// Records whose state changed through post-restart peer sync.
+    pub sync_adoptions: u64,
+    /// Durable checkpoints written across all nodes.
+    pub checkpoints: u64,
+    /// WAL bytes written across all nodes (pre-compaction total).
+    pub wal_bytes_written: u64,
+}
+
+impl ClusterAudit {
+    /// The audited minimum of one integer attribute, if any record has it.
+    pub fn min_of(&self, attr: &str) -> Option<i64> {
+        self.attr_minima
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, v)| *v)
+    }
+}
 
 /// One finished transaction as seen by a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +112,11 @@ pub struct Report {
     pub window_start: SimTime,
     /// Measurement window end.
     pub window_end: SimTime,
+    /// Storage-node restarts performed by the fault schedule (MDCC runs
+    /// only; empty otherwise).
+    pub recoveries: Vec<NodeRecovery>,
+    /// End-of-run consistency audit (MDCC runs only).
+    pub audit: Option<ClusterAudit>,
 }
 
 impl Report {
@@ -63,7 +131,18 @@ impl Report {
             records,
             window_start,
             window_end,
+            recoveries: Vec::new(),
+            audit: None,
         }
+    }
+
+    /// Commits whose outcome was learned inside `[from, to)` — used to
+    /// check the cluster kept committing *while* nodes were down.
+    pub fn commits_between(&self, from: SimTime, to: SimTime) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.committed && r.is_write && r.finished >= from && r.finished < to)
+            .count()
     }
 
     /// Latencies (ms) of committed write transactions — the quantity the
@@ -81,13 +160,19 @@ impl Report {
 
     /// Committed write transactions.
     pub fn write_commits(&self) -> usize {
-        self.records.iter().filter(|r| r.is_write && r.committed).count()
+        self.records
+            .iter()
+            .filter(|r| r.is_write && r.committed)
+            .count()
     }
 
     /// Aborted write transactions (protocol aborts and client-side
     /// aborts).
     pub fn write_aborts(&self) -> usize {
-        self.records.iter().filter(|r| r.is_write && !r.committed).count()
+        self.records
+            .iter()
+            .filter(|r| r.is_write && !r.committed)
+            .count()
     }
 
     /// Committed transactions of any kind per second of window time.
@@ -263,7 +348,9 @@ mod tests {
     #[test]
     fn throughput_counts_commits_over_window() {
         let r = Report::new(
-            (0..50).map(|i| rec(i * 100, 10, true, i % 2 == 0)).collect(),
+            (0..50)
+                .map(|i| rec(i * 100, 10, true, i % 2 == 0))
+                .collect(),
             SimDuration::ZERO,
             SimDuration::from_secs(10),
         );

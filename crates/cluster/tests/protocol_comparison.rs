@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use mdcc_cluster::{
-    run_megastore, run_mdcc, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
+    run_mdcc, run_megastore, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
     Report,
 };
 use mdcc_common::{DcId, SimDuration};
@@ -50,7 +50,11 @@ fn run_variant(mode: MdccMode, commutative: bool, seed: u64) -> (Report, mdcc_co
 #[test]
 fn mdcc_commits_write_txns_with_one_round_trip_latency() {
     let (report, stats) = run_variant(MdccMode::Full, true, 11);
-    assert!(report.write_commits() > 100, "got {}", report.write_commits());
+    assert!(
+        report.write_commits() > 100,
+        "got {}",
+        report.write_commits()
+    );
     let median = report.median_write_ms().expect("commits exist");
     // From the median client, a fast quorum is the 4th-closest DC:
     // 120–190 ms RTT plus local reads. The paper's micro median is 245 ms.

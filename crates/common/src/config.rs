@@ -31,6 +31,13 @@ pub struct ProtocolConfig {
     /// instance before the master closes it with a classic round and
     /// re-bases demarcation limits.
     pub max_instance_options: usize,
+    /// How often a durable storage node checkpoints its store to disk
+    /// and compacts its WAL.
+    pub checkpoint_interval: SimDuration,
+    /// How often a restarted storage node runs an anti-entropy sync
+    /// round against a peer replica (catch-up for state it missed while
+    /// down).
+    pub recovery_sync_interval: SimDuration,
 }
 
 impl Default for ProtocolConfig {
@@ -43,6 +50,8 @@ impl Default for ProtocolConfig {
             learn_timeout: SimDuration::from_millis(600),
             dangling_timeout: SimDuration::from_millis(5_000),
             max_instance_options: 32,
+            checkpoint_interval: SimDuration::from_millis(10_000),
+            recovery_sync_interval: SimDuration::from_millis(2_500),
         }
     }
 }
@@ -167,20 +176,28 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = ProtocolConfig::default();
-        c.classic_quorum = 2;
+        let c = ProtocolConfig {
+            classic_quorum: 2,
+            ..ProtocolConfig::default()
+        };
         assert_eq!(c.validate(), Err(QuorumRuleViolation::ClassicClassic));
 
-        let mut c = ProtocolConfig::default();
-        c.fast_quorum = 3;
+        let c = ProtocolConfig {
+            fast_quorum: 3,
+            ..ProtocolConfig::default()
+        };
         assert_eq!(c.validate(), Err(QuorumRuleViolation::FastFastClassic));
 
-        let mut c = ProtocolConfig::default();
-        c.fast_quorum = 9;
+        let c = ProtocolConfig {
+            fast_quorum: 9,
+            ..ProtocolConfig::default()
+        };
         assert_eq!(c.validate(), Err(QuorumRuleViolation::Bounds));
 
-        let mut c = ProtocolConfig::default();
-        c.replication = 9;
+        let c = ProtocolConfig {
+            replication: 9,
+            ..ProtocolConfig::default()
+        };
         // Qc=3, Qf=4: Qc+Qf=7 ≤ 9.
         assert_eq!(c.validate(), Err(QuorumRuleViolation::ClassicClassic));
     }

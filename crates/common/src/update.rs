@@ -219,7 +219,9 @@ mod tests {
 
     #[test]
     fn commutative_net_delta() {
-        let up = CommutativeUpdate::delta("stock", -2).and("sold", 2).and("stock", -1);
+        let up = CommutativeUpdate::delta("stock", -2)
+            .and("sold", 2)
+            .and("stock", -1);
         assert_eq!(up.delta_for("stock"), -3);
         assert_eq!(up.delta_for("sold"), 2);
         assert_eq!(up.delta_for("missing"), 0);
@@ -237,7 +239,10 @@ mod tests {
         let ws = WriteSet::new(
             txn,
             vec![
-                RecordUpdate::new(key("a"), UpdateOp::Commutative(CommutativeUpdate::delta("x", 1))),
+                RecordUpdate::new(
+                    key("a"),
+                    UpdateOp::Commutative(CommutativeUpdate::delta("x", 1)),
+                ),
                 RecordUpdate::new(
                     key("b"),
                     UpdateOp::Physical(PhysicalUpdate::insert(Row::new())),

@@ -2,7 +2,7 @@
 
 use mdcc_common::{Key, Row, TxnId, Version};
 use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
-use mdcc_paxos::{Ballot, TxnOption, TxnOutcome};
+use mdcc_paxos::{Ballot, Resolution, TxnOption, TxnOutcome};
 
 /// Everything that travels between MDCC processes (and, via self-timers,
 /// within them).
@@ -169,12 +169,36 @@ pub enum Msg {
     },
 
     // ------------------------------------------------------------------
+    // Crash recovery: restart-time peer sync (storage ↔ storage).
+    // ------------------------------------------------------------------
+    /// A restarted storage node asks a peer replica for the committed
+    /// state of everything the peer holds (anti-entropy catch-up for
+    /// updates missed while the node was down, §3.2.3).
+    SyncReq,
+    /// One record of a peer's sync response: its committed snapshot plus
+    /// the already-resolved options of its current instance (each option
+    /// "includes all necessary information to reconstruct the state").
+    SyncKey {
+        /// Record concerned.
+        key: Key,
+        /// The peer's committed state for the record.
+        snapshot: RecordSnapshot,
+        /// Resolved options of the peer's current instance.
+        resolved: Vec<(TxnOption, Resolution)>,
+    },
+
+    // ------------------------------------------------------------------
     // Self-timers.
     // ------------------------------------------------------------------
     /// TM: the learn timeout of a transaction fired.
     LearnTimeout {
         /// Transaction still unresolved.
         txn: TxnId,
+    },
+    /// TM: a read batch is still incomplete; re-issue the missing reads.
+    ReadRetry {
+        /// Token of the stalled read batch.
+        token: u64,
     },
     /// Storage node: periodic dangling-transaction sweep.
     DanglingSweep,
@@ -183,6 +207,11 @@ pub enum Msg {
         /// Transaction being recovered.
         txn: TxnId,
     },
+    /// Storage node: periodic durable checkpoint (snapshot + WAL
+    /// compaction).
+    CheckpointTick,
+    /// Storage node: periodic anti-entropy round after a restart.
+    SyncSweep,
     /// Client processes: issue the next transaction (used by harness
     /// clients; carried here so every process shares one message type).
     ClientTick,

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use mdcc_common::{Key, NodeId, ProtocolConfig, SimDuration, TxnId};
 use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase2b};
 use mdcc_paxos::leader::{LeaderAction, LeaderConfig};
-use mdcc_paxos::{LearnOutcome, Learner, LeaderRecord, OptionStatus, TxnOutcome};
+use mdcc_paxos::{LeaderRecord, LearnOutcome, Learner, OptionStatus, TxnOutcome};
+use mdcc_recovery::{wal, write_checkpoint, RecoveryInfo, WalRecord};
 use mdcc_sim::{Ctx, Process};
 use mdcc_storage::RecordStore;
 
@@ -39,6 +40,12 @@ pub struct NodeStats {
     pub recoveries_led: u64,
     /// Dangling transactions this node resolved.
     pub dangling_resolved: u64,
+    /// Durable checkpoints written (snapshot + WAL compaction).
+    pub checkpoints: u64,
+    /// Anti-entropy sync rounds initiated after a restart.
+    pub sync_rounds: u64,
+    /// Records whose state changed through peer sync.
+    pub sync_adoptions: u64,
 }
 
 /// One in-flight dangling-transaction reconstruction.
@@ -71,8 +78,31 @@ pub struct StorageNodeProcess {
     allow_fast: bool,
     recoveries: HashMap<TxnId, RecoveryTask>,
     sweep_interval: SimDuration,
+    /// When `true` the node write-ahead-logs every state-changing input
+    /// to its simulated disk and checkpoints periodically.
+    durable: bool,
+    /// Set when this process was rebuilt from disk after a crash; such
+    /// nodes run periodic anti-entropy rounds against peer replicas.
+    recovered: Option<RecoveryInfo>,
+    /// Rotating index into the peer-replica list for sync rounds.
+    sync_cursor: usize,
+    /// Transactions already redirected back to the fast path once
+    /// (GoFast); a re-bounced proposal is accepted for classic leading
+    /// instead of ping-ponging. Entries clear on resolution.
+    redirected_fast: HashSet<TxnId>,
+    /// `stats.sync_adoptions` as of the previous sync sweep, plus the
+    /// number of consecutive sweeps that adopted nothing — sweeping
+    /// stops once a full peer rotation stays quiet (convergence).
+    last_sync_adoptions: u64,
+    sync_idle_rounds: u32,
     stats: NodeStats,
 }
+
+/// Bound on the fast-redirect memo: entries normally clear on
+/// resolution, but a transaction whose coordinator dies right after the
+/// redirect never resolves here; past the cap the memo resets (which at
+/// worst re-allows one redirect per stale transaction).
+const REDIRECTED_FAST_CAP: usize = 4096;
 
 impl StorageNodeProcess {
     /// Creates a storage node over `store`.
@@ -91,8 +121,42 @@ impl StorageNodeProcess {
             allow_fast,
             recoveries: HashMap::new(),
             sweep_interval,
+            durable: false,
+            recovered: None,
+            sync_cursor: 0,
+            redirected_fast: HashSet::new(),
+            last_sync_adoptions: 0,
+            sync_idle_rounds: 0,
             stats: NodeStats::default(),
         }
+    }
+
+    /// Creates a storage node whose store was rebuilt from its disk
+    /// (checkpoint + WAL replay). The node is durable, and `on_start`
+    /// additionally kicks off anti-entropy sync rounds so the node
+    /// catches up on whatever committed while it was down.
+    pub fn from_recovery(
+        cfg: ProtocolConfig,
+        store: RecordStore,
+        placement: Arc<dyn Placement>,
+        allow_fast: bool,
+        info: RecoveryInfo,
+    ) -> Self {
+        let mut node = Self::new(cfg, store, placement, allow_fast);
+        node.durable = true;
+        node.recovered = Some(info);
+        node
+    }
+
+    /// Turns on write-ahead logging + periodic checkpoints. Must be set
+    /// before the node is spawned (the WAL must cover every input).
+    pub fn enable_durability(&mut self) {
+        self.durable = true;
+    }
+
+    /// What the restart replay cost, if this node was rebuilt from disk.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.recovered
     }
 
     /// Read access to the underlying store (tests, metrics).
@@ -108,6 +172,42 @@ impl StorageNodeProcess {
     /// This node's counters.
     pub fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    /// Write-ahead-logs one command, if durability is on and the world
+    /// attached a disk.
+    fn wal_append(&mut self, record: &WalRecord, ctx: &mut Ctx<'_, Msg>) {
+        if !self.durable {
+            return;
+        }
+        if let Some(disk) = ctx.disk() {
+            wal::append(disk, record);
+        }
+    }
+
+    /// The peer replicas of this node's shard (every key this store
+    /// holds shares one replica group).
+    fn peer_replicas(&self, ctx: &Ctx<'_, Msg>) -> Vec<NodeId> {
+        let Some(key) = self.store.keys().into_iter().next() else {
+            return Vec::new();
+        };
+        self.placement
+            .replicas(&key)
+            .into_iter()
+            .filter(|r| *r != ctx.self_id)
+            .collect()
+    }
+
+    /// Sends one anti-entropy request to the next peer in rotation.
+    fn run_sync_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let peers = self.peer_replicas(ctx);
+        if peers.is_empty() {
+            return;
+        }
+        let target = peers[self.sync_cursor % peers.len()];
+        self.sync_cursor += 1;
+        self.stats.sync_rounds += 1;
+        ctx.send(target, Msg::SyncReq);
     }
 
     /// Leader state per record this node masters (debugging/tests):
@@ -135,10 +235,7 @@ impl StorageNodeProcess {
             .store
             .record(key)
             .map(|r| r.snapshot())
-            .unwrap_or(mdcc_paxos::RecordSnapshot {
-                version: mdcc_common::Version::ZERO,
-                value: None,
-            });
+            .unwrap_or_else(mdcc_paxos::RecordSnapshot::absent);
         let cfg = LeaderConfig {
             n: self.cfg.replication,
             qc: self.cfg.classic_quorum,
@@ -153,14 +250,25 @@ impl StorageNodeProcess {
             .or_insert_with(|| LeaderRecord::new(cfg, self_id, snapshot))
     }
 
-    fn run_leader_actions(&mut self, key: &Key, actions: Vec<LeaderAction>, ctx: &mut Ctx<'_, Msg>) {
+    fn run_leader_actions(
+        &mut self,
+        key: &Key,
+        actions: Vec<LeaderAction>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
         let replicas = self.placement.replicas(key);
         for action in actions {
             match action {
                 LeaderAction::Phase1a(ballot) => {
                     self.stats.recoveries_led += 1;
                     for &r in &replicas {
-                        ctx.send(r, Msg::P1a { key: key.clone(), ballot });
+                        ctx.send(
+                            r,
+                            Msg::P1a {
+                                key: key.clone(),
+                                ballot,
+                            },
+                        );
                     }
                 }
                 LeaderAction::Phase2a(payload) => {
@@ -232,12 +340,7 @@ impl StorageNodeProcess {
     // Dangling-transaction recovery.
     // ------------------------------------------------------------------
 
-    fn start_dangling_recovery(
-        &mut self,
-        txn: TxnId,
-        keys: Arc<[Key]>,
-        ctx: &mut Ctx<'_, Msg>,
-    ) {
+    fn start_dangling_recovery(&mut self, txn: TxnId, keys: Arc<[Key]>, ctx: &mut Ctx<'_, Msg>) {
         if self.recoveries.contains_key(&txn) {
             return;
         }
@@ -322,6 +425,16 @@ impl StorageNodeProcess {
 impl Process<Msg> for StorageNodeProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         ctx.set_timer(self.sweep_interval, Msg::DanglingSweep);
+        if self.durable {
+            ctx.set_timer(self.cfg.checkpoint_interval, Msg::CheckpointTick);
+        }
+        if self.recovered.is_some() {
+            // Catch up on state missed while down: one round now, then
+            // periodic rounds (the final ones, after traffic quiesces,
+            // guarantee convergence with never-crashed replicas).
+            self.run_sync_round(ctx);
+            ctx.set_timer(self.cfg.recovery_sync_interval, Msg::SyncSweep);
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
@@ -329,6 +442,13 @@ impl Process<Msg> for StorageNodeProcess {
             Msg::Propose(opt) => {
                 let key = opt.key.clone();
                 let txn = opt.txn;
+                self.wal_append(
+                    &WalRecord::FastPropose {
+                        at: ctx.now,
+                        opt: opt.clone(),
+                    },
+                    ctx,
+                );
                 match self.store.fast_propose(opt.clone(), ctx.now) {
                     FastPropose::Vote(vote) => {
                         self.stats.fast_votes += 1;
@@ -350,14 +470,32 @@ impl Process<Msg> for StorageNodeProcess {
             Msg::ProposeToMaster(opt) => {
                 let key = opt.key.clone();
                 // If the record is actually in fast mode and fast ballots
-                // are allowed, redirect the TM back to the fast path.
-                let leading = self.leaders.get(&key).map(|l| l.is_leading()).unwrap_or(false);
+                // are allowed, redirect the TM back to the fast path —
+                // but at most once per transaction. Under message loss
+                // the replicas' ballot modes can diverge (this record
+                // reopened fast, another replica never heard the reopen
+                // and still bounces NotFast), and honoring the redirect
+                // every time ping-pongs the proposal between fast and
+                // classic forever. The second arrival takes mastership:
+                // the classic round re-synchronizes every replica.
+                let leading = self
+                    .leaders
+                    .get(&key)
+                    .map(|l| l.is_leading())
+                    .unwrap_or(false);
                 let record_fast = self
                     .store
                     .record(&key)
                     .map(|r| r.promised().is_fast())
                     .unwrap_or(true);
-                if self.allow_fast && !leading && record_fast {
+                if self.redirected_fast.len() > REDIRECTED_FAST_CAP {
+                    self.redirected_fast.clear();
+                }
+                if self.allow_fast
+                    && !leading
+                    && record_fast
+                    && self.redirected_fast.insert(opt.txn)
+                {
                     ctx.send(from, Msg::GoFast { key, opt });
                     return;
                 }
@@ -369,6 +507,13 @@ impl Process<Msg> for StorageNodeProcess {
                 self.run_leader_actions(&key, actions, ctx);
             }
             Msg::P1a { key, ballot } => {
+                self.wal_append(
+                    &WalRecord::Phase1a {
+                        key: key.clone(),
+                        ballot,
+                    },
+                    ctx,
+                );
                 let payload = self.store.phase1a(&key, ballot);
                 ctx.send(from, Msg::P1b { key, payload });
             }
@@ -382,6 +527,14 @@ impl Process<Msg> for StorageNodeProcess {
                 }
             }
             Msg::P2a { key, payload } => {
+                self.wal_append(
+                    &WalRecord::ClassicAccept {
+                        at: ctx.now,
+                        key: key.clone(),
+                        payload: payload.clone(),
+                    },
+                    ctx,
+                );
                 let before = self.store.version_of(&key);
                 match self.store.classic_accept(&key, *payload, ctx.now) {
                     ClassicAccept::Vote(vote) => {
@@ -389,10 +542,22 @@ impl Process<Msg> for StorageNodeProcess {
                         self.fan_out_vote(&key, vote, from, ctx);
                     }
                     ClassicAccept::Nack { promised } => {
-                        ctx.send(from, Msg::P2aNack { key: key.clone(), promised });
+                        ctx.send(
+                            from,
+                            Msg::P2aNack {
+                                key: key.clone(),
+                                promised,
+                            },
+                        );
                     }
                     ClassicAccept::Stale { snapshot } => {
-                        ctx.send(from, Msg::P2aStale { key: key.clone(), snapshot });
+                        ctx.send(
+                            from,
+                            Msg::P2aStale {
+                                key: key.clone(),
+                                snapshot,
+                            },
+                        );
                     }
                 }
                 if self.store.version_of(&key) != before {
@@ -417,14 +582,71 @@ impl Process<Msg> for StorageNodeProcess {
                 outcome,
                 learned_accepted,
             } => {
+                self.wal_append(
+                    &WalRecord::Visibility {
+                        at: ctx.now,
+                        key: key.clone(),
+                        txn,
+                        outcome,
+                        learned_accepted,
+                    },
+                    ctx,
+                );
                 // A visibility also settles any recovery we were running.
                 if self.recoveries.contains_key(&txn) {
                     self.finish_recovery(txn, outcome, ctx);
                 }
+                self.redirected_fast.remove(&txn);
                 let advanced =
                     self.store
                         .apply_visibility(&key, txn, outcome, learned_accepted, ctx.now);
                 if advanced {
+                    self.notify_leader_advance(&key, ctx);
+                }
+            }
+            Msg::SyncReq => {
+                // A restarted peer wants to catch up: ship the committed
+                // snapshot plus the resolved options of the current
+                // instance for every record we hold.
+                for key in self.store.keys() {
+                    let Some(rec) = self.store.record(&key) else {
+                        continue;
+                    };
+                    ctx.send(
+                        from,
+                        Msg::SyncKey {
+                            key,
+                            snapshot: rec.snapshot(),
+                            resolved: rec.sync_payload(),
+                        },
+                    );
+                }
+            }
+            Msg::SyncKey {
+                key,
+                snapshot,
+                resolved,
+            } => {
+                if !self.store.sync_relevant(&key, &snapshot, &resolved) {
+                    return;
+                }
+                self.wal_append(
+                    &WalRecord::Sync {
+                        at: ctx.now,
+                        key: key.clone(),
+                        snapshot: snapshot.clone(),
+                        resolved: resolved.clone(),
+                    },
+                    ctx,
+                );
+                let before = self.store.version_of(&key);
+                if self
+                    .store
+                    .sync_from_peer(&key, &snapshot, &resolved, ctx.now)
+                {
+                    self.stats.sync_adoptions += 1;
+                }
+                if self.store.version_of(&key) != before {
                     self.notify_leader_advance(&key, ctx);
                 }
             }
@@ -511,7 +733,13 @@ impl Process<Msg> for StorageNodeProcess {
                 // if it acted as a recovery coordinator whose task is
                 // already finished — ignore.
             }
-            Msg::LearnTimeout { .. } | Msg::DanglingSweep | Msg::RecoveryRetry { .. } | Msg::ClientTick => {
+            Msg::LearnTimeout { .. }
+            | Msg::ReadRetry { .. }
+            | Msg::DanglingSweep
+            | Msg::RecoveryRetry { .. }
+            | Msg::CheckpointTick
+            | Msg::SyncSweep
+            | Msg::ClientTick => {
                 // Timer payloads arrive via on_timer, not as messages.
             }
         }
@@ -574,6 +802,29 @@ impl Process<Msg> for StorageNodeProcess {
                 if self.recoveries.contains_key(&txn) {
                     ctx.set_timer(self.cfg.learn_timeout, Msg::RecoveryRetry { txn });
                 }
+            }
+            Msg::CheckpointTick if self.durable => {
+                if let Some(disk) = ctx.disk() {
+                    write_checkpoint(disk, &self.store);
+                    self.stats.checkpoints += 1;
+                }
+                ctx.set_timer(self.cfg.checkpoint_interval, Msg::CheckpointTick);
+            }
+            Msg::SyncSweep => {
+                if self.stats.sync_adoptions == self.last_sync_adoptions {
+                    self.sync_idle_rounds += 1;
+                } else {
+                    self.last_sync_adoptions = self.stats.sync_adoptions;
+                    self.sync_idle_rounds = 0;
+                }
+                // Stop only after strictly more quiet rounds than there
+                // are peers: a full rotation — including at least one
+                // live, never-crashed replica — found nothing to repair.
+                if self.sync_idle_rounds > self.cfg.replication as u32 {
+                    return;
+                }
+                self.run_sync_round(ctx);
+                ctx.set_timer(self.cfg.recovery_sync_interval, Msg::SyncSweep);
             }
             _ => {}
         }

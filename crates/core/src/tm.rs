@@ -18,7 +18,9 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use mdcc_common::error::AbortReason;
-use mdcc_common::{DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimTime, TxnId, Version, WriteSet};
+use mdcc_common::{
+    DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimTime, TxnId, Version, WriteSet,
+};
 use mdcc_paxos::{LearnOutcome, Learner, OptionStatus, TxnOption, TxnOutcome};
 use mdcc_sim::event::TimerId;
 use mdcc_sim::Ctx;
@@ -116,8 +118,14 @@ struct ReadTask {
     token: u64,
     consistency: ReadConsistency,
     needed: usize,
-    responses: HashMap<Key, Vec<(Version, Option<Row>)>>,
+    /// Per-key responses, keyed by responder so retry re-broadcasts
+    /// cannot count one replica twice toward an up-to-date quorum.
+    responses: HashMap<Key, Vec<(NodeId, Version, Option<Row>)>>,
     keys: Vec<Key>,
+    /// Re-issue timer: a read request or response lost to the network
+    /// (or to a crashed replica) must not stall the client forever.
+    timer: TimerId,
+    retries: u32,
 }
 
 /// The per-app-server transaction manager.
@@ -177,18 +185,9 @@ impl TransactionManager {
             ReadConsistency::UpToDate => self.cfg.protocol.classic_quorum,
         };
         for key in &keys {
-            match consistency {
-                ReadConsistency::Local => {
-                    let node = self.placement.replica_in(key, self.cfg.my_dc);
-                    ctx.send(node, Msg::ReadReq { req: token, key: key.clone() });
-                }
-                ReadConsistency::UpToDate => {
-                    for node in self.placement.replicas(key) {
-                        ctx.send(node, Msg::ReadReq { req: token, key: key.clone() });
-                    }
-                }
-            }
+            self.send_read(token, key, consistency, false, ctx);
         }
+        let timer = ctx.set_timer(self.cfg.protocol.learn_timeout, Msg::ReadRetry { token });
         self.reads.insert(
             token,
             ReadTask {
@@ -197,9 +196,48 @@ impl TransactionManager {
                 needed,
                 responses: HashMap::new(),
                 keys,
+                timer,
+                retries: 0,
             },
         );
         token
+    }
+
+    /// Sends the read requests for one key. `broadcast` widens a local
+    /// read to every replica — the fallback when the local replica looks
+    /// dead (crashed node, §3.2.3's "any storage node" principle applies
+    /// to reads too).
+    fn send_read(
+        &self,
+        token: u64,
+        key: &Key,
+        consistency: ReadConsistency,
+        broadcast: bool,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        match consistency {
+            ReadConsistency::Local if !broadcast => {
+                let node = self.placement.replica_in(key, self.cfg.my_dc);
+                ctx.send(
+                    node,
+                    Msg::ReadReq {
+                        req: token,
+                        key: key.clone(),
+                    },
+                );
+            }
+            _ => {
+                for node in self.placement.replicas(key) {
+                    ctx.send(
+                        node,
+                        Msg::ReadReq {
+                            req: token,
+                            key: key.clone(),
+                        },
+                    );
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -223,7 +261,10 @@ impl TransactionManager {
         let written: HashSet<Key> = updates.iter().map(|u| u.key.clone()).collect();
         for (key, version) in read_set {
             if !written.contains(&key) {
-                updates.push(RecordUpdate::new(key, mdcc_common::UpdateOp::ReadGuard(version)));
+                updates.push(RecordUpdate::new(
+                    key,
+                    mdcc_common::UpdateOp::ReadGuard(version),
+                ));
             }
         }
         self.commit(updates, ctx)
@@ -310,11 +351,11 @@ impl TransactionManager {
     /// Routes one proposal per the record's believed mode (SENDPROPOSAL,
     /// Algorithm 1 lines 9–13).
     fn propose(&mut self, opt: TxnOption, ctx: &mut Ctx<'_, Msg>) {
-        let master = self
-            .classic_cache
-            .get(&opt.key)
-            .copied()
-            .or_else(|| self.cfg.assume_classic.then(|| self.placement.master(&opt.key)));
+        let master = self.classic_cache.get(&opt.key).copied().or_else(|| {
+            self.cfg
+                .assume_classic
+                .then(|| self.placement.master(&opt.key))
+        });
         match master {
             Some(m) => ctx.send(m, Msg::ProposeToMaster(opt)),
             None => {
@@ -378,13 +419,17 @@ impl TransactionManager {
                 key,
                 version,
                 value,
-            } => self.on_read_resp(req, key, version, value),
+            } => self.on_read_resp(from, req, key, version, value, ctx),
             _ => Vec::new(),
         }
     }
 
     /// Handles a fired timer; same contract as [`Self::on_message`].
     pub fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) -> Vec<TmEvent> {
+        if let Msg::ReadRetry { token } = msg {
+            self.retry_read(token, ctx);
+            return Vec::new();
+        }
         let Msg::LearnTimeout { txn } = msg else {
             return Vec::new();
         };
@@ -425,6 +470,30 @@ impl TransactionManager {
             self.propose(opt, ctx);
         }
         Vec::new()
+    }
+
+    /// Re-issues the still-missing reads of a stalled batch. After a
+    /// couple of attempts the local replica is presumed dead and the
+    /// read fans out to every replica (the first response wins).
+    fn retry_read(&mut self, token: u64, ctx: &mut Ctx<'_, Msg>) {
+        let Some(task) = self.reads.get_mut(&token) else {
+            return;
+        };
+        task.retries += 1;
+        let broadcast = task.retries >= 2;
+        let missing: Vec<Key> = task
+            .keys
+            .iter()
+            .filter(|k| task.responses.get(*k).map(|v| v.len()).unwrap_or(0) < task.needed)
+            .cloned()
+            .collect();
+        let consistency = task.consistency;
+        let backoff = self.cfg.protocol.learn_timeout * (1u64 << task.retries.min(4));
+        let timer = ctx.set_timer(backoff, Msg::ReadRetry { token });
+        self.reads.get_mut(&token).expect("present").timer = timer;
+        for key in missing {
+            self.send_read(token, &key, consistency, broadcast, ctx);
+        }
     }
 
     fn relevant(&self, opt: &TxnOption) -> bool {
@@ -564,15 +633,24 @@ impl TransactionManager {
 
     fn on_read_resp(
         &mut self,
+        from: NodeId,
         req: u64,
         key: Key,
         version: Version,
         value: Option<Row>,
+        ctx: &mut Ctx<'_, Msg>,
     ) -> Vec<TmEvent> {
         let Some(task) = self.reads.get_mut(&req) else {
             return Vec::new();
         };
-        task.responses.entry(key).or_default().push((version, value));
+        let responses = task.responses.entry(key).or_default();
+        if responses.iter().any(|(n, _, _)| *n == from) {
+            // A duplicate from a replica already counted (retry
+            // re-broadcast): an up-to-date quorum must be distinct
+            // replicas or it no longer intersects write quorums.
+            return Vec::new();
+        }
+        responses.push((from, version, value));
         let done = task
             .keys
             .iter()
@@ -581,6 +659,7 @@ impl TransactionManager {
             return Vec::new();
         }
         let task = self.reads.remove(&req).expect("present");
+        ctx.cancel_timer(task.timer);
         let values = task
             .keys
             .iter()
@@ -588,9 +667,9 @@ impl TransactionManager {
                 let responses = &task.responses[k];
                 let best = match task.consistency {
                     ReadConsistency::Local => responses.first(),
-                    ReadConsistency::UpToDate => responses.iter().max_by_key(|(v, _)| *v),
+                    ReadConsistency::UpToDate => responses.iter().max_by_key(|(_, v, _)| *v),
                 };
-                let (version, value) = best.cloned().unwrap_or((Version::ZERO, None));
+                let (_, version, value) = best.cloned().unwrap_or((NodeId(0), Version::ZERO, None));
                 (k.clone(), version, value)
             })
             .collect();

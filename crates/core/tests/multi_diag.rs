@@ -1,5 +1,4 @@
 //! Focused diagnosis of Multi (assume-classic) mode under contention.
-use std::sync::Arc;
 use mdcc_common::placement::MasterPolicy;
 use mdcc_common::{
     CommutativeUpdate, DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimDuration,
@@ -11,9 +10,12 @@ use mdcc_paxos::AttrConstraint;
 use mdcc_sim::{Ctx, NetworkModel, Process, World, WorldConfig};
 use mdcc_storage::{Catalog, RecordStore, TableSchema};
 use rand::Rng;
+use std::sync::Arc;
 
 const ITEMS: TableId = TableId(1);
-fn key(i: u64) -> Key { Key::new(ITEMS, format!("i{i}")) }
+fn key(i: u64) -> Key {
+    Key::new(ITEMS, format!("i{i}"))
+}
 
 struct LoopClient {
     tm: TransactionManager,
@@ -25,24 +27,41 @@ impl LoopClient {
         let mut items = vec![];
         while items.len() < 3 {
             let i = ctx.rng.gen_range(0..self.pool);
-            if !items.contains(&i) { items.push(i); }
+            if !items.contains(&i) {
+                items.push(i);
+            }
         }
-        let updates = items.iter().map(|i| RecordUpdate::new(
-            key(*i), UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)))).collect();
+        let updates = items
+            .iter()
+            .map(|i| {
+                RecordUpdate::new(
+                    key(*i),
+                    UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+                )
+            })
+            .collect();
         let (_, done) = self.tm.commit(updates, ctx);
         assert!(done.is_none());
     }
 }
 impl Process<Msg> for LoopClient {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) { self.issue(ctx); }
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.issue(ctx);
+    }
     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         for e in self.tm.on_message(from, msg, ctx) {
-            if let TmEvent::Completed(c) = e { self.completions.push(c); self.issue(ctx); }
+            if let TmEvent::Completed(c) = e {
+                self.completions.push(c);
+                self.issue(ctx);
+            }
         }
     }
     fn on_timer(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         for e in self.tm.on_timer(msg, ctx) {
-            if let TmEvent::Completed(c) = e { self.completions.push(c); self.issue(ctx); }
+            if let TmEvent::Completed(c) = e {
+                self.completions.push(c);
+                self.issue(ctx);
+            }
         }
     }
 }
@@ -50,7 +69,13 @@ impl Process<Msg> for LoopClient {
 #[test]
 fn multi_mode_contended() {
     let net = NetworkModel::uniform(5, 100.0, 1.0).with_jitter(0.0);
-    let mut world = World::new(net, WorldConfig { seed: 1, service_time: SimDuration::from_micros(10) });
+    let mut world = World::new(
+        net,
+        WorldConfig {
+            seed: 1,
+            service_time: SimDuration::from_micros(10),
+        },
+    );
     let storage: Vec<NodeId> = (0..5).map(NodeId).collect();
     let matrix: Vec<Vec<NodeId>> = storage.iter().map(|n| vec![*n]).collect();
     let placement = StaticPlacement::new(matrix, MasterPolicy::HashedPerRecord);
@@ -60,30 +85,53 @@ fn multi_mode_contended() {
     for dc in 0..5u8 {
         let store = RecordStore::new(ProtocolConfig::default(), catalog.clone());
         let node = StorageNodeProcess::new(
-            ProtocolConfig::default(), store, placement.clone() as Arc<dyn Placement>, false);
+            ProtocolConfig::default(),
+            store,
+            placement.clone() as Arc<dyn Placement>,
+            false,
+        );
         world.spawn(DcId(dc), Box::new(node));
     }
     const POOL: u64 = 10;
     for &n in &storage {
         for i in 0..POOL {
-            world.get_mut::<StorageNodeProcess>(n).unwrap().store_mut()
+            world
+                .get_mut::<StorageNodeProcess>(n)
+                .unwrap()
+                .store_mut()
                 .load(key(i), Row::new().with("stock", 100_000));
         }
     }
     let mut clients = vec![];
     for c in 0..10u8 {
         let tm = TransactionManager::new(
-            TmConfig { protocol: ProtocolConfig::default(), my_dc: DcId(c % 5), assume_classic: true },
+            TmConfig {
+                protocol: ProtocolConfig::default(),
+                my_dc: DcId(c % 5),
+                assume_classic: true,
+            },
             placement.clone() as Arc<dyn Placement>,
         );
-        clients.push(world.spawn(DcId(c % 5), Box::new(LoopClient { tm, pool: POOL, completions: vec![] })));
+        clients.push(world.spawn(
+            DcId(c % 5),
+            Box::new(LoopClient {
+                tm,
+                pool: POOL,
+                completions: vec![],
+            }),
+        ));
     }
     world.run_for(SimDuration::from_secs(60));
     let mut total = 0;
     for &c in &clients {
         let cl = world.get::<LoopClient>(c).unwrap();
         total += cl.completions.len();
-        eprintln!("client {c}: {} completions, in_flight={}, stats={:?}", cl.completions.len(), cl.tm.in_flight(), cl.tm.stats());
+        eprintln!(
+            "client {c}: {} completions, in_flight={}, stats={:?}",
+            cl.completions.len(),
+            cl.tm.in_flight(),
+            cl.tm.stats()
+        );
     }
     for &n in &storage {
         let node = world.get::<StorageNodeProcess>(n).unwrap();

@@ -8,8 +8,10 @@ use mdcc_common::{
     SimDuration, SimTime, TableId, UpdateOp, Version,
 };
 use mdcc_core::placement::MasterPolicy;
-use mdcc_core::{Msg, StaticPlacement, StorageNodeProcess, TmConfig, TmEvent, TransactionManager, TxnCompletion};
 use mdcc_core::placement::Placement;
+use mdcc_core::{
+    Msg, StaticPlacement, StorageNodeProcess, TmConfig, TmEvent, TransactionManager, TxnCompletion,
+};
 use mdcc_paxos::{AttrConstraint, TxnOutcome};
 use mdcc_sim::{Ctx, NetworkModel, Process, World, WorldConfig};
 use mdcc_storage::{Catalog, RecordStore, TableSchema};
@@ -21,11 +23,9 @@ fn key(pk: &str) -> Key {
 }
 
 fn catalog() -> Arc<Catalog> {
-    Arc::new(
-        Catalog::new().with(
-            TableSchema::new(ITEMS, "item").with_constraint(AttrConstraint::at_least("stock", 0)),
-        ),
-    )
+    Arc::new(Catalog::new().with(
+        TableSchema::new(ITEMS, "item").with_constraint(AttrConstraint::at_least("stock", 0)),
+    ))
 }
 
 /// A scripted client: runs its transactions one after another and records
@@ -101,7 +101,7 @@ fn build_cluster(seed: u64, master_policy: MasterPolicy) -> TestCluster {
         },
     );
     // Storage node ids are assigned in spawn order: 0..5.
-    let storage: Vec<NodeId> = (0..5).map(|i| NodeId(i)).collect();
+    let storage: Vec<NodeId> = (0..5).map(NodeId).collect();
     let matrix: Vec<Vec<NodeId>> = storage.iter().map(|n| vec![*n]).collect();
     let placement = StaticPlacement::new(matrix, master_policy);
     for dc in 0..5u8 {
@@ -153,7 +153,10 @@ fn stock_at(cluster: &World<Msg>, node: NodeId, key: &Key) -> Option<i64> {
 }
 
 fn decrement(key: Key, by: i64) -> RecordUpdate {
-    RecordUpdate::new(key, UpdateOp::Commutative(CommutativeUpdate::delta("stock", -by)))
+    RecordUpdate::new(
+        key,
+        UpdateOp::Commutative(CommutativeUpdate::delta("stock", -by)),
+    )
 }
 
 #[test]
@@ -186,11 +189,17 @@ fn conflicting_physical_writes_no_lost_updates() {
     // Both clients read version 1 and race a physical write.
     let w1 = RecordUpdate::new(
         key("acct"),
-        UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 1))),
+        UpdateOp::Physical(PhysicalUpdate::write(
+            Version(1),
+            Row::new().with("stock", 1),
+        )),
     );
     let w2 = RecordUpdate::new(
         key("acct"),
-        UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 2))),
+        UpdateOp::Physical(PhysicalUpdate::write(
+            Version(1),
+            Row::new().with("stock", 2),
+        )),
     );
     let c1 = spawn_client(&mut c, 0, vec![vec![w1]]);
     let c2 = spawn_client(&mut c, 2, vec![vec![w2]]);
@@ -245,7 +254,10 @@ fn constraint_never_violated_under_contention() {
         .iter()
         .map(|&n| stock_at(&c.world, n, &key("hot")).unwrap())
         .collect();
-    assert!(values.iter().all(|v| *v == values[0]), "divergence: {values:?}");
+    assert!(
+        values.iter().all(|v| *v == values[0]),
+        "divergence: {values:?}"
+    );
     assert_eq!(values[0], 4 - committed as i64);
     assert!(values[0] >= 0, "constraint violated: {values:?}");
 }
@@ -364,7 +376,11 @@ fn multi_record_transaction_is_atomic() {
     assert_eq!(completions.len(), 1);
     assert_eq!(completions[0].outcome, TxnOutcome::Aborted);
     for &n in &c.storage {
-        assert_eq!(stock_at(&c.world, n, &key("a")), Some(5), "a must be untouched");
+        assert_eq!(
+            stock_at(&c.world, n, &key("a")),
+            Some(5),
+            "a must be untouched"
+        );
         assert_eq!(stock_at(&c.world, n, &key("b")), Some(0));
     }
 }

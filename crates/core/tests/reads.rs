@@ -9,9 +9,7 @@ use mdcc_common::{
     StaticPlacement, TableId, UpdateOp, Version,
 };
 use mdcc_core::placement::Placement;
-use mdcc_core::{
-    Msg, ReadConsistency, StorageNodeProcess, TmConfig, TmEvent, TransactionManager,
-};
+use mdcc_core::{Msg, ReadConsistency, StorageNodeProcess, TmConfig, TmEvent, TransactionManager};
 use mdcc_paxos::AttrConstraint;
 use mdcc_sim::{Ctx, NetworkModel, Process, World, WorldConfig};
 use mdcc_storage::{Catalog, RecordStore, TableSchema};
@@ -61,8 +59,7 @@ impl Process<Msg> for WriteThenRead {
                 }
                 TmEvent::ReadDone { values, .. } => {
                     let (_, version, row) = &values[0];
-                    self.observed =
-                        Some((*version, row.as_ref().and_then(|r| r.get_int("stock"))));
+                    self.observed = Some((*version, row.as_ref().and_then(|r| r.get_int("stock"))));
                 }
             }
         }

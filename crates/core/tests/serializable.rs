@@ -37,9 +37,9 @@ struct SerClient {
 
 impl Process<Msg> for SerClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let (_, done) =
-            self.tm
-                .commit_serializable(self.writes.clone(), self.reads.clone(), ctx);
+        let (_, done) = self
+            .tm
+            .commit_serializable(self.writes.clone(), self.reads.clone(), ctx);
         assert!(done.is_none());
     }
     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
@@ -104,7 +104,12 @@ fn load(c: &mut Cluster, k: &str, v: i64) {
     }
 }
 
-fn client(c: &mut Cluster, dc: u8, reads: Vec<(Key, Version)>, writes: Vec<RecordUpdate>) -> NodeId {
+fn client(
+    c: &mut Cluster,
+    dc: u8,
+    reads: Vec<(Key, Version)>,
+    writes: Vec<RecordUpdate>,
+) -> NodeId {
     let tm = TransactionManager::new(
         TmConfig {
             protocol: ProtocolConfig::default(),
@@ -147,18 +152,8 @@ fn write_skew_is_prevented() {
     let mut c = build(1);
     load(&mut c, "x", 0);
     load(&mut c, "y", 0);
-    let t1 = client(
-        &mut c,
-        0,
-        vec![(key("y"), Version(1))],
-        vec![write("x", 1)],
-    );
-    let t2 = client(
-        &mut c,
-        2,
-        vec![(key("x"), Version(1))],
-        vec![write("y", 1)],
-    );
+    let t1 = client(&mut c, 0, vec![(key("y"), Version(1))], vec![write("x", 1)]);
+    let t2 = client(&mut c, 2, vec![(key("x"), Version(1))], vec![write("y", 1)]);
     c.world.run_for(SimDuration::from_secs(30));
     let d1 = &c.world.get::<SerClient>(t1).unwrap().completions;
     let d2 = &c.world.get::<SerClient>(t2).unwrap().completions;
@@ -189,16 +184,15 @@ fn stale_read_guard_aborts_the_transaction() {
         TxnOutcome::Committed
     );
     // x is now at version 2; T2 read it at version 1.
-    let t2 = client(
-        &mut c,
-        3,
-        vec![(key("x"), Version(1))],
-        vec![write("z", 9)],
-    );
+    let t2 = client(&mut c, 3, vec![(key("x"), Version(1))], vec![write("z", 9)]);
     c.world.run_for(SimDuration::from_secs(10));
     let d2 = &c.world.get::<SerClient>(t2).unwrap().completions;
     assert_eq!(d2[0].outcome, TxnOutcome::Aborted);
-    assert_eq!(value_at(&c.world, c.storage[0], "z"), Some(0), "z untouched");
+    assert_eq!(
+        value_at(&c.world, c.storage[0], "z"),
+        Some(0),
+        "z untouched"
+    );
 }
 
 #[test]
@@ -237,12 +231,7 @@ fn serializable_commit_is_still_one_round_trip() {
     let mut c = build(4);
     load(&mut c, "r", 1);
     load(&mut c, "w", 1);
-    let t = client(
-        &mut c,
-        1,
-        vec![(key("r"), Version(1))],
-        vec![write("w", 2)],
-    );
+    let t = client(&mut c, 1, vec![(key("r"), Version(1))], vec![write("w", 2)]);
     c.world.run_for(SimDuration::from_secs(10));
     let done = &c.world.get::<SerClient>(t).unwrap().completions[0];
     assert_eq!(done.outcome, TxnOutcome::Committed);
@@ -269,7 +258,12 @@ fn guard_does_not_consume_the_version() {
     );
     // r unchanged at version 1: a second guard at version 1 still works.
     load(&mut c, "w2", 1);
-    let t2 = client(&mut c, 2, vec![(key("r"), Version(1))], vec![write("w2", 3)]);
+    let t2 = client(
+        &mut c,
+        2,
+        vec![(key("r"), Version(1))],
+        vec![write("w2", 3)],
+    );
     c.world.run_for(SimDuration::from_secs(10));
     assert_eq!(
         c.world.get::<SerClient>(t2).unwrap().completions[0].outcome,

@@ -26,6 +26,23 @@ pub struct RecordSnapshot {
     pub version: Version,
     /// Committed, visible value (`None`: absent or deleted).
     pub value: Option<Row>,
+    /// Transactions whose effects are folded into `value` (executed
+    /// locally or inherited through an earlier snapshot adoption),
+    /// sorted. A node adopting this snapshot must mark these settled or
+    /// a later re-delivery of one of their options (carried entries,
+    /// restart anti-entropy) would double-execute it.
+    pub folded: Vec<TxnId>,
+}
+
+impl RecordSnapshot {
+    /// A snapshot of a record that does not exist yet.
+    pub fn absent() -> Self {
+        RecordSnapshot {
+            version: Version::ZERO,
+            value: None,
+            folded: Vec::new(),
+        }
+    }
 }
 
 /// Phase1b response payload.
@@ -135,6 +152,66 @@ pub struct AcceptorRecord {
     resolved_entries: HashSet<TxnId>,
     close_on_resolve: bool,
     reopen_fast_after: Option<Ballot>,
+    /// Bounded ring of committed commutative options from recently
+    /// *closed* instances. Restart anti-entropy needs these: an option
+    /// that commits while a replica is down and whose instance then
+    /// closes leaves every live cstruct — this ring is the only place
+    /// its payload survives for shipping to the recovering replica
+    /// (deltas commute, so installing one after the close is still
+    /// value-correct).
+    closed_resolved: Vec<(TxnOption, Resolution)>,
+    /// Bounded ring of transactions marked settled through a snapshot
+    /// adoption *without* executing locally (their effect arrived inside
+    /// the adopted value). These must keep riding in outgoing snapshots'
+    /// `folded` lists: they are the settled transactions a further
+    /// adopter cannot discover from this node's cstruct or ring.
+    inherited_folded: Vec<TxnId>,
+}
+
+/// Entries kept in [`AcceptorRecord`]'s closed-instance ring.
+const CLOSED_RESOLVED_CAP: usize = 64;
+
+/// Entries kept in [`AcceptorRecord`]'s inherited-folded ring. Larger
+/// than any peer's shippable window (`CLOSED_RESOLVED_CAP` + one
+/// instance), so a transaction can only age out of it after it has aged
+/// out of every ring that could re-ship its option.
+const INHERITED_FOLDED_CAP: usize = 256;
+
+/// The full volatile state of one [`AcceptorRecord`], exported for
+/// durable checkpoints and re-imported on node restart (§3.2.3: a
+/// storage node must be able to reconstruct its per-record Paxos state).
+///
+/// Collections are exported in a deterministic (sorted) order so two
+/// equal acceptors always serialize identically.
+#[derive(Debug, Clone)]
+pub struct AcceptorState {
+    /// Committed version.
+    pub version: Version,
+    /// Committed value.
+    pub value: Option<Row>,
+    /// Demarcation base of the current instance.
+    pub base: Option<Row>,
+    /// Promised ballot.
+    pub promised: Ballot,
+    /// Last accepted ballot of the current instance.
+    pub accepted_ballot: Option<Ballot>,
+    /// Current-instance cstruct entries, in recorded order.
+    pub entries: Vec<crate::cstruct::Entry>,
+    /// Known transaction resolutions, sorted by transaction id.
+    pub outcomes: Vec<(TxnId, Resolution)>,
+    /// Transactions whose entry-level resolution already executed,
+    /// sorted by transaction id.
+    pub resolved: Vec<TxnId>,
+    /// Whether the instance closes once all pending options resolve.
+    pub close_on_resolve: bool,
+    /// Ballot to reopen fast mode at after the instance advances.
+    pub reopen_fast_after: Option<Ballot>,
+    /// Retained committed commutative options of recently closed
+    /// instances (restart anti-entropy), oldest first.
+    pub closed_resolved: Vec<(TxnOption, Resolution)>,
+    /// Transactions settled via snapshot adoption without local
+    /// execution (see `AcceptorRecord::inherited_folded`), oldest first.
+    pub inherited_folded: Vec<TxnId>,
 }
 
 /// A transaction outcome together with the *globally learned* status of
@@ -153,7 +230,12 @@ pub struct Resolution {
 
 impl AcceptorRecord {
     /// A fresh, non-existent record in the implicit initial fast ballot.
-    pub fn new(constraints: Arc<[AttrConstraint]>, n: usize, qf: usize, max_instance_options: usize) -> Self {
+    pub fn new(
+        constraints: Arc<[AttrConstraint]>,
+        n: usize,
+        qf: usize,
+        max_instance_options: usize,
+    ) -> Self {
         Self {
             n,
             qf,
@@ -169,6 +251,8 @@ impl AcceptorRecord {
             resolved_entries: HashSet::new(),
             close_on_resolve: false,
             reopen_fast_after: None,
+            closed_resolved: Vec::new(),
+            inherited_folded: Vec::new(),
         }
     }
 
@@ -214,10 +298,76 @@ impl AcceptorRecord {
     }
 
     /// Committed state for catch-up messages.
+    ///
+    /// `folded` covers every settled transaction whose option could
+    /// still be re-delivered to an adopter — resolved entries of the
+    /// current instance, the closed-instance ring, and settled
+    /// transactions this node itself inherited through adoption. The
+    /// full `resolved_entries` history would also be correct but grows
+    /// with transaction count; this bounded set keeps snapshot messages
+    /// and WAL frames O(ring).
     pub fn snapshot(&self) -> RecordSnapshot {
+        let mut folded: Vec<TxnId> = self
+            .cstruct
+            .entries()
+            .map(|e| e.opt.txn)
+            .filter(|txn| self.resolved_entries.contains(txn))
+            .chain(self.closed_resolved.iter().map(|(opt, _)| opt.txn))
+            .chain(self.inherited_folded.iter().copied())
+            .collect();
+        folded.sort();
+        folded.dedup();
         RecordSnapshot {
             version: self.version,
             value: self.value.clone(),
+            folded,
+        }
+    }
+
+    /// Adopts a newer committed snapshot: the catch-up step shared by
+    /// classic Phase2a and restart anti-entropy. Accepted-but-unresolved
+    /// options carry over into the new instance — their acceptance may
+    /// already be part of a learned quorum, so dropping them could lose
+    /// an update — *except* those the snapshot already folds in, which
+    /// re-executing would double-apply.
+    fn adopt_snapshot(&mut self, snapshot: &RecordSnapshot) {
+        let carried: Vec<crate::cstruct::Entry> = self
+            .cstruct
+            .entries()
+            .filter(|e| {
+                e.status.is_accepted()
+                    && !self.outcomes.contains_key(&e.opt.txn)
+                    && !snapshot.folded.contains(&e.opt.txn)
+            })
+            .cloned()
+            .collect();
+        self.version = snapshot.version;
+        self.value = snapshot.value.clone();
+        self.base = self.value.clone();
+        self.cstruct = CStruct::new();
+        for entry in carried {
+            self.cstruct.append_entry(entry);
+        }
+        self.accepted_ballot = None;
+        self.close_on_resolve = false;
+        for txn in &snapshot.folded {
+            if self.resolved_entries.insert(*txn) {
+                self.note_inherited(*txn);
+            }
+        }
+    }
+
+    /// Records a transaction settled via adoption (effect arrived inside
+    /// a snapshot value, never executed locally) so outgoing snapshots
+    /// keep advertising it.
+    fn note_inherited(&mut self, txn: TxnId) {
+        if self.inherited_folded.contains(&txn) {
+            return;
+        }
+        self.inherited_folded.push(txn);
+        if self.inherited_folded.len() > INHERITED_FOLDED_CAP {
+            let excess = self.inherited_folded.len() - INHERITED_FOLDED_CAP;
+            self.inherited_folded.drain(..excess);
         }
     }
 
@@ -230,9 +380,7 @@ impl AcceptorRecord {
         }
         Phase1b {
             promised: self.promised,
-            accepted: self
-                .accepted_ballot
-                .map(|b| (b, self.cstruct.clone())),
+            accepted: self.accepted_ballot.map(|b| (b, self.cstruct.clone())),
             snapshot: self.snapshot(),
         }
     }
@@ -281,28 +429,7 @@ impl AcceptorRecord {
         }
         if p.version > self.version {
             // We missed decisions; adopt the leader's committed state.
-            // Accepted-but-unresolved options carry over into the new
-            // instance: their acceptance may already be part of a learned
-            // quorum, so dropping them could lose an update (their
-            // resolution arrives later as a Visibility message either
-            // way).
-            let carried: Vec<crate::cstruct::Entry> = self
-                .cstruct
-                .entries()
-                .filter(|e| {
-                    e.status.is_accepted() && !self.outcomes.contains_key(&e.opt.txn)
-                })
-                .cloned()
-                .collect();
-            self.version = p.snapshot.version;
-            self.value = p.snapshot.value.clone();
-            self.base = self.value.clone();
-            self.cstruct = CStruct::new();
-            for entry in carried {
-                self.cstruct.append_entry(entry);
-            }
-            self.accepted_ballot = None;
-            self.close_on_resolve = false;
+            self.adopt_snapshot(&p.snapshot);
         } else if p.version < self.version {
             return ClassicAccept::Stale {
                 snapshot: self.snapshot(),
@@ -350,13 +477,182 @@ impl AcceptorRecord {
         ClassicAccept::Vote(self.phase2b())
     }
 
+    /// Exports the acceptor's full state for a durable checkpoint.
+    pub fn export_state(&self) -> AcceptorState {
+        let mut outcomes: Vec<(TxnId, Resolution)> =
+            self.outcomes.iter().map(|(t, r)| (*t, *r)).collect();
+        outcomes.sort_by_key(|(t, _)| *t);
+        let mut resolved: Vec<TxnId> = self.resolved_entries.iter().copied().collect();
+        resolved.sort();
+        AcceptorState {
+            version: self.version,
+            value: self.value.clone(),
+            base: self.base.clone(),
+            promised: self.promised,
+            accepted_ballot: self.accepted_ballot,
+            entries: self.cstruct.entries().cloned().collect(),
+            outcomes,
+            resolved,
+            close_on_resolve: self.close_on_resolve,
+            reopen_fast_after: self.reopen_fast_after,
+            closed_resolved: self.closed_resolved.clone(),
+            inherited_folded: self.inherited_folded.clone(),
+        }
+    }
+
+    /// Rebuilds an acceptor from an exported state (restart path).
+    pub fn from_state(
+        constraints: Arc<[AttrConstraint]>,
+        n: usize,
+        qf: usize,
+        max_instance_options: usize,
+        state: AcceptorState,
+    ) -> Self {
+        let mut cstruct = CStruct::new();
+        for entry in state.entries {
+            cstruct.append_entry(entry);
+        }
+        Self {
+            n,
+            qf,
+            max_instance_options,
+            constraints,
+            version: state.version,
+            value: state.value,
+            base: state.base,
+            promised: state.promised,
+            accepted_ballot: state.accepted_ballot,
+            cstruct,
+            outcomes: state.outcomes.into_iter().collect(),
+            resolved_entries: state.resolved.into_iter().collect(),
+            close_on_resolve: state.close_on_resolve,
+            reopen_fast_after: state.reopen_fast_after,
+            closed_resolved: state.closed_resolved,
+            inherited_folded: state.inherited_folded,
+        }
+    }
+
+    /// Options of the current instance that are already resolved —
+    /// committed commutative updates whose entries stay in the cstruct
+    /// until the instance closes. A peer helping a restarted replica
+    /// catch up ships exactly these (each option "includes all necessary
+    /// information to reconstruct the state", §3.2.3).
+    pub fn resolved_in_instance(&self) -> Vec<(TxnOption, Resolution)> {
+        self.cstruct
+            .entries()
+            .filter_map(|e| self.outcomes.get(&e.opt.txn).map(|r| (e.opt.clone(), *r)))
+            .collect()
+    }
+
+    /// Everything a recovering peer needs to catch up on this record:
+    /// resolved options of the current instance plus the retained ring of
+    /// committed commutative options from recently closed instances.
+    pub fn sync_payload(&self) -> Vec<(TxnOption, Resolution)> {
+        let mut payload = self.resolved_in_instance();
+        let mut seen: HashSet<TxnId> = payload.iter().map(|(o, _)| o.txn).collect();
+        for (opt, resolution) in &self.closed_resolved {
+            if seen.insert(opt.txn) {
+                payload.push((opt.clone(), *resolution));
+            }
+        }
+        payload
+    }
+
+    /// Installs a learned option shipped by a peer (anti-entropy after a
+    /// restart): appends the entry if this node never saw the proposal,
+    /// records the authoritative resolution and executes it. Idempotent.
+    /// Returns `true` when local state changed.
+    pub fn install_learned(&mut self, opt: TxnOption, resolution: Resolution) -> bool {
+        let txn = opt.txn;
+        if self.resolved_entries.contains(&txn) {
+            return false;
+        }
+        self.outcomes.entry(txn).or_insert(resolution);
+        if self.cstruct.entry_of(txn).is_none() {
+            let status = if resolution.learned_accepted {
+                OptionStatus::Accepted
+            } else {
+                OptionStatus::Rejected(AbortReason::Resolved)
+            };
+            self.cstruct.append(opt, status);
+            self.accepted_ballot.get_or_insert(self.promised);
+        }
+        self.resolve_entry(txn);
+        self.try_advance();
+        true
+    }
+
+    /// True when [`AcceptorRecord::sync_from_peer`] with these arguments
+    /// would change local state — lets callers skip WAL-logging no-op
+    /// sync traffic.
+    pub fn sync_would_change(
+        &self,
+        snapshot: &RecordSnapshot,
+        resolved: &[(TxnOption, Resolution)],
+    ) -> bool {
+        if snapshot.version > self.version {
+            return true;
+        }
+        if snapshot.version < self.version {
+            return false;
+        }
+        resolved
+            .iter()
+            .any(|(opt, _)| !self.resolved_entries.contains(&opt.txn))
+    }
+
+    /// Catches up from a peer's committed state after a restart.
+    ///
+    /// * `snapshot.version > self.version`: adopt the committed state
+    ///   wholesale. Every option of an older instance is already settled
+    ///   inside a snapshot at a higher version (an instance only closes
+    ///   once its pending options resolve), so the current cstruct is
+    ///   discarded and the shipped resolutions are recorded as
+    ///   already-executed *without* re-applying them.
+    /// * equal versions: install any resolved options this node missed
+    ///   while it was down (their effects are *not* in the snapshot's
+    ///   version accounting, so they execute here).
+    /// * `snapshot.version < self.version`: the peer is the stale one.
+    ///
+    /// Returns `true` when local state changed.
+    pub fn sync_from_peer(
+        &mut self,
+        snapshot: &RecordSnapshot,
+        resolved: &[(TxnOption, Resolution)],
+    ) -> bool {
+        if snapshot.version > self.version {
+            self.adopt_snapshot(snapshot);
+            for (opt, resolution) in resolved {
+                self.outcomes.insert(opt.txn, *resolution);
+                if self.resolved_entries.insert(opt.txn) {
+                    self.note_inherited(opt.txn);
+                }
+                self.cstruct.remove(opt.txn);
+            }
+            true
+        } else if snapshot.version == self.version {
+            let mut changed = false;
+            for (opt, resolution) in resolved {
+                changed |= self.install_learned(opt.clone(), *resolution);
+            }
+            changed
+        } else {
+            false
+        }
+    }
+
     /// Handles a Visibility/Learned message (Algorithm 3, line 100).
     /// Returns `true` if this resolution advanced the instance.
     ///
     /// `learned_accepted` is the coordinator's learned status for this
     /// record's option — the authoritative decision, which may differ
     /// from this node's minority vote.
-    pub fn apply_visibility(&mut self, txn: TxnId, outcome: TxnOutcome, learned_accepted: bool) -> bool {
+    pub fn apply_visibility(
+        &mut self,
+        txn: TxnId,
+        outcome: TxnOutcome,
+        learned_accepted: bool,
+    ) -> bool {
         if self.outcomes.contains_key(&txn) {
             // Duplicate (e.g. both the coordinator and a recovery
             // coordinator resolved the transaction).
@@ -414,9 +710,7 @@ impl AcceptorRecord {
                         }
                     }
                     Some(vread) => {
-                        if self.value.is_none() {
-                            OptionStatus::Rejected(AbortReason::StaleRead)
-                        } else if vread != self.version {
+                        if self.value.is_none() || vread != self.version {
                             OptionStatus::Rejected(AbortReason::StaleRead)
                         } else {
                             OptionStatus::Accepted
@@ -561,6 +855,25 @@ impl AcceptorRecord {
     /// (new demarcation base, §3.4.2) and open the next instance in fast
     /// or classic mode per the leader's instruction.
     fn advance_instance(&mut self) {
+        // Preserve the closing instance's committed commutative options
+        // for restart anti-entropy (see `closed_resolved`). Rejected and
+        // physical options need no payload: aborts execute nothing and a
+        // missed physical decision shows up as version lag, which
+        // snapshot catch-up repairs.
+        let keep: Vec<(TxnOption, Resolution)> = self
+            .cstruct
+            .entries()
+            .filter(|e| e.opt.is_commutative())
+            .filter_map(|e| {
+                let r = self.outcomes.get(&e.opt.txn)?;
+                (r.outcome == TxnOutcome::Committed).then(|| (e.opt.clone(), *r))
+            })
+            .collect();
+        self.closed_resolved.extend(keep);
+        if self.closed_resolved.len() > CLOSED_RESOLVED_CAP {
+            let excess = self.closed_resolved.len() - CLOSED_RESOLVED_CAP;
+            self.closed_resolved.drain(..excess);
+        }
         self.version = self.version.next();
         self.base = self.value.clone();
         self.cstruct = CStruct::new();
@@ -837,6 +1150,7 @@ mod tests {
         let newer = RecordSnapshot {
             version: Version(4),
             value: Some(Row::new().with("stock", 1)),
+            folded: Vec::new(),
         };
         let r = behind.classic_accept(Phase2a {
             ballot: m,
@@ -867,6 +1181,7 @@ mod tests {
             snapshot: RecordSnapshot {
                 version: Version(1),
                 value: None,
+                folded: Vec::new(),
             },
             safe: None,
             new_options: vec![],
@@ -908,7 +1223,10 @@ mod tests {
             Row::new().with("stock", 1_000_000),
         );
         for i in 0..cap as u64 {
-            assert!(matches!(small.fast_propose(dec(i + 1, 1)), FastPropose::Vote(_)));
+            assert!(matches!(
+                small.fast_propose(dec(i + 1, 1)),
+                FastPropose::Vote(_)
+            ));
         }
         assert!(matches!(
             small.fast_propose(dec(99, 1)),
@@ -916,6 +1234,105 @@ mod tests {
         ));
         // The default cap (32) is far from full here.
         assert!(matches!(a.fast_propose(dec(1, 1)), FastPropose::Vote(_)));
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behaviour() {
+        let mut a = acceptor_with_stock(10);
+        a.fast_propose(dec(1, 2));
+        a.fast_propose(dec(2, 3));
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        a.phase1a(Ballot::classic(1, NodeId(2)));
+
+        let state = a.export_state();
+        let mut b = AcceptorRecord::from_state(stock_constraints(), 5, 4, 32, state);
+        assert_eq!(b.version(), a.version());
+        assert_eq!(b.value(), a.value());
+        assert_eq!(b.promised(), a.promised());
+        assert_eq!(b.cstruct().len(), a.cstruct().len());
+        // The clone continues exactly where the original stops.
+        a.apply_visibility(txn(2), TxnOutcome::Committed, true);
+        b.apply_visibility(txn(2), TxnOutcome::Committed, true);
+        assert_eq!(b.value(), a.value());
+        assert_eq!(
+            format!("{:?}", b.export_state()),
+            format!("{:?}", a.export_state()),
+            "exported states stay identical after further operations"
+        );
+    }
+
+    #[test]
+    fn install_learned_executes_missed_commits_once() {
+        // A replica that was down during the proposal gets the learned
+        // option shipped by a peer: the delta applies exactly once.
+        let mut a = acceptor_with_stock(10);
+        let res = Resolution {
+            outcome: TxnOutcome::Committed,
+            learned_accepted: true,
+        };
+        assert!(a.install_learned(dec(1, 4), res));
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(6));
+        assert!(!a.install_learned(dec(1, 4), res), "idempotent");
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(6));
+        // A late Visibility for the same transaction is also a no-op.
+        a.apply_visibility(txn(1), TxnOutcome::Committed, true);
+        assert_eq!(a.value().unwrap().get_int("stock"), Some(6));
+    }
+
+    #[test]
+    fn sync_adopts_newer_snapshots_without_reexecuting() {
+        let mut behind = acceptor_with_stock(10);
+        // Peer is two instances ahead; its resolved list describes options
+        // whose effects are already inside the snapshot value.
+        let newer = RecordSnapshot {
+            version: Version(3),
+            value: Some(Row::new().with("stock", 4)),
+            folded: Vec::new(),
+        };
+        let resolved = vec![(
+            dec(7, 2),
+            Resolution {
+                outcome: TxnOutcome::Committed,
+                learned_accepted: true,
+            },
+        )];
+        assert!(behind.sync_from_peer(&newer, &resolved));
+        assert_eq!(behind.version(), Version(3));
+        assert_eq!(behind.value().unwrap().get_int("stock"), Some(4));
+        // The shipped resolution was recorded, not re-executed.
+        assert_eq!(behind.outcome_of(txn(7)), Some(TxnOutcome::Committed));
+        // A stale peer changes nothing.
+        let older = RecordSnapshot {
+            version: Version(1),
+            value: Some(Row::new().with("stock", 99)),
+            folded: Vec::new(),
+        };
+        assert!(!behind.sync_from_peer(&older, &[]));
+        assert_eq!(behind.value().unwrap().get_int("stock"), Some(4));
+    }
+
+    #[test]
+    fn sync_at_equal_version_installs_missed_deltas() {
+        let mut a = acceptor_with_stock(10);
+        let peer_snapshot = RecordSnapshot {
+            version: Version(1),
+            value: Some(Row::new().with("stock", 7)),
+            folded: Vec::new(),
+        };
+        let resolved = vec![(
+            dec(3, 3),
+            Resolution {
+                outcome: TxnOutcome::Committed,
+                learned_accepted: true,
+            },
+        )];
+        assert!(a.sync_from_peer(&peer_snapshot, &resolved));
+        assert_eq!(
+            a.value().unwrap().get_int("stock"),
+            Some(7),
+            "missed delta executed locally"
+        );
+        assert!(!a.sync_from_peer(&peer_snapshot, &resolved), "idempotent");
     }
 
     #[test]

@@ -281,7 +281,9 @@ impl fmt::Display for CStruct {
 mod tests {
     use super::*;
     use mdcc_common::error::AbortReason;
-    use mdcc_common::{CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, TableId, UpdateOp, Version};
+    use mdcc_common::{
+        CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, TableId, UpdateOp, Version,
+    };
 
     fn key() -> Key {
         Key::new(TableId(0), "r")
@@ -355,7 +357,10 @@ mod tests {
         let big = cs(vec![acc(phys(1)), acc(phys(2))]);
         let wrong = cs(vec![acc(phys(2)), acc(phys(1))]);
         assert!(small.is_prefix_of(&big));
-        assert!(!small.is_prefix_of(&wrong), "barrier before 1 blocks consumption");
+        assert!(
+            !small.is_prefix_of(&wrong),
+            "barrier before 1 blocks consumption"
+        );
         assert!(!big.is_prefix_of(&small));
     }
 
@@ -387,7 +392,10 @@ mod tests {
     fn lub_detects_barrier_conflicts() {
         let a = cs(vec![acc(phys(1))]);
         let b = cs(vec![acc(phys(2))]);
-        assert!(a.lub(&b).is_none(), "two barrier options have no common extension");
+        assert!(
+            a.lub(&b).is_none(),
+            "two barrier options have no common extension"
+        );
     }
 
     #[test]

@@ -169,7 +169,11 @@ mod tests {
         let c = AttrConstraint::at_least("stock", 0);
         for already_pending in 0..3 {
             let v = view(4, 0, -already_pending, 0);
-            assert_eq!(escrow_accepts(&c, N, QF, v, -1), Ok(()), "pending {already_pending}");
+            assert_eq!(
+                escrow_accepts(&c, N, QF, v, -1),
+                Ok(()),
+                "pending {already_pending}"
+            );
         }
         let v = view(4, 0, -3, 0);
         assert_eq!(
@@ -236,7 +240,11 @@ mod tests {
         // Qf = N means no silent resources: L = min.
         let c = AttrConstraint::at_least("stock", 0);
         let v = view(4, 0, -3, 0);
-        assert_eq!(escrow_accepts(&c, 5, 5, v, -1), Ok(()), "exactly to zero is fine");
+        assert_eq!(
+            escrow_accepts(&c, 5, 5, v, -1),
+            Ok(()),
+            "exactly to zero is fine"
+        );
         assert_eq!(
             escrow_accepts(&c, 5, 5, view(4, 0, -4, 0), -1),
             Err(AbortReason::ConstraintViolation)

@@ -375,8 +375,7 @@ impl LeaderRecord {
 
     /// The fast ballot to reopen with, when γ is exhausted.
     fn reopen_ballot(&self, ballot: Ballot) -> Option<Ballot> {
-        (self.cfg.allow_fast && self.gamma_remaining == 0)
-            .then(|| ballot.next_fast(self.self_id))
+        (self.cfg.allow_fast && self.gamma_remaining == 0).then(|| ballot.next_fast(self.self_id))
     }
 
     fn build_phase2a(
@@ -526,6 +525,7 @@ mod tests {
         RecordSnapshot {
             version: Version(1),
             value: Some(Row::new().with("stock", 4)),
+            folded: Vec::new(),
         }
     }
 
@@ -566,7 +566,10 @@ mod tests {
             panic!("expected phase2a");
         };
         assert!(p2a.close_instance, "recovery closes and re-bases");
-        assert!(p2a.safe.is_some(), "recovery adopts the proved-safe cstruct");
+        assert!(
+            p2a.safe.is_some(),
+            "recovery adopts the proved-safe cstruct"
+        );
         assert!(l.is_leading());
         assert!(l.is_inflight(), "close outstanding");
     }
@@ -700,6 +703,7 @@ mod tests {
         let newer = RecordSnapshot {
             version: Version(5),
             value: Some(Row::new().with("stock", 2)),
+            folded: Vec::new(),
         };
         let actions = l.on_stale(newer);
         let LeaderAction::Phase2a(p) = &actions[0] else {
@@ -760,10 +764,16 @@ mod tests {
         c_old.append(old, OptionStatus::Accepted);
         let mut c_v2 = CStruct::new();
         c_v2.append(v2.clone(), OptionStatus::Accepted);
-        c_v2.append(v3.clone(), OptionStatus::Rejected(AbortReason::PendingOption));
+        c_v2.append(
+            v3.clone(),
+            OptionStatus::Rejected(AbortReason::PendingOption),
+        );
         let mut c_v3 = CStruct::new();
         c_v3.append(v3.clone(), OptionStatus::Accepted);
-        c_v3.append(v2.clone(), OptionStatus::Rejected(AbortReason::PendingOption));
+        c_v3.append(
+            v2.clone(),
+            OptionStatus::Rejected(AbortReason::PendingOption),
+        );
 
         let r0 = p1b(b4, Some((b3, c_old)));
         let r1 = p1b(b4, Some((b4, c_v2.clone())));

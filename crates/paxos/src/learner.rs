@@ -20,6 +20,10 @@ use crate::cstruct::CStruct;
 use crate::options::OptionStatus;
 use crate::quorum::{mask_indices, subsets};
 
+/// Phase2b votes grouped by `(instance, ballot round, ballot kind flag,
+/// proposer)` — votes are only comparable within one group.
+type VoteGroups<'a> = BTreeMap<(u64, u32, bool, u32), Vec<(usize, &'a CStruct)>>;
+
 /// The learner's verdict after each vote.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LearnOutcome {
@@ -123,7 +127,7 @@ impl Learner {
         // learning candidate - an accepted-pending option pins its
         // instance open at its acceptors, so a quorum at an older version
         // is just as durable as one at the newest.
-        let mut groups: BTreeMap<(u64, u32, bool, u32), Vec<(usize, &CStruct)>> = BTreeMap::new();
+        let mut groups: VoteGroups<'_> = BTreeMap::new();
         for (idx, v) in &self.votes {
             let key = (
                 v.version.0,
@@ -162,10 +166,7 @@ impl Learner {
     /// nothing was learned. Anything less clear-cut stays `Undecided` -
     /// the coordinator's learn timeout is the liveness fallback, and a
     /// spurious collision verdict would trigger needless recovery rounds.
-    fn detect_collision(
-        &self,
-        groups: &BTreeMap<(u64, u32, bool, u32), Vec<(usize, &CStruct)>>,
-    ) -> LearnOutcome {
+    fn detect_collision(&self, groups: &VoteGroups<'_>) -> LearnOutcome {
         if groups.len() != 1 {
             return LearnOutcome::Undecided;
         }
@@ -207,7 +208,9 @@ mod tests {
     use super::*;
     use crate::options::TxnOption;
     use mdcc_common::error::AbortReason;
-    use mdcc_common::{CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, TableId, UpdateOp, Version};
+    use mdcc_common::{
+        CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, TableId, UpdateOp, Version,
+    };
 
     const N: usize = 5;
     const QC: usize = 3;
@@ -279,10 +282,7 @@ mod tests {
         ];
         let mut outcome = LearnOutcome::Undecided;
         for (i, r) in reasons.iter().enumerate() {
-            outcome = l.on_vote(
-                i,
-                vote(b, vec![(comm(1), OptionStatus::Rejected(*r))]),
-            );
+            outcome = l.on_vote(i, vote(b, vec![(comm(1), OptionStatus::Rejected(*r))]));
         }
         assert!(
             matches!(outcome, LearnOutcome::Learned(OptionStatus::Rejected(_))),
@@ -314,10 +314,22 @@ mod tests {
             (phys(2), OptionStatus::Accepted),
             (phys(1), OptionStatus::Rejected(AbortReason::PendingOption)),
         ];
-        assert_eq!(l.on_vote(0, vote(b, t1_first.clone())), LearnOutcome::Undecided);
-        assert_eq!(l.on_vote(1, vote(b, t1_first.clone())), LearnOutcome::Undecided);
-        assert_eq!(l.on_vote(2, vote(b, t1_first.clone())), LearnOutcome::Undecided);
-        assert_eq!(l.on_vote(3, vote(b, t2_first.clone())), LearnOutcome::Undecided);
+        assert_eq!(
+            l.on_vote(0, vote(b, t1_first.clone())),
+            LearnOutcome::Undecided
+        );
+        assert_eq!(
+            l.on_vote(1, vote(b, t1_first.clone())),
+            LearnOutcome::Undecided
+        );
+        assert_eq!(
+            l.on_vote(2, vote(b, t1_first.clone())),
+            LearnOutcome::Undecided
+        );
+        assert_eq!(
+            l.on_vote(3, vote(b, t2_first.clone())),
+            LearnOutcome::Undecided
+        );
         // Fifth response: all acceptors heard, no 4-quorum agrees → collision.
         assert_eq!(l.on_vote(4, vote(b, t2_first)), LearnOutcome::Collision);
     }
@@ -332,11 +344,23 @@ mod tests {
         l.on_vote(1, vote(b, vec![(comm(1), OptionStatus::Accepted)]));
         l.on_vote(
             2,
-            vote(b, vec![(comm(1), OptionStatus::Rejected(AbortReason::DemarcationLimit))]),
+            vote(
+                b,
+                vec![(
+                    comm(1),
+                    OptionStatus::Rejected(AbortReason::DemarcationLimit),
+                )],
+            ),
         );
         let out = l.on_vote(
             3,
-            vote(b, vec![(comm(1), OptionStatus::Rejected(AbortReason::DemarcationLimit))]),
+            vote(
+                b,
+                vec![(
+                    comm(1),
+                    OptionStatus::Rejected(AbortReason::DemarcationLimit),
+                )],
+            ),
         );
         assert_eq!(out, LearnOutcome::Collision);
     }

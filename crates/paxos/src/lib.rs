@@ -36,7 +36,7 @@ pub mod learner;
 pub mod options;
 pub mod quorum;
 
-pub use acceptor::{AcceptorRecord, Phase1b, Phase2b, RecordSnapshot};
+pub use acceptor::{AcceptorRecord, AcceptorState, Phase1b, Phase2b, RecordSnapshot, Resolution};
 pub use ballot::{Ballot, BallotKind};
 pub use cstruct::CStruct;
 pub use demarcation::AttrConstraint;

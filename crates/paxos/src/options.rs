@@ -86,7 +86,11 @@ impl Eq for TxnOption {}
 
 impl fmt::Display for TxnOption {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = if self.is_commutative() { "comm" } else { "phys" };
+        let kind = if self.is_commutative() {
+            "comm"
+        } else {
+            "phys"
+        };
         write!(f, "ω({} on {}, {kind})", self.txn, self.key)
     }
 }

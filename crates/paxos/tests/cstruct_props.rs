@@ -53,7 +53,10 @@ fn build(letters: &[Letter]) -> CStruct {
             OptionStatus::Rejected(AbortReason::StaleRead)
         };
         // `append` dedupes by txn, mirroring acceptor behaviour.
-        c.append(TxnOption::solo(TxnId::new(NodeId(0), l.txn), key(), op), status);
+        c.append(
+            TxnOption::solo(TxnId::new(NodeId(0), l.txn), key(), op),
+            status,
+        );
     }
     c
 }
@@ -66,9 +69,8 @@ fn commuting_shuffle(letters: &[Letter], swaps: &[usize]) -> Vec<Letter> {
             break;
         }
         let i = s % (v.len() - 1);
-        let commute = |a: &Letter, b: &Letter| {
-            !a.accepted || !b.accepted || (a.commutative && b.commutative)
-        };
+        let commute =
+            |a: &Letter, b: &Letter| !a.accepted || !b.accepted || (a.commutative && b.commutative);
         if commute(&v[i], &v[i + 1]) {
             v.swap(i, i + 1);
         }

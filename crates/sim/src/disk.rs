@@ -1,0 +1,113 @@
+//! The simulated durable disk.
+//!
+//! Every process the world spawns owns one [`Disk`]: a byte-level store
+//! with an append-only write-ahead-log area and a single snapshot blob.
+//! [`crate::World::crash_node`] destroys a process's volatile state but
+//! leaves its disk untouched; [`crate::World::restart_node`] hands the
+//! replacement process whatever the old incarnation persisted.
+//!
+//! The disk is deliberately dumb — bytes in, bytes out. What the bytes
+//! mean (WAL framing, snapshot encoding) is the `mdcc-recovery` crate's
+//! business, keeping the simulator protocol-agnostic.
+
+/// Write counters a disk keeps about itself (metrics/reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// WAL appends performed.
+    pub wal_appends: u64,
+    /// Total WAL bytes ever appended (survives truncation).
+    pub wal_bytes_written: u64,
+    /// Snapshots installed.
+    pub snapshots_installed: u64,
+}
+
+/// One process's durable storage: a WAL area plus a snapshot blob.
+#[derive(Debug, Clone, Default)]
+pub struct Disk {
+    snapshot: Vec<u8>,
+    wal: Vec<u8>,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// An empty disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes to the WAL area (the caller frames its own records).
+    pub fn append_wal(&mut self, bytes: &[u8]) {
+        self.wal.extend_from_slice(bytes);
+        self.stats.wal_appends += 1;
+        self.stats.wal_bytes_written += bytes.len() as u64;
+    }
+
+    /// The current WAL contents, oldest byte first.
+    pub fn wal(&self) -> &[u8] {
+        &self.wal
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// Atomically replaces the snapshot and truncates the WAL — the
+    /// checkpoint/compaction step. (A real system writes the snapshot,
+    /// fsyncs, then truncates; the simulated disk is never torn.)
+    pub fn install_snapshot(&mut self, snapshot: Vec<u8>) {
+        self.snapshot = snapshot;
+        self.wal.clear();
+        self.stats.snapshots_installed += 1;
+    }
+
+    /// The current snapshot blob (empty if none was ever installed).
+    pub fn snapshot(&self) -> &[u8] {
+        &self.snapshot
+    }
+
+    /// True when nothing was ever persisted.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_empty() && self.wal.is_empty()
+    }
+
+    /// Write counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_accumulate_and_count() {
+        let mut d = Disk::new();
+        assert!(d.is_empty());
+        d.append_wal(b"ab");
+        d.append_wal(b"cd");
+        assert_eq!(d.wal(), b"abcd");
+        assert_eq!(d.wal_len(), 4);
+        assert_eq!(d.stats().wal_appends, 2);
+        assert_eq!(d.stats().wal_bytes_written, 4);
+    }
+
+    #[test]
+    fn snapshot_install_truncates_the_wal() {
+        let mut d = Disk::new();
+        d.append_wal(b"old-records");
+        d.install_snapshot(b"state".to_vec());
+        assert_eq!(d.snapshot(), b"state");
+        assert_eq!(d.wal_len(), 0, "WAL compacted away");
+        assert_eq!(d.stats().snapshots_installed, 1);
+        assert_eq!(
+            d.stats().wal_bytes_written,
+            11,
+            "historical write count survives truncation"
+        );
+        d.append_wal(b"new");
+        assert_eq!(d.wal(), b"new");
+        assert!(!d.is_empty());
+    }
+}

@@ -25,6 +25,10 @@ pub enum EventKind<M> {
         id: TimerId,
         /// Payload the process attached to the timer.
         msg: M,
+        /// Incarnation of `target` at the time the timer was set. A timer
+        /// armed by a crashed incarnation must not fire into its restarted
+        /// successor, so the world drops timers whose incarnation lags.
+        incarnation: u32,
     },
     /// Invoke `Process::on_start` for `target` (scheduled at spawn).
     Start,
@@ -160,9 +164,7 @@ mod tests {
         for i in 0..100u32 {
             q.push(t, NodeId(i), deliver(i));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.target.0)
-            .collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
@@ -177,9 +179,7 @@ mod tests {
         first.at = SimTime::from_millis(2);
         q.push_deferred(first);
         q.push(SimTime::from_millis(2), NodeId(2), deliver(2));
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.target.0)
-            .collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
         assert_eq!(order, vec![1, 0, 2]);
     }
 

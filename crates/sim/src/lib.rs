@@ -18,6 +18,7 @@
 //! broken by insertion order, and all randomness flows from one
 //! [`rand::rngs::SmallRng`].
 
+pub mod disk;
 pub mod event;
 pub mod net;
 pub mod presets;
@@ -25,6 +26,7 @@ pub mod process;
 pub mod topology;
 pub mod world;
 
+pub use disk::{Disk, DiskStats};
 pub use event::TimerId;
 pub use net::{LinkSpec, NetworkModel};
 pub use process::{Ctx, Process};

@@ -150,7 +150,11 @@ mod tests {
 
     #[test]
     fn links_are_symmetric_and_default_to_max() {
-        let net = NetworkModel::from_links(3, &[LinkSpec::new(0, 1, 80.0), LinkSpec::new(0, 2, 200.0)], 1.0);
+        let net = NetworkModel::from_links(
+            3,
+            &[LinkSpec::new(0, 1, 80.0), LinkSpec::new(0, 2, 200.0)],
+            1.0,
+        );
         assert_eq!(net.base_rtt_ms(DcId(1), DcId(0)), 80.0);
         assert_eq!(net.base_rtt_ms(DcId(0), DcId(2)), 200.0);
         // The 1-2 pair was unspecified: defaults to the max (200).
@@ -184,7 +188,10 @@ mod tests {
         }
         let mean = sum / TRIALS as f64;
         assert!(min < 50.0 && max > 50.0, "jitter must straddle the base");
-        assert!((mean - 50.0).abs() < 2.5, "mean should stay near 50, got {mean}");
+        assert!(
+            (mean - 50.0).abs() < 2.5,
+            "mean should stay near 50, got {mean}"
+        );
         assert!(max < 50.0 * 1.4, "truncated tail, got {max}");
     }
 

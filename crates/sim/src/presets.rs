@@ -16,7 +16,13 @@ pub const AP_SINGAPORE: DcId = DcId(3);
 pub const AP_TOKYO: DcId = DcId(4);
 
 /// Human-readable names of the five regions, indexed by [`DcId`].
-pub const DC_NAMES: [&str; 5] = ["us-west", "us-east", "eu-ireland", "ap-singapore", "ap-tokyo"];
+pub const DC_NAMES: [&str; 5] = [
+    "us-west",
+    "us-east",
+    "eu-ireland",
+    "ap-singapore",
+    "ap-tokyo",
+];
 
 /// The five-data-center network of the paper's evaluation (§5.1): US West
 /// (N. California), US East (Virginia), EU (Ireland), AP (Singapore) and

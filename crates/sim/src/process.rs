@@ -11,6 +11,7 @@ use std::any::Any;
 use mdcc_common::{NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
+use crate::disk::Disk;
 use crate::event::TimerId;
 
 /// An action a process asked the world to perform.
@@ -46,11 +47,13 @@ pub struct Ctx<'a, M> {
     pub rng: &'a mut SmallRng,
     effects: &'a mut Vec<Effect<M>>,
     next_timer: &'a mut u64,
+    disk: Option<&'a mut Disk>,
 }
 
 impl<'a, M> Ctx<'a, M> {
-    /// Creates a context; called by the world (and by tests that drive a
-    /// process by hand).
+    /// Creates a context with no durable disk attached; used by tests
+    /// that drive a process by hand. The world itself always attaches the
+    /// process's disk via [`Ctx::with_disk`].
     pub fn new(
         now: SimTime,
         self_id: NodeId,
@@ -64,7 +67,33 @@ impl<'a, M> Ctx<'a, M> {
             rng,
             effects,
             next_timer,
+            disk: None,
         }
+    }
+
+    /// Creates a context bound to the process's durable disk.
+    pub fn with_disk(
+        now: SimTime,
+        self_id: NodeId,
+        rng: &'a mut SmallRng,
+        effects: &'a mut Vec<Effect<M>>,
+        next_timer: &'a mut u64,
+        disk: &'a mut Disk,
+    ) -> Self {
+        Self {
+            now,
+            self_id,
+            rng,
+            effects,
+            next_timer,
+            disk: Some(disk),
+        }
+    }
+
+    /// The process's durable disk, if one is attached. Writes to it
+    /// survive [`crate::World::crash_node`] / [`crate::World::restart_node`].
+    pub fn disk(&mut self) -> Option<&mut Disk> {
+        self.disk.as_deref_mut()
     }
 
     /// Sends `msg` to `to`; latency and loss are the network model's call.
@@ -130,7 +159,13 @@ mod tests {
         let t = ctx.set_timer(SimDuration::from_millis(5), 20);
         ctx.cancel_timer(t);
         assert_eq!(effects.len(), 3);
-        assert!(matches!(effects[0], Effect::Send { to: NodeId(1), msg: 10 }));
+        assert!(matches!(
+            effects[0],
+            Effect::Send {
+                to: NodeId(1),
+                msg: 10
+            }
+        ));
         assert!(matches!(
             effects[1],
             Effect::SetTimer {
@@ -173,6 +208,12 @@ mod tests {
             &mut next_timer,
         );
         echo.on_message(NodeId(9), 41, &mut ctx);
-        assert!(matches!(effects[0], Effect::Send { to: NodeId(9), msg: 42 }));
+        assert!(matches!(
+            effects[0],
+            Effect::Send {
+                to: NodeId(9),
+                msg: 42
+            }
+        ));
     }
 }

@@ -6,6 +6,7 @@ use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::disk::Disk;
 use crate::event::{EventKind, EventQueue, TimerId};
 use crate::net::NetworkModel;
 use crate::process::{Ctx, Effect, Process};
@@ -55,6 +56,11 @@ pub struct World<M> {
     rng: SmallRng,
     busy_until: Vec<SimTime>,
     alive: Vec<bool>,
+    /// Bumped on every `restart_node`; timers armed by an older
+    /// incarnation are dropped when they fire.
+    incarnations: Vec<u32>,
+    /// Per-node durable storage; survives crash/restart.
+    disks: Vec<Disk>,
     dc_down: Vec<bool>,
     cancelled: HashSet<TimerId>,
     next_timer: u64,
@@ -76,6 +82,8 @@ impl<M: 'static> World<M> {
             rng: SmallRng::seed_from_u64(config.seed),
             busy_until: Vec::new(),
             alive: Vec::new(),
+            incarnations: Vec::new(),
+            disks: Vec::new(),
             dc_down: vec![false; dc_count],
             cancelled: HashSet::new(),
             next_timer: 0,
@@ -95,6 +103,8 @@ impl<M: 'static> World<M> {
         self.procs.push(Some(proc_));
         self.busy_until.push(SimTime::ZERO);
         self.alive.push(true);
+        self.incarnations.push(0);
+        self.disks.push(Disk::new());
         self.queue.push(self.now, id, EventKind::Start);
         id
     }
@@ -117,7 +127,8 @@ impl<M: 'static> World<M> {
     /// Injects a message from outside the simulation (tests only; regular
     /// traffic should originate in processes).
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.queue.push(self.now, to, EventKind::Deliver { from, msg });
+        self.queue
+            .push(self.now, to, EventKind::Deliver { from, msg });
     }
 
     /// Marks a node crashed: inbound messages drop, timers are suppressed,
@@ -127,14 +138,44 @@ impl<M: 'static> World<M> {
     }
 
     /// Revives a crashed node (its state is whatever it was at crash time,
-    /// mirroring a process restart with durable state).
+    /// mirroring a process *pause*; see [`World::restart_node`] for a real
+    /// restart that loses volatile state).
     pub fn revive_node(&mut self, node: NodeId) {
         self.alive[node.0 as usize] = true;
+    }
+
+    /// Restarts a crashed node as a fresh process: the old incarnation's
+    /// volatile state (including its pending timers) is gone, its disk is
+    /// preserved, and `proc_` — typically rebuilt from that disk — runs
+    /// `on_start` at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is still alive; crash it first.
+    pub fn restart_node(&mut self, node: NodeId, proc_: Box<dyn Process<M>>) {
+        let idx = node.0 as usize;
+        assert!(!self.alive[idx], "restart of a live node: crash it first");
+        self.procs[idx] = Some(proc_);
+        self.alive[idx] = true;
+        self.incarnations[idx] += 1;
+        self.busy_until[idx] = self.now;
+        self.queue.push(self.now, node, EventKind::Start);
     }
 
     /// True if the node is currently alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.alive[node.0 as usize]
+    }
+
+    /// Read access to a node's durable disk.
+    pub fn disk(&self, node: NodeId) -> &Disk {
+        &self.disks[node.0 as usize]
+    }
+
+    /// Write access to a node's durable disk (harness-side setup, e.g.
+    /// seeding an initial checkpoint before the simulation starts).
+    pub fn disk_mut(&mut self, node: NodeId) -> &mut Disk {
+        &mut self.disks[node.0 as usize]
     }
 
     /// Simulates a data-center outage the way the paper does (§5.3.4):
@@ -184,9 +225,16 @@ impl<M: 'static> World<M> {
                     self.dispatch(target, DispatchKind::Start);
                 }
             }
-            EventKind::Timer { id, msg } => {
+            EventKind::Timer {
+                id,
+                msg,
+                incarnation,
+            } => {
                 self.now = ev.at;
-                if self.cancelled.remove(&id) || !self.alive[idx] {
+                if self.cancelled.remove(&id)
+                    || !self.alive[idx]
+                    || incarnation != self.incarnations[idx]
+                {
                     return true;
                 }
                 self.stats.timers_fired += 1;
@@ -247,12 +295,13 @@ impl<M: 'static> World<M> {
         };
         let mut effects = std::mem::take(&mut self.effects_scratch);
         {
-            let mut ctx = Ctx::new(
+            let mut ctx = Ctx::with_disk(
                 self.now,
                 target,
                 &mut self.rng,
                 &mut effects,
                 &mut self.next_timer,
+                &mut self.disks[idx],
             );
             match kind {
                 DispatchKind::Start => proc_.on_start(&mut ctx),
@@ -275,15 +324,26 @@ impl<M: 'static> World<M> {
                 let to_dc = self.topology.dc_of(to);
                 match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
                     Some(delay) => {
-                        self.queue
-                            .push(self.now + delay, to, EventKind::Deliver { from: source, msg });
+                        self.queue.push(
+                            self.now + delay,
+                            to,
+                            EventKind::Deliver { from: source, msg },
+                        );
                     }
                     None => self.stats.dropped += 1,
                 }
             }
             Effect::SetTimer { id, delay, msg } => {
-                self.queue
-                    .push(self.now + delay, source, EventKind::Timer { id, msg });
+                let incarnation = self.incarnations[source.0 as usize];
+                self.queue.push(
+                    self.now + delay,
+                    source,
+                    EventKind::Timer {
+                        id,
+                        msg,
+                        incarnation,
+                    },
+                );
             }
             Effect::CancelTimer(id) => {
                 self.cancelled.insert(id);
@@ -468,6 +528,97 @@ mod tests {
         w.run_to_quiescence();
         assert_eq!(w.get::<T>(n).unwrap().fired, vec![1, 3]);
         assert_eq!(w.stats().timers_fired, 2);
+    }
+
+    /// Counts its own timer ticks and persists each tick to its disk.
+    struct Ticker {
+        period: SimDuration,
+        ticks: u32,
+    }
+    impl Process<u32> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: u32, _ctx: &mut Ctx<'_, u32>) {}
+        fn on_timer(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.ticks += 1;
+            if let Some(disk) = ctx.disk() {
+                disk.append_wal(&[self.ticks as u8]);
+            }
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    #[test]
+    fn restart_replaces_the_process_and_preserves_the_disk() {
+        let net = NetworkModel::uniform(1, 0.0, 1.0);
+        let mut w: World<u32> = World::new(net, WorldConfig::default());
+        let n = w.spawn(
+            DcId(0),
+            Box::new(Ticker {
+                period: SimDuration::from_millis(10),
+                ticks: 0,
+            }),
+        );
+        w.run_until(SimTime::from_millis(35));
+        assert_eq!(w.get::<Ticker>(n).unwrap().ticks, 3);
+        assert_eq!(w.disk(n).wal(), &[1, 2, 3]);
+
+        w.crash_node(n);
+        w.run_until(SimTime::from_millis(75));
+        assert_eq!(
+            w.get::<Ticker>(n).unwrap().ticks,
+            3,
+            "dead nodes tick no timers"
+        );
+
+        w.restart_node(
+            n,
+            Box::new(Ticker {
+                period: SimDuration::from_millis(10),
+                ticks: 0,
+            }),
+        );
+        w.run_until(SimTime::from_millis(105));
+        let t = w.get::<Ticker>(n).unwrap();
+        assert_eq!(t.ticks, 3, "fresh process restarted its own timer chain");
+        assert_eq!(
+            w.disk(n).wal(),
+            &[1, 2, 3, 1, 2, 3],
+            "disk survived the crash; new incarnation appended"
+        );
+    }
+
+    #[test]
+    fn stale_incarnation_timers_never_fire() {
+        // The old incarnation arms a timer far in the future; after a
+        // crash + restart the timer must not leak into the new process.
+        let net = NetworkModel::uniform(1, 0.0, 1.0);
+        let mut w: World<u32> = World::new(net, WorldConfig::default());
+        let n = w.spawn(
+            DcId(0),
+            Box::new(Ticker {
+                period: SimDuration::from_secs(1),
+                ticks: 0,
+            }),
+        );
+        w.run_until(SimTime::from_millis(1)); // arms the first timer
+        w.crash_node(n);
+        w.restart_node(
+            n,
+            Box::new(Ticker {
+                period: SimDuration::from_secs(10),
+                ticks: 0,
+            }),
+        );
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(
+            w.get::<Ticker>(n).unwrap().ticks,
+            0,
+            "the 1 s timer belonged to the dead incarnation"
+        );
+        w.run_until(SimTime::from_secs(11));
+        assert_eq!(w.get::<Ticker>(n).unwrap().ticks, 1, "own timer fires");
     }
 
     #[test]

@@ -32,6 +32,11 @@ impl Process<u32> for Gossip {
     }
 }
 
+/// Per-node receive logs plus world counters — the full observable
+/// trace of one run.
+type Trace = (Vec<Vec<(SimTime, NodeId, u32)>>, mdcc_sim::WorldStats);
+
+#[allow(clippy::too_many_arguments)]
 fn run(
     seed: u64,
     dcs: usize,
@@ -40,7 +45,7 @@ fn run(
     jitter: f64,
     drop: f64,
     service_us: u64,
-) -> (Vec<Vec<(SimTime, NodeId, u32)>>, mdcc_sim::WorldStats) {
+) -> Trace {
     let net = NetworkModel::uniform(dcs, rtt, 1.0)
         .with_jitter(jitter)
         .with_drop_prob(drop);

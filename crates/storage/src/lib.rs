@@ -20,4 +20,4 @@ pub mod store;
 pub use log::{LogEvent, OptionLog};
 pub use mdcc_paxos::AttrConstraint;
 pub use schema::{Catalog, TableSchema};
-pub use store::{PendingTxn, RecordStore};
+pub use store::{PendingTxn, RecordStore, StoreState};

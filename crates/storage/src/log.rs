@@ -82,7 +82,9 @@ impl OptionLog {
     /// The final outcome logged for `txn`, if any.
     pub fn outcome_of(&self, txn: TxnId) -> Option<TxnOutcome> {
         self.entries.iter().rev().find_map(|(_, e)| match e {
-            LogEvent::Outcome { txn: t, outcome, .. } if *t == txn => Some(*outcome),
+            LogEvent::Outcome {
+                txn: t, outcome, ..
+            } if *t == txn => Some(*outcome),
             _ => None,
         })
     }

@@ -99,7 +99,9 @@ mod tests {
     fn catalog_lookup_and_constraints() {
         let items = TableSchema::new(TableId(1), "item")
             .with_constraint(AttrConstraint::at_least("stock", 0));
-        let catalog = Catalog::new().with(items).with(TableSchema::new(TableId(2), "orders"));
+        let catalog = Catalog::new()
+            .with(items)
+            .with(TableSchema::new(TableId(2), "orders"));
         assert_eq!(catalog.len(), 2);
         assert_eq!(catalog.table(TableId(1)).unwrap().name, "item");
         let k = catalog.table(TableId(1)).unwrap().key("i1");

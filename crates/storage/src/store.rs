@@ -5,10 +5,26 @@ use std::sync::Arc;
 
 use mdcc_common::{Key, ProtocolConfig, Row, SimTime, TxnId, Version};
 use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase1b, Phase2a};
-use mdcc_paxos::{AcceptorRecord, Ballot, OptionStatus, TxnOption, TxnOutcome};
+use mdcc_paxos::{
+    AcceptorRecord, AcceptorState, Ballot, OptionStatus, RecordSnapshot, Resolution, TxnOption,
+    TxnOutcome,
+};
 
 use crate::log::{LogEvent, OptionLog};
 use crate::schema::Catalog;
+
+/// The full durable state of a [`RecordStore`], exported for checkpoints
+/// and re-imported on node restart. Collections are sorted so two equal
+/// stores export identically.
+#[derive(Debug)]
+pub struct StoreState {
+    /// Per-record acceptor state, sorted by key.
+    pub records: Vec<(Key, AcceptorState)>,
+    /// Outstanding (accepted, unresolved) transactions, sorted by id.
+    pub pending: Vec<PendingTxn>,
+    /// The learned-option log, oldest first.
+    pub log: Vec<(SimTime, LogEvent)>,
+}
 
 /// A transaction with an outstanding (accepted, unresolved) option on this
 /// node — the raw material of dangling-transaction detection (§3.2.3).
@@ -174,6 +190,118 @@ impl RecordStore {
         advanced
     }
 
+    /// All keys this store holds, sorted (deterministic iteration for
+    /// sync sweeps and checkpoints).
+    pub fn keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self.records.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// The committed state of every record — `(key, version, value)`
+    /// sorted by key. This is the paper-visible state of a storage node:
+    /// the recovery audit compares it byte-for-byte across replicas.
+    pub fn committed_state(&self) -> Vec<(Key, Version, Option<Row>)> {
+        let mut out: Vec<(Key, Version, Option<Row>)> = self
+            .records
+            .iter()
+            .map(|(k, r)| (k.clone(), r.version(), r.value().cloned()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Exports the store's full durable state for a checkpoint.
+    pub fn export_state(&self) -> StoreState {
+        let mut records: Vec<(Key, AcceptorState)> = self
+            .records
+            .iter()
+            .map(|(k, r)| (k.clone(), r.export_state()))
+            .collect();
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        StoreState {
+            records,
+            pending: self.pending.values().cloned().collect(),
+            log: self.log.iter().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a store from an exported state (restart path).
+    pub fn from_state(cfg: ProtocolConfig, catalog: Arc<Catalog>, state: StoreState) -> Self {
+        let mut store = Self::new(cfg, catalog);
+        for (key, acceptor) in state.records {
+            let rec = AcceptorRecord::from_state(
+                store.catalog.constraints_for(&key),
+                store.cfg.replication,
+                store.cfg.fast_quorum,
+                store.cfg.max_instance_options,
+                acceptor,
+            );
+            store.records.insert(key, rec);
+        }
+        for p in state.pending {
+            store.pending.insert(p.txn, p);
+        }
+        let mut log = OptionLog::new();
+        for (at, event) in state.log {
+            log.push(at, event);
+        }
+        store.log = log;
+        store
+    }
+
+    /// True when [`RecordStore::sync_from_peer`] with these arguments
+    /// would change state (pre-check before WAL-logging the sync).
+    pub fn sync_relevant(
+        &self,
+        key: &Key,
+        snapshot: &RecordSnapshot,
+        resolved: &[(TxnOption, Resolution)],
+    ) -> bool {
+        match self.records.get(key) {
+            Some(rec) => rec.sync_would_change(snapshot, resolved),
+            None => snapshot.version > Version::ZERO || !resolved.is_empty(),
+        }
+    }
+
+    /// Applies a peer's committed state for one record (anti-entropy
+    /// after a restart, see [`AcceptorRecord::sync_from_peer`]). Returns
+    /// `true` when local state changed.
+    pub fn sync_from_peer(
+        &mut self,
+        key: &Key,
+        snapshot: &RecordSnapshot,
+        resolved: &[(TxnOption, Resolution)],
+        now: SimTime,
+    ) -> bool {
+        if snapshot.version == Version::ZERO && resolved.is_empty() {
+            return false;
+        }
+        let rec = self.record_mut(key);
+        let newly_resolved: Vec<TxnId> = resolved
+            .iter()
+            .map(|(opt, _)| opt.txn)
+            .filter(|txn| rec.outcome_of(*txn).is_none())
+            .collect();
+        let changed = rec.sync_from_peer(snapshot, resolved);
+        if changed {
+            for (opt, resolution) in resolved {
+                if newly_resolved.contains(&opt.txn) {
+                    self.log.push(
+                        now,
+                        LogEvent::Outcome {
+                            txn: opt.txn,
+                            key: key.clone(),
+                            outcome: resolution.outcome,
+                        },
+                    );
+                }
+                self.pending.remove(&opt.txn);
+            }
+        }
+        changed
+    }
+
     /// Transactions whose options have been outstanding on this node for
     /// longer than the dangling timeout — candidates for recovery.
     pub fn dangling(&self, now: SimTime) -> Vec<PendingTxn> {
@@ -197,14 +325,7 @@ impl RecordStore {
         status: OptionStatus,
         peers: Arc<[Key]>,
     ) {
-        self.log.push(
-            now,
-            LogEvent::Decided {
-                txn,
-                key,
-                status,
-            },
-        );
+        self.log.push(now, LogEvent::Decided { txn, key, status });
         if status.is_accepted() {
             self.pending.entry(txn).or_insert(PendingTxn {
                 txn,
@@ -222,10 +343,12 @@ mod tests {
     use mdcc_paxos::AttrConstraint;
 
     fn catalog() -> Arc<Catalog> {
-        Arc::new(Catalog::new().with(
-            crate::schema::TableSchema::new(TableId(1), "item")
-                .with_constraint(AttrConstraint::at_least("stock", 0)),
-        ))
+        Arc::new(
+            Catalog::new().with(
+                crate::schema::TableSchema::new(TableId(1), "item")
+                    .with_constraint(AttrConstraint::at_least("stock", 0)),
+            ),
+        )
     }
 
     fn store() -> RecordStore {
@@ -266,7 +389,13 @@ mod tests {
         assert_eq!(s.pending_len(), 1);
         assert_eq!(s.log().len(), 1);
         // Resolution clears the pending set and logs the outcome.
-        s.apply_visibility(&key("i1"), txn(1), TxnOutcome::Committed, true, SimTime::from_millis(20));
+        s.apply_visibility(
+            &key("i1"),
+            txn(1),
+            TxnOutcome::Committed,
+            true,
+            SimTime::from_millis(20),
+        );
         assert_eq!(s.pending_len(), 0);
         assert_eq!(s.log().outcome_of(txn(1)), Some(TxnOutcome::Committed));
         let (_, row) = s.read_committed(&key("i1")).unwrap();
@@ -295,15 +424,93 @@ mod tests {
         let opt = TxnOption::solo(
             txn(1),
             key("i1"),
-            UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 1))),
+            UpdateOp::Physical(PhysicalUpdate::write(
+                Version(1),
+                Row::new().with("stock", 1),
+            )),
         );
         s.fast_propose(opt, SimTime::ZERO);
         let timeout = ProtocolConfig::default().dangling_timeout;
-        assert!(s.dangling(SimTime::ZERO + timeout - SimDuration::from_millis(1)).is_empty());
+        assert!(s
+            .dangling(SimTime::ZERO + timeout - SimDuration::from_millis(1))
+            .is_empty());
         let d = s.dangling(SimTime::ZERO + timeout);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].txn, txn(1));
         assert_eq!(&*d[0].peers, &[key("i1")]);
+    }
+
+    #[test]
+    fn export_import_round_trip_is_exact() {
+        let mut s = store();
+        s.load(key("i1"), Row::new().with("stock", 9));
+        s.load(key("i2"), Row::new().with("stock", 4));
+        let now = SimTime::from_millis(5);
+        s.fast_propose(
+            TxnOption::solo(
+                txn(1),
+                key("i1"),
+                UpdateOp::Commutative(CommutativeUpdate::delta("stock", -2)),
+            ),
+            now,
+        );
+        s.apply_visibility(&key("i1"), txn(1), TxnOutcome::Committed, true, now);
+        s.fast_propose(
+            TxnOption::solo(
+                txn(2),
+                key("i2"),
+                UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+            ),
+            now,
+        );
+
+        let rebuilt =
+            RecordStore::from_state(ProtocolConfig::default(), catalog(), s.export_state());
+        assert_eq!(rebuilt.committed_state(), s.committed_state());
+        assert_eq!(rebuilt.pending_len(), s.pending_len());
+        assert_eq!(rebuilt.log().len(), s.log().len());
+        assert_eq!(
+            format!("{:?}", rebuilt.export_state()),
+            format!("{:?}", s.export_state()),
+            "export ∘ import ∘ export is the identity"
+        );
+    }
+
+    #[test]
+    fn sync_from_peer_clears_pending_and_logs_outcomes() {
+        let mut s = store();
+        s.load(key("i1"), Row::new().with("stock", 9));
+        let now = SimTime::from_millis(3);
+        let opt = TxnOption::solo(
+            txn(1),
+            key("i1"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -2)),
+        );
+        s.fast_propose(opt.clone(), now);
+        assert_eq!(s.pending_len(), 1);
+        // A peer reports the same version with the option resolved.
+        let peer_snapshot = mdcc_paxos::RecordSnapshot {
+            version: Version(1),
+            value: Some(Row::new().with("stock", 7)),
+            folded: Vec::new(),
+        };
+        let resolved = vec![(
+            opt,
+            mdcc_paxos::Resolution {
+                outcome: TxnOutcome::Committed,
+                learned_accepted: true,
+            },
+        )];
+        assert!(s.sync_from_peer(
+            &key("i1"),
+            &peer_snapshot,
+            &resolved,
+            SimTime::from_millis(9)
+        ));
+        assert_eq!(s.pending_len(), 0, "synced resolution clears pending");
+        assert_eq!(s.log().outcome_of(txn(1)), Some(TxnOutcome::Committed));
+        let (_, row) = s.read_committed(&key("i1")).unwrap();
+        assert_eq!(row.get_int("stock"), Some(7));
     }
 
     #[test]
@@ -313,11 +520,18 @@ mod tests {
         let opt = TxnOption::solo(
             txn(1),
             key("i1"),
-            UpdateOp::Physical(PhysicalUpdate::write(Version(1), Row::new().with("stock", 0))),
+            UpdateOp::Physical(PhysicalUpdate::write(
+                Version(1),
+                Row::new().with("stock", 0),
+            )),
         );
         s.fast_propose(opt, SimTime::ZERO);
         let (v, row) = s.read_committed(&key("i1")).unwrap();
         assert_eq!(v, Version(1));
-        assert_eq!(row.get_int("stock"), Some(7), "read committed, not the option");
+        assert_eq!(
+            row.get_int("stock"),
+            Some(7),
+            "read committed, not the option"
+        );
     }
 }

@@ -240,7 +240,10 @@ impl Transaction for BuyTxn {
             let Some((_, version, _)) = reads.iter().find(|(k, _, _)| k == key) else {
                 return TxnAction::ClientAbort;
             };
-            updates.push(RecordUpdate::new(key.clone(), UpdateOp::ReadGuard(*version)));
+            updates.push(RecordUpdate::new(
+                key.clone(),
+                UpdateOp::ReadGuard(*version),
+            ));
         }
         TxnAction::Commit(updates)
     }

@@ -101,13 +101,19 @@ mod tests {
             .map(|(_, w)| w)
             .sum();
         assert_eq!(writes, 1_353 + 1_286 + 1_018 + 11);
-        assert!((3_000..4_500).contains(&writes), "ordering mix is write-heavy");
+        assert!(
+            (3_000..4_500).contains(&writes),
+            "ordering mix is write-heavy"
+        );
     }
 
     #[test]
     fn from_draw_covers_the_whole_range() {
         assert_eq!(WebInteraction::from_draw(0), WebInteraction::Home);
-        assert_eq!(WebInteraction::from_draw(9_999), WebInteraction::AdminConfirm);
+        assert_eq!(
+            WebInteraction::from_draw(9_999),
+            WebInteraction::AdminConfirm
+        );
         // Boundary: first draw after Home's 912 goes to NewProducts.
         assert_eq!(WebInteraction::from_draw(912), WebInteraction::NewProducts);
     }
@@ -116,7 +122,9 @@ mod tests {
     fn from_draw_distribution_matches_weights() {
         let mut counts = std::collections::HashMap::new();
         for draw in 0..10_000 {
-            *counts.entry(WebInteraction::from_draw(draw)).or_insert(0u32) += 1;
+            *counts
+                .entry(WebInteraction::from_draw(draw))
+                .or_insert(0u32) += 1;
         }
         for (wi, weight) in ORDERING_MIX {
             assert_eq!(counts[&wi], weight, "{wi:?}");

@@ -7,9 +7,7 @@
 //! decrements each purchased item's stock under the `stock ≥ 0`
 //! constraint.
 
-use mdcc_common::{
-    CommutativeUpdate, Key, PhysicalUpdate, RecordUpdate, Row, UpdateOp, Version,
-};
+use mdcc_common::{CommutativeUpdate, Key, PhysicalUpdate, RecordUpdate, Row, UpdateOp, Version};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -71,17 +69,22 @@ pub fn initial_data(cfg: &TpcwConfig, seed: u64) -> Vec<(Key, Row)> {
                 .with(STOCK, stock)
                 .with("price", price)
                 .with("title", format!("book-{i}"))
-                .with("author", (i % cfg.items.max(1).min(500)) as i64),
+                .with("author", (i % cfg.items.clamp(1, 500)) as i64),
         ));
     }
     for c in 0..cfg.customers {
         rows.push((
             customer_key(c),
-            Row::new().with("name", format!("customer-{c}")).with("discount", (c % 50) as i64),
+            Row::new()
+                .with("name", format!("customer-{c}"))
+                .with("discount", (c % 50) as i64),
         ));
     }
     for a in 0..cfg.items.min(500) {
-        rows.push((author_key(a), Row::new().with("name", format!("author-{a}"))));
+        rows.push((
+            author_key(a),
+            Row::new().with("name", format!("author-{a}")),
+        ));
     }
     rows
 }
@@ -182,7 +185,10 @@ impl TpcwWorkload {
                 let item = self.random_item(rng);
                 TpcwTxn::read_only(
                     "product-detail",
-                    vec![item_key(item), author_key(item % self.cfg.items.max(1).min(500))],
+                    vec![
+                        item_key(item),
+                        author_key(item % self.cfg.items.clamp(1, 500)),
+                    ],
                 )
             }
             WebInteraction::SearchRequest => {
@@ -196,7 +202,6 @@ impl TpcwWorkload {
                 let qty: i64 = rng.gen_range(1..=3);
                 let cart = self.cart_key();
                 let line = self.cart_line_key(item);
-                let first_touch = !self.cart_created;
                 self.cart_created = true;
                 match self.cart_items.iter_mut().find(|(i, _)| *i == item) {
                     Some((_, q)) => *q += qty,
@@ -211,7 +216,6 @@ impl TpcwWorkload {
                         line,
                         qty,
                         item,
-                        first_touch,
                     },
                 }
             }
@@ -342,7 +346,6 @@ enum WritePlan {
         line: Key,
         item: u64,
         qty: i64,
-        first_touch: bool,
     },
     Register {
         customer: Key,
@@ -387,9 +390,10 @@ fn find<'a>(
 /// Insert if absent, version-checked overwrite otherwise.
 fn upsert(reads: &[(Key, Version, Option<Row>)], key: &Key, row: Row) -> RecordUpdate {
     match find(reads, key) {
-        Some((_, version, Some(_))) => {
-            RecordUpdate::new(key.clone(), UpdateOp::Physical(PhysicalUpdate::write(*version, row)))
-        }
+        Some((_, version, Some(_))) => RecordUpdate::new(
+            key.clone(),
+            UpdateOp::Physical(PhysicalUpdate::write(*version, row)),
+        ),
         _ => RecordUpdate::new(key.clone(), UpdateOp::Physical(PhysicalUpdate::insert(row))),
     }
 }
@@ -407,15 +411,10 @@ impl Transaction for TpcwTxn {
                 line,
                 item,
                 qty,
-                first_touch,
             } => {
                 let mut updates = Vec::new();
                 let cart_row = Row::new().with("status", "active").with("touched", *qty);
-                if *first_touch {
-                    updates.push(upsert(reads, cart, cart_row));
-                } else {
-                    updates.push(upsert(reads, cart, cart_row));
-                }
+                updates.push(upsert(reads, cart, cart_row));
                 let line_row = Row::new().with("item", *item as i64).with("qty", *qty);
                 updates.push(upsert(reads, line, line_row));
                 TxnAction::Commit(updates)
@@ -466,9 +465,7 @@ impl Transaction for TpcwTxn {
                     updates.push(RecordUpdate::new(
                         Key::new(tables::ORDER_LINE, format!("{line_prefix}-{n}")),
                         UpdateOp::Physical(PhysicalUpdate::insert(
-                            Row::new()
-                                .with("item", item.pk.as_str())
-                                .with("qty", *qty),
+                            Row::new().with("item", item.pk.as_str()).with("qty", *qty),
                         )),
                     ));
                 }
@@ -484,11 +481,7 @@ impl Transaction for TpcwTxn {
                 ));
                 // Close the cart (upsert: sessions may buy without ever
                 // touching the cart pages).
-                updates.push(upsert(
-                    reads,
-                    cart,
-                    Row::new().with("status", "purchased"),
-                ));
+                updates.push(upsert(reads, cart, Row::new().with("status", "purchased")));
                 TxnAction::Commit(updates)
             }
             WritePlan::AdminUpdate { item, new_price } => {
@@ -545,7 +538,10 @@ mod tests {
             .iter()
             .filter(|(k, _)| k.table == tables::CUSTOMER)
             .count();
-        let authors = data.iter().filter(|(k, _)| k.table == tables::AUTHOR).count();
+        let authors = data
+            .iter()
+            .filter(|(k, _)| k.table == tables::AUTHOR)
+            .count();
         assert_eq!(items, 1_000);
         assert_eq!(customers, 1_000);
         assert_eq!(authors, 500);
@@ -594,7 +590,10 @@ mod tests {
         let mut w = TpcwWorkload::new(c);
         let mut rng = SmallRng::seed_from_u64(4);
         let mut buy = w.build(WebInteraction::BuyConfirm, &mut rng);
-        assert!(matches!(buy.decide(&rows_for(&buy, 0)), TxnAction::ClientAbort));
+        assert!(matches!(
+            buy.decide(&rows_for(&buy, 0)),
+            TxnAction::ClientAbort
+        ));
     }
 
     #[test]

@@ -48,7 +48,11 @@ fn main() {
     let mut before = Vec::new();
     let mut after = Vec::new();
     for (t, avg, count) in &series {
-        let marker = if (*t - 55.0).abs() < 2.5 { "  <- outage" } else { "" };
+        let marker = if (*t - 55.0).abs() < 2.5 {
+            "  <- outage"
+        } else {
+            ""
+        };
         println!("{t:>6.0} {avg:>12.1} {count:>8}{marker}");
         if *count > 0 {
             if *t < 55.0 {
@@ -64,5 +68,8 @@ fn main() {
         mean(&before),
         mean(&after)
     );
-    assert!(series.iter().all(|(_, _, count)| *count > 0), "availability preserved");
+    assert!(
+        series.iter().all(|(_, _, count)| *count > 0),
+        "availability preserved"
+    );
 }

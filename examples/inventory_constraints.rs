@@ -110,9 +110,8 @@ fn main() {
 
     // MDCC: the demarcation limit L = (N−Qf)/N · X makes storage nodes
     // reject options that could oversell, whatever the message order.
-    let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
-        Box::new(OneBuy { done: false })
-    };
+    let mut factory =
+        |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> { Box::new(OneBuy { done: false }) };
     let (report, _) = run_mdcc(&spec(), catalog(), &data, &mut factory, MdccMode::Full);
     let commits = report.write_commits();
     let aborts = report.write_aborts();
@@ -123,12 +122,14 @@ fn main() {
 
     // Quorum writes: no constraint machinery at all — every buyer
     // "succeeds" and the inventory goes negative.
-    let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
-        Box::new(OneBuy { done: false })
-    };
+    let mut factory =
+        |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> { Box::new(OneBuy { done: false }) };
     let qw = run_qw(&spec(), catalog(), &data, &mut factory, 3);
     let qw_commits = qw.write_commits();
-    println!("\nQW-3 : {qw_commits} \"committed\" — stock is now {}", 4 - qw_commits as i64);
+    println!(
+        "\nQW-3 : {qw_commits} \"committed\" — stock is now {}",
+        4 - qw_commits as i64
+    );
     if qw_commits as i64 > 4 {
         println!("       the eventually consistent baseline oversold the item");
     }

@@ -21,7 +21,10 @@ use mdcc::workloads::Workload;
 fn tpcw_catalog() -> Arc<Catalog> {
     Arc::new(
         Catalog::new()
-            .with(TableSchema::new(tables::ITEM, "item").with_constraint(AttrConstraint::at_least(STOCK, 0)))
+            .with(
+                TableSchema::new(tables::ITEM, "item")
+                    .with_constraint(AttrConstraint::at_least(STOCK, 0)),
+            )
             .with(TableSchema::new(tables::CUSTOMER, "customer"))
             .with(TableSchema::new(tables::ORDERS, "orders"))
             .with(TableSchema::new(tables::ORDER_LINE, "order_line"))
@@ -46,7 +49,10 @@ fn main() {
     let data = initial_data(&TpcwConfig::with_scale(ITEMS, 0), 7);
 
     let mut factory = |client: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
-        Box::new(TpcwWorkload::new(TpcwConfig::with_scale(ITEMS, client as u64)))
+        Box::new(TpcwWorkload::new(TpcwConfig::with_scale(
+            ITEMS,
+            client as u64,
+        )))
     };
     let (report, stats) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
 
@@ -76,7 +82,10 @@ fn main() {
     // The same storefront on 2PC: two wide-area round trips to all five
     // data centers per write.
     let mut factory = |client: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
-        Box::new(TpcwWorkload::new(TpcwConfig::with_scale(ITEMS, client as u64)))
+        Box::new(TpcwWorkload::new(TpcwConfig::with_scale(
+            ITEMS,
+            client as u64,
+        )))
     };
     let tpc = run_tpc(&spec, catalog, &data, &mut factory);
     println!(

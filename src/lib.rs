@@ -13,13 +13,14 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`common`] | ids, simulated time, rows, updates, placement, config |
-//! | [`sim`] | deterministic multi-data-center discrete-event simulator |
+//! | [`sim`] | deterministic multi-data-center discrete-event simulator + durable disks |
 //! | [`paxos`] | ballots, options, cstructs, acceptor/leader/learner, demarcation |
 //! | [`storage`] | schema catalog, versioned record store, option log |
+//! | [`recovery`] | WAL format, checkpoints, crash-recovery replay |
 //! | [`core`] | the MDCC protocol: storage-node process + transaction manager |
 //! | [`baselines`] | quorum writes, two-phase commit, Megastore* |
 //! | [`workloads`] | TPC-W and the paper's micro-benchmark |
-//! | [`cluster`] | five-DC harness, closed-loop clients, metrics |
+//! | [`cluster`] | five-DC harness, closed-loop clients, fault schedules, metrics |
 //!
 //! ## Quickstart
 //!
@@ -58,7 +59,7 @@
 
 /// Baseline protocols: quorum writes, 2PC, Megastore*.
 pub use mdcc_baselines as baselines;
-/// The five-data-center experiment harness and metrics.
+/// The five-data-center experiment harness, fault schedules and metrics.
 pub use mdcc_cluster as cluster;
 /// Shared vocabulary types (ids, time, rows, updates, placement).
 pub use mdcc_common as common;
@@ -66,7 +67,9 @@ pub use mdcc_common as common;
 pub use mdcc_core as core;
 /// Paxos machinery: ballots, cstructs, acceptors, leaders, learners.
 pub use mdcc_paxos as paxos;
-/// The deterministic discrete-event simulator.
+/// Durability: WAL format, checkpoints, crash-recovery replay.
+pub use mdcc_recovery as recovery;
+/// The deterministic discrete-event simulator (with durable disks).
 pub use mdcc_sim as sim;
 /// Schema catalog and versioned record store.
 pub use mdcc_storage as storage;
@@ -76,8 +79,8 @@ pub use mdcc_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mdcc_cluster::{
-        run_megastore, run_mdcc, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode,
-        NetKind, Report,
+        run_mdcc, run_megastore, run_qw, run_tpc, ClientPlacement, ClusterSpec, FaultEvent,
+        FaultPlan, MdccMode, NetKind, Report,
     };
     pub use mdcc_common::{
         DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimDuration, SimTime, TxnId,

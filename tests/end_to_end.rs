@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use mdcc::cluster::{run_megastore, run_mdcc, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind};
+use mdcc::cluster::{
+    run_mdcc, run_megastore, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
+};
 use mdcc::common::{DcId, ProtocolConfig, SimDuration};
 use mdcc::storage::{AttrConstraint, Catalog, TableSchema};
 use mdcc::workloads::micro::{initial_items, MicroConfig, MicroWorkload, MICRO_ITEMS};
@@ -19,7 +21,10 @@ fn tpcw_catalog() -> Arc<Catalog> {
     use tpcw::tables as t;
     Arc::new(
         Catalog::new()
-            .with(TableSchema::new(t::ITEM, "item").with_constraint(AttrConstraint::at_least(tpcw::STOCK, 0)))
+            .with(
+                TableSchema::new(t::ITEM, "item")
+                    .with_constraint(AttrConstraint::at_least(tpcw::STOCK, 0)),
+            )
             .with(TableSchema::new(t::CUSTOMER, "customer"))
             .with(TableSchema::new(t::ORDERS, "orders"))
             .with(TableSchema::new(t::ORDER_LINE, "order_line"))
@@ -41,7 +46,9 @@ fn small_spec(seed: u64) -> ClusterSpec {
     }
 }
 
-fn micro_factory(items: u64) -> impl FnMut(usize, DcId, &Arc<mdcc::common::StaticPlacement>) -> Box<dyn Workload> {
+fn micro_factory(
+    items: u64,
+) -> impl FnMut(usize, DcId, &Arc<mdcc::common::StaticPlacement>) -> Box<dyn Workload> {
     move |_c, _dc, _p| {
         Box::new(MicroWorkload::new(MicroConfig {
             items,
@@ -65,7 +72,10 @@ fn facade_quickstart_runs_and_reports_consistently() {
         report.write_latencies_ms().len(),
         "latency samples = committed writes"
     );
-    assert!(stats.committed as usize >= commits, "stats cover the window and more");
+    assert!(
+        stats.committed as usize >= commits,
+        "stats cover the window and more"
+    );
     let cdf = report.write_cdf(50);
     assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
     assert_eq!(cdf.last().map(|(_, f)| *f), Some(1.0));
@@ -78,7 +88,10 @@ fn tpcw_runs_on_every_protocol_with_sane_orderings() {
     let items = 1_000u64;
     let data = tpcw::initial_data(&TpcwConfig::with_scale(items, 0), 7);
     let factory = |commutative: bool| {
-        move |client: usize, _dc: DcId, _p: &Arc<mdcc::common::StaticPlacement>| -> Box<dyn Workload> {
+        move |client: usize,
+              _dc: DcId,
+              _p: &Arc<mdcc::common::StaticPlacement>|
+              -> Box<dyn Workload> {
             let mut cfg = TpcwConfig::with_scale(items, client as u64);
             cfg.commutative = commutative;
             Box::new(TpcwWorkload::new(cfg))
@@ -129,8 +142,7 @@ fn replication_factors_other_than_five_work() {
         };
         let data = initial_items(500, 7);
         let mut factory = micro_factory(500);
-        let (report, stats) =
-            run_mdcc(&spec, micro_catalog(), &data, &mut factory, MdccMode::Full);
+        let (report, stats) = run_mdcc(&spec, micro_catalog(), &data, &mut factory, MdccMode::Full);
         assert!(
             report.write_commits() > 20,
             "dcs={dcs}: {} commits",

@@ -1,0 +1,223 @@
+//! A minimal, self-contained stand-in for the subset of the `criterion`
+//! API this workspace's benches use: `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`/`bench_with_input`, `Bencher::iter`
+//! and `iter_batched`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim. It measures median wall-clock time over a handful of
+//! samples and prints one line per benchmark — good enough to compare hot
+//! paths locally, with none of real criterion's statistics.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How `iter_batched` amortizes setup cost (accepted, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh input per iteration.
+    PerIteration,
+}
+
+/// A parameterized benchmark name, rendered as `name/param`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates the id `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            iters_per_sample: 0,
+            median_ns: 0.0,
+        }
+    }
+
+    fn calibrate<F: FnMut() -> std::time::Duration>(&mut self, mut run_once: F) {
+        // Target roughly 20 ms per sample, capped for slow routines.
+        let once = run_once().as_nanos().max(1) as u64;
+        self.iters_per_sample = (20_000_000 / once).clamp(1, 100_000);
+    }
+
+    /// Times `routine` and records the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.calibrate(|| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        });
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.samples);
+        // One input per timed call keeps setup out of the measurement.
+        for _ in 0..self.samples.max(1) * 4 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, median_ns: f64) {
+    if median_ns >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", median_ns / 1_000_000.0);
+    } else if median_ns >= 1_000.0 {
+        println!("{name:<50} {:>12.3} µs/iter", median_ns / 1_000.0);
+    } else {
+        println!("{name:<50} {:>12.1} ns/iter", median_ns);
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 11 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        report(name, bencher.median_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (`cstruct/glb/16`-style ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        report(&format!("{}/{name}", self.name), bencher.median_ns);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.full), bencher.median_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_without_panicking() {
+        let mut c = Criterion { samples: 3 };
+        c.bench_function("smoke/iter", |b| b.iter(|| 21u64 * 2));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion { samples: 3 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, n| {
+            b.iter(|| n * n);
+        });
+        group.finish();
+    }
+}
