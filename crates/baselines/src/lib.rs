@@ -21,5 +21,6 @@ pub mod megastore;
 pub mod qw;
 pub mod store;
 pub mod twopc;
+pub mod wire;
 
 pub use store::BaselineStore;

@@ -472,6 +472,7 @@ mod tests {
             WorldConfig {
                 seed: 5,
                 service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
             },
         );
         let replica_ids: Vec<NodeId> = (1..5u8)

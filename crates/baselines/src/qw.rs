@@ -253,6 +253,7 @@ mod tests {
             WorldConfig {
                 seed: 1,
                 service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
             },
         );
         let catalog = Arc::new(Catalog::new());

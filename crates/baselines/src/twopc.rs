@@ -367,6 +367,7 @@ mod tests {
             WorldConfig {
                 seed: 3,
                 service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
             },
         );
         let storage: Vec<NodeId> = (0..5u8)

@@ -6,19 +6,21 @@
 //! (100 clients, SF 10 000, 1 min warm-up + 2 min measurement).
 
 use mdcc_bench::{
-    all_in_us_west, cdf_rows, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, tpcw_spec, Scale,
+    all_in_us_west, cdf_rows, net_summary, save_csv, tpcw_catalog, tpcw_data, tpcw_factory,
+    tpcw_spec, Scale,
 };
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 
 fn summarize(label: &str, report: &Report) -> String {
     format!(
-        "{label}: median={:.0}ms p90={:.0}ms p99={:.0}ms commits={} aborts={} tps={:.0}",
+        "{label}: median={:.0}ms p90={:.0}ms p99={:.0}ms commits={} aborts={} tps={:.0}\n#   {}",
         report.median_write_ms().unwrap_or(f64::NAN),
         report.write_percentile_ms(90.0).unwrap_or(f64::NAN),
         report.write_percentile_ms(99.0).unwrap_or(f64::NAN),
         report.write_commits(),
         report.write_aborts(),
         report.throughput_tps(),
+        net_summary(report),
     )
 }
 

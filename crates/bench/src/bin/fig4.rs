@@ -6,7 +6,9 @@
 //! QW-3 ≳ QW-4 ≳ MDCC (within 10 % at 200 clients) > 2PC ≫ Megastore*
 //! (low and flat).
 
-use mdcc_bench::{all_in_us_west, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, Scale};
+use mdcc_bench::{
+    all_in_us_west, net_summary, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, Scale,
+};
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, ClusterSpec, MdccMode};
 use mdcc_common::SimDuration;
 
@@ -38,6 +40,7 @@ fn main() {
             let report = run_qw(&spec, catalog.clone(), &data, &mut factory, k);
             let tps = report.throughput_tps();
             println!("QW-{k} clients={clients}: {tps:.0} tps");
+            println!("#   {}", net_summary(&report));
             rows.push(format!("QW-{k},{clients},{tps:.1}"));
         }
         {
@@ -45,6 +48,7 @@ fn main() {
             let (report, _) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
             let tps = report.throughput_tps();
             println!("MDCC clients={clients}: {tps:.0} tps");
+            println!("#   {}", net_summary(&report));
             rows.push(format!("MDCC,{clients},{tps:.1}"));
         }
         {
@@ -52,6 +56,7 @@ fn main() {
             let report = run_tpc(&spec, catalog.clone(), &data, &mut factory);
             let tps = report.throughput_tps();
             println!("2PC clients={clients}: {tps:.0} tps");
+            println!("#   {}", net_summary(&report));
             rows.push(format!("2PC,{clients},{tps:.1}"));
         }
         {
@@ -61,6 +66,7 @@ fn main() {
             let (report, _) = run_megastore(&mega_spec, catalog, &data, &mut factory);
             let tps = report.throughput_tps();
             println!("Megastore* clients={clients}: {tps:.0} tps");
+            println!("#   {}", net_summary(&report));
             rows.push(format!("Megastore*,{clients},{tps:.1}"));
         }
     }

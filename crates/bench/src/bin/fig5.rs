@@ -6,17 +6,20 @@
 //! the record's master, Multi-Paxos) and **2PC**. Paper medians: 245,
 //! 276, 388 and 543 ms.
 
-use mdcc_bench::{cdf_rows, micro_catalog, micro_factory, micro_spec, save_csv, Scale};
+use mdcc_bench::{
+    cdf_rows, micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale,
+};
 use mdcc_cluster::{run_mdcc, run_tpc, MdccMode, Report};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
 fn summarize(label: &str, report: &Report) -> String {
     format!(
-        "{label}: median={:.0}ms p90={:.0}ms commits={} aborts={}",
+        "{label}: median={:.0}ms p90={:.0}ms commits={} aborts={}\n#   {}",
         report.median_write_ms().unwrap_or(f64::NAN),
         report.write_percentile_ms(90.0).unwrap_or(f64::NAN),
         report.write_commits(),
         report.write_aborts(),
+        net_summary(report),
     )
 }
 

@@ -7,7 +7,9 @@
 //! the same step: the fast quorum's fourth response now comes from a
 //! farther region.
 
-use mdcc_bench::{all_in_us_west, micro_catalog, micro_factory, micro_spec, save_csv, Scale};
+use mdcc_bench::{
+    all_in_us_west, micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale,
+};
 use mdcc_cluster::{run_mdcc, MdccMode};
 use mdcc_common::{DcId, SimDuration};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
@@ -59,5 +61,6 @@ fn main() {
         "commits before/after: {}/{} — availability preserved",
         before_n, after_n
     );
+    println!("# {}", net_summary(&report));
     save_csv("fig8_dc_failure", "t_secs,avg_latency_ms,commits", &rows);
 }

@@ -3,6 +3,9 @@
 //! Every figure of the paper's evaluation has a binary in `src/bin`
 //! (`fig3` … `fig8`, `tables`) built on the helpers here: experiment
 //! scales, workload factories, and CSV output under `results/`.
+//! Measured-versus-paper numbers — including bytes-on-wire per
+//! committed transaction — are recorded in the repository-level
+//! `EXPERIMENTS.md`.
 
 use std::fs;
 use std::io::Write as _;
@@ -157,6 +160,21 @@ pub fn micro_factory(
 /// vantage point), as the paper does.
 pub fn all_in_us_west(spec: &mut ClusterSpec) {
     spec.client_placement = ClientPlacement::AllIn(DcId(0));
+}
+
+/// One-line bytes-on-wire summary of a run: total by traffic class plus
+/// wire cost per committed transaction.
+pub fn net_summary(report: &mdcc_cluster::Report) -> String {
+    const MB: f64 = 1_000_000.0;
+    let n = report.net;
+    format!(
+        "wire: {:.2} MB (protocol {:.2} / read {:.2} / sync {:.2}), {:.0} bytes/commit",
+        n.bytes_sent as f64 / MB,
+        n.protocol.bytes as f64 / MB,
+        n.read.bytes as f64 / MB,
+        n.sync.bytes as f64 / MB,
+        report.bytes_per_commit().unwrap_or(f64::NAN),
+    )
 }
 
 /// Writes rows as CSV under `results/` and echoes the path.

@@ -75,8 +75,12 @@ pub struct ClusterSpec {
     pub jitter: f64,
     /// Probability that any one message is silently lost in transit.
     pub drop_prob: f64,
-    /// Per-message CPU cost at every node.
+    /// Fixed floor of the per-message CPU cost at every node.
     pub service_time: SimDuration,
+    /// Per-byte handling cost (ns/byte) added on top of the floor — the
+    /// serialization component of service time, so a megabyte sync chunk
+    /// costs its receiver more than a one-byte vote.
+    pub service_ns_per_byte: u64,
     /// Warm-up period excluded from the report.
     pub warmup: SimDuration,
     /// Measurement window length.
@@ -111,7 +115,8 @@ impl Default for ClusterSpec {
             net: NetKind::Ec2Five,
             jitter: 0.08,
             drop_prob: 0.0,
-            service_time: SimDuration::from_micros(50),
+            service_time: SimDuration::from_micros(40),
+            service_ns_per_byte: 40,
             warmup: SimDuration::from_secs(10),
             duration: SimDuration::from_secs(60),
             drain: SimDuration::ZERO,
@@ -179,10 +184,6 @@ fn storage_target(matrix: &[Vec<NodeId>], dc: DcId, shard: usize) -> NodeId {
     })
 }
 
-/// Runs the world through the failure schedule and the full experiment
-/// span (warm-up + window, plus slack for in-flight transactions).
-/// Baseline protocols support only DC-level faults; node/client crash
-/// schedules are an MDCC capability (see [`run_mdcc`]).
 /// The merged, time-sorted fault timeline: the scripted plan plus the
 /// legacy `fail_dcs` outages.
 fn fault_timeline(spec: &ClusterSpec) -> Vec<FaultEvent> {
@@ -197,22 +198,46 @@ fn fault_timeline(spec: &ClusterSpec) -> Vec<FaultEvent> {
     timeline
 }
 
-fn drive<M: 'static>(world: &mut World<M>, spec: &ClusterSpec) {
-    assert!(
-        spec.faults
-            .events
-            .iter()
-            .all(|e| matches!(e, FaultEvent::FailDc { .. } | FaultEvent::HealDc { .. })),
-        "storage/client crash schedules require run_mdcc"
-    );
+/// Runs a baseline world through the failure schedule and the full
+/// experiment span (warm-up + window, plus optional drain).
+///
+/// Baselines understand the whole [`FaultPlan`] vocabulary, with one
+/// deliberate difference from MDCC: baseline stores have no durability
+/// subsystem, so `RestartStorage` *revives* the paused process with its
+/// pre-crash memory intact (a generous reading — a real restart would
+/// lose everything). `CrashStorage` still drops all inbound traffic and
+/// `CrashClient` kills a coordinator permanently — which is exactly the
+/// scenario the paper's 2PC comparison hinges on: a dead 2PC
+/// coordinator leaves its prepare locks held forever (the classic
+/// blocking window), while MDCC's storage-side dangling recovery
+/// resolves the orphaned transaction on its own.
+fn drive<M: 'static>(
+    world: &mut World<M>,
+    spec: &ClusterSpec,
+    matrix: &[Vec<NodeId>],
+    client_ids: &[NodeId],
+) {
     let timeline = fault_timeline(spec);
-    let end = SimTime::ZERO + spec.warmup + spec.duration;
+    let end = SimTime::ZERO + spec.warmup + spec.duration + spec.drain;
     for event in timeline {
         world.run_until((SimTime::ZERO + event.at()).min(end));
         match event {
             FaultEvent::FailDc { dc, .. } => world.fail_dc(dc),
             FaultEvent::HealDc { dc, .. } => world.heal_dc(dc),
-            _ => unreachable!("checked above"),
+            FaultEvent::CrashStorage { dc, shard, .. } => {
+                world.crash_node(storage_target(matrix, dc, shard));
+            }
+            FaultEvent::RestartStorage { dc, shard, .. } => {
+                world.revive_node(storage_target(matrix, dc, shard));
+            }
+            FaultEvent::CrashClient { client, .. } => {
+                assert!(
+                    client < client_ids.len(),
+                    "fault plan crashes client {client} but the spec has {} clients",
+                    client_ids.len()
+                );
+                world.crash_node(client_ids[client]);
+            }
         }
     }
     world.run_until(end);
@@ -242,6 +267,7 @@ pub fn run_mdcc(
         WorldConfig {
             seed: spec.seed,
             service_time: spec.service_time,
+            service_ns_per_byte: spec.service_ns_per_byte,
         },
     );
     let matrix = storage_matrix(spec);
@@ -478,6 +504,7 @@ pub fn run_mdcc(
     let mut report = Report::new(records, spec.warmup, spec.duration);
     report.recoveries = recoveries;
     report.audit = Some(audit);
+    report.net = crate::metrics::NetReport::from_world(world.stats());
     (report, stats)
 }
 
@@ -498,6 +525,7 @@ pub fn run_qw(
         WorldConfig {
             seed: spec.seed,
             service_time: spec.service_time,
+            service_ns_per_byte: spec.service_ns_per_byte,
         },
     );
     let matrix = storage_matrix(spec);
@@ -532,7 +560,7 @@ pub fn run_qw(
         );
         client_ids.push(world.spawn(dc, Box::new(client)));
     }
-    drive(&mut world, spec);
+    drive(&mut world, spec, &matrix, &client_ids);
     let mut records = Vec::new();
     for id in client_ids {
         records.extend(
@@ -544,7 +572,9 @@ pub fn run_qw(
                 .copied(),
         );
     }
-    Report::new(records, spec.warmup, spec.duration)
+    let mut report = Report::new(records, spec.warmup, spec.duration);
+    report.net = crate::metrics::NetReport::from_world(world.stats());
+    report
 }
 
 // ---------------------------------------------------------------------
@@ -563,6 +593,7 @@ pub fn run_tpc(
         WorldConfig {
             seed: spec.seed,
             service_time: spec.service_time,
+            service_ns_per_byte: spec.service_ns_per_byte,
         },
     );
     let matrix = storage_matrix(spec);
@@ -592,7 +623,7 @@ pub fn run_tpc(
         let client = TpcClient::new(coord, placement.clone() as Arc<dyn Placement>, dc, workload);
         client_ids.push(world.spawn(dc, Box::new(client)));
     }
-    drive(&mut world, spec);
+    drive(&mut world, spec, &matrix, &client_ids);
     let mut records = Vec::new();
     for id in client_ids {
         records.extend(
@@ -604,7 +635,9 @@ pub fn run_tpc(
                 .copied(),
         );
     }
-    Report::new(records, spec.warmup, spec.duration)
+    let mut report = Report::new(records, spec.warmup, spec.duration);
+    report.net = crate::metrics::NetReport::from_world(world.stats());
+    report
 }
 
 // ---------------------------------------------------------------------
@@ -625,6 +658,7 @@ pub fn run_megastore(
         WorldConfig {
             seed: spec.seed,
             service_time: spec.service_time,
+            service_ns_per_byte: spec.service_ns_per_byte,
         },
     );
     // Replicas for DCs 1..n spawn first (ids 0..n-1), master last — then
@@ -655,7 +689,7 @@ pub fn run_megastore(
     // Placement is only used by workload factories (e.g. master-locality
     // pools); Megastore* itself is a single entity group.
     let matrix: Vec<Vec<NodeId>> = replicas_by_dc.iter().map(|n| vec![*n]).collect();
-    let placement = StaticPlacement::new(matrix, MasterPolicy::FixedDc(DcId(0)));
+    let placement = StaticPlacement::new(matrix.clone(), MasterPolicy::FixedDc(DcId(0)));
     let mut client_ids = Vec::with_capacity(spec.clients);
     for i in 0..spec.clients {
         let dc = client_dc(spec, i);
@@ -668,7 +702,7 @@ pub fn run_megastore(
         );
         client_ids.push(world.spawn(dc, Box::new(client)));
     }
-    drive(&mut world, spec);
+    drive(&mut world, spec, &matrix, &client_ids);
     let mut records = Vec::new();
     for id in client_ids {
         records.extend(
@@ -681,5 +715,7 @@ pub fn run_megastore(
         );
     }
     let stats = world.get::<MegaMaster>(master).expect("master").stats();
-    (Report::new(records, spec.warmup, spec.duration), stats)
+    let mut report = Report::new(records, spec.warmup, spec.duration);
+    report.net = crate::metrics::NetReport::from_world(world.stats());
+    (report, stats)
 }

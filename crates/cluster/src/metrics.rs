@@ -3,6 +3,7 @@
 
 use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
 use mdcc_recovery::RecoveryInfo;
+use mdcc_sim::{TrafficClass, TrafficTotals, WorldStats};
 
 /// One storage-node restart as observed by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,42 @@ impl ClusterAudit {
     }
 }
 
+/// Bytes-on-wire accounting for one run, harvested from the simulated
+/// transport and broken out by traffic class — the cost model §1 of the
+/// paper motivates (wide-area bytes are the scarce resource).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetReport {
+    /// Messages handed to the network.
+    pub msgs_sent: u64,
+    /// Wire bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Messages delivered to live processes.
+    pub delivered: u64,
+    /// Messages lost (network loss, dead node, failed DC).
+    pub dropped: u64,
+    /// Commit-protocol traffic (proposals, votes, phases, visibility).
+    pub protocol: TrafficTotals,
+    /// Read requests/responses.
+    pub read: TrafficTotals,
+    /// Anti-entropy / recovery-sync traffic.
+    pub sync: TrafficTotals,
+}
+
+impl NetReport {
+    /// Reduces a world's counters into the report form.
+    pub fn from_world(stats: WorldStats) -> Self {
+        Self {
+            msgs_sent: stats.sent,
+            bytes_sent: stats.bytes_sent,
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            protocol: stats.class(TrafficClass::Protocol),
+            read: stats.class(TrafficClass::Read),
+            sync: stats.class(TrafficClass::Sync),
+        }
+    }
+}
+
 /// One finished transaction as seen by a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxnRecord {
@@ -117,6 +154,10 @@ pub struct Report {
     pub recoveries: Vec<NodeRecovery>,
     /// End-of-run consistency audit (MDCC runs only).
     pub audit: Option<ClusterAudit>,
+    /// Bytes-on-wire accounting, by traffic class. Covers the whole run
+    /// including warm-up and drain (the wire does not stop billing
+    /// outside the measurement window).
+    pub net: NetReport,
 }
 
 impl Report {
@@ -133,7 +174,19 @@ impl Report {
             window_end,
             recoveries: Vec::new(),
             audit: None,
+            net: NetReport::default(),
         }
+    }
+
+    /// Wire bytes spent per committed transaction (all classes), the
+    /// figure-of-merit the byte-accurate transport enables. `None` when
+    /// nothing committed.
+    pub fn bytes_per_commit(&self) -> Option<f64> {
+        let commits = self.records.iter().filter(|r| r.committed).count();
+        if commits == 0 {
+            return None;
+        }
+        Some(self.net.bytes_sent as f64 / commits as f64)
     }
 
     /// Commits whose outcome was learned inside `[from, to)` — used to

@@ -55,7 +55,7 @@ fn drill_spec(seed: u64) -> ClusterSpec {
     }
 }
 
-fn run_drill(seed: u64) -> (mdcc_cluster::Report, mdcc_core::TxnStats) {
+fn run_drill_spec(spec: &ClusterSpec) -> (mdcc_cluster::Report, mdcc_core::TxnStats) {
     let data = initial_items(ITEMS, 7);
     let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
         Box::new(MicroWorkload::new(MicroConfig {
@@ -63,13 +63,11 @@ fn run_drill(seed: u64) -> (mdcc_cluster::Report, mdcc_core::TxnStats) {
             ..MicroConfig::default()
         }))
     };
-    run_mdcc(
-        &drill_spec(seed),
-        catalog(),
-        &data,
-        &mut factory,
-        MdccMode::Full,
-    )
+    run_mdcc(spec, catalog(), &data, &mut factory, MdccMode::Full)
+}
+
+fn run_drill(seed: u64) -> (mdcc_cluster::Report, mdcc_core::TxnStats) {
+    run_drill_spec(&drill_spec(seed))
 }
 
 #[test]
@@ -138,6 +136,88 @@ fn nodes_crash_restart_and_replicas_reconverge_byte_for_byte() {
             r.node
         );
     }
+}
+
+/// The headline claim of the batched anti-entropy rework: against the
+/// same crash schedule, merkle-style range-digest sync must ship
+/// **strictly fewer sync bytes and strictly fewer sync messages** than
+/// the legacy per-key `SyncKey` flood — while every restarted replica
+/// still reconverges byte-for-byte with the never-crashed reference.
+#[test]
+fn batched_merkle_sync_ships_fewer_bytes_than_per_key_flood() {
+    let batched_spec = drill_spec(21);
+    assert!(
+        batched_spec.protocol.sync_batching,
+        "batched sync is the default"
+    );
+    let mut legacy_spec = drill_spec(21);
+    legacy_spec.protocol.sync_batching = false;
+
+    let (batched, _) = run_drill_spec(&batched_spec);
+    let (legacy, _) = run_drill_spec(&legacy_spec);
+
+    // Both runs must fully reconverge: every restarted node byte-equal
+    // to the never-crashed DC0 replica.
+    for (label, report) in [("batched", &batched), ("legacy", &legacy)] {
+        let audit = report.audit.as_ref().expect("audited");
+        assert_eq!(audit.pending_options, 0, "{label}: dangling options left");
+        let reference = audit.committed_digests[0];
+        for r in &report.recoveries {
+            assert_eq!(
+                audit.committed_digests[r.node.0 as usize], reference,
+                "{label}: node {} diverged",
+                r.node
+            );
+        }
+    }
+
+    // The per-key flood ships the whole store per sync round; digests
+    // ship a u64 per range and full state only for divergent ranges.
+    let b = batched.net.sync;
+    let l = legacy.net.sync;
+    eprintln!(
+        "sync traffic: batched {} msgs / {} bytes, legacy {} msgs / {} bytes",
+        b.msgs, b.bytes, l.msgs, l.bytes
+    );
+    assert!(
+        b.bytes < l.bytes,
+        "batched sync must ship fewer bytes: batched {} vs legacy {}",
+        b.bytes,
+        l.bytes
+    );
+    assert!(
+        b.msgs < l.msgs,
+        "batched sync must ship fewer messages: batched {} vs legacy {}",
+        b.msgs,
+        l.msgs
+    );
+    // And not marginally so: the flood re-ships ~800 records per round,
+    // the digest protocol a handful of divergent ranges.
+    assert!(
+        (b.bytes as f64) < 0.5 * l.bytes as f64,
+        "expected at least 2x byte savings, got {} vs {}",
+        b.bytes,
+        l.bytes
+    );
+}
+
+#[test]
+fn report_accounts_bytes_by_traffic_class() {
+    let (report, _) = run_drill(21);
+    let net = report.net;
+    assert!(net.bytes_sent > 0, "bytes were accounted");
+    assert_eq!(
+        net.bytes_sent,
+        net.protocol.bytes + net.read.bytes + net.sync.bytes,
+        "classes partition the total"
+    );
+    assert!(net.protocol.bytes > 0, "commit-protocol traffic present");
+    assert!(net.read.bytes > 0, "read traffic present");
+    assert!(net.sync.bytes > 0, "restart sync traffic present");
+    assert!(
+        report.bytes_per_commit().unwrap() > 0.0,
+        "per-commit wire cost derivable"
+    );
 }
 
 #[test]

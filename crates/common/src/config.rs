@@ -38,6 +38,14 @@ pub struct ProtocolConfig {
     /// round against a peer replica (catch-up for state it missed while
     /// down).
     pub recovery_sync_interval: SimDuration,
+    /// Drive restart anti-entropy with merkle-style range digests and
+    /// batched chunks (`true`, the default): only key ranges whose
+    /// digests diverge ship, in multi-record messages. `false` restores
+    /// the legacy per-key `SyncKey` flood (baseline for byte
+    /// comparisons).
+    pub sync_batching: bool,
+    /// Keys per sync digest range and per shipped sync chunk message.
+    pub sync_chunk_keys: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -52,6 +60,8 @@ impl Default for ProtocolConfig {
             max_instance_options: 32,
             checkpoint_interval: SimDuration::from_millis(10_000),
             recovery_sync_interval: SimDuration::from_millis(2_500),
+            sync_batching: true,
+            sync_chunk_keys: 32,
         }
     }
 }

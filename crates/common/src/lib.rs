@@ -16,6 +16,7 @@ pub mod placement;
 pub mod time;
 pub mod update;
 pub mod value;
+pub mod wire;
 
 pub use config::ProtocolConfig;
 pub use error::{MdccError, Result};

@@ -16,6 +16,7 @@
 pub mod msg;
 pub mod node;
 pub mod tm;
+pub mod wire;
 
 /// Re-export of the placement layer (now in `mdcc-common`).
 pub use mdcc_common::placement;

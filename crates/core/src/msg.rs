@@ -1,8 +1,13 @@
 //! Protocol messages between app servers (TMs) and storage nodes.
+//!
+//! Every variant has a byte-accurate wire encoding (see
+//! [`crate::wire`]); the simulator charges transmission delay, link
+//! queueing and per-byte service cost for exactly those bytes.
 
 use mdcc_common::{Key, Row, TxnId, Version};
 use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
 use mdcc_paxos::{Ballot, Resolution, TxnOption, TxnOutcome};
+use mdcc_storage::{SyncItem, SyncRange};
 
 /// Everything that travels between MDCC processes (and, via self-timers,
 /// within them).
@@ -185,6 +190,28 @@ pub enum Msg {
         snapshot: RecordSnapshot,
         /// Resolved options of the peer's current instance.
         resolved: Vec<(TxnOption, Resolution)>,
+    },
+    /// A restarted node opens a batched (merkle-style) sync round: the
+    /// peer answers with digests of its key ranges instead of flooding
+    /// full state per key.
+    SyncDigestReq,
+    /// Range digests of everything the sender holds; the receiver
+    /// compares each range against its own state and pulls only the
+    /// divergent ones.
+    SyncDigest {
+        /// One digest per chunk of the sender's sorted key space.
+        ranges: Vec<SyncRange>,
+    },
+    /// Ship full sync payloads for these divergent key ranges.
+    SyncRangePull {
+        /// `(lo, hi)` inclusive bounds, as advertised in `SyncDigest`.
+        ranges: Vec<(Key, Key)>,
+    },
+    /// A batched chunk of per-record sync payloads — the bulk carrier
+    /// that replaces a flood of `SyncKey` messages.
+    SyncChunk {
+        /// At most `sync_chunk_keys` records' worth of state.
+        items: Vec<SyncItem>,
     },
 
     // ------------------------------------------------------------------

@@ -199,6 +199,11 @@ impl StorageNodeProcess {
     }
 
     /// Sends one anti-entropy request to the next peer in rotation.
+    ///
+    /// Batched mode (the default) opens a merkle-style round: the peer
+    /// answers with range digests, this node pulls only divergent
+    /// ranges, and state ships in multi-record chunks. Legacy mode asks
+    /// for the full per-key `SyncKey` flood.
     fn run_sync_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let peers = self.peer_replicas(ctx);
         if peers.is_empty() {
@@ -207,7 +212,44 @@ impl StorageNodeProcess {
         let target = peers[self.sync_cursor % peers.len()];
         self.sync_cursor += 1;
         self.stats.sync_rounds += 1;
-        ctx.send(target, Msg::SyncReq);
+        if self.cfg.sync_batching {
+            ctx.send(target, Msg::SyncDigestReq);
+        } else {
+            ctx.send(target, Msg::SyncReq);
+        }
+    }
+
+    /// Applies one record's worth of peer sync state — shared by the
+    /// legacy `SyncKey` path and the batched `SyncChunk` path.
+    fn apply_sync_item(
+        &mut self,
+        key: Key,
+        snapshot: mdcc_paxos::RecordSnapshot,
+        resolved: Vec<(mdcc_paxos::TxnOption, mdcc_paxos::Resolution)>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        if !self.store.sync_relevant(&key, &snapshot, &resolved) {
+            return;
+        }
+        self.wal_append(
+            &WalRecord::Sync {
+                at: ctx.now,
+                key: key.clone(),
+                snapshot: snapshot.clone(),
+                resolved: resolved.clone(),
+            },
+            ctx,
+        );
+        let before = self.store.version_of(&key);
+        if self
+            .store
+            .sync_from_peer(&key, &snapshot, &resolved, ctx.now)
+        {
+            self.stats.sync_adoptions += 1;
+        }
+        if self.store.version_of(&key) != before {
+            self.notify_leader_advance(&key, ctx);
+        }
     }
 
     /// Leader state per record this node masters (debugging/tests):
@@ -627,27 +669,41 @@ impl Process<Msg> for StorageNodeProcess {
                 snapshot,
                 resolved,
             } => {
-                if !self.store.sync_relevant(&key, &snapshot, &resolved) {
-                    return;
+                self.apply_sync_item(key, snapshot, resolved, ctx);
+            }
+            Msg::SyncDigestReq => {
+                // A restarted peer opens a merkle round: advertise range
+                // digests of everything we hold; full state only ships
+                // for ranges the peer finds divergent.
+                let ranges = self.store.sync_ranges(self.cfg.sync_chunk_keys);
+                if !ranges.is_empty() {
+                    ctx.send(from, Msg::SyncDigest { ranges });
                 }
-                self.wal_append(
-                    &WalRecord::Sync {
-                        at: ctx.now,
-                        key: key.clone(),
-                        snapshot: snapshot.clone(),
-                        resolved: resolved.clone(),
-                    },
-                    ctx,
-                );
-                let before = self.store.version_of(&key);
-                if self
-                    .store
-                    .sync_from_peer(&key, &snapshot, &resolved, ctx.now)
-                {
-                    self.stats.sync_adoptions += 1;
+            }
+            Msg::SyncDigest { ranges } => {
+                // Compare the advertised ranges against local state in
+                // one pass and pull only the ones whose digests differ.
+                let divergent = self.store.divergent_ranges(&ranges);
+                if !divergent.is_empty() {
+                    ctx.send(from, Msg::SyncRangePull { ranges: divergent });
                 }
-                if self.store.version_of(&key) != before {
-                    self.notify_leader_advance(&key, ctx);
+            }
+            Msg::SyncRangePull { ranges } => {
+                for (lo, hi) in ranges {
+                    let items = self.store.sync_items_in(&lo, &hi);
+                    for chunk in items.chunks(self.cfg.sync_chunk_keys.max(1)) {
+                        ctx.send(
+                            from,
+                            Msg::SyncChunk {
+                                items: chunk.to_vec(),
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::SyncChunk { items } => {
+                for item in items {
+                    self.apply_sync_item(item.key, item.snapshot, item.resolved, ctx);
                 }
             }
             Msg::ReadReq { req, key } => {

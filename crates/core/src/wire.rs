@@ -1,0 +1,560 @@
+//! Byte-accurate wire encoding of [`Msg`].
+//!
+//! The simulator charges transmission delay, link queueing and per-byte
+//! service cost for [`NetMessage::wire_bytes`], so every protocol
+//! message must know its canonical encoded size. The encoding reuses the
+//! shared wire layer ([`mdcc_common::wire`]) that also defines the WAL
+//! and checkpoint formats — one set of bytes for disk and network.
+//!
+//! Traffic-class mapping (drives the byte breakdown in experiment
+//! reports): reads are [`TrafficClass::Read`], all anti-entropy sync
+//! traffic is [`TrafficClass::Sync`], everything else — proposals,
+//! votes, Phase1/2, visibility, recovery — is [`TrafficClass::Protocol`].
+
+use mdcc_common::wire::{err, frame, Dec, Enc, Wire, WireResult, FRAME_OVERHEAD};
+use mdcc_common::{Key, TxnId};
+use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
+use mdcc_paxos::{Ballot, TxnOutcome};
+use mdcc_sim::{NetMessage, TrafficClass};
+
+use crate::msg::Msg;
+
+impl Wire for Msg {
+    fn encode(&self, out: &mut Enc) {
+        match self {
+            Msg::Propose(opt) => {
+                out.u8(0);
+                opt.encode(out);
+            }
+            Msg::ProposeToMaster(opt) => {
+                out.u8(1);
+                opt.encode(out);
+            }
+            Msg::Visibility {
+                txn,
+                key,
+                outcome,
+                learned_accepted,
+            } => {
+                out.u8(2);
+                txn.encode(out);
+                key.encode(out);
+                outcome.encode(out);
+                out.bool(*learned_accepted);
+            }
+            Msg::StartRecovery { key } => {
+                out.u8(3);
+                key.encode(out);
+            }
+            Msg::Vote { key, vote } => {
+                out.u8(4);
+                key.encode(out);
+                vote.encode(out);
+            }
+            Msg::NotFast { key, opt, promised } => {
+                out.u8(5);
+                key.encode(out);
+                opt.encode(out);
+                promised.encode(out);
+            }
+            Msg::InstanceFull { key, opt } => {
+                out.u8(6);
+                key.encode(out);
+                opt.encode(out);
+            }
+            Msg::AlreadyResolved { key, txn, outcome } => {
+                out.u8(7);
+                key.encode(out);
+                txn.encode(out);
+                outcome.encode(out);
+            }
+            Msg::GoFast { key, opt } => {
+                out.u8(8);
+                key.encode(out);
+                opt.encode(out);
+            }
+            Msg::P1a { key, ballot } => {
+                out.u8(9);
+                key.encode(out);
+                ballot.encode(out);
+            }
+            Msg::P1b { key, payload } => {
+                out.u8(10);
+                key.encode(out);
+                payload.encode(out);
+            }
+            Msg::P2a { key, payload } => {
+                out.u8(11);
+                key.encode(out);
+                payload.as_ref().encode(out);
+            }
+            Msg::P2aNack { key, promised } => {
+                out.u8(12);
+                key.encode(out);
+                promised.encode(out);
+            }
+            Msg::P2aStale { key, snapshot } => {
+                out.u8(13);
+                key.encode(out);
+                snapshot.encode(out);
+            }
+            Msg::ReadReq { req, key } => {
+                out.u8(14);
+                out.u64(*req);
+                key.encode(out);
+            }
+            Msg::ReadResp {
+                req,
+                key,
+                version,
+                value,
+            } => {
+                out.u8(15);
+                out.u64(*req);
+                key.encode(out);
+                version.encode(out);
+                value.encode(out);
+            }
+            Msg::QueryStatus { txn, key } => {
+                out.u8(16);
+                txn.encode(out);
+                key.encode(out);
+            }
+            Msg::StatusResp {
+                txn,
+                key,
+                vote,
+                outcome,
+            } => {
+                out.u8(17);
+                txn.encode(out);
+                key.encode(out);
+                vote.encode(out);
+                outcome.encode(out);
+            }
+            Msg::SyncReq => out.u8(18),
+            Msg::SyncKey {
+                key,
+                snapshot,
+                resolved,
+            } => {
+                out.u8(19);
+                key.encode(out);
+                snapshot.encode(out);
+                resolved.encode(out);
+            }
+            Msg::SyncDigestReq => out.u8(20),
+            Msg::SyncDigest { ranges } => {
+                out.u8(21);
+                ranges.encode(out);
+            }
+            Msg::SyncRangePull { ranges } => {
+                out.u8(22);
+                ranges.encode(out);
+            }
+            Msg::SyncChunk { items } => {
+                out.u8(23);
+                items.encode(out);
+            }
+            Msg::LearnTimeout { txn } => {
+                out.u8(24);
+                txn.encode(out);
+            }
+            Msg::ReadRetry { token } => {
+                out.u8(25);
+                out.u64(*token);
+            }
+            Msg::DanglingSweep => out.u8(26),
+            Msg::RecoveryRetry { txn } => {
+                out.u8(27);
+                txn.encode(out);
+            }
+            Msg::CheckpointTick => out.u8(28),
+            Msg::SyncSweep => out.u8(29),
+            Msg::ClientTick => out.u8(30),
+        }
+    }
+
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(match inp.u8()? {
+            0 => Msg::Propose(Wire::decode(inp)?),
+            1 => Msg::ProposeToMaster(Wire::decode(inp)?),
+            2 => Msg::Visibility {
+                txn: TxnId::decode(inp)?,
+                key: Key::decode(inp)?,
+                outcome: TxnOutcome::decode(inp)?,
+                learned_accepted: inp.bool()?,
+            },
+            3 => Msg::StartRecovery {
+                key: Key::decode(inp)?,
+            },
+            4 => Msg::Vote {
+                key: Key::decode(inp)?,
+                vote: Phase2b::decode(inp)?,
+            },
+            5 => Msg::NotFast {
+                key: Key::decode(inp)?,
+                opt: Wire::decode(inp)?,
+                promised: Ballot::decode(inp)?,
+            },
+            6 => Msg::InstanceFull {
+                key: Key::decode(inp)?,
+                opt: Wire::decode(inp)?,
+            },
+            7 => Msg::AlreadyResolved {
+                key: Key::decode(inp)?,
+                txn: TxnId::decode(inp)?,
+                outcome: TxnOutcome::decode(inp)?,
+            },
+            8 => Msg::GoFast {
+                key: Key::decode(inp)?,
+                opt: Wire::decode(inp)?,
+            },
+            9 => Msg::P1a {
+                key: Key::decode(inp)?,
+                ballot: Ballot::decode(inp)?,
+            },
+            10 => Msg::P1b {
+                key: Key::decode(inp)?,
+                payload: Phase1b::decode(inp)?,
+            },
+            11 => Msg::P2a {
+                key: Key::decode(inp)?,
+                payload: Box::new(Phase2a::decode(inp)?),
+            },
+            12 => Msg::P2aNack {
+                key: Key::decode(inp)?,
+                promised: Ballot::decode(inp)?,
+            },
+            13 => Msg::P2aStale {
+                key: Key::decode(inp)?,
+                snapshot: RecordSnapshot::decode(inp)?,
+            },
+            14 => Msg::ReadReq {
+                req: inp.u64()?,
+                key: Key::decode(inp)?,
+            },
+            15 => Msg::ReadResp {
+                req: inp.u64()?,
+                key: Key::decode(inp)?,
+                version: Wire::decode(inp)?,
+                value: Option::decode(inp)?,
+            },
+            16 => Msg::QueryStatus {
+                txn: TxnId::decode(inp)?,
+                key: Key::decode(inp)?,
+            },
+            17 => Msg::StatusResp {
+                txn: TxnId::decode(inp)?,
+                key: Key::decode(inp)?,
+                vote: Phase2b::decode(inp)?,
+                outcome: Option::decode(inp)?,
+            },
+            18 => Msg::SyncReq,
+            19 => Msg::SyncKey {
+                key: Key::decode(inp)?,
+                snapshot: RecordSnapshot::decode(inp)?,
+                resolved: Vec::decode(inp)?,
+            },
+            20 => Msg::SyncDigestReq,
+            21 => Msg::SyncDigest {
+                ranges: Vec::decode(inp)?,
+            },
+            22 => Msg::SyncRangePull {
+                ranges: Vec::decode(inp)?,
+            },
+            23 => Msg::SyncChunk {
+                items: Vec::decode(inp)?,
+            },
+            24 => Msg::LearnTimeout {
+                txn: TxnId::decode(inp)?,
+            },
+            25 => Msg::ReadRetry { token: inp.u64()? },
+            26 => Msg::DanglingSweep,
+            27 => Msg::RecoveryRetry {
+                txn: TxnId::decode(inp)?,
+            },
+            28 => Msg::CheckpointTick,
+            29 => Msg::SyncSweep,
+            30 => Msg::ClientTick,
+            _ => return err("msg tag"),
+        })
+    }
+}
+
+impl NetMessage for Msg {
+    /// Framed size of the message's canonical encoding — what the
+    /// message occupies on the simulated wire.
+    fn wire_bytes(&self) -> usize {
+        let mut enc = Enc::new();
+        self.encode(&mut enc);
+        enc.len() + FRAME_OVERHEAD
+    }
+
+    fn traffic_class(&self) -> TrafficClass {
+        match self {
+            Msg::ReadReq { .. } | Msg::ReadResp { .. } => TrafficClass::Read,
+            Msg::SyncReq
+            | Msg::SyncKey { .. }
+            | Msg::SyncDigestReq
+            | Msg::SyncDigest { .. }
+            | Msg::SyncRangePull { .. }
+            | Msg::SyncChunk { .. } => TrafficClass::Sync,
+            _ => TrafficClass::Protocol,
+        }
+    }
+}
+
+/// Frames one message exactly as [`NetMessage::wire_bytes`] accounts it
+/// (tests and tooling).
+pub fn frame_msg(msg: &Msg) -> Vec<u8> {
+    frame(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::wire::{from_bytes, to_bytes};
+    use mdcc_common::{CommutativeUpdate, NodeId, Row, TableId, UpdateOp, Version};
+    use mdcc_paxos::{CStruct, OptionStatus, Resolution, TxnOption};
+    use mdcc_storage::{SyncItem, SyncRange};
+
+    fn key(pk: &str) -> Key {
+        Key::new(TableId(1), pk)
+    }
+
+    fn opt(seq: u64) -> TxnOption {
+        TxnOption::solo(
+            TxnId::new(NodeId(3), seq),
+            key("a"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+        )
+    }
+
+    fn samples() -> Vec<Msg> {
+        let mut cstruct = CStruct::new();
+        cstruct.append(opt(4), OptionStatus::Accepted);
+        let snapshot = RecordSnapshot {
+            version: Version(3),
+            value: Some(Row::new().with("stock", 7)),
+            folded: vec![TxnId::new(NodeId(1), 9)],
+        };
+        vec![
+            Msg::Propose(opt(1)),
+            Msg::ProposeToMaster(opt(2)),
+            Msg::Visibility {
+                txn: TxnId::new(NodeId(0), 5),
+                key: key("a"),
+                outcome: TxnOutcome::Committed,
+                learned_accepted: true,
+            },
+            Msg::StartRecovery { key: key("b") },
+            Msg::Vote {
+                key: key("a"),
+                vote: Phase2b {
+                    ballot: Ballot::INITIAL_FAST,
+                    version: Version(2),
+                    cstruct: cstruct.clone(),
+                },
+            },
+            Msg::NotFast {
+                key: key("a"),
+                opt: opt(3),
+                promised: Ballot::classic(1, NodeId(2)),
+            },
+            Msg::InstanceFull {
+                key: key("a"),
+                opt: opt(9),
+            },
+            Msg::AlreadyResolved {
+                key: key("a"),
+                txn: TxnId::new(NodeId(0), 1),
+                outcome: TxnOutcome::Aborted,
+            },
+            Msg::GoFast {
+                key: key("a"),
+                opt: opt(8),
+            },
+            Msg::P1a {
+                key: key("a"),
+                ballot: Ballot::classic(4, NodeId(1)),
+            },
+            Msg::P1b {
+                key: key("a"),
+                payload: Phase1b {
+                    promised: Ballot::classic(4, NodeId(1)),
+                    accepted: Some((Ballot::fast(1, NodeId(0)), cstruct.clone())),
+                    snapshot: snapshot.clone(),
+                },
+            },
+            Msg::P2a {
+                key: key("a"),
+                payload: Box::new(Phase2a {
+                    ballot: Ballot::classic(4, NodeId(1)),
+                    version: Version(3),
+                    snapshot: snapshot.clone(),
+                    safe: Some(cstruct.clone()),
+                    new_options: vec![opt(11)],
+                    close_instance: true,
+                    reopen_fast: Some(Ballot::fast(5, NodeId(1))),
+                }),
+            },
+            Msg::P2aNack {
+                key: key("a"),
+                promised: Ballot::classic(9, NodeId(0)),
+            },
+            Msg::P2aStale {
+                key: key("a"),
+                snapshot: snapshot.clone(),
+            },
+            Msg::ReadReq {
+                req: 7,
+                key: key("c"),
+            },
+            Msg::ReadResp {
+                req: 7,
+                key: key("c"),
+                version: Version(1),
+                value: Some(Row::new().with("stock", 4)),
+            },
+            Msg::QueryStatus {
+                txn: TxnId::new(NodeId(2), 2),
+                key: key("a"),
+            },
+            Msg::StatusResp {
+                txn: TxnId::new(NodeId(2), 2),
+                key: key("a"),
+                vote: Phase2b {
+                    ballot: Ballot::INITIAL_FAST,
+                    version: Version(0),
+                    cstruct: CStruct::new(),
+                },
+                outcome: Some(TxnOutcome::Committed),
+            },
+            Msg::SyncReq,
+            Msg::SyncKey {
+                key: key("a"),
+                snapshot: snapshot.clone(),
+                resolved: vec![(
+                    opt(12),
+                    Resolution {
+                        outcome: TxnOutcome::Committed,
+                        learned_accepted: true,
+                    },
+                )],
+            },
+            Msg::SyncDigestReq,
+            Msg::SyncDigest {
+                ranges: vec![SyncRange {
+                    lo: key("a"),
+                    hi: key("m"),
+                    digest: 0xDEAD_BEEF,
+                }],
+            },
+            Msg::SyncRangePull {
+                ranges: vec![(key("a"), key("m"))],
+            },
+            Msg::SyncChunk {
+                items: vec![SyncItem {
+                    key: key("a"),
+                    snapshot,
+                    resolved: vec![(
+                        opt(13),
+                        Resolution {
+                            outcome: TxnOutcome::Aborted,
+                            learned_accepted: false,
+                        },
+                    )],
+                }],
+            },
+            Msg::LearnTimeout {
+                txn: TxnId::new(NodeId(0), 3),
+            },
+            Msg::ReadRetry { token: 42 },
+            Msg::DanglingSweep,
+            Msg::RecoveryRetry {
+                txn: TxnId::new(NodeId(0), 3),
+            },
+            Msg::CheckpointTick,
+            Msg::SyncSweep,
+            Msg::ClientTick,
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in samples() {
+            let bytes = to_bytes(&msg);
+            let back: Msg = from_bytes(&bytes).expect("decode");
+            assert_eq!(
+                format!("{back:?}"),
+                format!("{msg:?}"),
+                "round trip mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_bytes_is_framed_encoding_len() {
+        for msg in samples() {
+            assert_eq!(msg.wire_bytes(), to_bytes(&msg).len() + FRAME_OVERHEAD);
+            assert_eq!(msg.wire_bytes(), frame_msg(&msg).len());
+        }
+    }
+
+    #[test]
+    fn traffic_classes_partition_the_schema() {
+        assert_eq!(
+            Msg::ReadReq {
+                req: 0,
+                key: key("a")
+            }
+            .traffic_class(),
+            TrafficClass::Read
+        );
+        assert_eq!(Msg::SyncDigestReq.traffic_class(), TrafficClass::Sync);
+        assert_eq!(Msg::SyncReq.traffic_class(), TrafficClass::Sync);
+        assert_eq!(Msg::Propose(opt(1)).traffic_class(), TrafficClass::Protocol);
+        assert_eq!(
+            Msg::Visibility {
+                txn: TxnId::new(NodeId(0), 0),
+                key: key("a"),
+                outcome: TxnOutcome::Committed,
+                learned_accepted: true,
+            }
+            .traffic_class(),
+            TrafficClass::Protocol
+        );
+    }
+
+    #[test]
+    fn a_vote_is_much_smaller_than_a_sync_chunk() {
+        let vote = Msg::Vote {
+            key: key("a"),
+            vote: Phase2b {
+                ballot: Ballot::INITIAL_FAST,
+                version: Version(1),
+                cstruct: CStruct::new(),
+            },
+        };
+        let chunk = Msg::SyncChunk {
+            items: (0..32)
+                .map(|i| SyncItem {
+                    key: key(&format!("k{i}")),
+                    snapshot: RecordSnapshot {
+                        version: Version(2),
+                        value: Some(Row::new().with("stock", i)),
+                        folded: Vec::new(),
+                    },
+                    resolved: Vec::new(),
+                })
+                .collect(),
+        };
+        assert!(
+            chunk.wire_bytes() > 10 * vote.wire_bytes(),
+            "sized transport must distinguish {} from {}",
+            vote.wire_bytes(),
+            chunk.wire_bytes()
+        );
+    }
+}

@@ -74,6 +74,7 @@ fn multi_mode_contended() {
         WorldConfig {
             seed: 1,
             service_time: SimDuration::from_micros(10),
+            service_ns_per_byte: 0,
         },
     );
     let storage: Vec<NodeId> = (0..5).map(NodeId).collect();

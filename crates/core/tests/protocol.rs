@@ -98,6 +98,7 @@ fn build_cluster(seed: u64, master_policy: MasterPolicy) -> TestCluster {
         WorldConfig {
             seed,
             service_time: SimDuration::from_micros(10),
+            service_ns_per_byte: 0,
         },
     );
     // Storage node ids are assigned in spawn order: 0..5.

@@ -71,6 +71,7 @@ fn build(seed: u64) -> Cluster {
         WorldConfig {
             seed,
             service_time: SimDuration::from_micros(10),
+            service_ns_per_byte: 0,
         },
     );
     let storage: Vec<NodeId> = (0..5).map(NodeId).collect();

@@ -8,7 +8,7 @@
 //! decision" of §3.2.1), escrow/demarcation bookkeeping for commutative
 //! updates, and visibility application.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use mdcc_common::error::AbortReason;
@@ -166,6 +166,14 @@ pub struct AcceptorRecord {
     /// `folded` lists: they are the settled transactions a further
     /// adopter cannot discover from this node's cstruct or ring.
     inherited_folded: Vec<TxnId>,
+    /// Settled transactions in settle order, oldest first — the
+    /// truncation queue for `outcomes`/`resolved_entries`. See
+    /// [`AcceptorRecord::truncate_settled`].
+    settle_log: VecDeque<TxnId>,
+    /// Monotone count of settlements ever recorded on this record; the
+    /// truncation watermark is `settle_seq - settle_log.len()` (every
+    /// settlement below it has had its metadata dropped).
+    settle_seq: u64,
 }
 
 /// Entries kept in [`AcceptorRecord`]'s closed-instance ring.
@@ -176,6 +184,15 @@ const CLOSED_RESOLVED_CAP: usize = 64;
 /// instance), so a transaction can only age out of it after it has aged
 /// out of every ring that could re-ship its option.
 const INHERITED_FOLDED_CAP: usize = 256;
+
+/// Settlements retained in [`AcceptorRecord`]'s truncation queue before
+/// the oldest transaction's resolution metadata is dropped. The window
+/// only needs to outlive in-flight duplicates of the transaction's
+/// messages (stale retried proposals, duplicate Visibilities): message
+/// lifetimes are sub-second while this many settlements on one record
+/// take orders of magnitude longer — the same synchrony assumption the
+/// paper's timeout-based recovery makes (§3.2.3).
+const RESOLVED_RETENTION: usize = 512;
 
 /// The full volatile state of one [`AcceptorRecord`], exported for
 /// durable checkpoints and re-imported on node restart (§3.2.3: a
@@ -212,6 +229,11 @@ pub struct AcceptorState {
     /// Transactions settled via snapshot adoption without local
     /// execution (see `AcceptorRecord::inherited_folded`), oldest first.
     pub inherited_folded: Vec<TxnId>,
+    /// Settled transactions still inside the truncation window, oldest
+    /// first (see `AcceptorRecord::settle_log`).
+    pub settle_log: Vec<TxnId>,
+    /// Total settlements ever recorded on this record.
+    pub settle_seq: u64,
 }
 
 /// A transaction outcome together with the *globally learned* status of
@@ -253,6 +275,8 @@ impl AcceptorRecord {
             reopen_fast_after: None,
             closed_resolved: Vec::new(),
             inherited_folded: Vec::new(),
+            settle_log: VecDeque::new(),
+            settle_seq: 0,
         }
     }
 
@@ -353,6 +377,7 @@ impl AcceptorRecord {
         for txn in &snapshot.folded {
             if self.resolved_entries.insert(*txn) {
                 self.note_inherited(*txn);
+                self.note_settled(*txn);
             }
         }
     }
@@ -369,6 +394,57 @@ impl AcceptorRecord {
             let excess = self.inherited_folded.len() - INHERITED_FOLDED_CAP;
             self.inherited_folded.drain(..excess);
         }
+    }
+
+    /// Enrolls a settled transaction in the truncation queue and prunes
+    /// metadata that has aged past the retention watermark.
+    fn note_settled(&mut self, txn: TxnId) {
+        self.settle_log.push_back(txn);
+        self.settle_seq += 1;
+        self.truncate_settled();
+    }
+
+    /// Watermark-based truncation of the resolution metadata (`outcomes`
+    /// and `resolved_entries`), which would otherwise grow with
+    /// transaction count.
+    ///
+    /// A settled transaction's metadata is dropped once
+    /// [`RESOLVED_RETENTION`] later settlements have been recorded on
+    /// this record — the proxy for "the visibility fan-out has been
+    /// acknowledged everywhere" in a message schema without explicit
+    /// acks — *and* the transaction has left every structure a replica
+    /// could still re-ship its option from: the current cstruct, the
+    /// closed-instance ring and the inherited-folded ring. Converged
+    /// replicas hold identical rings (they execute the same instance
+    /// closes), so aging out of the local rings implies peers can no
+    /// longer re-deliver the option — which is what makes forgetting the
+    /// `resolved_entries` dedup marker safe.
+    fn truncate_settled(&mut self) {
+        while self.settle_log.len() > RESOLVED_RETENTION {
+            let txn = *self.settle_log.front().expect("len checked");
+            let referenced = self.cstruct.entry_of(txn).is_some()
+                || self.closed_resolved.iter().any(|(o, _)| o.txn == txn)
+                || self.inherited_folded.contains(&txn);
+            if referenced {
+                // Still shippable from a ring: blocked until it ages out.
+                break;
+            }
+            self.settle_log.pop_front();
+            self.resolved_entries.remove(&txn);
+            self.outcomes.remove(&txn);
+        }
+    }
+
+    /// Entries currently held in the resolution-metadata maps (tests:
+    /// bounded growth under sustained traffic).
+    pub fn resolution_metadata_len(&self) -> usize {
+        self.outcomes.len().max(self.resolved_entries.len())
+    }
+
+    /// Number of settlements whose metadata has been truncated — the
+    /// watermark below which this record has forgotten resolutions.
+    pub fn settle_watermark(&self) -> u64 {
+        self.settle_seq - self.settle_log.len() as u64
     }
 
     /// Phase1a (Algorithm 3, line 68): promise if the ballot is new, and
@@ -400,8 +476,14 @@ impl AcceptorRecord {
         }
         if self.resolved_entries.contains(&opt.txn) {
             // The transaction was resolved and processed here already; a
-            // retried proposal must not be decided twice.
-            let outcome = self.outcomes[&opt.txn].outcome;
+            // retried proposal must not be decided twice. A settled
+            // transaction whose outcome record is gone (snapshot-folded,
+            // or truncated metadata) can only have committed — aborted
+            // options never fold into values.
+            let outcome = self
+                .outcomes
+                .get(&opt.txn)
+                .map_or(TxnOutcome::Committed, |r| r.outcome);
             return FastPropose::AlreadyResolved(outcome);
         }
         if self.unresolved_len() >= self.max_instance_options {
@@ -497,6 +579,8 @@ impl AcceptorRecord {
             reopen_fast_after: self.reopen_fast_after,
             closed_resolved: self.closed_resolved.clone(),
             inherited_folded: self.inherited_folded.clone(),
+            settle_log: self.settle_log.iter().copied().collect(),
+            settle_seq: self.settle_seq,
         }
     }
 
@@ -529,6 +613,8 @@ impl AcceptorRecord {
             reopen_fast_after: state.reopen_fast_after,
             closed_resolved: state.closed_resolved,
             inherited_folded: state.inherited_folded,
+            settle_log: state.settle_log.into_iter().collect(),
+            settle_seq: state.settle_seq,
         }
     }
 
@@ -626,6 +712,7 @@ impl AcceptorRecord {
                 self.outcomes.insert(opt.txn, *resolution);
                 if self.resolved_entries.insert(opt.txn) {
                     self.note_inherited(opt.txn);
+                    self.note_settled(opt.txn);
                 }
                 self.cstruct.remove(opt.txn);
             }
@@ -668,6 +755,13 @@ impl AcceptorRecord {
         let before = self.version;
         self.resolve_entry(txn);
         self.try_advance();
+        if !self.resolved_entries.contains(&txn) {
+            // The option never reached this node (only the fan-out did):
+            // enroll the bare outcome for truncation directly, or the
+            // `outcomes` map would grow with every transaction whose
+            // Visibility is broadcast here.
+            self.note_settled(txn);
+        }
         self.version != before
     }
 
@@ -843,6 +937,7 @@ impl AcceptorRecord {
                 }
             }
         }
+        self.note_settled(txn);
     }
 
     fn try_advance(&mut self) {
@@ -1333,6 +1428,82 @@ mod tests {
             "missed delta executed locally"
         );
         assert!(!a.sync_from_peer(&peer_snapshot, &resolved), "idempotent");
+    }
+
+    #[test]
+    fn resolution_metadata_stops_growing_with_transaction_count() {
+        // Sustained physical-write traffic: every commit closes its
+        // instance, so nothing blocks the watermark. The metadata maps
+        // must plateau instead of growing with transaction count.
+        let mut a = acceptor_with_stock(1);
+        const TXNS: u64 = 4_000;
+        for i in 1..=TXNS {
+            let v = a.version().0;
+            let w = phys_write(i, v, i as i64);
+            assert!(status_of(&a.fast_propose(w), txn(i)).is_accepted());
+            a.apply_visibility(txn(i), TxnOutcome::Committed, true);
+        }
+        assert_eq!(a.version().0, 1 + TXNS, "every write closed an instance");
+        assert!(
+            a.resolution_metadata_len() <= 520,
+            "metadata must be bounded, got {}",
+            a.resolution_metadata_len()
+        );
+        assert!(
+            a.settle_watermark() > 3_000,
+            "watermark advanced, got {}",
+            a.settle_watermark()
+        );
+    }
+
+    #[test]
+    fn outcome_only_visibilities_are_truncated_too() {
+        // Visibility fan-out reaches replicas that never saw the option;
+        // those bare outcomes must not accumulate forever either.
+        let mut a = acceptor_with_stock(5);
+        for i in 1..=2_000 {
+            a.apply_visibility(txn(i), TxnOutcome::Committed, true);
+        }
+        assert!(
+            a.resolution_metadata_len() <= 520,
+            "bare outcomes bounded, got {}",
+            a.resolution_metadata_len()
+        );
+    }
+
+    #[test]
+    fn truncation_is_blocked_while_rings_can_reship() {
+        // Commutative commits whose instance never closes stay in the
+        // cstruct — the watermark must not outrun them (a peer could
+        // still ship their options).
+        let mut a = acceptor_with_stock(10_000_000);
+        for i in 1..=700 {
+            a.fast_propose(dec(i, 1));
+            a.apply_visibility(txn(i), TxnOutcome::Committed, true);
+        }
+        // All 700 are resolved entries of the still-open instance.
+        assert_eq!(a.settle_watermark(), 0, "open-instance entries retained");
+        for i in 1..=700 {
+            assert_eq!(a.outcome_of(txn(i)), Some(TxnOutcome::Committed));
+        }
+    }
+
+    #[test]
+    fn truncated_metadata_round_trips_through_state_export() {
+        let mut a = acceptor_with_stock(1);
+        for i in 1..=1_000 {
+            let v = a.version().0;
+            a.fast_propose(phys_write(i, v, i as i64));
+            a.apply_visibility(txn(i), TxnOutcome::Committed, true);
+        }
+        let b = AcceptorRecord::from_state(stock_constraints(), 5, 4, 32, a.export_state());
+        assert_eq!(b.settle_watermark(), a.settle_watermark());
+        assert_eq!(b.resolution_metadata_len(), a.resolution_metadata_len());
+        assert_eq!(
+            format!("{:?}", b.export_state()),
+            format!("{:?}", a.export_state()),
+            "export ∘ import is the identity under truncation"
+        );
     }
 
     #[test]

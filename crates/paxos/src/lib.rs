@@ -35,6 +35,7 @@ pub mod leader;
 pub mod learner;
 pub mod options;
 pub mod quorum;
+pub mod wire;
 
 pub use acceptor::{AcceptorRecord, AcceptorState, Phase1b, Phase2b, RecordSnapshot, Resolution};
 pub use ballot::{Ballot, BallotKind};

@@ -1,0 +1,358 @@
+//! [`Wire`] encodings for the Paxos vocabulary.
+//!
+//! These impls complete the shared wire layer of [`mdcc_common::wire`]
+//! for the types this crate owns: ballots, options, cstructs and every
+//! Phase1/Phase2 payload. `mdcc-recovery` writes them to disk and
+//! `mdcc-core` puts them on the simulated network, so one encoding
+//! defines both the durable format and the message's cost in wire bytes.
+
+use std::sync::Arc;
+
+use mdcc_common::error::AbortReason;
+use mdcc_common::wire::{err, Dec, Enc, Wire, WireResult};
+use mdcc_common::{Key, TxnId, UpdateOp, Version};
+
+use crate::acceptor::{AcceptorState, Phase1b, Phase2a, Phase2b, RecordSnapshot, Resolution};
+use crate::ballot::{Ballot, BallotKind};
+use crate::cstruct::{CStruct, Entry};
+use crate::options::{OptionStatus, TxnOption, TxnOutcome};
+
+impl Wire for Ballot {
+    fn encode(&self, out: &mut Enc) {
+        out.u32(self.round);
+        out.u8(match self.kind {
+            BallotKind::Fast => 0,
+            BallotKind::Classic => 1,
+        });
+        self.proposer.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        let round = inp.u32()?;
+        let kind = match inp.u8()? {
+            0 => BallotKind::Fast,
+            1 => BallotKind::Classic,
+            _ => return err("ballot kind"),
+        };
+        Ok(Ballot {
+            round,
+            kind,
+            proposer: mdcc_common::NodeId::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for OptionStatus {
+    fn encode(&self, out: &mut Enc) {
+        match self {
+            OptionStatus::Accepted => out.u8(0),
+            OptionStatus::Rejected(reason) => {
+                out.u8(1);
+                reason.encode(out);
+            }
+        }
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        match inp.u8()? {
+            0 => Ok(OptionStatus::Accepted),
+            1 => Ok(OptionStatus::Rejected(AbortReason::decode(inp)?)),
+            _ => err("option-status tag"),
+        }
+    }
+}
+
+impl Wire for TxnOutcome {
+    fn encode(&self, out: &mut Enc) {
+        out.u8(match self {
+            TxnOutcome::Committed => 0,
+            TxnOutcome::Aborted => 1,
+        });
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        match inp.u8()? {
+            0 => Ok(TxnOutcome::Committed),
+            1 => Ok(TxnOutcome::Aborted),
+            _ => err("txn-outcome tag"),
+        }
+    }
+}
+
+impl Wire for Resolution {
+    fn encode(&self, out: &mut Enc) {
+        self.outcome.encode(out);
+        out.bool(self.learned_accepted);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(Resolution {
+            outcome: TxnOutcome::decode(inp)?,
+            learned_accepted: inp.bool()?,
+        })
+    }
+}
+
+impl Wire for TxnOption {
+    fn encode(&self, out: &mut Enc) {
+        self.txn.encode(out);
+        self.key.encode(out);
+        self.op.encode(out);
+        out.u32(self.peers.len() as u32);
+        for peer in self.peers.iter() {
+            peer.encode(out);
+        }
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        let txn = TxnId::decode(inp)?;
+        let key = Key::decode(inp)?;
+        let op = UpdateOp::decode(inp)?;
+        let n = inp.u32()? as usize;
+        if n > inp.remaining() {
+            return err("peers length");
+        }
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            peers.push(Key::decode(inp)?);
+        }
+        Ok(TxnOption {
+            txn,
+            key,
+            op,
+            peers: Arc::from(peers),
+        })
+    }
+}
+
+impl Wire for Entry {
+    fn encode(&self, out: &mut Enc) {
+        self.opt.encode(out);
+        self.status.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(Entry {
+            opt: TxnOption::decode(inp)?,
+            status: OptionStatus::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for CStruct {
+    fn encode(&self, out: &mut Enc) {
+        out.u32(self.len() as u32);
+        for entry in self.entries() {
+            entry.encode(out);
+        }
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        let n = inp.u32()? as usize;
+        if n > inp.remaining() {
+            return err("cstruct length");
+        }
+        let mut c = CStruct::new();
+        for _ in 0..n {
+            c.append_entry(Entry::decode(inp)?);
+        }
+        Ok(c)
+    }
+}
+
+impl Wire for RecordSnapshot {
+    fn encode(&self, out: &mut Enc) {
+        self.version.encode(out);
+        self.value.encode(out);
+        self.folded.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(RecordSnapshot {
+            version: Version::decode(inp)?,
+            value: Option::decode(inp)?,
+            folded: Vec::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for Phase1b {
+    fn encode(&self, out: &mut Enc) {
+        self.promised.encode(out);
+        self.accepted.encode(out);
+        self.snapshot.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(Phase1b {
+            promised: Ballot::decode(inp)?,
+            accepted: Option::decode(inp)?,
+            snapshot: RecordSnapshot::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for Phase2b {
+    fn encode(&self, out: &mut Enc) {
+        self.ballot.encode(out);
+        self.version.encode(out);
+        self.cstruct.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(Phase2b {
+            ballot: Ballot::decode(inp)?,
+            version: Version::decode(inp)?,
+            cstruct: CStruct::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for Phase2a {
+    fn encode(&self, out: &mut Enc) {
+        self.ballot.encode(out);
+        self.version.encode(out);
+        self.snapshot.encode(out);
+        self.safe.encode(out);
+        self.new_options.encode(out);
+        out.bool(self.close_instance);
+        self.reopen_fast.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(Phase2a {
+            ballot: Ballot::decode(inp)?,
+            version: Version::decode(inp)?,
+            snapshot: RecordSnapshot::decode(inp)?,
+            safe: Option::decode(inp)?,
+            new_options: Vec::decode(inp)?,
+            close_instance: inp.bool()?,
+            reopen_fast: Option::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for AcceptorState {
+    fn encode(&self, out: &mut Enc) {
+        self.version.encode(out);
+        self.value.encode(out);
+        self.base.encode(out);
+        self.promised.encode(out);
+        self.accepted_ballot.encode(out);
+        self.entries.encode(out);
+        self.outcomes.encode(out);
+        self.resolved.encode(out);
+        out.bool(self.close_on_resolve);
+        self.reopen_fast_after.encode(out);
+        self.closed_resolved.encode(out);
+        self.inherited_folded.encode(out);
+        self.settle_log.encode(out);
+        self.settle_seq.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(AcceptorState {
+            version: Version::decode(inp)?,
+            value: Option::decode(inp)?,
+            base: Option::decode(inp)?,
+            promised: Ballot::decode(inp)?,
+            accepted_ballot: Option::decode(inp)?,
+            entries: Vec::decode(inp)?,
+            outcomes: Vec::decode(inp)?,
+            resolved: Vec::decode(inp)?,
+            close_on_resolve: inp.bool()?,
+            reopen_fast_after: Option::decode(inp)?,
+            closed_resolved: Vec::decode(inp)?,
+            inherited_folded: Vec::decode(inp)?,
+            settle_log: Vec::decode(inp)?,
+            settle_seq: u64::decode(inp)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::wire::{from_bytes, to_bytes};
+    use mdcc_common::{CommutativeUpdate, NodeId, PhysicalUpdate, Row, TableId};
+
+    fn round_trip<T: Wire + std::fmt::Debug>(v: &T) -> T {
+        let bytes = to_bytes(v);
+        from_bytes(&bytes).expect("round trip")
+    }
+
+    #[test]
+    fn options_and_ballots_round_trip() {
+        let opt = TxnOption {
+            txn: TxnId::new(NodeId(1), 5),
+            key: Key::new(TableId(0), "a"),
+            op: UpdateOp::Commutative(CommutativeUpdate::delta("stock", -3).and("sold", 3)),
+            peers: Arc::from(vec![Key::new(TableId(0), "a"), Key::new(TableId(0), "b")]),
+        };
+        let back = round_trip(&opt);
+        assert_eq!(back.txn, opt.txn);
+        assert_eq!(back.op, opt.op);
+        assert_eq!(&*back.peers, &*opt.peers);
+
+        for ballot in [
+            Ballot::INITIAL_FAST,
+            Ballot::classic(9, NodeId(2)),
+            Ballot::fast(4, NodeId(1)),
+        ] {
+            assert_eq!(round_trip(&ballot), ballot);
+        }
+        for status in [
+            OptionStatus::Accepted,
+            OptionStatus::Rejected(AbortReason::DemarcationLimit),
+        ] {
+            assert_eq!(round_trip(&status), status);
+        }
+    }
+
+    #[test]
+    fn phase_payloads_round_trip() {
+        let mut safe = CStruct::new();
+        safe.append(
+            TxnOption::solo(
+                TxnId::new(NodeId(0), 1),
+                Key::new(TableId(0), "x"),
+                UpdateOp::ReadGuard(Version(2)),
+            ),
+            OptionStatus::Accepted,
+        );
+        let p2a = Phase2a {
+            ballot: Ballot::classic(2, NodeId(3)),
+            version: Version(5),
+            snapshot: RecordSnapshot {
+                version: Version(5),
+                value: Some(Row::new().with("stock", 1)),
+                folded: vec![TxnId::new(NodeId(4), 2)],
+            },
+            safe: Some(safe.clone()),
+            new_options: vec![TxnOption::solo(
+                TxnId::new(NodeId(9), 7),
+                Key::new(TableId(0), "x"),
+                UpdateOp::Physical(PhysicalUpdate::delete(Version(5))),
+            )],
+            close_instance: true,
+            reopen_fast: Some(Ballot::fast(3, NodeId(3))),
+        };
+        let back = round_trip(&p2a);
+        assert_eq!(back.ballot, p2a.ballot);
+        assert_eq!(back.version, p2a.version);
+        assert_eq!(back.snapshot, p2a.snapshot);
+        assert_eq!(back.safe.as_ref().map(|c| c.len()), Some(1));
+        assert_eq!(back.new_options, p2a.new_options);
+        assert!(back.close_instance);
+        assert_eq!(back.reopen_fast, p2a.reopen_fast);
+
+        let p1b = Phase1b {
+            promised: Ballot::classic(2, NodeId(3)),
+            accepted: Some((Ballot::fast(1, NodeId(0)), safe.clone())),
+            snapshot: RecordSnapshot::absent(),
+        };
+        let back = round_trip(&p1b);
+        assert_eq!(back.promised, p1b.promised);
+        assert_eq!(back.accepted.as_ref().map(|(b, c)| (*b, c.len())), {
+            p1b.accepted.as_ref().map(|(b, c)| (*b, c.len()))
+        });
+
+        let p2b = Phase2b {
+            ballot: Ballot::fast(1, NodeId(0)),
+            version: Version(9),
+            cstruct: safe,
+        };
+        let back = round_trip(&p2b);
+        assert_eq!(back.ballot, p2b.ballot);
+        assert_eq!(back.version, p2b.version);
+        assert_eq!(back.cstruct.len(), p2b.cstruct.len());
+    }
+}

@@ -1,885 +1,14 @@
-//! A small, dependency-free binary codec for durable state.
+//! Durable-state codec — now a façade over the shared wire layer.
 //!
-//! The workspace has no serde (the build environment is offline), so this
-//! module hand-rolls a length-prefixed little-endian encoding for every
-//! protocol type that reaches disk. Encoding is deterministic: equal
-//! values produce equal bytes, which the recovery audit relies on when it
-//! compares replica states byte-for-byte.
+//! The binary encoding that used to live here was promoted to
+//! [`mdcc_common::wire`] so the *same* bytes define both what reaches
+//! disk and what a message costs on the simulated network. Each crate
+//! implements [`Wire`] for the types it owns (`mdcc-paxos` for ballots
+//! and phase payloads, `mdcc-storage` for store state, `mdcc-core` for
+//! protocol messages); this module re-exports the layer under its
+//! historical path for recovery-side callers.
 
-use std::sync::Arc;
-
-use mdcc_common::error::AbortReason;
-use mdcc_common::{
-    CommutativeUpdate, Key, NodeId, PhysicalUpdate, Row, SimTime, TableId, TxnId, UpdateOp, Value,
-    Version,
+pub use mdcc_common::wire::{
+    err, fnv1a32, fnv1a64, frame, frame_payload, from_bytes, read_frames, to_bytes, wire_len, Dec,
+    Enc, Wire, WireError, WireResult, FRAME_OVERHEAD,
 };
-use mdcc_paxos::acceptor::Phase2a;
-use mdcc_paxos::cstruct::Entry;
-use mdcc_paxos::{
-    AcceptorState, Ballot, BallotKind, CStruct, OptionStatus, RecordSnapshot, Resolution,
-    TxnOption, TxnOutcome,
-};
-use mdcc_storage::{LogEvent, PendingTxn, StoreState};
-
-/// A decode failure: the bytes do not parse as the expected structure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError {
-    /// What was being decoded when the failure occurred.
-    pub context: &'static str,
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wire decode failed at {}", self.context)
-    }
-}
-
-impl std::error::Error for WireError {}
-
-/// Decode result alias.
-pub type WireResult<T> = Result<T, WireError>;
-
-fn err<T>(context: &'static str) -> WireResult<T> {
-    Err(WireError { context })
-}
-
-/// Byte-buffer encoder.
-#[derive(Debug, Default)]
-pub struct Enc {
-    buf: Vec<u8>,
-}
-
-impl Enc {
-    /// An empty encoder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Consumes the encoder, returning the bytes.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
-    }
-
-    /// Bytes written so far.
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    /// True when nothing was written.
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
-    }
-
-    fn str(&mut self, v: &str) {
-        self.u32(v.len() as u32);
-        self.buf.extend_from_slice(v.as_bytes());
-    }
-}
-
-/// Byte-buffer decoder.
-#[derive(Debug)]
-pub struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Dec<'a> {
-    /// A decoder over `buf`.
-    pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    /// True when every byte was consumed.
-    pub fn is_exhausted(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize, context: &'static str) -> WireResult<&'a [u8]> {
-        if self.remaining() < n {
-            return err(context);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> WireResult<u8> {
-        Ok(self.take(1, "u8")?[0])
-    }
-
-    fn u16(&mut self) -> WireResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> WireResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> WireResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
-    }
-
-    fn i64(&mut self) -> WireResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
-    }
-
-    fn bool(&mut self) -> WireResult<bool> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => err("bool"),
-        }
-    }
-
-    fn str(&mut self) -> WireResult<String> {
-        let n = self.u32()? as usize;
-        let bytes = self.take(n, "str bytes")?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError {
-            context: "str utf8",
-        })
-    }
-}
-
-/// Types that serialize onto the simulated disk.
-pub trait Wire: Sized {
-    /// Appends this value to `out`.
-    fn encode(&self, out: &mut Enc);
-    /// Parses one value from `inp`.
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self>;
-}
-
-/// Encodes one value to a fresh byte vector.
-pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
-    let mut enc = Enc::new();
-    value.encode(&mut enc);
-    enc.finish()
-}
-
-/// Decodes one value from `bytes`, requiring full consumption.
-pub fn from_bytes<T: Wire>(bytes: &[u8]) -> WireResult<T> {
-    let mut dec = Dec::new(bytes);
-    let v = T::decode(&mut dec)?;
-    if !dec.is_exhausted() {
-        return err("trailing bytes");
-    }
-    Ok(v)
-}
-
-impl Wire for u64 {
-    fn encode(&self, out: &mut Enc) {
-        out.u64(*self);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        inp.u64()
-    }
-}
-
-impl Wire for bool {
-    fn encode(&self, out: &mut Enc) {
-        out.bool(*self);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        inp.bool()
-    }
-}
-
-impl Wire for String {
-    fn encode(&self, out: &mut Enc) {
-        out.str(self);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        inp.str()
-    }
-}
-
-impl<T: Wire> Wire for Option<T> {
-    fn encode(&self, out: &mut Enc) {
-        match self {
-            None => out.u8(0),
-            Some(v) => {
-                out.u8(1);
-                v.encode(out);
-            }
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(T::decode(inp)?)),
-            _ => err("option tag"),
-        }
-    }
-}
-
-impl<T: Wire> Wire for Vec<T> {
-    fn encode(&self, out: &mut Enc) {
-        out.u32(self.len() as u32);
-        for v in self {
-            v.encode(out);
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let n = inp.u32()? as usize;
-        // Guard against absurd lengths from corrupt frames.
-        if n > inp.remaining() {
-            return err("vec length");
-        }
-        let mut v = Vec::with_capacity(n);
-        for _ in 0..n {
-            v.push(T::decode(inp)?);
-        }
-        Ok(v)
-    }
-}
-
-impl<A: Wire, B: Wire> Wire for (A, B) {
-    fn encode(&self, out: &mut Enc) {
-        self.0.encode(out);
-        self.1.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok((A::decode(inp)?, B::decode(inp)?))
-    }
-}
-
-impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
-    fn encode(&self, out: &mut Enc) {
-        self.0.encode(out);
-        self.1.encode(out);
-        self.2.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok((A::decode(inp)?, B::decode(inp)?, C::decode(inp)?))
-    }
-}
-
-// ---------------------------------------------------------------------
-// mdcc-common types.
-// ---------------------------------------------------------------------
-
-impl Wire for NodeId {
-    fn encode(&self, out: &mut Enc) {
-        out.u32(self.0);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(NodeId(inp.u32()?))
-    }
-}
-
-impl Wire for TableId {
-    fn encode(&self, out: &mut Enc) {
-        out.u16(self.0);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(TableId(inp.u16()?))
-    }
-}
-
-impl Wire for Key {
-    fn encode(&self, out: &mut Enc) {
-        self.table.encode(out);
-        out.str(&self.pk);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let table = TableId::decode(inp)?;
-        let pk = inp.str()?;
-        Ok(Key { table, pk })
-    }
-}
-
-impl Wire for TxnId {
-    fn encode(&self, out: &mut Enc) {
-        self.coordinator.encode(out);
-        out.u64(self.seq);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(TxnId {
-            coordinator: NodeId::decode(inp)?,
-            seq: inp.u64()?,
-        })
-    }
-}
-
-impl Wire for Version {
-    fn encode(&self, out: &mut Enc) {
-        out.u64(self.0);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(Version(inp.u64()?))
-    }
-}
-
-impl Wire for SimTime {
-    fn encode(&self, out: &mut Enc) {
-        out.u64(self.0);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(SimTime(inp.u64()?))
-    }
-}
-
-impl Wire for Value {
-    fn encode(&self, out: &mut Enc) {
-        match self {
-            Value::Null => out.u8(0),
-            Value::Int(i) => {
-                out.u8(1);
-                out.i64(*i);
-            }
-            Value::Str(s) => {
-                out.u8(2);
-                out.str(s);
-            }
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(Value::Null),
-            1 => Ok(Value::Int(inp.i64()?)),
-            2 => Ok(Value::Str(inp.str()?)),
-            _ => err("value tag"),
-        }
-    }
-}
-
-impl Wire for Row {
-    fn encode(&self, out: &mut Enc) {
-        out.u32(self.len() as u32);
-        // Row iterates in attribute-name order: deterministic.
-        for (attr, value) in self.iter() {
-            out.str(attr);
-            value.encode(out);
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let n = inp.u32()? as usize;
-        if n > inp.remaining() {
-            return err("row length");
-        }
-        let mut pairs = Vec::with_capacity(n);
-        for _ in 0..n {
-            pairs.push((inp.str()?, Value::decode(inp)?));
-        }
-        Ok(pairs.into_iter().collect())
-    }
-}
-
-impl Wire for PhysicalUpdate {
-    fn encode(&self, out: &mut Enc) {
-        self.vread.encode(out);
-        self.value.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(PhysicalUpdate {
-            vread: Option::decode(inp)?,
-            value: Option::decode(inp)?,
-        })
-    }
-}
-
-impl Wire for CommutativeUpdate {
-    fn encode(&self, out: &mut Enc) {
-        out.u32(self.deltas.len() as u32);
-        for (attr, delta) in &self.deltas {
-            out.str(attr);
-            out.i64(*delta);
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let n = inp.u32()? as usize;
-        if n > inp.remaining() {
-            return err("deltas length");
-        }
-        let mut deltas = Vec::with_capacity(n);
-        for _ in 0..n {
-            deltas.push((inp.str()?, inp.i64()?));
-        }
-        Ok(CommutativeUpdate { deltas })
-    }
-}
-
-impl Wire for UpdateOp {
-    fn encode(&self, out: &mut Enc) {
-        match self {
-            UpdateOp::Physical(p) => {
-                out.u8(0);
-                p.encode(out);
-            }
-            UpdateOp::Commutative(c) => {
-                out.u8(1);
-                c.encode(out);
-            }
-            UpdateOp::ReadGuard(v) => {
-                out.u8(2);
-                v.encode(out);
-            }
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(UpdateOp::Physical(PhysicalUpdate::decode(inp)?)),
-            1 => Ok(UpdateOp::Commutative(CommutativeUpdate::decode(inp)?)),
-            2 => Ok(UpdateOp::ReadGuard(Version::decode(inp)?)),
-            _ => err("update-op tag"),
-        }
-    }
-}
-
-impl Wire for AbortReason {
-    fn encode(&self, out: &mut Enc) {
-        let tag = match self {
-            AbortReason::StaleRead => 0,
-            AbortReason::PendingOption => 1,
-            AbortReason::AlreadyExists => 2,
-            AbortReason::DemarcationLimit => 3,
-            AbortReason::ConstraintViolation => 4,
-            AbortReason::Resolved => 5,
-        };
-        out.u8(tag);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(AbortReason::StaleRead),
-            1 => Ok(AbortReason::PendingOption),
-            2 => Ok(AbortReason::AlreadyExists),
-            3 => Ok(AbortReason::DemarcationLimit),
-            4 => Ok(AbortReason::ConstraintViolation),
-            5 => Ok(AbortReason::Resolved),
-            _ => err("abort-reason tag"),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// mdcc-paxos types.
-// ---------------------------------------------------------------------
-
-impl Wire for Ballot {
-    fn encode(&self, out: &mut Enc) {
-        out.u32(self.round);
-        out.u8(match self.kind {
-            BallotKind::Fast => 0,
-            BallotKind::Classic => 1,
-        });
-        self.proposer.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let round = inp.u32()?;
-        let kind = match inp.u8()? {
-            0 => BallotKind::Fast,
-            1 => BallotKind::Classic,
-            _ => return err("ballot kind"),
-        };
-        Ok(Ballot {
-            round,
-            kind,
-            proposer: NodeId::decode(inp)?,
-        })
-    }
-}
-
-impl Wire for OptionStatus {
-    fn encode(&self, out: &mut Enc) {
-        match self {
-            OptionStatus::Accepted => out.u8(0),
-            OptionStatus::Rejected(reason) => {
-                out.u8(1);
-                reason.encode(out);
-            }
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(OptionStatus::Accepted),
-            1 => Ok(OptionStatus::Rejected(AbortReason::decode(inp)?)),
-            _ => err("option-status tag"),
-        }
-    }
-}
-
-impl Wire for TxnOutcome {
-    fn encode(&self, out: &mut Enc) {
-        out.u8(match self {
-            TxnOutcome::Committed => 0,
-            TxnOutcome::Aborted => 1,
-        });
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(TxnOutcome::Committed),
-            1 => Ok(TxnOutcome::Aborted),
-            _ => err("txn-outcome tag"),
-        }
-    }
-}
-
-impl Wire for Resolution {
-    fn encode(&self, out: &mut Enc) {
-        self.outcome.encode(out);
-        out.bool(self.learned_accepted);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(Resolution {
-            outcome: TxnOutcome::decode(inp)?,
-            learned_accepted: inp.bool()?,
-        })
-    }
-}
-
-impl Wire for TxnOption {
-    fn encode(&self, out: &mut Enc) {
-        self.txn.encode(out);
-        self.key.encode(out);
-        self.op.encode(out);
-        out.u32(self.peers.len() as u32);
-        for peer in self.peers.iter() {
-            peer.encode(out);
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let txn = TxnId::decode(inp)?;
-        let key = Key::decode(inp)?;
-        let op = UpdateOp::decode(inp)?;
-        let n = inp.u32()? as usize;
-        if n > inp.remaining() {
-            return err("peers length");
-        }
-        let mut peers = Vec::with_capacity(n);
-        for _ in 0..n {
-            peers.push(Key::decode(inp)?);
-        }
-        Ok(TxnOption {
-            txn,
-            key,
-            op,
-            peers: Arc::from(peers),
-        })
-    }
-}
-
-impl Wire for Entry {
-    fn encode(&self, out: &mut Enc) {
-        self.opt.encode(out);
-        self.status.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(Entry {
-            opt: TxnOption::decode(inp)?,
-            status: OptionStatus::decode(inp)?,
-        })
-    }
-}
-
-impl Wire for CStruct {
-    fn encode(&self, out: &mut Enc) {
-        out.u32(self.len() as u32);
-        for entry in self.entries() {
-            entry.encode(out);
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let n = inp.u32()? as usize;
-        if n > inp.remaining() {
-            return err("cstruct length");
-        }
-        let mut c = CStruct::new();
-        for _ in 0..n {
-            c.append_entry(Entry::decode(inp)?);
-        }
-        Ok(c)
-    }
-}
-
-impl Wire for RecordSnapshot {
-    fn encode(&self, out: &mut Enc) {
-        self.version.encode(out);
-        self.value.encode(out);
-        self.folded.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(RecordSnapshot {
-            version: Version::decode(inp)?,
-            value: Option::decode(inp)?,
-            folded: Vec::decode(inp)?,
-        })
-    }
-}
-
-impl Wire for Phase2a {
-    fn encode(&self, out: &mut Enc) {
-        self.ballot.encode(out);
-        self.version.encode(out);
-        self.snapshot.encode(out);
-        self.safe.encode(out);
-        self.new_options.encode(out);
-        out.bool(self.close_instance);
-        self.reopen_fast.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(Phase2a {
-            ballot: Ballot::decode(inp)?,
-            version: Version::decode(inp)?,
-            snapshot: RecordSnapshot::decode(inp)?,
-            safe: Option::decode(inp)?,
-            new_options: Vec::decode(inp)?,
-            close_instance: inp.bool()?,
-            reopen_fast: Option::decode(inp)?,
-        })
-    }
-}
-
-impl Wire for AcceptorState {
-    fn encode(&self, out: &mut Enc) {
-        self.version.encode(out);
-        self.value.encode(out);
-        self.base.encode(out);
-        self.promised.encode(out);
-        self.accepted_ballot.encode(out);
-        self.entries.encode(out);
-        self.outcomes.encode(out);
-        self.resolved.encode(out);
-        out.bool(self.close_on_resolve);
-        self.reopen_fast_after.encode(out);
-        self.closed_resolved.encode(out);
-        self.inherited_folded.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(AcceptorState {
-            version: Version::decode(inp)?,
-            value: Option::decode(inp)?,
-            base: Option::decode(inp)?,
-            promised: Ballot::decode(inp)?,
-            accepted_ballot: Option::decode(inp)?,
-            entries: Vec::decode(inp)?,
-            outcomes: Vec::decode(inp)?,
-            resolved: Vec::decode(inp)?,
-            close_on_resolve: inp.bool()?,
-            reopen_fast_after: Option::decode(inp)?,
-            closed_resolved: Vec::decode(inp)?,
-            inherited_folded: Vec::decode(inp)?,
-        })
-    }
-}
-
-// ---------------------------------------------------------------------
-// mdcc-storage types.
-// ---------------------------------------------------------------------
-
-impl Wire for LogEvent {
-    fn encode(&self, out: &mut Enc) {
-        match self {
-            LogEvent::Decided { txn, key, status } => {
-                out.u8(0);
-                txn.encode(out);
-                key.encode(out);
-                status.encode(out);
-            }
-            LogEvent::Outcome { txn, key, outcome } => {
-                out.u8(1);
-                txn.encode(out);
-                key.encode(out);
-                outcome.encode(out);
-            }
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        match inp.u8()? {
-            0 => Ok(LogEvent::Decided {
-                txn: TxnId::decode(inp)?,
-                key: Key::decode(inp)?,
-                status: OptionStatus::decode(inp)?,
-            }),
-            1 => Ok(LogEvent::Outcome {
-                txn: TxnId::decode(inp)?,
-                key: Key::decode(inp)?,
-                outcome: TxnOutcome::decode(inp)?,
-            }),
-            _ => err("log-event tag"),
-        }
-    }
-}
-
-impl Wire for PendingTxn {
-    fn encode(&self, out: &mut Enc) {
-        self.txn.encode(out);
-        self.since.encode(out);
-        out.u32(self.peers.len() as u32);
-        for peer in self.peers.iter() {
-            peer.encode(out);
-        }
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        let txn = TxnId::decode(inp)?;
-        let since = SimTime::decode(inp)?;
-        let n = inp.u32()? as usize;
-        if n > inp.remaining() {
-            return err("pending peers length");
-        }
-        let mut peers = Vec::with_capacity(n);
-        for _ in 0..n {
-            peers.push(Key::decode(inp)?);
-        }
-        Ok(PendingTxn {
-            txn,
-            since,
-            peers: Arc::from(peers),
-        })
-    }
-}
-
-impl Wire for StoreState {
-    fn encode(&self, out: &mut Enc) {
-        self.records.encode(out);
-        self.pending.encode(out);
-        self.log.encode(out);
-    }
-    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
-        Ok(StoreState {
-            records: Vec::decode(inp)?,
-            pending: Vec::decode(inp)?,
-            log: Vec::decode(inp)?,
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn round_trip<T: Wire + std::fmt::Debug>(v: &T) -> T {
-        let bytes = to_bytes(v);
-        from_bytes(&bytes).expect("round trip")
-    }
-
-    #[test]
-    fn primitives_and_rows_round_trip() {
-        let row = Row::new().with("stock", 42).with("title", "widget");
-        assert_eq!(round_trip(&row), row);
-        let key = Key::new(TableId(3), "i99");
-        assert_eq!(round_trip(&key), key);
-        let txn = TxnId::new(NodeId(7), 123);
-        assert_eq!(round_trip(&txn), txn);
-        assert_eq!(round_trip(&Value::Null), Value::Null);
-        assert_eq!(round_trip(&Some(Version(9))), Some(Version(9)));
-        assert_eq!(round_trip(&Option::<Version>::None), None);
-    }
-
-    #[test]
-    fn options_and_ballots_round_trip() {
-        let opt = TxnOption {
-            txn: TxnId::new(NodeId(1), 5),
-            key: Key::new(TableId(0), "a"),
-            op: UpdateOp::Commutative(CommutativeUpdate::delta("stock", -3).and("sold", 3)),
-            peers: Arc::from(vec![Key::new(TableId(0), "a"), Key::new(TableId(0), "b")]),
-        };
-        let back = round_trip(&opt);
-        assert_eq!(back.txn, opt.txn);
-        assert_eq!(back.op, opt.op);
-        assert_eq!(&*back.peers, &*opt.peers);
-
-        for ballot in [
-            Ballot::INITIAL_FAST,
-            Ballot::classic(9, NodeId(2)),
-            Ballot::fast(4, NodeId(1)),
-        ] {
-            assert_eq!(round_trip(&ballot), ballot);
-        }
-        for status in [
-            OptionStatus::Accepted,
-            OptionStatus::Rejected(AbortReason::DemarcationLimit),
-        ] {
-            assert_eq!(round_trip(&status), status);
-        }
-    }
-
-    #[test]
-    fn phase2a_round_trips_with_safe_cstruct() {
-        let mut safe = CStruct::new();
-        safe.append(
-            TxnOption::solo(
-                TxnId::new(NodeId(0), 1),
-                Key::new(TableId(0), "x"),
-                UpdateOp::ReadGuard(Version(2)),
-            ),
-            OptionStatus::Accepted,
-        );
-        let p2a = Phase2a {
-            ballot: Ballot::classic(2, NodeId(3)),
-            version: Version(5),
-            snapshot: RecordSnapshot {
-                version: Version(5),
-                value: Some(Row::new().with("stock", 1)),
-                folded: vec![TxnId::new(NodeId(4), 2)],
-            },
-            safe: Some(safe),
-            new_options: vec![TxnOption::solo(
-                TxnId::new(NodeId(9), 7),
-                Key::new(TableId(0), "x"),
-                UpdateOp::Physical(PhysicalUpdate::delete(Version(5))),
-            )],
-            close_instance: true,
-            reopen_fast: Some(Ballot::fast(3, NodeId(3))),
-        };
-        let back = round_trip(&p2a);
-        assert_eq!(back.ballot, p2a.ballot);
-        assert_eq!(back.version, p2a.version);
-        assert_eq!(back.snapshot, p2a.snapshot);
-        assert_eq!(back.safe.as_ref().map(|c| c.len()), Some(1));
-        assert_eq!(back.new_options, p2a.new_options);
-        assert!(back.close_instance);
-        assert_eq!(back.reopen_fast, p2a.reopen_fast);
-    }
-
-    #[test]
-    fn corrupt_bytes_fail_cleanly() {
-        let bytes = to_bytes(&Key::new(TableId(1), "abc"));
-        assert!(from_bytes::<Key>(&bytes[..bytes.len() - 1]).is_err());
-        assert!(from_bytes::<TxnOutcome>(&[9]).is_err());
-        let mut extended = bytes.clone();
-        extended.push(0);
-        assert!(
-            from_bytes::<Key>(&extended).is_err(),
-            "trailing bytes rejected"
-        );
-    }
-
-    #[test]
-    fn encoding_is_deterministic() {
-        let row_a = Row::new().with("b", 2).with("a", 1);
-        let row_b = Row::new().with("a", 1).with("b", 2);
-        assert_eq!(
-            to_bytes(&row_a),
-            to_bytes(&row_b),
-            "insertion order irrelevant"
-        );
-    }
-}

@@ -80,14 +80,7 @@ pub fn committed_bytes(store: &RecordStore) -> Vec<u8> {
     to_bytes(&store.committed_state())
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+use crate::codec::fnv1a64;
 
 /// FNV-1a digest of [`committed_bytes`], cheap to ship around in reports.
 pub fn committed_digest(store: &RecordStore) -> u64 {

@@ -19,7 +19,7 @@ use mdcc_paxos::{Ballot, RecordSnapshot, Resolution, TxnOption, TxnOutcome};
 use mdcc_sim::Disk;
 use mdcc_storage::RecordStore;
 
-use crate::codec::{from_bytes, to_bytes, Dec, Enc, Wire, WireError, WireResult};
+use crate::codec::{Dec, Enc, Wire, WireError, WireResult};
 
 /// One durable command. Replay applies these through the same
 /// [`RecordStore`] entry points the live node used.
@@ -173,23 +173,10 @@ impl Wire for WalRecord {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for b in bytes {
-        h ^= *b as u32;
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
-}
-
-/// Frames one record (`[len][checksum][payload]`) into bytes.
+/// Frames one record (`[len][checksum][payload]`) into bytes, using the
+/// shared framing of [`mdcc_common::wire`].
 pub fn frame(record: &WalRecord) -> Vec<u8> {
-    let payload = to_bytes(record);
-    let mut out = Vec::with_capacity(payload.len() + 8);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    crate::codec::frame(record)
 }
 
 /// Appends one framed record to `disk`'s WAL area.
@@ -200,32 +187,7 @@ pub fn append(disk: &mut Disk, record: &WalRecord) {
 /// Parses every framed record in `wal`, oldest first, verifying
 /// checksums.
 pub fn read_all(wal: &[u8]) -> WireResult<Vec<WalRecord>> {
-    let mut records = Vec::new();
-    let mut pos = 0usize;
-    while pos < wal.len() {
-        if wal.len() - pos < 8 {
-            return Err(WireError {
-                context: "wal frame header",
-            });
-        }
-        let len = u32::from_le_bytes(wal[pos..pos + 4].try_into().unwrap()) as usize;
-        let checksum = u32::from_le_bytes(wal[pos + 4..pos + 8].try_into().unwrap());
-        pos += 8;
-        if wal.len() - pos < len {
-            return Err(WireError {
-                context: "wal frame body",
-            });
-        }
-        let payload = &wal[pos..pos + len];
-        if fnv1a(payload) != checksum {
-            return Err(WireError {
-                context: "wal frame checksum",
-            });
-        }
-        records.push(from_bytes::<WalRecord>(payload)?);
-        pos += len;
-    }
-    Ok(records)
+    crate::codec::read_frames(wal)
 }
 
 /// Counters from one replay pass.

@@ -18,6 +18,9 @@ pub enum EventKind<M> {
         from: NodeId,
         /// Message payload.
         msg: M,
+        /// Wire size of the message; drives the receiver's per-byte
+        /// deserialization cost.
+        bytes: usize,
     },
     /// Fire a timer previously set by `target` itself.
     Timer {
@@ -142,6 +145,7 @@ mod tests {
         EventKind::Deliver {
             from: NodeId(n),
             msg: "m",
+            bytes: 1,
         }
     }
 

@@ -28,7 +28,7 @@ pub mod world;
 
 pub use disk::{Disk, DiskStats};
 pub use event::TimerId;
-pub use net::{LinkSpec, NetworkModel};
-pub use process::{Ctx, Process};
+pub use net::{LinkSpec, NetworkModel, DEFAULT_INTER_DC_BANDWIDTH, DEFAULT_INTRA_DC_BANDWIDTH};
+pub use process::{Ctx, NetMessage, Process, TrafficClass};
 pub use topology::Topology;
-pub use world::{World, WorldConfig, WorldStats};
+pub use world::{TrafficTotals, World, WorldConfig, WorldStats};

@@ -14,6 +14,70 @@ use rand::rngs::SmallRng;
 use crate::disk::Disk;
 use crate::event::TimerId;
 
+/// How a message is accounted in byte/traffic statistics. The transport
+/// itself treats every class identically — the split exists so reports
+/// can answer "how much of the wire went to recovery sync versus the
+/// commit protocol versus reads".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Commit-protocol traffic: proposals, votes, Phase1/2, visibility.
+    Protocol,
+    /// Read requests and responses.
+    Read,
+    /// Anti-entropy / recovery-sync traffic.
+    Sync,
+}
+
+impl TrafficClass {
+    /// Number of classes (sizing per-class counter arrays).
+    pub const COUNT: usize = 3;
+
+    /// Dense index for per-class counter arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            TrafficClass::Protocol => 0,
+            TrafficClass::Read => 1,
+            TrafficClass::Sync => 2,
+        }
+    }
+}
+
+/// A message type with a byte-accurate wire size.
+///
+/// Every payload sent through [`Ctx::send`] must know what it costs on
+/// the wire: the network model charges transmission delay proportional
+/// to `wire_bytes` and the receiver pays a per-byte deserialization
+/// cost. Implementations should report the *framed* size (payload plus
+/// frame header) of the message's canonical binary encoding.
+pub trait NetMessage {
+    /// Total bytes this message occupies on the wire.
+    fn wire_bytes(&self) -> usize;
+
+    /// Which traffic class the message is accounted under.
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Protocol
+    }
+}
+
+// Plain payloads used by simulator-level tests and benches.
+impl NetMessage for u32 {
+    fn wire_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl NetMessage for u64 {
+    fn wire_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl NetMessage for &'static str {
+    fn wire_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
 /// An action a process asked the world to perform.
 #[derive(Debug)]
 pub enum Effect<M> {
@@ -23,6 +87,10 @@ pub enum Effect<M> {
         to: NodeId,
         /// Payload.
         msg: M,
+        /// Wire size of `msg`, captured at send time.
+        bytes: usize,
+        /// Traffic class of `msg`, captured at send time.
+        class: TrafficClass,
     },
     /// Deliver `msg` back to the process after `delay`.
     SetTimer {
@@ -96,9 +164,21 @@ impl<'a, M> Ctx<'a, M> {
         self.disk.as_deref_mut()
     }
 
-    /// Sends `msg` to `to`; latency and loss are the network model's call.
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+    /// Sends `msg` to `to`; latency, bandwidth and loss are the network
+    /// model's call. The message's wire size is captured here so the
+    /// transport can charge transmission delay and queueing for it.
+    pub fn send(&mut self, to: NodeId, msg: M)
+    where
+        M: NetMessage,
+    {
+        let bytes = msg.wire_bytes();
+        let class = msg.traffic_class();
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            bytes,
+            class,
+        });
     }
 
     /// Schedules `msg` to be delivered to `on_timer` after `delay`.
@@ -163,7 +243,9 @@ mod tests {
             effects[0],
             Effect::Send {
                 to: NodeId(1),
-                msg: 10
+                msg: 10,
+                bytes: 4,
+                class: TrafficClass::Protocol,
             }
         ));
         assert!(matches!(
@@ -212,7 +294,8 @@ mod tests {
             effects[0],
             Effect::Send {
                 to: NodeId(9),
-                msg: 42
+                msg: 42,
+                ..
             }
         ));
     }

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use crate::disk::Disk;
 use crate::event::{EventKind, EventQueue, TimerId};
 use crate::net::NetworkModel;
-use crate::process::{Ctx, Effect, Process};
+use crate::process::{Ctx, Effect, NetMessage, Process, TrafficClass};
 use crate::topology::Topology;
 
 /// World-level knobs.
@@ -18,19 +18,36 @@ pub struct WorldConfig {
     /// RNG seed; two worlds with equal seeds and equal call sequences
     /// produce identical executions.
     pub seed: u64,
-    /// CPU cost a node pays to handle one message. Messages arriving at a
-    /// busy node queue FIFO behind it — this is what creates the paper's
-    /// queueing effects (most visibly Megastore*'s serialization collapse).
+    /// Fixed floor of the CPU cost a node pays to handle one message
+    /// (syscall + dispatch overhead). Messages arriving at a busy node
+    /// queue FIFO behind it — this is what creates the paper's queueing
+    /// effects (most visibly Megastore*'s serialization collapse).
     pub service_time: SimDuration,
+    /// Per-byte handling cost in nanoseconds, added on top of the floor:
+    /// a one-byte vote and a megabyte sync chunk no longer cost the node
+    /// the same. The default (40 ns/byte ≈ 25 MB/s of deserialization +
+    /// handling) puts a typical ~250-byte protocol message at the 50 µs
+    /// the old flat model charged.
+    pub service_ns_per_byte: u64,
 }
 
 impl Default for WorldConfig {
     fn default() -> Self {
         Self {
             seed: 0x4D44_4343, // "MDCC" in ASCII.
-            service_time: SimDuration::from_micros(50),
+            service_time: SimDuration::from_micros(40),
+            service_ns_per_byte: 40,
         }
     }
+}
+
+/// Per-traffic-class message/byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficTotals {
+    /// Messages handed to the network.
+    pub msgs: u64,
+    /// Wire bytes handed to the network.
+    pub bytes: u64,
 }
 
 /// Counters the world maintains about itself.
@@ -44,6 +61,18 @@ pub struct WorldStats {
     pub dropped: u64,
     /// Timers that fired (excludes cancelled).
     pub timers_fired: u64,
+    /// Wire bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Sent messages/bytes broken out by [`TrafficClass`] (indexed with
+    /// [`TrafficClass::index`]).
+    pub by_class: [TrafficTotals; TrafficClass::COUNT],
+}
+
+impl WorldStats {
+    /// Totals for one traffic class.
+    pub fn class(&self, class: TrafficClass) -> TrafficTotals {
+        self.by_class[class.index()]
+    }
 }
 
 /// A deterministic discrete-event simulation of one deployment.
@@ -65,6 +94,10 @@ pub struct World<M> {
     cancelled: HashSet<TimerId>,
     next_timer: u64,
     service_time: SimDuration,
+    service_ns_per_byte: u64,
+    /// FIFO occupancy of each directed DC-pair link: the earliest time a
+    /// new transmission can start on `link_free_at[from][to]`.
+    link_free_at: Vec<Vec<SimTime>>,
     stats: WorldStats,
     effects_scratch: Vec<Effect<M>>,
 }
@@ -88,9 +121,18 @@ impl<M: 'static> World<M> {
             cancelled: HashSet::new(),
             next_timer: 0,
             service_time: config.service_time,
+            service_ns_per_byte: config.service_ns_per_byte,
+            link_free_at: vec![vec![SimTime::ZERO; dc_count]; dc_count],
             stats: WorldStats::default(),
             effects_scratch: Vec::new(),
         }
+    }
+
+    /// CPU cost of handling one `bytes`-sized message: the fixed floor
+    /// plus the per-byte deserialization cost.
+    fn service_cost(&self, bytes: usize) -> SimDuration {
+        let per_byte_us = (bytes as u64 * self.service_ns_per_byte + 500) / 1_000;
+        self.service_time + SimDuration::from_micros(per_byte_us)
     }
 
     /// Spawns a process in `dc`; its `on_start` runs at the current time.
@@ -126,9 +168,13 @@ impl<M: 'static> World<M> {
 
     /// Injects a message from outside the simulation (tests only; regular
     /// traffic should originate in processes).
-    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M)
+    where
+        M: NetMessage,
+    {
+        let bytes = msg.wire_bytes();
         self.queue
-            .push(self.now, to, EventKind::Deliver { from, msg });
+            .push(self.now, to, EventKind::Deliver { from, msg, bytes });
     }
 
     /// Marks a node crashed: inbound messages drop, timers are suppressed,
@@ -240,7 +286,7 @@ impl<M: 'static> World<M> {
                 self.stats.timers_fired += 1;
                 self.dispatch(target, DispatchKind::Timer(msg));
             }
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, bytes } => {
                 if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
                     self.now = ev.at;
                     self.stats.dropped += 1;
@@ -250,12 +296,12 @@ impl<M: 'static> World<M> {
                 let busy = self.busy_until[idx];
                 if busy > ev.at {
                     ev.at = busy;
-                    ev.kind = EventKind::Deliver { from, msg };
+                    ev.kind = EventKind::Deliver { from, msg, bytes };
                     self.queue.push_deferred(ev);
                     return true;
                 }
                 self.now = ev.at;
-                self.busy_until[idx] = ev.at + self.service_time;
+                self.busy_until[idx] = ev.at + self.service_cost(bytes);
                 self.stats.delivered += 1;
                 self.dispatch(target, DispatchKind::Message { from, msg });
             }
@@ -318,16 +364,39 @@ impl<M: 'static> World<M> {
 
     fn apply_effect(&mut self, source: NodeId, effect: Effect<M>) {
         match effect {
-            Effect::Send { to, msg } => {
+            Effect::Send {
+                to,
+                msg,
+                bytes,
+                class,
+            } => {
                 self.stats.sent += 1;
+                self.stats.bytes_sent += bytes as u64;
+                let totals = &mut self.stats.by_class[class.index()];
+                totals.msgs += 1;
+                totals.bytes += bytes as u64;
                 let from_dc = self.topology.dc_of(source);
                 let to_dc = self.topology.dc_of(to);
+                // Transmission: the message occupies the directed DC-pair
+                // link for `bytes / bandwidth`, FIFO behind whatever is
+                // already on it — a burst congests the link instead of
+                // teleporting. Lost messages occupy the link too: the
+                // sender transmits the bytes before the network eats them,
+                // so billed bytes and link congestion stay consistent.
+                let tx = self.net.transmission_delay(from_dc, to_dc, bytes);
+                let link = &mut self.link_free_at[from_dc.0 as usize][to_dc.0 as usize];
+                let start = (*link).max(self.now);
+                *link = start + tx;
                 match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
-                    Some(delay) => {
+                    Some(propagation) => {
                         self.queue.push(
-                            self.now + delay,
+                            start + tx + propagation,
                             to,
-                            EventKind::Deliver { from: source, msg },
+                            EventKind::Deliver {
+                                from: source,
+                                msg,
+                                bytes,
+                            },
                         );
                     }
                     None => self.stats.dropped += 1,
@@ -391,6 +460,7 @@ mod tests {
             WorldConfig {
                 seed,
                 service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
             },
         );
         // Pre-assign ids: spawn order is deterministic.
@@ -488,6 +558,7 @@ mod tests {
             WorldConfig {
                 seed: 0,
                 service_time: SimDuration::from_millis(2),
+                service_ns_per_byte: 0,
             },
         );
         let sink = w.spawn(DcId(0), Box::new(Sink { handled: vec![] }));
@@ -503,6 +574,167 @@ mod tests {
         // All four arrive at t=5 (half of 10 ms intra RTT); the 2 ms service
         // time spaces handling at 5,7,9,11.
         assert_eq!(times, vec![5, 7, 9, 11]);
+    }
+
+    /// A payload whose wire size is chosen by the test.
+    #[derive(Debug, Clone, Copy)]
+    struct Blob(usize);
+    impl crate::process::NetMessage for Blob {
+        fn wire_bytes(&self) -> usize {
+            self.0
+        }
+        fn traffic_class(&self) -> crate::process::TrafficClass {
+            crate::process::TrafficClass::Sync
+        }
+    }
+
+    struct BlobSink {
+        arrived: Vec<SimTime>,
+    }
+    impl Process<Blob> for BlobSink {
+        fn on_message(&mut self, _f: NodeId, _m: Blob, ctx: &mut Ctx<'_, Blob>) {
+            self.arrived.push(ctx.now);
+        }
+    }
+
+    struct BlobBlast {
+        target: NodeId,
+        sizes: Vec<usize>,
+    }
+    impl Process<Blob> for BlobBlast {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Blob>) {
+            for &s in &self.sizes {
+                ctx.send(self.target, Blob(s));
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Blob, _ctx: &mut Ctx<'_, Blob>) {}
+    }
+
+    fn blob_world(sizes: Vec<usize>) -> (World<Blob>, NodeId) {
+        // 1 MB/s inter-DC, 100 ms RTT, no jitter: transmission delay is
+        // 1 ms per KB on top of the 50 ms propagation delay.
+        let net = NetworkModel::uniform(2, 100.0, 1.0)
+            .with_jitter(0.0)
+            .with_inter_dc_bandwidth(1_000_000.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 1,
+                service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
+            },
+        );
+        let sink = w.spawn(DcId(1), Box::new(BlobSink { arrived: vec![] }));
+        let _ = w.spawn(
+            DcId(0),
+            Box::new(BlobBlast {
+                target: sink,
+                sizes,
+            }),
+        );
+        (w, sink)
+    }
+
+    #[test]
+    fn transmission_delay_adds_to_propagation() {
+        let (mut w, sink) = blob_world(vec![100_000]);
+        w.run_to_quiescence();
+        // 100 KB at 1 MB/s = 100 ms transmission + 50 ms propagation.
+        let arrived = &w.get::<BlobSink>(sink).unwrap().arrived;
+        assert_eq!(arrived.len(), 1);
+        assert_eq!(arrived[0].as_millis(), 150);
+    }
+
+    #[test]
+    fn bursts_queue_fifo_on_the_link() {
+        // Three 100 KB messages sent at t=0 share one 1 MB/s link: they
+        // serialize at 100 ms apiece instead of teleporting in parallel.
+        let (mut w, sink) = blob_world(vec![100_000, 100_000, 100_000]);
+        w.run_to_quiescence();
+        let times: Vec<u64> = w
+            .get::<BlobSink>(sink)
+            .unwrap()
+            .arrived
+            .iter()
+            .map(|t| t.as_millis())
+            .collect();
+        assert_eq!(times, vec![150, 250, 350]);
+    }
+
+    #[test]
+    fn small_message_queues_behind_a_large_one() {
+        // A 1-byte message sent right after a 500 KB one waits for the
+        // link: the burst congests it.
+        let (mut w, sink) = blob_world(vec![500_000, 1]);
+        w.run_to_quiescence();
+        let times: Vec<u64> = w
+            .get::<BlobSink>(sink)
+            .unwrap()
+            .arrived
+            .iter()
+            .map(|t| t.as_millis())
+            .collect();
+        // First: 500 ms tx + 50 ms prop. Second: starts at 500 ms, ~0 tx.
+        assert_eq!(times, vec![550, 550]);
+    }
+
+    #[test]
+    fn byte_and_class_accounting() {
+        use crate::process::TrafficClass;
+        let (mut w, _) = blob_world(vec![100_000, 200]);
+        w.run_to_quiescence();
+        let stats = w.stats();
+        assert_eq!(stats.sent, 2);
+        assert_eq!(stats.bytes_sent, 100_200);
+        assert_eq!(stats.class(TrafficClass::Sync).msgs, 2);
+        assert_eq!(stats.class(TrafficClass::Sync).bytes, 100_200);
+        assert_eq!(stats.class(TrafficClass::Protocol).msgs, 0);
+    }
+
+    #[test]
+    fn per_byte_service_time_scales_with_message_size() {
+        struct Sink {
+            handled: Vec<SimTime>,
+        }
+        impl Process<Blob> for Sink {
+            fn on_message(&mut self, _f: NodeId, _m: Blob, ctx: &mut Ctx<'_, Blob>) {
+                self.handled.push(ctx.now);
+            }
+        }
+        struct Blast {
+            target: NodeId,
+        }
+        impl Process<Blob> for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Blob>) {
+                // One large then one small message, same instant.
+                ctx.send(self.target, Blob(100_000));
+                ctx.send(self.target, Blob(0));
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Blob, _ctx: &mut Ctx<'_, Blob>) {}
+        }
+        let net = NetworkModel::uniform(1, 0.0, 10.0).with_jitter(0.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 0,
+                service_time: SimDuration::from_millis(1),
+                service_ns_per_byte: 1_000, // 1 µs per byte
+            },
+        );
+        let sink = w.spawn(DcId(0), Box::new(Sink { handled: vec![] }));
+        let _ = w.spawn(DcId(0), Box::new(Blast { target: sink }));
+        w.run_to_quiescence();
+        let times: Vec<u64> = w
+            .get::<Sink>(sink)
+            .unwrap()
+            .handled
+            .iter()
+            .map(|t| t.as_millis())
+            .collect();
+        // Both arrive at 5 ms (half the 10 ms intra RTT; tiny tx delay).
+        // The 100 KB message costs 1 ms + 100 ms to handle, so the small
+        // one is deferred until 106 ms.
+        assert_eq!(times, vec![5, 106]);
     }
 
     #[test]

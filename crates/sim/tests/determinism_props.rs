@@ -54,6 +54,7 @@ fn run(
         WorldConfig {
             seed,
             service_time: SimDuration::from_micros(service_us),
+            ..WorldConfig::default()
         },
     );
     let total = dcs * nodes_per_dc;

@@ -16,8 +16,9 @@
 pub mod log;
 pub mod schema;
 pub mod store;
+pub mod wire;
 
 pub use log::{LogEvent, OptionLog};
 pub use mdcc_paxos::AttrConstraint;
 pub use schema::{Catalog, TableSchema};
-pub use store::{PendingTxn, RecordStore, StoreState};
+pub use store::{PendingTxn, RecordStore, StoreState, SyncItem, SyncRange};

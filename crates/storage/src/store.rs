@@ -26,6 +26,36 @@ pub struct StoreState {
     pub log: Vec<(SimTime, LogEvent)>,
 }
 
+/// One record's worth of anti-entropy payload: its committed snapshot
+/// plus the resolved options a peer would need to catch up — exactly
+/// what the legacy per-key sync shipped as one `SyncKey` message.
+#[derive(Debug, Clone)]
+pub struct SyncItem {
+    /// The record.
+    pub key: Key,
+    /// The sender's committed state for it.
+    pub snapshot: RecordSnapshot,
+    /// Resolved options of the sender's current instance plus its
+    /// closed-instance ring (see [`mdcc_paxos::AcceptorRecord::sync_payload`]).
+    pub resolved: Vec<(TxnOption, Resolution)>,
+}
+
+/// A contiguous key range of a store with a digest of its sync-relevant
+/// state — one leaf of the merkle-style comparison that lets a restarted
+/// node skip ranges where it already agrees with its peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRange {
+    /// Smallest key in the range (inclusive).
+    pub lo: Key,
+    /// Largest key in the range (inclusive).
+    pub hi: Key,
+    /// FNV-1a digest of the **committed projection** `(key, version,
+    /// value)` of every key the sender holds in `[lo, hi]` — see
+    /// [`RecordStore::sync_digest_in`] for why the digest deliberately
+    /// excludes resolution metadata.
+    pub digest: u64,
+}
+
 /// A transaction with an outstanding (accepted, unresolved) option on this
 /// node — the raw material of dangling-transaction detection (§3.2.3).
 #[derive(Debug, Clone)]
@@ -300,6 +330,101 @@ impl RecordStore {
             }
         }
         changed
+    }
+
+    // ------------------------------------------------------------------
+    // Merkle-style anti-entropy: range digests and batched payloads.
+    // ------------------------------------------------------------------
+
+    /// The anti-entropy payload for one record this store holds.
+    pub fn sync_item(&self, key: &Key) -> Option<SyncItem> {
+        let rec = self.records.get(key)?;
+        Some(SyncItem {
+            key: key.clone(),
+            snapshot: rec.snapshot(),
+            resolved: rec.sync_payload(),
+        })
+    }
+
+    /// Partitions this store's keys into chunks of at most `chunk_keys`
+    /// and digests each chunk's committed projection, in one pass over
+    /// the sorted key list. A peer comparing these digests against its
+    /// own (via [`RecordStore::divergent_ranges`]) learns exactly which
+    /// ranges diverge — everything else never touches the wire.
+    pub fn sync_ranges(&self, chunk_keys: usize) -> Vec<SyncRange> {
+        let keys = self.keys();
+        keys.chunks(chunk_keys.max(1))
+            .map(|ks| SyncRange {
+                digest: self.digest_of(ks),
+                lo: ks.first().expect("chunks are non-empty").clone(),
+                hi: ks.last().expect("chunks are non-empty").clone(),
+            })
+            .collect()
+    }
+
+    /// Compares a peer's advertised range digests against local state in
+    /// one pass (sorted keys once, binary-searched per range) and
+    /// returns the `(lo, hi)` bounds whose committed projections differ
+    /// — the ranges worth pulling.
+    pub fn divergent_ranges(&self, ranges: &[SyncRange]) -> Vec<(Key, Key)> {
+        let keys = self.keys();
+        ranges
+            .iter()
+            .filter(|r| {
+                let lo = keys.partition_point(|k| k < &r.lo);
+                let hi = keys.partition_point(|k| k <= &r.hi);
+                self.digest_of(&keys[lo..hi]) != r.digest
+            })
+            .map(|r| (r.lo.clone(), r.hi.clone()))
+            .collect()
+    }
+
+    /// FNV-1a digest of the **committed projection** `(key, version,
+    /// value)` of every key this store holds in `[lo, hi]` (sorted) —
+    /// the same canonical bytes the recovery audit compares across
+    /// replicas, so two converged replicas always digest equal.
+    ///
+    /// Equal digests mean the range's committed states already agree;
+    /// shipping it could at most transfer resolution metadata whose
+    /// effects are already folded into both values (the pending-option
+    /// and dangling-recovery machinery owns those leftovers, exactly as
+    /// it does for the legacy flood's `sync_relevant` no-ops).
+    pub fn sync_digest_in(&self, lo: &Key, hi: &Key) -> u64 {
+        self.digest_of(&self.keys_in(lo, hi))
+    }
+
+    /// The committed-projection digest of an already-sorted key slice.
+    fn digest_of(&self, keys: &[Key]) -> u64 {
+        let mut enc = mdcc_common::wire::Enc::new();
+        for key in keys {
+            let rec = self.records.get(key).expect("digested key exists");
+            mdcc_common::wire::Wire::encode(key, &mut enc);
+            mdcc_common::wire::Wire::encode(&rec.version(), &mut enc);
+            mdcc_common::wire::Wire::encode(&rec.value().cloned(), &mut enc);
+        }
+        mdcc_common::wire::fnv1a64(&enc.finish())
+    }
+
+    /// The anti-entropy payloads of every key this store holds in
+    /// `[lo, hi]`, sorted — the batched replacement for a flood of
+    /// per-key `SyncKey` messages.
+    pub fn sync_items_in(&self, lo: &Key, hi: &Key) -> Vec<SyncItem> {
+        self.keys_in(lo, hi)
+            .into_iter()
+            .map(|key| self.sync_item(&key).expect("key listed by keys_in"))
+            .collect()
+    }
+
+    /// Keys this store holds in `[lo, hi]`, sorted.
+    fn keys_in(&self, lo: &Key, hi: &Key) -> Vec<Key> {
+        let mut keys: Vec<Key> = self
+            .records
+            .keys()
+            .filter(|k| *k >= lo && *k <= hi)
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
     }
 
     /// Transactions whose options have been outstanding on this node for

@@ -1,0 +1,122 @@
+//! [`Wire`] encodings for store state and anti-entropy payloads.
+//!
+//! Completes the shared wire layer of [`mdcc_common::wire`] for the
+//! types this crate owns: the learned-option log, pending-transaction
+//! bookkeeping, exported store state (checkpoints) and the merkle-sync
+//! vocabulary ([`SyncItem`], [`SyncRange`]).
+
+use std::sync::Arc;
+
+use mdcc_common::wire::{err, Dec, Enc, Wire, WireResult};
+use mdcc_common::{Key, SimTime, TxnId};
+use mdcc_paxos::{RecordSnapshot, TxnOutcome};
+
+use crate::log::LogEvent;
+use crate::store::{PendingTxn, StoreState, SyncItem, SyncRange};
+
+impl Wire for LogEvent {
+    fn encode(&self, out: &mut Enc) {
+        match self {
+            LogEvent::Decided { txn, key, status } => {
+                out.u8(0);
+                txn.encode(out);
+                key.encode(out);
+                status.encode(out);
+            }
+            LogEvent::Outcome { txn, key, outcome } => {
+                out.u8(1);
+                txn.encode(out);
+                key.encode(out);
+                outcome.encode(out);
+            }
+        }
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        match inp.u8()? {
+            0 => Ok(LogEvent::Decided {
+                txn: TxnId::decode(inp)?,
+                key: Key::decode(inp)?,
+                status: mdcc_paxos::OptionStatus::decode(inp)?,
+            }),
+            1 => Ok(LogEvent::Outcome {
+                txn: TxnId::decode(inp)?,
+                key: Key::decode(inp)?,
+                outcome: TxnOutcome::decode(inp)?,
+            }),
+            _ => err("log-event tag"),
+        }
+    }
+}
+
+impl Wire for PendingTxn {
+    fn encode(&self, out: &mut Enc) {
+        self.txn.encode(out);
+        self.since.encode(out);
+        out.u32(self.peers.len() as u32);
+        for peer in self.peers.iter() {
+            peer.encode(out);
+        }
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        let txn = TxnId::decode(inp)?;
+        let since = SimTime::decode(inp)?;
+        let n = inp.u32()? as usize;
+        if n > inp.remaining() {
+            return err("pending peers length");
+        }
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            peers.push(Key::decode(inp)?);
+        }
+        Ok(PendingTxn {
+            txn,
+            since,
+            peers: Arc::from(peers),
+        })
+    }
+}
+
+impl Wire for StoreState {
+    fn encode(&self, out: &mut Enc) {
+        self.records.encode(out);
+        self.pending.encode(out);
+        self.log.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(StoreState {
+            records: Vec::decode(inp)?,
+            pending: Vec::decode(inp)?,
+            log: Vec::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for SyncItem {
+    fn encode(&self, out: &mut Enc) {
+        self.key.encode(out);
+        self.snapshot.encode(out);
+        self.resolved.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(SyncItem {
+            key: Key::decode(inp)?,
+            snapshot: RecordSnapshot::decode(inp)?,
+            resolved: Vec::decode(inp)?,
+        })
+    }
+}
+
+impl Wire for SyncRange {
+    fn encode(&self, out: &mut Enc) {
+        self.lo.encode(out);
+        self.hi.encode(out);
+        out.u64(self.digest);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(SyncRange {
+            lo: Key::decode(inp)?,
+            hi: Key::decode(inp)?,
+            digest: inp.u64()?,
+        })
+    }
+}
