@@ -96,6 +96,7 @@ fn bench_learner(c: &mut Criterion) {
                         ballot: Ballot::INITIAL_FAST,
                         version: mdcc_common::Version(1),
                         cstruct: cs,
+                        epoch: 0,
                     },
                 )
             })

@@ -11,6 +11,15 @@ use mdcc_bench::{
 };
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 
+/// Regression guard on full-MDCC wire cost at the CI (`--scale=quick`)
+/// configuration. Full-cstruct votes measured 4 857 bytes per committed
+/// transaction here; delta votes cut that to ~4 400 (TPC-W's mixed
+/// workload keeps cstructs thin — the hot-commutative fig5 shows the
+/// 5× headline). The run is deterministic at this seed, so the ceiling
+/// sits between the two: an accidental re-inflation of vote payloads
+/// fails the smoke run while ordinary drift does not.
+const MDCC_QUICK_BYTES_PER_COMMIT_CEILING: f64 = 4_600.0;
+
 fn summarize(label: &str, report: &Report) -> String {
     format!(
         "{label}: median={:.0}ms p90={:.0}ms p99={:.0}ms commits={} aborts={} tps={:.0}\n#   {}",
@@ -48,10 +57,24 @@ fn main() {
         let (report, stats) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
         println!("{}", summarize("MDCC", &report));
         println!(
-            "# MDCC internals: fast_commits={} collisions={} redirects={}",
-            stats.fast_commits, stats.collisions, stats.classic_redirects
+            "# MDCC internals: fast_commits={} collisions={} redirects={} repair_pulls={}",
+            stats.fast_commits, stats.collisions, stats.classic_redirects, stats.repair_pulls
         );
         rows.extend(cdf_rows("MDCC", &report.write_cdf(200)));
+        if scale == Scale::Quick {
+            let bpc = report.bytes_per_commit().unwrap_or(f64::INFINITY);
+            if bpc > MDCC_QUICK_BYTES_PER_COMMIT_CEILING {
+                eprintln!(
+                    "REGRESSION: full-MDCC bytes/commit {bpc:.0} exceeds the checked-in \
+                     ceiling {MDCC_QUICK_BYTES_PER_COMMIT_CEILING:.0} — vote payloads \
+                     re-inflated?"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "# bytes/commit guard: {bpc:.0} <= ceiling {MDCC_QUICK_BYTES_PER_COMMIT_CEILING:.0}"
+            );
+        }
     }
 
     {

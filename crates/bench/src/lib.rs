@@ -168,12 +168,15 @@ pub fn net_summary(report: &mdcc_cluster::Report) -> String {
     const MB: f64 = 1_000_000.0;
     let n = report.net;
     format!(
-        "wire: {:.2} MB (protocol {:.2} / read {:.2} / sync {:.2}), {:.0} bytes/commit",
+        "wire: {:.2} MB (protocol {:.2} / read {:.2} / sync {:.2} / repair {:.2}), \
+         {:.0} bytes/commit, {} repair rounds",
         n.bytes_sent as f64 / MB,
         n.protocol.bytes as f64 / MB,
         n.read.bytes as f64 / MB,
         n.sync.bytes as f64 / MB,
+        n.repair.bytes as f64 / MB,
         report.bytes_per_commit().unwrap_or(f64::NAN),
+        n.repair.msgs / 2,
     )
 }
 

@@ -75,6 +75,11 @@ pub struct ClusterSpec {
     pub jitter: f64,
     /// Probability that any one message is silently lost in transit.
     pub drop_prob: f64,
+    /// Override every inter-DC link's bandwidth (bytes/second); `None`
+    /// keeps the network model's default (10 Gbit/s). The knob behind
+    /// the fig9 WAN-constrained sweep, where vote fan-out actually
+    /// congests the directed-link FIFO queues.
+    pub inter_dc_bandwidth: Option<f64>,
     /// Fixed floor of the per-message CPU cost at every node.
     pub service_time: SimDuration,
     /// Per-byte handling cost (ns/byte) added on top of the floor — the
@@ -115,6 +120,7 @@ impl Default for ClusterSpec {
             net: NetKind::Ec2Five,
             jitter: 0.08,
             drop_prob: 0.0,
+            inter_dc_bandwidth: None,
             service_time: SimDuration::from_micros(40),
             service_ns_per_byte: 40,
             warmup: SimDuration::from_secs(10),
@@ -140,6 +146,10 @@ fn network(spec: &ClusterSpec) -> NetworkModel {
             presets::ec2_five_dc()
         }
         NetKind::Uniform { rtt_ms } => NetworkModel::uniform(spec.dcs as usize, rtt_ms, 1.0),
+    };
+    let model = match spec.inter_dc_bandwidth {
+        Some(bytes_per_sec) => model.with_inter_dc_bandwidth(bytes_per_sec),
+        None => model,
     };
     model
         .with_jitter(spec.jitter)
@@ -406,6 +416,7 @@ pub fn run_mdcc(
         stats.collisions += s.collisions;
         stats.timeouts += s.timeouts;
         stats.classic_redirects += s.classic_redirects;
+        stats.repair_pulls += s.repair_pulls;
         if !crashed_clients.contains(&i) {
             in_flight += client.in_flight();
         }

@@ -85,6 +85,10 @@ pub struct NetReport {
     pub read: TrafficTotals,
     /// Anti-entropy / recovery-sync traffic.
     pub sync: TrafficTotals,
+    /// Delta-vote divergence repair (`CstructPull`/`CstructFull`):
+    /// `repair.msgs / 2` approximates the number of read-repair round
+    /// trips the run needed.
+    pub repair: TrafficTotals,
 }
 
 impl NetReport {
@@ -98,6 +102,7 @@ impl NetReport {
             protocol: stats.class(TrafficClass::Protocol),
             read: stats.class(TrafficClass::Read),
             sync: stats.class(TrafficClass::Sync),
+            repair: stats.class(TrafficClass::Repair),
         }
     }
 }

@@ -208,7 +208,7 @@ fn report_accounts_bytes_by_traffic_class() {
     assert!(net.bytes_sent > 0, "bytes were accounted");
     assert_eq!(
         net.bytes_sent,
-        net.protocol.bytes + net.read.bytes + net.sync.bytes,
+        net.protocol.bytes + net.read.bytes + net.sync.bytes + net.repair.bytes,
         "classes partition the total"
     );
     assert!(net.protocol.bytes > 0, "commit-protocol traffic present");

@@ -1,0 +1,172 @@
+//! Delta-vote acceptance tests.
+//!
+//! Phase2b votes shipping the full cstruct to every interested
+//! coordinator dominate full MDCC's wire cost under hot commutative
+//! load (EXPERIMENTS.md §fig5). With `ProtocolConfig::delta_votes`
+//! (the default) votes carry only the newly appended options plus a
+//! cstruct digest, and divergence (message loss, missed epochs) is
+//! healed by an explicit `CstructPull`/`CstructFull` read-repair round
+//! trip. These tests check the wire-cost win, that forced divergence
+//! actually exercises the repair protocol, and that the delta path
+//! converges to the same kind of audited, constraint-respecting state
+//! as the legacy full-cstruct path under loss and crash/restart.
+
+use std::sync::Arc;
+
+use mdcc_cluster::{run_mdcc, ClusterSpec, FaultPlan, MdccMode, Report};
+use mdcc_common::{DcId, SimDuration};
+use mdcc_core::TxnStats;
+use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
+use mdcc_workloads::micro::{initial_items, MicroConfig, MicroWorkload, MICRO_ITEMS};
+use mdcc_workloads::Workload;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(Catalog::new().with(
+        TableSchema::new(MICRO_ITEMS, "item").with_constraint(AttrConstraint::at_least("stock", 0)),
+    ))
+}
+
+const ITEMS: u64 = 120;
+
+/// A hot commutative deployment: commutative instances stay open until
+/// the option cap, so each record's cstruct accumulates resolved
+/// options and full votes get fat while the load stays civil enough
+/// for clean end-of-run audits.
+fn hot_spec(seed: u64) -> ClusterSpec {
+    let s = SimDuration::from_secs;
+    ClusterSpec {
+        seed,
+        clients: 10,
+        shards_per_dc: 1,
+        warmup: s(2),
+        duration: s(12),
+        drain: s(8),
+        ..ClusterSpec::default()
+    }
+}
+
+fn run_hot(spec: &ClusterSpec) -> (Report, TxnStats) {
+    let data = initial_items(ITEMS, 7);
+    let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
+        Box::new(MicroWorkload::new(MicroConfig {
+            items: ITEMS,
+            ..MicroConfig::default()
+        }))
+    };
+    run_mdcc(spec, catalog(), &data, &mut factory, MdccMode::Full)
+}
+
+/// End-of-run health shared by every mode: nothing dangling, nobody
+/// stuck, constraint intact. (Full replica digest equality is only
+/// guaranteed when restart anti-entropy runs — the loss-free fault test
+/// below asserts it for the restarted nodes, mirroring
+/// `crash_recovery.rs`.)
+fn assert_healthy(label: &str, report: &Report) {
+    let audit = report.audit.as_ref().expect("mdcc runs audit the cluster");
+    assert_eq!(audit.pending_options, 0, "{label}: options left dangling");
+    assert_eq!(audit.stuck_clients, 0, "{label}: clients left stuck");
+    let min_stock = audit.min_of("stock").expect("stock audited");
+    assert!(min_stock >= 0, "{label}: stock constraint violated");
+}
+
+/// The headline: with delta votes on, the hot-commutative wire cost per
+/// committed transaction drops several-fold versus the full-cstruct
+/// path, while both runs converge and respect the constraint.
+#[test]
+fn delta_votes_slash_hot_commutative_wire_cost() {
+    let delta_spec = hot_spec(77);
+    assert!(
+        delta_spec.protocol.delta_votes,
+        "delta votes are the default"
+    );
+    let mut full_spec = hot_spec(77);
+    full_spec.protocol.delta_votes = false;
+
+    let (delta, _) = run_hot(&delta_spec);
+    let (full, _) = run_hot(&full_spec);
+    assert_healthy("delta", &delta);
+    assert_healthy("full", &full);
+
+    let delta_bpc = delta.bytes_per_commit().expect("delta run committed");
+    let full_bpc = full.bytes_per_commit().expect("full run committed");
+    eprintln!(
+        "bytes/commit: delta {delta_bpc:.0} vs full {full_bpc:.0} ({:.1}x), \
+         commits {} vs {}",
+        full_bpc / delta_bpc,
+        delta.write_commits(),
+        full.write_commits(),
+    );
+    assert!(delta.write_commits() > 100, "delta run barely committed");
+    assert!(full.write_commits() > 100, "full run barely committed");
+    assert!(
+        delta_bpc * 3.0 <= full_bpc,
+        "delta votes must cut bytes/commit at least 3x on hot commutative \
+         load: {delta_bpc:.0} vs {full_bpc:.0}"
+    );
+}
+
+/// Forced divergence: uniform message loss drops delta votes, shadows
+/// gap out, and the digest mismatch must drive `CstructPull` repair
+/// round trips — visible both in the TM counters and in the `Repair`
+/// traffic class of `Report::net` — with the cluster still converging.
+#[test]
+fn message_loss_forces_digest_mismatch_repairs() {
+    let mut spec = hot_spec(91);
+    spec.drop_prob = 0.03;
+    let (report, stats) = run_hot(&spec);
+
+    assert!(
+        stats.repair_pulls > 0,
+        "loss must force at least one shadow divergence repair"
+    );
+    let repair = report.net.repair;
+    assert!(
+        repair.msgs > 0 && repair.bytes > 0,
+        "repair round trips must be accounted in their own traffic class"
+    );
+    // Pulls and full responses travel the repair class exclusively.
+    assert!(
+        repair.msgs >= stats.repair_pulls,
+        "every pull (and its response) rides the repair class: {} msgs \
+         for {} pulls",
+        repair.msgs,
+        stats.repair_pulls
+    );
+    assert_healthy("lossy delta", &report);
+}
+
+/// Equivalence under crash/restart: with delta votes on, a node that
+/// crashes mid-run, replays its WAL (restoring the vote watermark and
+/// cstruct epoch) and re-syncs still lands **byte-identical** to a
+/// never-crashed reference replica — exactly like the full-cstruct
+/// path does against the same fault schedule.
+#[test]
+fn delta_and_full_paths_reconverge_after_restarts() {
+    let s = SimDuration::from_secs;
+    let base = |delta_votes: bool| {
+        let mut spec = hot_spec(58);
+        spec.durability = true;
+        spec.drain = s(25);
+        spec.faults = FaultPlan::new()
+            .crash_restart(DcId(1), 0, s(5), s(4))
+            .crash_restart(DcId(3), 0, s(9), s(4));
+        spec.protocol.delta_votes = delta_votes;
+        spec
+    };
+    let (delta, _) = run_hot(&base(true));
+    let (full, _) = run_hot(&base(false));
+    for (label, report) in [("delta", &delta), ("full", &full)] {
+        assert_eq!(report.recoveries.len(), 2, "{label}: both restarts ran");
+        assert!(report.write_commits() > 50, "{label}: run barely committed");
+        assert_healthy(label, report);
+        let audit = report.audit.as_ref().expect("audited");
+        let reference = audit.committed_digests[0];
+        for r in &report.recoveries {
+            assert_eq!(
+                audit.committed_digests[r.node.0 as usize], reference,
+                "{label}: restarted node {} diverged from the reference",
+                r.node
+            );
+        }
+    }
+}

@@ -46,6 +46,15 @@ pub struct ProtocolConfig {
     pub sync_batching: bool,
     /// Keys per sync digest range and per shipped sync chunk message.
     pub sync_chunk_keys: usize,
+    /// Ship Phase2b votes as per-option deltas plus a cstruct digest
+    /// (`true`, the default): an acceptor sends only the options appended
+    /// since its last vote, and learners fold them into per-acceptor
+    /// shadow views, falling back to an explicit `CstructPull` /
+    /// `CstructFull` read-repair round trip when digests disagree
+    /// (ballot change, reordering, message loss). `false` restores the
+    /// legacy full-cstruct votes (baseline for byte comparisons and
+    /// equivalence testing).
+    pub delta_votes: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -62,6 +71,7 @@ impl Default for ProtocolConfig {
             recovery_sync_interval: SimDuration::from_millis(2_500),
             sync_batching: true,
             sync_chunk_keys: 32,
+            delta_votes: true,
         }
     }
 }

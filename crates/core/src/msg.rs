@@ -6,7 +6,7 @@
 
 use mdcc_common::{Key, Row, TxnId, Version};
 use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
-use mdcc_paxos::{Ballot, Resolution, TxnOption, TxnOutcome};
+use mdcc_paxos::{Ballot, DeltaVote, Resolution, TxnOption, TxnOutcome};
 use mdcc_storage::{SyncItem, SyncRange};
 
 /// Everything that travels between MDCC processes (and, via self-timers,
@@ -44,12 +44,40 @@ pub enum Msg {
     // ------------------------------------------------------------------
     // Acceptor responses (storage node → learners/TM).
     // ------------------------------------------------------------------
-    /// Phase2b vote (fast or classic), fanned out to the proposer and to
-    /// the coordinators of every option in the cstruct.
+    /// Phase2b vote (fast or classic) carrying the full cstruct, fanned
+    /// out to the proposer and to the coordinators of every option in
+    /// the cstruct. The legacy vote format
+    /// (`ProtocolConfig::delta_votes = false`).
     Vote {
         /// Record voted on.
         key: Key,
         /// The vote.
+        vote: Phase2b,
+    },
+    /// Phase2b vote shipped as a per-option delta plus a cstruct digest
+    /// (`ProtocolConfig::delta_votes = true`): only the options appended
+    /// since the acceptor's previous vote travel; receivers fold them
+    /// into per-acceptor shadow views and pull the full cstruct only on
+    /// digest mismatch.
+    VoteDelta {
+        /// Record voted on.
+        key: Key,
+        /// The delta vote.
+        delta: DeltaVote,
+    },
+    /// Read-repair request: a receiver's shadow view diverged from this
+    /// acceptor's cstruct (lost delta, missed epoch, reordering); ship
+    /// the full structure.
+    CstructPull {
+        /// Record whose cstruct diverged.
+        key: Key,
+    },
+    /// Read-repair response: the acceptor's full current vote, which
+    /// resets the requester's shadow view.
+    CstructFull {
+        /// Record concerned.
+        key: Key,
+        /// Full-cstruct vote.
         vote: Phase2b,
     },
     /// The record is under a classic ballot; retry via its master.
@@ -233,6 +261,17 @@ pub enum Msg {
     RecoveryRetry {
         /// Transaction being recovered.
         txn: TxnId,
+    },
+    /// Storage node: re-check a committed option whose execution this
+    /// node missed (bare outcome) and pull it from the next peer if the
+    /// earlier repair did not land.
+    MissedPull {
+        /// Record whose execution is missing.
+        key: Key,
+        /// The committed transaction.
+        txn: TxnId,
+        /// Retry attempt (rotates the target peer).
+        attempt: u32,
     },
     /// Storage node: periodic durable checkpoint (snapshot + WAL
     /// compaction).

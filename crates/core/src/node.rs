@@ -46,6 +46,14 @@ pub struct NodeStats {
     pub sync_rounds: u64,
     /// Records whose state changed through peer sync.
     pub sync_adoptions: u64,
+    /// `CstructPull` read-repair requests this node answered with a
+    /// full cstruct (delta-vote divergence repair).
+    pub repair_served: u64,
+    /// Committed visibilities that arrived for options this node never
+    /// accepted (bare outcomes): each triggers a targeted per-key
+    /// anti-entropy pull so the missed execution is installed from a
+    /// peer instead of silently diverging the value.
+    pub missed_commit_pulls: u64,
 }
 
 /// One in-flight dangling-transaction reconstruction.
@@ -66,6 +74,16 @@ struct RecoveryTask {
 
 /// Retry sweeps before an unseen option is declared dead.
 const RECOVERY_ABANDON_RETRIES: u32 = 3;
+
+/// The vote an acceptor gives for a record it has never materialized.
+fn absent_vote() -> Phase2b {
+    Phase2b {
+        ballot: mdcc_paxos::Ballot::INITIAL_FAST,
+        version: mdcc_common::Version::ZERO,
+        cstruct: mdcc_paxos::CStruct::new(),
+        epoch: 0,
+    }
+}
 
 /// A storage node (one per shard per data center).
 pub struct StorageNodeProcess {
@@ -90,6 +108,13 @@ pub struct StorageNodeProcess {
     /// (GoFast); a re-bounced proposal is accepted for classic leading
     /// instead of ping-ponging. Entries clear on resolution.
     redirected_fast: HashSet<TxnId>,
+    /// Per-record, per-destination delta cursors: each tracks how much
+    /// of which cstruct epoch that destination has already been sent, so
+    /// every vote ships only the entry suffix the destination is
+    /// missing. Volatile on purpose: losing the cursors after a crash
+    /// just re-sends full votes, which receivers absorb by resetting
+    /// their shadows.
+    vote_cursors: HashMap<Key, HashMap<NodeId, mdcc_paxos::DeltaCursor>>,
     /// `stats.sync_adoptions` as of the previous sync sweep, plus the
     /// number of consecutive sweeps that adopted nothing — sweeping
     /// stops once a full peer rotation stays quiet (convergence).
@@ -103,6 +128,16 @@ pub struct StorageNodeProcess {
 /// redirect never resolves here; past the cap the memo resets (which at
 /// worst re-allows one redirect per stale transaction).
 const REDIRECTED_FAST_CAP: usize = 4096;
+
+/// Bound on the per-record delta-cursor map; past the cap it resets,
+/// which at worst re-sends one full vote per (record, destination)
+/// pair.
+const VOTE_CURSORS_CAP: usize = 16384;
+
+/// Retries of a missed-commit peer pull (rotating target peers) before
+/// the node gives up and waits for the next instance close to repair
+/// it via snapshot adoption.
+const MISSED_PULL_RETRIES: u32 = 3;
 
 impl StorageNodeProcess {
     /// Creates a storage node over `store`.
@@ -125,6 +160,7 @@ impl StorageNodeProcess {
             recovered: None,
             sync_cursor: 0,
             redirected_fast: HashSet::new(),
+            vote_cursors: HashMap::new(),
             last_sync_adoptions: 0,
             sync_idle_rounds: 0,
             stats: NodeStats::default(),
@@ -191,8 +227,13 @@ impl StorageNodeProcess {
         let Some(key) = self.store.keys().into_iter().next() else {
             return Vec::new();
         };
+        self.peer_replicas_of(&key, ctx)
+    }
+
+    /// The other replicas of one record.
+    fn peer_replicas_of(&self, key: &Key, ctx: &Ctx<'_, Msg>) -> Vec<NodeId> {
         self.placement
-            .replicas(&key)
+            .replicas(key)
             .into_iter()
             .filter(|r| *r != ctx.self_id)
             .collect()
@@ -342,26 +383,77 @@ impl StorageNodeProcess {
     /// Fans a vote out to the proposer (`also`) and to the coordinator of
     /// every option in the cstruct, so recovery-adopted options reach
     /// their transaction managers (learners).
-    fn fan_out_vote(&self, key: &Key, vote: Phase2b, also: NodeId, ctx: &mut Ctx<'_, Msg>) {
-        let mut sent = HashSet::new();
-        sent.insert(also);
-        ctx.send(
-            also,
-            Msg::Vote {
-                key: key.clone(),
-                vote: vote.clone(),
-            },
-        );
-        for entry in vote.cstruct.entries() {
-            let coord = entry.opt.txn.coordinator;
-            if sent.insert(coord) {
-                ctx.send(
-                    coord,
+    ///
+    /// With `delta_votes` on (the default) the fan-out narrows to the
+    /// proposer plus coordinators that can still learn something
+    /// (entries this node has an outcome for are settled business at
+    /// their coordinator — it produced the Visibility, and stale retries
+    /// get `AlreadyResolved`), and each destination receives only the
+    /// entry suffix its per-destination [`mdcc_paxos::DeltaCursor`] says
+    /// it is missing, plus a digest of the full cstruct. First-contact
+    /// destinations get the full vote (nothing to fold into yet);
+    /// receivers whose shadows cannot fold a delta (loss, reordering)
+    /// come back with a `CstructPull`.
+    ///
+    /// Legacy mode (`delta_votes = false`) preserves the PR 2 baseline:
+    /// the full cstruct to the proposer and every interested
+    /// coordinator.
+    fn fan_out_vote(&mut self, key: &Key, vote: Phase2b, also: NodeId, ctx: &mut Ctx<'_, Msg>) {
+        if !self.cfg.delta_votes {
+            let mut sent = HashSet::new();
+            sent.insert(also);
+            ctx.send(
+                also,
+                Msg::Vote {
+                    key: key.clone(),
+                    vote: vote.clone(),
+                },
+            );
+            for entry in vote.cstruct.entries() {
+                let coord = entry.opt.txn.coordinator;
+                if sent.insert(coord) {
+                    ctx.send(
+                        coord,
+                        Msg::Vote {
+                            key: key.clone(),
+                            vote: vote.clone(),
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        if self.vote_cursors.len() > VOTE_CURSORS_CAP {
+            self.vote_cursors.clear();
+        }
+        let mut targets = vec![also];
+        if let Some(rec) = self.store.record(key) {
+            for coord in rec.learning_coordinators() {
+                if !targets.contains(&coord) {
+                    targets.push(coord);
+                }
+            }
+        }
+        // One digest (one cstruct serialization) covers every
+        // destination's delta.
+        let digest = vote.cstruct.digest();
+        let cursors = self.vote_cursors.entry(key.clone()).or_default();
+        for to in targets {
+            match cursors.entry(to).or_default().position(&vote) {
+                Some(from_seq) => ctx.send(
+                    to,
+                    Msg::VoteDelta {
+                        key: key.clone(),
+                        delta: mdcc_paxos::DeltaVote::extract_with_digest(&vote, from_seq, digest),
+                    },
+                ),
+                None => ctx.send(
+                    to,
                     Msg::Vote {
                         key: key.clone(),
                         vote: vote.clone(),
                     },
-                );
+                ),
             }
         }
     }
@@ -442,6 +534,40 @@ impl StorageNodeProcess {
                     },
                 );
             }
+        }
+    }
+
+    /// Read-repairs a committed option whose execution this node missed
+    /// (a Visibility landed as a bare outcome): pull the key's sync
+    /// payload from a peer replica and re-check on a timer, rotating
+    /// peers, until the execution is installed or the attempts run out.
+    /// The timer also covers the race where the pull overtakes the
+    /// peer's own Visibility.
+    fn pull_missed_commit(&mut self, key: Key, txn: TxnId, attempt: u32, ctx: &mut Ctx<'_, Msg>) {
+        let peers = self.peer_replicas_of(&key, ctx);
+        if peers.is_empty() {
+            return;
+        }
+        if attempt == 0 {
+            // Count divergence events, not retry attempts.
+            self.stats.missed_commit_pulls += 1;
+        }
+        let target = peers[(txn.seq as usize + attempt as usize) % peers.len()];
+        ctx.send(
+            target,
+            Msg::SyncRangePull {
+                ranges: vec![(key.clone(), key.clone())],
+            },
+        );
+        if attempt < MISSED_PULL_RETRIES {
+            ctx.set_timer(
+                self.cfg.learn_timeout,
+                Msg::MissedPull {
+                    key,
+                    txn,
+                    attempt: attempt + 1,
+                },
+            );
         }
     }
 
@@ -639,11 +765,28 @@ impl Process<Msg> for StorageNodeProcess {
                     self.finish_recovery(txn, outcome, ctx);
                 }
                 self.redirected_fast.remove(&txn);
+                // A committed option this node never accepted (bounced
+                // proposal, divergent ballot mode) lands as a bare
+                // outcome: the update cannot execute here and the value
+                // silently falls behind every peer that held the entry.
+                // Detect it and read-repair the key from a peer replica
+                // (the peer ships its committed snapshot plus resolved
+                // options; `install_learned` executes what was missed).
+                let missed = outcome == TxnOutcome::Committed
+                    && learned_accepted
+                    && self
+                        .store
+                        .record(&key)
+                        .map(|r| r.would_miss_execution(txn))
+                        .unwrap_or(true);
                 let advanced =
                     self.store
                         .apply_visibility(&key, txn, outcome, learned_accepted, ctx.now);
                 if advanced {
                     self.notify_leader_advance(&key, ctx);
+                }
+                if missed {
+                    self.pull_missed_commit(key, txn, 0, ctx);
                 }
             }
             Msg::SyncReq => {
@@ -721,17 +864,21 @@ impl Process<Msg> for StorageNodeProcess {
                     },
                 );
             }
+            Msg::CstructPull { key } => {
+                // A receiver's shadow view diverged (lost delta, missed
+                // epoch): read-repair with the full current vote.
+                self.stats.repair_served += 1;
+                let vote = self
+                    .store
+                    .record(&key)
+                    .map(|rec| rec.phase2b())
+                    .unwrap_or_else(absent_vote);
+                ctx.send(from, Msg::CstructFull { key, vote });
+            }
             Msg::QueryStatus { txn, key } => {
                 let (vote, outcome) = match self.store.record(&key) {
                     Some(rec) => (rec.phase2b(), rec.outcome_of(txn)),
-                    None => (
-                        Phase2b {
-                            ballot: mdcc_paxos::Ballot::INITIAL_FAST,
-                            version: mdcc_common::Version::ZERO,
-                            cstruct: mdcc_paxos::CStruct::new(),
-                        },
-                        None,
-                    ),
+                    None => (absent_vote(), None),
                 };
                 ctx.send(
                     from,
@@ -784,6 +931,8 @@ impl Process<Msg> for StorageNodeProcess {
             | Msg::AlreadyResolved { .. }
             | Msg::GoFast { .. }
             | Msg::Vote { .. }
+            | Msg::VoteDelta { .. }
+            | Msg::CstructFull { .. }
             | Msg::ReadResp { .. } => {
                 // TM-side messages; a storage node can receive them only
                 // if it acted as a recovery coordinator whose task is
@@ -793,6 +942,7 @@ impl Process<Msg> for StorageNodeProcess {
             | Msg::ReadRetry { .. }
             | Msg::DanglingSweep
             | Msg::RecoveryRetry { .. }
+            | Msg::MissedPull { .. }
             | Msg::CheckpointTick
             | Msg::SyncSweep
             | Msg::ClientTick => {
@@ -857,6 +1007,16 @@ impl Process<Msg> for StorageNodeProcess {
                 self.recovery_check_done(txn, ctx);
                 if self.recoveries.contains_key(&txn) {
                     ctx.set_timer(self.cfg.learn_timeout, Msg::RecoveryRetry { txn });
+                }
+            }
+            Msg::MissedPull { key, txn, attempt } => {
+                let still_missing = self
+                    .store
+                    .record(&key)
+                    .map(|r| r.missing_execution(txn))
+                    .unwrap_or(true);
+                if still_missing {
+                    self.pull_missed_commit(key, txn, attempt, ctx);
                 }
             }
             Msg::CheckpointTick if self.durable => {

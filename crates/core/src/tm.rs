@@ -21,7 +21,9 @@ use mdcc_common::error::AbortReason;
 use mdcc_common::{
     DcId, Key, NodeId, ProtocolConfig, RecordUpdate, Row, SimTime, TxnId, Version, WriteSet,
 };
-use mdcc_paxos::{LearnOutcome, Learner, OptionStatus, TxnOption, TxnOutcome};
+use mdcc_paxos::{
+    FoldOutcome, LearnOutcome, Learner, OptionStatus, ShadowView, TxnOption, TxnOutcome,
+};
 use mdcc_sim::event::TimerId;
 use mdcc_sim::Ctx;
 
@@ -66,6 +68,9 @@ pub struct TxnStats {
     pub timeouts: u64,
     /// Proposals bounced from fast to classic mode.
     pub classic_redirects: u64,
+    /// Delta-vote divergences repaired: `CstructPull` round trips this
+    /// TM issued because a shadow view's digest mismatched.
+    pub repair_pulls: u64,
 }
 
 /// The result of one finished transaction, handed to the client process.
@@ -138,8 +143,19 @@ pub struct TransactionManager {
     reads: HashMap<u64, ReadTask>,
     /// Records believed to be under a classic ballot, with their master.
     classic_cache: HashMap<Key, NodeId>,
+    /// Per-record, per-acceptor shadow views reconstructing each
+    /// acceptor's cstruct from delta votes. Bounded by
+    /// [`SHADOW_KEYS_CAP`]; a dropped shadow merely costs one
+    /// `CstructPull` repair round trip on the record's next delta vote.
+    shadows: HashMap<Key, Vec<ShadowView>>,
     stats: TxnStats,
 }
+
+/// Records whose shadow views this TM retains before the map resets.
+/// Eviction is safe — the next delta vote for an evicted record fails to
+/// fold and read-repairs with a full cstruct — so the cap only trades
+/// repair round trips for memory.
+const SHADOW_KEYS_CAP: usize = 4096;
 
 impl TransactionManager {
     /// Creates a TM for the app server in `cfg.my_dc`.
@@ -152,6 +168,7 @@ impl TransactionManager {
             active: BTreeMap::new(),
             reads: HashMap::new(),
             classic_cache: HashMap::new(),
+            shadows: HashMap::new(),
             stats: TxnStats::default(),
         }
     }
@@ -373,7 +390,53 @@ impl TransactionManager {
     /// Feeds a network message; returns completions/read results to act on.
     pub fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) -> Vec<TmEvent> {
         match msg {
-            Msg::Vote { key, vote } => self.on_vote(from, key, vote, ctx),
+            Msg::Vote { key, vote } => {
+                // A full vote (legacy mode, or a first-contact vote in
+                // delta mode) doubles as a shadow reset: subsequent
+                // deltas from this acceptor fold on top of it.
+                if self.cfg.protocol.delta_votes {
+                    if let Some(view) = self.shadow_mut(&key, from) {
+                        view.observe_full(&vote);
+                    }
+                }
+                self.on_vote(from, key, vote, ctx)
+            }
+            Msg::VoteDelta { key, delta } => {
+                // Fold the delta into this acceptor's shadow view; on
+                // success the reconstructed full vote feeds the learners,
+                // on divergence (lost delta, missed epoch, reordering)
+                // read-repair pulls the full cstruct.
+                let Some(outcome) = self.fold_delta(&key, from, &delta) else {
+                    return Vec::new();
+                };
+                match outcome {
+                    FoldOutcome::Vote(vote) => self.on_vote(from, key, vote, ctx),
+                    FoldOutcome::Diverged => {
+                        // One pull per divergence: every vote arriving
+                        // during the repair round trip re-detects the
+                        // same gap, and re-pulling each time would ship
+                        // the full cstruct once per in-flight vote.
+                        let pull = self
+                            .shadow_mut(&key, from)
+                            .map(|view| view.should_pull())
+                            .unwrap_or(false);
+                        if pull {
+                            self.stats.repair_pulls += 1;
+                            ctx.send(from, Msg::CstructPull { key });
+                        }
+                        Vec::new()
+                    }
+                    FoldOutcome::Stale => Vec::new(),
+                }
+            }
+            Msg::CstructFull { key, vote } => {
+                // Read-repair response: reset the diverged shadow to the
+                // acceptor's exact state, then learn from the full vote.
+                if let Some(view) = self.shadow_mut(&key, from) {
+                    view.reset_full(&vote);
+                }
+                self.on_vote(from, key, vote, ctx)
+            }
             Msg::NotFast { key, opt, promised } => {
                 // The record is under a classic ballot: remember the
                 // master and retry through it (§3.3.1 fallback).
@@ -494,6 +557,34 @@ impl TransactionManager {
         for key in missing {
             self.send_read(token, &key, consistency, broadcast, ctx);
         }
+    }
+
+    /// The shadow view tracking acceptor `from`'s cstruct for `key`,
+    /// materializing the per-record views on first contact.
+    fn shadow_mut(&mut self, key: &Key, from: NodeId) -> Option<&mut ShadowView> {
+        let idx = self.placement.acceptor_index(key, from)?;
+        if self.shadows.len() > SHADOW_KEYS_CAP && !self.shadows.contains_key(key) {
+            // Bounded memory: reset wholesale; evicted records repair
+            // themselves with one CstructPull on their next delta vote.
+            self.shadows.clear();
+        }
+        let n = self.cfg.protocol.replication;
+        self.shadows
+            .entry(key.clone())
+            .or_insert_with(|| vec![ShadowView::new(); n])
+            .get_mut(idx)
+    }
+
+    /// Folds one delta vote into the sender's shadow view. `None` when
+    /// the sender is not an acceptor of the record.
+    fn fold_delta(
+        &mut self,
+        key: &Key,
+        from: NodeId,
+        delta: &mdcc_paxos::DeltaVote,
+    ) -> Option<FoldOutcome> {
+        let view = self.shadow_mut(key, from)?;
+        Some(view.fold(delta))
     }
 
     fn relevant(&self, opt: &TxnOption) -> bool {

@@ -14,7 +14,7 @@
 use mdcc_common::wire::{err, frame, Dec, Enc, Wire, WireResult, FRAME_OVERHEAD};
 use mdcc_common::{Key, TxnId};
 use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
-use mdcc_paxos::{Ballot, TxnOutcome};
+use mdcc_paxos::{Ballot, DeltaVote, TxnOutcome};
 use mdcc_sim::{NetMessage, TrafficClass};
 
 use crate::msg::Msg;
@@ -172,6 +172,26 @@ impl Wire for Msg {
             Msg::CheckpointTick => out.u8(28),
             Msg::SyncSweep => out.u8(29),
             Msg::ClientTick => out.u8(30),
+            Msg::VoteDelta { key, delta } => {
+                out.u8(31);
+                key.encode(out);
+                delta.encode(out);
+            }
+            Msg::CstructPull { key } => {
+                out.u8(32);
+                key.encode(out);
+            }
+            Msg::CstructFull { key, vote } => {
+                out.u8(33);
+                key.encode(out);
+                vote.encode(out);
+            }
+            Msg::MissedPull { key, txn, attempt } => {
+                out.u8(34);
+                key.encode(out);
+                txn.encode(out);
+                out.u32(*attempt);
+            }
         }
     }
 
@@ -277,6 +297,22 @@ impl Wire for Msg {
             28 => Msg::CheckpointTick,
             29 => Msg::SyncSweep,
             30 => Msg::ClientTick,
+            31 => Msg::VoteDelta {
+                key: Key::decode(inp)?,
+                delta: DeltaVote::decode(inp)?,
+            },
+            32 => Msg::CstructPull {
+                key: Key::decode(inp)?,
+            },
+            33 => Msg::CstructFull {
+                key: Key::decode(inp)?,
+                vote: Phase2b::decode(inp)?,
+            },
+            34 => Msg::MissedPull {
+                key: Key::decode(inp)?,
+                txn: TxnId::decode(inp)?,
+                attempt: inp.u32()?,
+            },
             _ => return err("msg tag"),
         })
     }
@@ -300,6 +336,7 @@ impl NetMessage for Msg {
             | Msg::SyncDigest { .. }
             | Msg::SyncRangePull { .. }
             | Msg::SyncChunk { .. } => TrafficClass::Sync,
+            Msg::CstructPull { .. } | Msg::CstructFull { .. } => TrafficClass::Repair,
             _ => TrafficClass::Protocol,
         }
     }
@@ -318,6 +355,15 @@ mod tests {
     use mdcc_common::{CommutativeUpdate, NodeId, Row, TableId, UpdateOp, Version};
     use mdcc_paxos::{CStruct, OptionStatus, Resolution, TxnOption};
     use mdcc_storage::{SyncItem, SyncRange};
+
+    fn full_vote(cstruct: CStruct) -> Phase2b {
+        Phase2b {
+            ballot: Ballot::INITIAL_FAST,
+            version: Version(1),
+            cstruct,
+            epoch: 0,
+        }
+    }
 
     fn key(pk: &str) -> Key {
         Key::new(TableId(1), pk)
@@ -355,6 +401,29 @@ mod tests {
                     ballot: Ballot::INITIAL_FAST,
                     version: Version(2),
                     cstruct: cstruct.clone(),
+                    epoch: 1,
+                },
+            },
+            Msg::VoteDelta {
+                key: key("a"),
+                delta: DeltaVote {
+                    ballot: Ballot::INITIAL_FAST,
+                    version: Version(2),
+                    epoch: 1,
+                    from_seq: 1,
+                    entries: cstruct.entries().cloned().collect(),
+                    digest: cstruct.digest(),
+                    full_len: 2,
+                },
+            },
+            Msg::CstructPull { key: key("a") },
+            Msg::CstructFull {
+                key: key("a"),
+                vote: Phase2b {
+                    ballot: Ballot::INITIAL_FAST,
+                    version: Version(2),
+                    cstruct: cstruct.clone(),
+                    epoch: 4,
                 },
             },
             Msg::NotFast {
@@ -428,6 +497,7 @@ mod tests {
                     ballot: Ballot::INITIAL_FAST,
                     version: Version(0),
                     cstruct: CStruct::new(),
+                    epoch: 0,
                 },
                 outcome: Some(TxnOutcome::Committed),
             },
@@ -469,6 +539,11 @@ mod tests {
             },
             Msg::LearnTimeout {
                 txn: TxnId::new(NodeId(0), 3),
+            },
+            Msg::MissedPull {
+                key: key("a"),
+                txn: TxnId::new(NodeId(0), 6),
+                attempt: 2,
             },
             Msg::ReadRetry { token: 42 },
             Msg::DanglingSweep,
@@ -516,6 +591,27 @@ mod tests {
         assert_eq!(Msg::SyncReq.traffic_class(), TrafficClass::Sync);
         assert_eq!(Msg::Propose(opt(1)).traffic_class(), TrafficClass::Protocol);
         assert_eq!(
+            Msg::CstructPull { key: key("a") }.traffic_class(),
+            TrafficClass::Repair
+        );
+        assert_eq!(
+            Msg::CstructFull {
+                key: key("a"),
+                vote: full_vote(CStruct::new()),
+            }
+            .traffic_class(),
+            TrafficClass::Repair
+        );
+        assert_eq!(
+            Msg::VoteDelta {
+                key: key("a"),
+                delta: DeltaVote::extract(&full_vote(CStruct::new()), 0),
+            }
+            .traffic_class(),
+            TrafficClass::Protocol,
+            "delta votes are commit-protocol traffic, not repair"
+        );
+        assert_eq!(
             Msg::Visibility {
                 txn: TxnId::new(NodeId(0), 0),
                 key: key("a"),
@@ -528,14 +624,36 @@ mod tests {
     }
 
     #[test]
+    fn a_delta_vote_is_much_smaller_than_a_full_vote() {
+        // A hot commutative instance with many concurrent options: the
+        // full vote re-ships every entry, the delta only the newest one.
+        let mut cstruct = CStruct::new();
+        for i in 0..32 {
+            cstruct.append(opt(i), OptionStatus::Accepted);
+        }
+        let vote = full_vote(cstruct);
+        let full = Msg::Vote {
+            key: key("a"),
+            vote: vote.clone(),
+        };
+        // All but the newest entry were already sent to this peer.
+        let delta = Msg::VoteDelta {
+            key: key("a"),
+            delta: DeltaVote::extract(&vote, 31),
+        };
+        assert!(
+            delta.wire_bytes() * 10 < full.wire_bytes(),
+            "delta vote must be at least 10x smaller: {} vs {}",
+            delta.wire_bytes(),
+            full.wire_bytes()
+        );
+    }
+
+    #[test]
     fn a_vote_is_much_smaller_than_a_sync_chunk() {
         let vote = Msg::Vote {
             key: key("a"),
-            vote: Phase2b {
-                ballot: Ballot::INITIAL_FAST,
-                version: Version(1),
-                cstruct: CStruct::new(),
-            },
+            vote: full_vote(CStruct::new()),
         };
         let chunk = Msg::SyncChunk {
             items: (0..32)

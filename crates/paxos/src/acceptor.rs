@@ -67,6 +67,14 @@ pub struct Phase2b {
     /// The acceptor's full cstruct `val_a` — learners compute quorum
     /// glbs over these.
     pub cstruct: CStruct,
+    /// The acceptor's cstruct epoch: bumped on every wholesale cstruct
+    /// replacement or entry removal (instance advance, snapshot/safe
+    /// adoption, abort/guard resolution), so that within one epoch the
+    /// cstruct is strictly append-only and delta senders can reference
+    /// positions in it. Restored by WAL replay — a regressed epoch
+    /// after a restart would make receivers discard the node's votes
+    /// as stale.
+    pub epoch: u64,
 }
 
 /// Result of a direct (fast-ballot) proposal, Algorithm 3 line 78.
@@ -174,6 +182,13 @@ pub struct AcceptorRecord {
     /// truncation watermark is `settle_seq - settle_log.len()` (every
     /// settlement below it has had its metadata dropped).
     settle_seq: u64,
+    /// Cstruct epoch: bumped on every mutation that is not a plain
+    /// append (instance advance, snapshot/safe adoption, entry removal).
+    /// Within one epoch the cstruct is strictly append-only, which is
+    /// what lets delta votes ship a positioned entry suffix instead of
+    /// the whole structure. Mutated only inside the input-processing
+    /// entry points, so WAL replay restores it deterministically.
+    cstruct_epoch: u64,
 }
 
 /// Entries kept in [`AcceptorRecord`]'s closed-instance ring.
@@ -234,6 +249,8 @@ pub struct AcceptorState {
     pub settle_log: Vec<TxnId>,
     /// Total settlements ever recorded on this record.
     pub settle_seq: u64,
+    /// Cstruct epoch (see `AcceptorRecord::cstruct_epoch`).
+    pub cstruct_epoch: u64,
 }
 
 /// A transaction outcome together with the *globally learned* status of
@@ -277,6 +294,7 @@ impl AcceptorRecord {
             inherited_folded: Vec::new(),
             settle_log: VecDeque::new(),
             settle_seq: 0,
+            cstruct_epoch: 0,
         }
     }
 
@@ -313,6 +331,19 @@ impl AcceptorRecord {
     /// The current instance's cstruct (tests and recovery inspection).
     pub fn cstruct(&self) -> &CStruct {
         &self.cstruct
+    }
+
+    /// The current cstruct epoch (tests and shadow-view inspection).
+    pub fn cstruct_epoch(&self) -> u64 {
+        self.cstruct_epoch
+    }
+
+    /// Opens a new cstruct epoch after a non-append mutation (wholesale
+    /// replacement or entry removal): delta positions from the old epoch
+    /// no longer reference this cstruct, so senders restart their
+    /// cursors and ship the new epoch's contents from position zero.
+    fn bump_epoch(&mut self) {
+        self.cstruct_epoch += 1;
     }
 
     /// The outcome this node has recorded for `txn`, if any (recovery
@@ -365,6 +396,18 @@ impl AcceptorRecord {
             })
             .cloned()
             .collect();
+        // Entries already resolved here leave the cstruct on adoption,
+        // but they are settled history: if they stop riding in this
+        // node's outgoing `folded` lists, a peer that adopts *our*
+        // snapshot can later double-execute their options when another
+        // replica re-ships them (ring or current-instance payloads).
+        // Keep advertising them as inherited.
+        let executed: Vec<TxnId> = self
+            .cstruct
+            .entries()
+            .filter(|e| self.resolved_entries.contains(&e.opt.txn))
+            .map(|e| e.opt.txn)
+            .collect();
         self.version = snapshot.version;
         self.value = snapshot.value.clone();
         self.base = self.value.clone();
@@ -374,6 +417,10 @@ impl AcceptorRecord {
         }
         self.accepted_ballot = None;
         self.close_on_resolve = false;
+        self.bump_epoch();
+        for txn in executed {
+            self.note_inherited(txn);
+        }
         for txn in &snapshot.folded {
             if self.resolved_entries.insert(*txn) {
                 self.note_inherited(*txn);
@@ -529,6 +576,7 @@ impl AcceptorRecord {
         // decision" (§3.2.1).
         if let Some(safe) = p.safe {
             self.cstruct = safe;
+            self.bump_epoch();
         }
         for opt in p.new_options {
             // Skip duplicates and transactions this node already resolved
@@ -581,6 +629,7 @@ impl AcceptorRecord {
             inherited_folded: self.inherited_folded.clone(),
             settle_log: self.settle_log.iter().copied().collect(),
             settle_seq: self.settle_seq,
+            cstruct_epoch: self.cstruct_epoch,
         }
     }
 
@@ -615,6 +664,7 @@ impl AcceptorRecord {
             inherited_folded: state.inherited_folded,
             settle_log: state.settle_log.into_iter().collect(),
             settle_seq: state.settle_seq,
+            cstruct_epoch: state.cstruct_epoch,
         }
     }
 
@@ -714,7 +764,9 @@ impl AcceptorRecord {
                     self.note_inherited(opt.txn);
                     self.note_settled(opt.txn);
                 }
-                self.cstruct.remove(opt.txn);
+                if self.cstruct.remove(opt.txn).is_some() {
+                    self.bump_epoch();
+                }
             }
             true
         } else if snapshot.version == self.version {
@@ -726,6 +778,23 @@ impl AcceptorRecord {
         } else {
             false
         }
+    }
+
+    /// True when applying a *committed* visibility for `txn` would land
+    /// as a bare outcome: this node never accepted the option (bounced
+    /// proposal, divergent ballot mode), so it cannot execute the
+    /// learned update and its value silently falls behind its peers.
+    /// Callers use this to trigger a targeted anti-entropy pull — the
+    /// same class of divergence repair delta votes rely on.
+    pub fn would_miss_execution(&self, txn: TxnId) -> bool {
+        !self.outcomes.contains_key(&txn) && self.missing_execution(txn)
+    }
+
+    /// True while `txn`'s learned update has not executed here and its
+    /// option is nowhere to be found locally — the state a bare
+    /// committed outcome leaves behind until a peer pull repairs it.
+    pub fn missing_execution(&self, txn: TxnId) -> bool {
+        !self.resolved_entries.contains(&txn) && self.cstruct.entry_of(txn).is_none()
     }
 
     /// Handles a Visibility/Learned message (Algorithm 3, line 100).
@@ -765,13 +834,35 @@ impl AcceptorRecord {
         self.version != before
     }
 
-    /// The vote for the current state.
+    /// The vote for the current state. Carries the cstruct epoch so
+    /// delta senders and shadow views can position entry suffixes
+    /// against it.
     pub fn phase2b(&self) -> Phase2b {
         Phase2b {
             ballot: self.accepted_ballot.unwrap_or(self.promised),
             version: self.version,
             cstruct: self.cstruct.clone(),
+            epoch: self.cstruct_epoch,
         }
+    }
+
+    /// Coordinators that still have something to learn from this
+    /// record's votes: owners of entries whose transaction outcome this
+    /// node has not yet recorded. Coordinators of resolved entries
+    /// already decided (they produced the Visibility, or the retry path
+    /// answers them `AlreadyResolved`), so fanning votes to them is
+    /// pure wire waste — the delta-vote fan-out targets exactly this
+    /// set.
+    pub fn learning_coordinators(&self) -> Vec<mdcc_common::NodeId> {
+        let mut v: Vec<mdcc_common::NodeId> = self
+            .cstruct
+            .entries()
+            .filter(|e| !self.outcomes.contains_key(&e.opt.txn))
+            .map(|e| e.opt.txn.coordinator)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
     }
 
     /// Options accepted but with unknown transaction outcome.
@@ -922,7 +1013,9 @@ impl AcceptorRecord {
                     }
                     UpdateOp::ReadGuard(_) => {
                         // Guards execute as no-ops; the lock releases.
-                        self.cstruct.remove(txn);
+                        if self.cstruct.remove(txn).is_some() {
+                            self.bump_epoch();
+                        }
                     }
                 }
                 if op.is_physical() {
@@ -932,8 +1025,8 @@ impl AcceptorRecord {
             TxnOutcome::Aborted => {
                 if resolution.learned_accepted && op.is_physical() {
                     self.advance_instance();
-                } else {
-                    self.cstruct.remove(txn);
+                } else if self.cstruct.remove(txn).is_some() {
+                    self.bump_epoch();
                 }
             }
         }
@@ -972,6 +1065,7 @@ impl AcceptorRecord {
         self.version = self.version.next();
         self.base = self.value.clone();
         self.cstruct = CStruct::new();
+        self.bump_epoch();
         self.accepted_ballot = None;
         self.close_on_resolve = false;
         if let Some(fast) = self.reopen_fast_after.take() {

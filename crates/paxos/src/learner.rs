@@ -249,6 +249,7 @@ mod tests {
             ballot,
             version: Version(1),
             cstruct: c,
+            epoch: 0,
         }
     }
 

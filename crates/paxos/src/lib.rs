@@ -26,6 +26,9 @@
 //!   the fast⇄classic γ policy (§3.3.2).
 //! * [`learner`] — coordinator-side learning of option statuses from
 //!   Phase2b quorums, including definite-collision detection.
+//! * [`shadow`] — delta votes and per-acceptor shadow views: Phase2b
+//!   fan-out ships only newly appended options plus a cstruct digest,
+//!   with explicit read-repair on digest mismatch.
 
 pub mod acceptor;
 pub mod ballot;
@@ -35,6 +38,7 @@ pub mod leader;
 pub mod learner;
 pub mod options;
 pub mod quorum;
+pub mod shadow;
 pub mod wire;
 
 pub use acceptor::{AcceptorRecord, AcceptorState, Phase1b, Phase2b, RecordSnapshot, Resolution};
@@ -44,3 +48,4 @@ pub use demarcation::AttrConstraint;
 pub use leader::LeaderRecord;
 pub use learner::{LearnOutcome, Learner};
 pub use options::{OptionStatus, TxnOption, TxnOutcome};
+pub use shadow::{DeltaCursor, DeltaVote, FoldOutcome, ShadowView};

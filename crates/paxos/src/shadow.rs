@@ -1,0 +1,535 @@
+//! Delta votes and per-acceptor shadow views.
+//!
+//! Full MDCC's dominant wire cost is Phase2b vote fan-out: every vote
+//! ships the record's entire cstruct to the proposer and to every
+//! interested coordinator (see EXPERIMENTS.md §fig5). Within one
+//! *cstruct epoch* the acceptor's cstruct is strictly append-only, so a
+//! vote only needs to carry the options appended since the acceptor's
+//! previous vote — a [`DeltaVote`] — plus an FNV digest of the full
+//! structure.
+//!
+//! Receivers keep one [`ShadowView`] per acceptor and fold each delta
+//! into it. When the digest of the folded view matches the vote's
+//! digest, the view *is* the acceptor's cstruct and a full
+//! [`Phase2b`] is synthesized for the learner. When it does not —
+//! an epoch was missed (ballot change, instance advance, entry
+//! removal), a delta was lost, or votes were reordered — the receiver
+//! falls back to an explicit read-repair round trip (`CstructPull` /
+//! `CstructFull` in the message schema) that fetches the full cstruct
+//! only for that diverged acceptor.
+
+use mdcc_common::Version;
+
+use crate::acceptor::Phase2b;
+use crate::ballot::Ballot;
+use crate::cstruct::{CStruct, Entry};
+
+/// A Phase2b vote carrying only the options appended since the
+/// acceptor's previous vote, plus a digest of the full cstruct.
+#[derive(Debug, Clone)]
+pub struct DeltaVote {
+    /// Ballot the vote belongs to.
+    pub ballot: Ballot,
+    /// Instance (record version) the vote belongs to.
+    pub version: Version,
+    /// The acceptor's cstruct epoch this delta's positions refer to.
+    pub epoch: u64,
+    /// Position in the epoch's append order where `entries` starts.
+    pub from_seq: u64,
+    /// Entries `[from_seq..from_seq + entries.len())` of the epoch.
+    pub entries: Vec<Entry>,
+    /// FNV-1a digest of the canonical encoding of the acceptor's full
+    /// cstruct at emission time.
+    pub digest: u64,
+    /// Total entries in the full cstruct (cheap pre-check and gap
+    /// detector alongside the digest).
+    pub full_len: u64,
+}
+
+impl DeltaVote {
+    /// Extracts the delta representation of an emitted vote: the entry
+    /// suffix past `from_seq` plus the full-structure digest.
+    pub fn extract(vote: &Phase2b, from_seq: u64) -> Self {
+        Self::extract_with_digest(vote, from_seq, vote.cstruct.digest())
+    }
+
+    /// Like [`DeltaVote::extract`] with the cstruct digest precomputed —
+    /// fan-out to many destinations serializes the cstruct once instead
+    /// of once per target.
+    pub fn extract_with_digest(vote: &Phase2b, from_seq: u64, digest: u64) -> Self {
+        DeltaVote {
+            ballot: vote.ballot,
+            version: vote.version,
+            epoch: vote.epoch,
+            from_seq,
+            entries: vote
+                .cstruct
+                .entries()
+                .skip(from_seq as usize)
+                .cloned()
+                .collect(),
+            digest,
+            full_len: vote.cstruct.len() as u64,
+        }
+    }
+}
+
+/// Sender-side delta cursor: tracks, per destination, how much of which
+/// cstruct epoch that destination has already been sent, so each vote
+/// ships only the entry suffix the destination is missing.
+///
+/// Deliberately volatile (kept in the storage-node process, not the
+/// WAL): losing a cursor after a crash merely re-primes the destination
+/// with one full vote. What *must* survive restarts is the acceptor's
+/// cstruct epoch — cursors and shadow views both position against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaCursor {
+    primed: bool,
+    version: Version,
+    epoch: u64,
+    seq: u64,
+}
+
+impl DeltaCursor {
+    /// A cursor for a destination that has never been sent a vote.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decides what to send for `vote` and advances the cursor:
+    /// `None` means the destination has no shadow yet and must receive
+    /// the full vote; `Some(delta)` is the positioned entry suffix.
+    pub fn extract(&mut self, vote: &Phase2b) -> Option<DeltaVote> {
+        self.position(vote)
+            .map(|from_seq| DeltaVote::extract(vote, from_seq))
+    }
+
+    /// The cursor-advance half of [`DeltaCursor::extract`]: where this
+    /// destination's next delta starts, or `None` for a first contact
+    /// (send the full vote). Callers fanning one vote to many
+    /// destinations pair this with [`DeltaVote::extract_with_digest`]
+    /// so the digest is computed once.
+    pub fn position(&mut self, vote: &Phase2b) -> Option<u64> {
+        let len = vote.cstruct.len() as u64;
+        let from_seq = if !self.primed {
+            // First contact: prime with the full vote.
+            self.primed = true;
+            self.advance(vote, len);
+            return None;
+        } else if self.version == vote.version && self.epoch == vote.epoch && self.seq <= len {
+            // Same epoch, append-only since the last send: ship the tail.
+            self.seq
+        } else {
+            // New instance or epoch (or an inconsistent cursor): the
+            // receiver rebuilds from an epoch-opening delta.
+            0
+        };
+        self.advance(vote, len);
+        Some(from_seq)
+    }
+
+    fn advance(&mut self, vote: &Phase2b, len: u64) {
+        self.version = vote.version;
+        self.epoch = vote.epoch;
+        self.seq = len;
+    }
+}
+
+/// What folding one delta vote into a shadow view produced.
+#[derive(Debug, Clone)]
+pub enum FoldOutcome {
+    /// The fold succeeded and the digest matched: here is the
+    /// reconstructed full vote for the learner.
+    Vote(Phase2b),
+    /// The shadow diverged from the acceptor (missed epoch, lost delta,
+    /// reordering): the receiver must pull the full cstruct.
+    Diverged,
+    /// The delta belongs to an older instance or epoch than the shadow
+    /// already tracks; ignore it.
+    Stale,
+}
+
+/// The receiver-side reconstruction of one acceptor's cstruct.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowView {
+    version: Version,
+    epoch: u64,
+    cstruct: CStruct,
+    /// Diverged folds seen since the last pull was issued (0 = no pull
+    /// outstanding). Suppresses the pull storm a single lost delta
+    /// would otherwise cause on a hot record — every vote arriving
+    /// during the repair round trip re-detects the same gap — while
+    /// [`PULL_RETRY_EVERY`] keeps the view live if the repair response
+    /// itself is lost.
+    diverged_since_pull: u32,
+}
+
+/// Diverged folds tolerated on one shadow before the pull is re-sent
+/// (the escape hatch for a lost `CstructFull` response).
+const PULL_RETRY_EVERY: u32 = 16;
+
+impl ShadowView {
+    /// An empty shadow: folds epoch-opening deltas (`from_seq == 0`)
+    /// directly; anything mid-epoch diverges and triggers a pull.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The reconstructed cstruct (tests and diagnostics).
+    pub fn cstruct(&self) -> &CStruct {
+        &self.cstruct
+    }
+
+    /// Folds one delta vote. On [`FoldOutcome::Vote`] the shadow equals
+    /// the acceptor's cstruct byte-for-byte (the digest proved it).
+    pub fn fold(&mut self, dv: &DeltaVote) -> FoldOutcome {
+        if (dv.version, dv.epoch) < (self.version, self.epoch) {
+            return FoldOutcome::Stale;
+        }
+        if dv.version != self.version || dv.epoch != self.epoch {
+            // A new instance or epoch. Its append history starts empty,
+            // so an epoch-opening delta (from_seq == 0) rebuilds the
+            // shadow outright; a mid-epoch delta means the opening was
+            // lost and only a pull can resynchronize.
+            if dv.from_seq != 0 {
+                return FoldOutcome::Diverged;
+            }
+            self.version = dv.version;
+            self.epoch = dv.epoch;
+            self.cstruct = CStruct::new();
+        }
+        let have = self.cstruct.len() as u64;
+        if dv.from_seq > have {
+            // Gap: a previous delta of this epoch never arrived.
+            return FoldOutcome::Diverged;
+        }
+        // Overlapping prefix entries are already present (duplicate or
+        // re-emitted vote); append only the genuinely new tail.
+        for entry in dv.entries.iter().skip((have - dv.from_seq) as usize) {
+            self.cstruct.append_entry(entry.clone());
+        }
+        if self.cstruct.len() as u64 == dv.full_len && self.cstruct.digest() == dv.digest {
+            self.diverged_since_pull = 0;
+            FoldOutcome::Vote(self.as_vote(dv.ballot))
+        } else {
+            FoldOutcome::Diverged
+        }
+    }
+
+    /// Whether a [`FoldOutcome::Diverged`] should trigger a pull right
+    /// now: true for the first divergence (and again every
+    /// [`PULL_RETRY_EVERY`] diverged folds, in case the repair response
+    /// was lost); false while a pull is already outstanding.
+    pub fn should_pull(&mut self) -> bool {
+        if self.diverged_since_pull == 0 || self.diverged_since_pull >= PULL_RETRY_EVERY {
+            self.diverged_since_pull = 1;
+            true
+        } else {
+            self.diverged_since_pull += 1;
+            false
+        }
+    }
+
+    /// Installs a full vote (a `CstructFull` repair response),
+    /// resetting the shadow to the acceptor's exact state so subsequent
+    /// deltas fold again. Unconditional: a diverged shadow's contents
+    /// are untrustworthy, so the repair response always wins (a stale
+    /// response merely provokes one more pull).
+    pub fn reset_full(&mut self, vote: &Phase2b) {
+        self.version = vote.version;
+        self.epoch = vote.epoch;
+        self.cstruct = vote.cstruct.clone();
+        self.diverged_since_pull = 0;
+    }
+
+    /// Primes the shadow from an ordinary full vote (first-contact or
+    /// legacy-mode votes) — installs it only when it is at least as new
+    /// as what the shadow tracks, so a reordered old vote cannot regress
+    /// a view that already folded fresher deltas.
+    pub fn observe_full(&mut self, vote: &Phase2b) {
+        let incoming = (vote.version, vote.epoch, vote.cstruct.len() as u64);
+        let have = (self.version, self.epoch, self.cstruct.len() as u64);
+        if incoming >= have {
+            self.reset_full(vote);
+        }
+    }
+
+    fn as_vote(&self, ballot: Ballot) -> Phase2b {
+        Phase2b {
+            ballot,
+            version: self.version,
+            cstruct: self.cstruct.clone(),
+            epoch: self.epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptor::{AcceptorRecord, FastPropose};
+    use crate::demarcation::AttrConstraint;
+    use crate::options::{TxnOption, TxnOutcome};
+    use mdcc_common::{CommutativeUpdate, Key, NodeId, Row, TableId, TxnId, UpdateOp};
+    use std::sync::Arc;
+
+    fn acceptor(stock: i64) -> AcceptorRecord {
+        AcceptorRecord::with_value(
+            Arc::from(vec![AttrConstraint::at_least("stock", 0)]),
+            5,
+            4,
+            32,
+            Row::new().with("stock", stock),
+        )
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(9), seq)
+    }
+
+    fn dec(seq: u64, amount: i64) -> TxnOption {
+        TxnOption::solo(
+            txn(seq),
+            Key::new(TableId(0), "item1"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -amount)),
+        )
+    }
+
+    fn vote_of(r: FastPropose) -> Phase2b {
+        match r {
+            FastPropose::Vote(v) => v,
+            other => panic!("expected vote, got {other:?}"),
+        }
+    }
+
+    /// Primes a cursor/shadow pair with one full vote (the node's
+    /// first-contact behaviour).
+    fn prime(cursor: &mut DeltaCursor, shadow: &mut ShadowView, vote: &Phase2b) {
+        assert!(
+            cursor.extract(vote).is_none(),
+            "first contact ships the full vote"
+        );
+        shadow.reset_full(vote);
+    }
+
+    #[test]
+    fn deltas_fold_to_the_acceptors_exact_cstruct() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        for i in 2..=5 {
+            let vote = vote_of(a.fast_propose(dec(i, 1)));
+            let dv = cursor.extract(&vote).expect("warm cursor ships deltas");
+            assert_eq!(
+                dv.entries.len(),
+                1,
+                "each vote ships exactly the new option"
+            );
+            match shadow.fold(&dv) {
+                FoldOutcome::Vote(v) => {
+                    assert_eq!(v.cstruct.digest(), a.cstruct().digest());
+                    assert_eq!(v.cstruct.len(), a.cstruct().len());
+                }
+                other => panic!("fold failed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lost_delta_is_detected_and_repaired() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        // The second vote's delta is lost in transit; the third arrives
+        // with a gap the shadow must refuse to paper over.
+        let _lost = cursor.extract(&vote_of(a.fast_propose(dec(2, 1))));
+        let v3 = vote_of(a.fast_propose(dec(3, 1)));
+        let dv3 = cursor.extract(&v3).expect("delta");
+        assert!(matches!(shadow.fold(&dv3), FoldOutcome::Diverged));
+        // Read-repair: install the acceptor's full cstruct, then deltas
+        // fold again.
+        shadow.reset_full(&a.phase2b());
+        let v4 = vote_of(a.fast_propose(dec(4, 1)));
+        let dv4 = cursor.extract(&v4).expect("delta");
+        match shadow.fold(&dv4) {
+            FoldOutcome::Vote(v) => assert_eq!(v.cstruct.digest(), a.cstruct().digest()),
+            other => panic!("post-repair fold failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_and_reemitted_votes_fold_idempotently() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        let v2 = vote_of(a.fast_propose(dec(2, 1)));
+        let dv2 = cursor.extract(&v2).expect("delta");
+        assert!(matches!(shadow.fold(&dv2), FoldOutcome::Vote(_)));
+        assert!(matches!(shadow.fold(&dv2), FoldOutcome::Vote(_)));
+        // A retried proposal re-votes; the warm cursor ships an empty
+        // delta that still digest-verifies against the folded shadow.
+        let revote = vote_of(a.fast_propose(dec(2, 1)));
+        let dv = cursor.extract(&revote).expect("delta");
+        assert!(dv.entries.is_empty(), "re-vote ships no entries");
+        assert!(matches!(shadow.fold(&dv), FoldOutcome::Vote(_)));
+    }
+
+    #[test]
+    fn removal_opens_a_new_epoch_and_deltas_recover() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        for i in 2..=3 {
+            let v = vote_of(a.fast_propose(dec(i, 1)));
+            let dv = cursor.extract(&v).expect("delta");
+            assert!(matches!(shadow.fold(&dv), FoldOutcome::Vote(_)));
+        }
+        let epoch_before = a.cstruct_epoch();
+        // An abort removes its entry: the epoch bumps and the next vote
+        // re-ships the whole (shrunken) cstruct as an epoch-opening
+        // delta — no pull needed.
+        a.apply_visibility(txn(2), TxnOutcome::Aborted, false);
+        assert!(a.cstruct_epoch() > epoch_before);
+        let v4 = vote_of(a.fast_propose(dec(4, 1)));
+        let dv = cursor.extract(&v4).expect("delta");
+        assert_eq!(dv.from_seq, 0, "new epoch opens at position zero");
+        assert_eq!(dv.entries.len(), 3, "survivors plus the new option");
+        match shadow.fold(&dv) {
+            FoldOutcome::Vote(v) => assert_eq!(v.cstruct.digest(), a.cstruct().digest()),
+            other => panic!("epoch-opening fold failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missed_epoch_opening_diverges() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        // Abort bumps the epoch; the epoch-opening re-vote is lost.
+        a.apply_visibility(txn(1), TxnOutcome::Aborted, false);
+        let _lost = cursor.extract(&vote_of(a.fast_propose(dec(2, 1))));
+        let v3 = vote_of(a.fast_propose(dec(3, 1)));
+        let dv = cursor.extract(&v3).expect("delta");
+        assert!(dv.from_seq > 0);
+        assert!(matches!(shadow.fold(&dv), FoldOutcome::Diverged));
+    }
+
+    #[test]
+    fn stale_votes_from_older_epochs_are_ignored() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(0, 1))),
+        );
+        let old = vote_of(a.fast_propose(dec(1, 1)));
+        let old_dv = cursor.extract(&old).expect("delta");
+        a.apply_visibility(txn(1), TxnOutcome::Aborted, false);
+        let new = vote_of(a.fast_propose(dec(2, 1)));
+        let new_dv = cursor.extract(&new).expect("delta");
+        assert!(matches!(shadow.fold(&new_dv), FoldOutcome::Vote(_)));
+        // The pre-abort delta arrives late: older epoch, ignored.
+        assert!(matches!(shadow.fold(&old_dv), FoldOutcome::Stale));
+        assert_eq!(shadow.cstruct().digest(), a.cstruct().digest());
+    }
+
+    #[test]
+    fn repeated_divergence_pulls_once_until_repaired() {
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        // A delta is lost; the following votes keep hitting the gap.
+        let _lost = cursor.extract(&vote_of(a.fast_propose(dec(2, 1))));
+        let mut pulls = 0;
+        for i in 3..=8 {
+            let v = vote_of(a.fast_propose(dec(i, 1)));
+            let dv = cursor.extract(&v).expect("delta");
+            assert!(matches!(shadow.fold(&dv), FoldOutcome::Diverged));
+            if shadow.should_pull() {
+                pulls += 1;
+            }
+        }
+        assert_eq!(pulls, 1, "one pull per divergence, not per vote");
+        // The repair response clears the suppression…
+        shadow.reset_full(&a.phase2b());
+        let v = vote_of(a.fast_propose(dec(9, 1)));
+        let dv = cursor.extract(&v).expect("delta");
+        assert!(matches!(shadow.fold(&dv), FoldOutcome::Vote(_)));
+        // …and a fresh divergence pulls again immediately.
+        let _lost = cursor.extract(&vote_of(a.fast_propose(dec(10, 1))));
+        let v = vote_of(a.fast_propose(dec(11, 1)));
+        let dv = cursor.extract(&v).expect("delta");
+        assert!(matches!(shadow.fold(&dv), FoldOutcome::Diverged));
+        assert!(shadow.should_pull(), "new divergence pulls at once");
+    }
+
+    #[test]
+    fn cold_cursor_after_sender_restart_reprimes_with_a_full_vote() {
+        // The cursor is volatile: a restarted node starts cold and sends
+        // a full vote, which the receiver's shadow absorbs seamlessly
+        // because the WAL-restored epoch keeps positions consistent.
+        let mut a = acceptor(100);
+        let mut cursor = DeltaCursor::new();
+        let mut shadow = ShadowView::new();
+        prime(
+            &mut cursor,
+            &mut shadow,
+            &vote_of(a.fast_propose(dec(1, 1))),
+        );
+        let v2 = vote_of(a.fast_propose(dec(2, 1)));
+        let dv = cursor.extract(&v2).expect("delta");
+        assert!(matches!(shadow.fold(&dv), FoldOutcome::Vote(_)));
+        // Crash + restart: acceptor state (incl. epoch) survives via
+        // export/import, the cursor does not.
+        let state = a.export_state();
+        let mut a = AcceptorRecord::from_state(
+            Arc::from(vec![AttrConstraint::at_least("stock", 0)]),
+            5,
+            4,
+            32,
+            state,
+        );
+        let mut cursor = DeltaCursor::new();
+        let v3 = vote_of(a.fast_propose(dec(3, 1)));
+        assert!(cursor.extract(&v3).is_none(), "cold cursor sends full");
+        shadow.observe_full(&v3);
+        let v4 = vote_of(a.fast_propose(dec(4, 1)));
+        let dv = cursor.extract(&v4).expect("warm again");
+        match shadow.fold(&dv) {
+            FoldOutcome::Vote(v) => assert_eq!(v.cstruct.digest(), a.cstruct().digest()),
+            other => panic!("post-restart fold failed: {other:?}"),
+        }
+    }
+}

@@ -16,6 +16,17 @@ use crate::acceptor::{AcceptorState, Phase1b, Phase2a, Phase2b, RecordSnapshot, 
 use crate::ballot::{Ballot, BallotKind};
 use crate::cstruct::{CStruct, Entry};
 use crate::options::{OptionStatus, TxnOption, TxnOutcome};
+use crate::shadow::DeltaVote;
+
+impl CStruct {
+    /// FNV-1a digest of the cstruct's canonical wire encoding — the
+    /// order-sensitive fingerprint delta votes carry so receivers can
+    /// prove their folded shadow view equals the acceptor's exact
+    /// structure.
+    pub fn digest(&self) -> u64 {
+        mdcc_common::wire::fnv1a64(&mdcc_common::wire::to_bytes(self))
+    }
+}
 
 impl Wire for Ballot {
     fn encode(&self, out: &mut Enc) {
@@ -188,12 +199,37 @@ impl Wire for Phase2b {
         self.ballot.encode(out);
         self.version.encode(out);
         self.cstruct.encode(out);
+        out.u64(self.epoch);
     }
     fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
         Ok(Phase2b {
             ballot: Ballot::decode(inp)?,
             version: Version::decode(inp)?,
             cstruct: CStruct::decode(inp)?,
+            epoch: inp.u64()?,
+        })
+    }
+}
+
+impl Wire for DeltaVote {
+    fn encode(&self, out: &mut Enc) {
+        self.ballot.encode(out);
+        self.version.encode(out);
+        out.u64(self.epoch);
+        out.u64(self.from_seq);
+        self.entries.encode(out);
+        out.u64(self.digest);
+        out.u64(self.full_len);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(DeltaVote {
+            ballot: Ballot::decode(inp)?,
+            version: Version::decode(inp)?,
+            epoch: inp.u64()?,
+            from_seq: inp.u64()?,
+            entries: Vec::decode(inp)?,
+            digest: inp.u64()?,
+            full_len: inp.u64()?,
         })
     }
 }
@@ -237,6 +273,7 @@ impl Wire for AcceptorState {
         self.inherited_folded.encode(out);
         self.settle_log.encode(out);
         self.settle_seq.encode(out);
+        self.cstruct_epoch.encode(out);
     }
     fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
         Ok(AcceptorState {
@@ -254,6 +291,7 @@ impl Wire for AcceptorState {
             inherited_folded: Vec::decode(inp)?,
             settle_log: Vec::decode(inp)?,
             settle_seq: u64::decode(inp)?,
+            cstruct_epoch: u64::decode(inp)?,
         })
     }
 }
@@ -348,11 +386,29 @@ mod tests {
         let p2b = Phase2b {
             ballot: Ballot::fast(1, NodeId(0)),
             version: Version(9),
-            cstruct: safe,
+            cstruct: safe.clone(),
+            epoch: 3,
         };
         let back = round_trip(&p2b);
         assert_eq!(back.ballot, p2b.ballot);
         assert_eq!(back.version, p2b.version);
         assert_eq!(back.cstruct.len(), p2b.cstruct.len());
+        assert_eq!(back.epoch, 3);
+
+        let dv = crate::shadow::DeltaVote {
+            ballot: Ballot::fast(1, NodeId(0)),
+            version: Version(9),
+            epoch: 3,
+            from_seq: 2,
+            entries: safe.entries().cloned().collect(),
+            digest: safe.digest(),
+            full_len: 3,
+        };
+        let back = round_trip(&dv);
+        assert_eq!(back.ballot, dv.ballot);
+        assert_eq!(back.from_seq, 2);
+        assert_eq!(back.entries.len(), dv.entries.len());
+        assert_eq!(back.digest, dv.digest);
+        assert_eq!(back.full_len, 3);
     }
 }

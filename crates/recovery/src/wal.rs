@@ -302,6 +302,82 @@ mod tests {
     }
 
     #[test]
+    fn replay_restores_the_cstruct_epoch() {
+        // Delta votes reference positions within a cstruct *epoch*; the
+        // epoch advances inside the input-processing entry points
+        // (aborts remove entries and bump it), so a command-log replay
+        // must land on the same value — a regressed epoch after a
+        // restart would make receivers discard the node's fresh votes
+        // as stale and stall learning until read-repair.
+        let catalog = Arc::new(Catalog::new());
+        let mut live = RecordStore::new(ProtocolConfig::default(), Arc::clone(&catalog));
+        let mut records = vec![WalRecord::Load {
+            key: key("a"),
+            row: Row::new().with("stock", 50),
+        }];
+        for seq in 0..3 {
+            records.push(WalRecord::FastPropose {
+                at: SimTime::from_millis(seq),
+                opt: TxnOption::solo(
+                    TxnId::new(NodeId(1), seq),
+                    key("a"),
+                    UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+                ),
+            });
+        }
+        // An abort removes its entry, bumping the cstruct epoch…
+        records.push(WalRecord::Visibility {
+            at: SimTime::from_millis(9),
+            key: key("a"),
+            txn: TxnId::new(NodeId(1), 2),
+            outcome: TxnOutcome::Aborted,
+            learned_accepted: false,
+        });
+        // …and a further proposal extends the new epoch.
+        records.push(WalRecord::FastPropose {
+            at: SimTime::from_millis(12),
+            opt: TxnOption::solo(
+                TxnId::new(NodeId(1), 3),
+                key("a"),
+                UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+            ),
+        });
+        replay(&mut live, &records);
+
+        let mut rebuilt = RecordStore::new(ProtocolConfig::default(), Arc::clone(&catalog));
+        replay(&mut rebuilt, &records);
+
+        // Both process the same next proposal: the emitted votes must
+        // carry identical epochs and delta positions.
+        let next = TxnOption::solo(
+            TxnId::new(NodeId(1), 9),
+            key("a"),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+        );
+        let at = SimTime::from_millis(20);
+        let (live_vote, rebuilt_vote) = match (
+            live.fast_propose(next.clone(), at),
+            rebuilt.fast_propose(next, at),
+        ) {
+            (
+                mdcc_paxos::acceptor::FastPropose::Vote(a),
+                mdcc_paxos::acceptor::FastPropose::Vote(b),
+            ) => (a, b),
+            other => panic!("expected votes, got {other:?}"),
+        };
+        assert_eq!(live_vote.epoch, rebuilt_vote.epoch);
+        assert!(
+            live_vote.epoch > 0,
+            "the abort should have bumped the epoch"
+        );
+        assert_eq!(
+            mdcc_common::wire::to_bytes(&live_vote.cstruct),
+            mdcc_common::wire::to_bytes(&rebuilt_vote.cstruct),
+            "replayed cstruct must be byte-identical"
+        );
+    }
+
+    #[test]
     fn replay_reconstructs_store_state() {
         let catalog = Arc::new(Catalog::new());
         let mut store = RecordStore::new(ProtocolConfig::default(), Arc::clone(&catalog));

@@ -26,11 +26,14 @@ pub enum TrafficClass {
     Read,
     /// Anti-entropy / recovery-sync traffic.
     Sync,
+    /// Divergence-repair traffic: cstruct pulls and their full-state
+    /// responses when a delta vote's digest mismatches.
+    Repair,
 }
 
 impl TrafficClass {
     /// Number of classes (sizing per-class counter arrays).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Dense index for per-class counter arrays.
     pub const fn index(self) -> usize {
@@ -38,6 +41,7 @@ impl TrafficClass {
             TrafficClass::Protocol => 0,
             TrafficClass::Read => 1,
             TrafficClass::Sync => 2,
+            TrafficClass::Repair => 3,
         }
     }
 }
@@ -53,10 +57,11 @@ pub trait NetMessage {
     /// Total bytes this message occupies on the wire.
     fn wire_bytes(&self) -> usize;
 
-    /// Which traffic class the message is accounted under.
-    fn traffic_class(&self) -> TrafficClass {
-        TrafficClass::Protocol
-    }
+    /// Which traffic class the message is accounted under. Deliberately
+    /// has no default body: every message schema must classify each
+    /// variant explicitly, so new messages cannot silently fall into a
+    /// catch-all class and skew per-class byte accounting.
+    fn traffic_class(&self) -> TrafficClass;
 }
 
 // Plain payloads used by simulator-level tests and benches.
@@ -64,17 +69,26 @@ impl NetMessage for u32 {
     fn wire_bytes(&self) -> usize {
         4
     }
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Protocol
+    }
 }
 
 impl NetMessage for u64 {
     fn wire_bytes(&self) -> usize {
         8
     }
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Protocol
+    }
 }
 
 impl NetMessage for &'static str {
     fn wire_bytes(&self) -> usize {
         self.len()
+    }
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Protocol
     }
 }
 
@@ -173,6 +187,13 @@ impl<'a, M> Ctx<'a, M> {
     {
         let bytes = msg.wire_bytes();
         let class = msg.traffic_class();
+        // Every protocol message frames at least a header; a zero-byte
+        // size means a `NetMessage` impl forgot to account the payload
+        // and the transport would carry it for free.
+        debug_assert!(
+            bytes > 0,
+            "message reports zero wire bytes — unaccounted NetMessage impl"
+        );
         self.effects.push(Effect::Send {
             to,
             msg,

@@ -706,9 +706,9 @@ mod tests {
         }
         impl Process<Blob> for Blast {
             fn on_start(&mut self, ctx: &mut Ctx<'_, Blob>) {
-                // One large then one small message, same instant.
+                // One large then one tiny message, same instant.
                 ctx.send(self.target, Blob(100_000));
-                ctx.send(self.target, Blob(0));
+                ctx.send(self.target, Blob(1));
             }
             fn on_message(&mut self, _f: NodeId, _m: Blob, _ctx: &mut Ctx<'_, Blob>) {}
         }

@@ -10,15 +10,16 @@
 //! * [`store::RecordStore`] — key → [`mdcc_paxos::AcceptorRecord`] map
 //!   with committed-read paths, bulk load, and pending-option tracking
 //!   for dangling-transaction detection (§3.2.3);
-//! * [`log::OptionLog`] — the append-only log of learned options each
-//!   storage node keeps so that "any node can recover the transaction".
+//! * [`log::OptionLog`] — the watermark-compacted log of learned
+//!   options each storage node keeps so that "any node can recover the
+//!   transaction".
 
 pub mod log;
 pub mod schema;
 pub mod store;
 pub mod wire;
 
-pub use log::{LogEvent, OptionLog};
+pub use log::{LogEvent, OptionLog, OPTION_LOG_RETENTION};
 pub use mdcc_paxos::AttrConstraint;
 pub use schema::{Catalog, TableSchema};
 pub use store::{PendingTxn, RecordStore, StoreState, SyncItem, SyncRange};

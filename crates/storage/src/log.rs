@@ -5,9 +5,25 @@
 //! reconstruct the state of the corresponding transactions". The log is
 //! the durable trail a write-ahead log would hold on disk; tests and the
 //! recovery audit read it back.
+//!
+//! The log is **watermark-compacted**: only the most recent
+//! [`OPTION_LOG_RETENTION`] entries are retained, mirroring the
+//! acceptor-side truncation of `outcomes`/`resolved_entries` — the log
+//! rides checkpoints, not the wire, and would otherwise grow with
+//! transaction count. [`OptionLog::watermark`] counts the entries
+//! dropped below the retained window.
+
+use std::collections::VecDeque;
 
 use mdcc_common::{Key, SimTime, TxnId};
 use mdcc_paxos::{OptionStatus, TxnOutcome};
+
+/// Entries retained in an [`OptionLog`] before the oldest is compacted
+/// away. Recovery consumers (dangling-transaction queries, tests) only
+/// ever look at recent transactions: an entry old enough to age out of
+/// this window has long resolved everywhere, the same synchrony
+/// assumption the acceptor-side `RESOLVED_RETENTION` truncation makes.
+pub const OPTION_LOG_RETENTION: usize = 4_096;
 
 /// One logged event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,10 +48,14 @@ pub enum LogEvent {
     },
 }
 
-/// Append-only log with a monotone timestamp per entry.
+/// Append-mostly log with a monotone timestamp per entry, compacted at
+/// a retention watermark.
 #[derive(Debug, Clone, Default)]
 pub struct OptionLog {
-    entries: Vec<(SimTime, LogEvent)>,
+    entries: VecDeque<(SimTime, LogEvent)>,
+    /// Entries dropped below the retained window — the compaction
+    /// watermark. `watermark + len` is the count ever appended.
+    truncated: u64,
 }
 
 impl OptionLog {
@@ -44,18 +64,42 @@ impl OptionLog {
         Self::default()
     }
 
-    /// Appends an event at time `now`.
-    pub fn push(&mut self, now: SimTime, event: LogEvent) {
-        debug_assert!(
-            self.entries.last().map(|(t, _)| *t <= now).unwrap_or(true),
-            "log time went backwards"
-        );
-        self.entries.push((now, event));
+    /// Rebuilds a log from its retained window and watermark (restart
+    /// path; checkpoints persist both).
+    pub fn from_parts(truncated: u64, entries: Vec<(SimTime, LogEvent)>) -> Self {
+        Self {
+            entries: entries.into(),
+            truncated,
+        }
     }
 
-    /// Number of entries.
+    /// Appends an event at time `now`, compacting past the retention
+    /// window.
+    pub fn push(&mut self, now: SimTime, event: LogEvent) {
+        debug_assert!(
+            self.entries.back().map(|(t, _)| *t <= now).unwrap_or(true),
+            "log time went backwards"
+        );
+        self.entries.push_back((now, event));
+        while self.entries.len() > OPTION_LOG_RETENTION {
+            self.entries.pop_front();
+            self.truncated += 1;
+        }
+    }
+
+    /// Number of retained entries (bounded by [`OPTION_LOG_RETENTION`]).
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Entries compacted away below the retained window.
+    pub fn watermark(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Entries ever appended (retained + compacted).
+    pub fn total_appended(&self) -> u64 {
+        self.truncated + self.entries.len() as u64
     }
 
     /// True when nothing was logged.
@@ -63,7 +107,7 @@ impl OptionLog {
         self.entries.is_empty()
     }
 
-    /// Iterates entries oldest-first.
+    /// Iterates retained entries oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &(SimTime, LogEvent)> {
         self.entries.iter()
     }
@@ -134,6 +178,35 @@ mod tests {
         assert_eq!(log.for_txn(txn(1)).len(), 2);
         assert_eq!(log.outcome_of(txn(1)), Some(TxnOutcome::Committed));
         assert_eq!(log.outcome_of(txn(2)), None);
+    }
+
+    #[test]
+    fn long_runs_stay_bounded_at_the_retention_watermark() {
+        // The log rides checkpoints, not the wire: without compaction it
+        // grows with transaction count. Sustained traffic must plateau
+        // at the retention window while the watermark advances.
+        let mut log = OptionLog::new();
+        let total = 3 * OPTION_LOG_RETENTION as u64;
+        for i in 0..total {
+            log.push(
+                SimTime::from_millis(i),
+                LogEvent::Outcome {
+                    txn: txn(i),
+                    key: key("a"),
+                    outcome: TxnOutcome::Committed,
+                },
+            );
+        }
+        assert_eq!(log.len(), OPTION_LOG_RETENTION, "bounded growth");
+        assert_eq!(log.watermark(), total - OPTION_LOG_RETENTION as u64);
+        assert_eq!(log.total_appended(), total);
+        // Recent transactions stay queryable; compacted ones are gone.
+        assert_eq!(log.outcome_of(txn(total - 1)), Some(TxnOutcome::Committed));
+        assert_eq!(log.outcome_of(txn(0)), None, "compacted entry forgotten");
+        // The watermark round-trips through from_parts (restart path).
+        let rebuilt = OptionLog::from_parts(log.watermark(), log.iter().cloned().collect());
+        assert_eq!(rebuilt.watermark(), log.watermark());
+        assert_eq!(rebuilt.total_appended(), log.total_appended());
     }
 
     #[test]

@@ -22,8 +22,11 @@ pub struct StoreState {
     pub records: Vec<(Key, AcceptorState)>,
     /// Outstanding (accepted, unresolved) transactions, sorted by id.
     pub pending: Vec<PendingTxn>,
-    /// The learned-option log, oldest first.
+    /// The learned-option log's retained window, oldest first.
     pub log: Vec<(SimTime, LogEvent)>,
+    /// Log entries compacted below the retained window (the log's
+    /// truncation watermark; see [`crate::log::OPTION_LOG_RETENTION`]).
+    pub log_truncated: u64,
 }
 
 /// One record's worth of anti-entropy payload: its committed snapshot
@@ -253,6 +256,7 @@ impl RecordStore {
             records,
             pending: self.pending.values().cloned().collect(),
             log: self.log.iter().cloned().collect(),
+            log_truncated: self.log.watermark(),
         }
     }
 
@@ -272,11 +276,7 @@ impl RecordStore {
         for p in state.pending {
             store.pending.insert(p.txn, p);
         }
-        let mut log = OptionLog::new();
-        for (at, event) in state.log {
-            log.push(at, event);
-        }
-        store.log = log;
+        store.log = OptionLog::from_parts(state.log_truncated, state.log);
         store
     }
 

@@ -81,12 +81,14 @@ impl Wire for StoreState {
         self.records.encode(out);
         self.pending.encode(out);
         self.log.encode(out);
+        self.log_truncated.encode(out);
     }
     fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
         Ok(StoreState {
             records: Vec::decode(inp)?,
             pending: Vec::decode(inp)?,
             log: Vec::decode(inp)?,
+            log_truncated: u64::decode(inp)?,
         })
     }
 }
