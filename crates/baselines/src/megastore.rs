@@ -473,6 +473,7 @@ mod tests {
                 seed: 5,
                 service_time: SimDuration::ZERO,
                 service_ns_per_byte: 0,
+                ..WorldConfig::default()
             },
         );
         let replica_ids: Vec<NodeId> = (1..5u8)

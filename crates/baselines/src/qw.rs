@@ -254,6 +254,7 @@ mod tests {
                 seed: 1,
                 service_time: SimDuration::ZERO,
                 service_ns_per_byte: 0,
+                ..WorldConfig::default()
             },
         );
         let catalog = Arc::new(Catalog::new());

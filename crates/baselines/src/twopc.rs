@@ -368,6 +368,7 @@ mod tests {
                 seed: 3,
                 service_time: SimDuration::ZERO,
                 service_ns_per_byte: 0,
+                ..WorldConfig::default()
             },
         );
         let storage: Vec<NodeId> = (0..5u8)

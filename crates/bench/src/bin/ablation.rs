@@ -102,6 +102,60 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // Envelope coalescing: outbox on/off × Nagle flush window.
+    // ------------------------------------------------------------------
+    println!("# Ablation 4 — envelope coalescing (on/off x flush window)");
+    let windows_us: [Option<u64>; 6] = [
+        None,
+        Some(0),
+        Some(500),
+        Some(2_000),
+        Some(5_000),
+        Some(10_000),
+    ];
+    for window in windows_us {
+        let mut run_spec = spec.clone();
+        match window {
+            None => run_spec.protocol.coalesce = false,
+            Some(us) => {
+                run_spec.protocol.coalesce = true;
+                run_spec.protocol.coalesce_window = SimDuration::from_micros(us);
+            }
+        }
+        let cfg = MicroConfig {
+            items,
+            ..MicroConfig::default()
+        };
+        let mut factory = micro_factory(cfg, None);
+        let (report, _) = run_mdcc(
+            &run_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Full,
+        );
+        let label = match window {
+            None => "off".to_owned(),
+            Some(us) => format!("{us}us"),
+        };
+        let median = report.median_write_ms().unwrap_or(f64::NAN);
+        let commits = report.write_commits();
+        let mpc = report.msgs_per_commit().unwrap_or(f64::NAN);
+        let bpc = report.bytes_per_commit().unwrap_or(f64::NAN);
+        let n = report.net;
+        let proto_mpc = n.protocol.msgs as f64 / commits.max(1) as f64;
+        let factor = n.payload_msgs as f64 / n.msgs_sent.max(1) as f64;
+        println!(
+            "coalesce={label}: median={median:.0}ms commits={commits} \
+             msgs/commit={mpc:.1} (protocol {proto_mpc:.1}) bytes/commit={bpc:.0} \
+             coalesce-factor={factor:.2}x"
+        );
+        rows.push(format!(
+            "coalesce,{label},{median:.1},{mpc:.1},{proto_mpc:.1},{bpc:.0}"
+        ));
+    }
+
+    // ------------------------------------------------------------------
     // Serializability tax: the same buy workload with read guards.
     // ------------------------------------------------------------------
     println!("# Ablation 3 — read committed vs serializable (read guards)");

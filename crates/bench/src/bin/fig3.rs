@@ -20,6 +20,15 @@ use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 /// fails the smoke run while ordinary drift does not.
 const MDCC_QUICK_BYTES_PER_COMMIT_CEILING: f64 = 4_600.0;
 
+/// Companion guard on full-MDCC wire *frames* per committed transaction.
+/// With envelope coalescing (the default since PR 4) the quick run
+/// measures ~12.6 msgs/commit; the PR 3 per-message transport measured
+/// ~36. The ceiling sits well above the coalesced figure and far below
+/// the uncoalesced one, so losing the outbox (or a regression that
+/// re-inflates fan-out) fails the smoke run while ordinary drift does
+/// not.
+const MDCC_QUICK_MSGS_PER_COMMIT_CEILING: f64 = 16.0;
+
 fn summarize(label: &str, report: &Report) -> String {
     format!(
         "{label}: median={:.0}ms p90={:.0}ms p99={:.0}ms commits={} aborts={} tps={:.0}\n#   {}",
@@ -73,6 +82,18 @@ fn main() {
             }
             println!(
                 "# bytes/commit guard: {bpc:.0} <= ceiling {MDCC_QUICK_BYTES_PER_COMMIT_CEILING:.0}"
+            );
+            let mpc = report.msgs_per_commit().unwrap_or(f64::INFINITY);
+            if mpc > MDCC_QUICK_MSGS_PER_COMMIT_CEILING {
+                eprintln!(
+                    "REGRESSION: full-MDCC msgs/commit {mpc:.1} exceeds the checked-in \
+                     ceiling {MDCC_QUICK_MSGS_PER_COMMIT_CEILING:.1} — envelope \
+                     coalescing lost or fan-out re-inflated?"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "# msgs/commit guard: {mpc:.1} <= ceiling {MDCC_QUICK_MSGS_PER_COMMIT_CEILING:.1}"
             );
         }
     }

@@ -56,6 +56,24 @@ fn main() {
     }
 
     {
+        // The envelope-coalescing baseline: full MDCC on per-message
+        // frames (ProtocolConfig::coalesce = false), the PR 3 transport.
+        // The msgs/commit gap against "MDCC" above is the outbox win.
+        let mut uncoalesced_spec = spec.clone();
+        uncoalesced_spec.protocol.coalesce = false;
+        let mut factory = micro_factory(base.clone(), None);
+        let (report, _) = run_mdcc(
+            &uncoalesced_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Full,
+        );
+        println!("{}", summarize("MDCC (no coalesce)", &report));
+        rows.extend(cdf_rows("MDCC-nocoalesce", &report.write_cdf(200)));
+    }
+
+    {
         let mut factory = micro_factory(base, None);
         let report = run_tpc(&spec, catalog, &data, &mut factory);
         println!("{}", summarize("2PC", &report));

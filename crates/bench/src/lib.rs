@@ -163,19 +163,26 @@ pub fn all_in_us_west(spec: &mut ClusterSpec) {
 }
 
 /// One-line bytes-on-wire summary of a run: total by traffic class plus
-/// wire cost per committed transaction.
+/// wire cost per committed transaction — bytes *and* frames (the
+/// per-message service floor makes frames/commit the queueing
+/// figure-of-merit envelope coalescing optimizes).
 pub fn net_summary(report: &mdcc_cluster::Report) -> String {
     const MB: f64 = 1_000_000.0;
     let n = report.net;
+    let commits = report.committed_count().max(1);
     format!(
         "wire: {:.2} MB (protocol {:.2} / read {:.2} / sync {:.2} / repair {:.2}), \
-         {:.0} bytes/commit, {} repair rounds",
+         {:.0} bytes/commit, {:.1} msgs/commit ({:.1} protocol; {:.2}x coalesced), \
+         {} repair rounds",
         n.bytes_sent as f64 / MB,
         n.protocol.bytes as f64 / MB,
         n.read.bytes as f64 / MB,
         n.sync.bytes as f64 / MB,
         n.repair.bytes as f64 / MB,
         report.bytes_per_commit().unwrap_or(f64::NAN),
+        report.msgs_per_commit().unwrap_or(f64::NAN),
+        n.protocol.msgs as f64 / commits as f64,
+        n.payload_msgs as f64 / n.msgs_sent.max(1) as f64,
         n.repair.msgs / 2,
     )
 }

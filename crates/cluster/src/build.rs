@@ -278,6 +278,8 @@ pub fn run_mdcc(
             seed: spec.seed,
             service_time: spec.service_time,
             service_ns_per_byte: spec.service_ns_per_byte,
+            coalesce: spec.protocol.coalesce,
+            coalesce_window: spec.protocol.coalesce_window,
         },
     );
     let matrix = storage_matrix(spec);
@@ -537,6 +539,8 @@ pub fn run_qw(
             seed: spec.seed,
             service_time: spec.service_time,
             service_ns_per_byte: spec.service_ns_per_byte,
+            coalesce: spec.protocol.coalesce,
+            coalesce_window: spec.protocol.coalesce_window,
         },
     );
     let matrix = storage_matrix(spec);
@@ -605,6 +609,8 @@ pub fn run_tpc(
             seed: spec.seed,
             service_time: spec.service_time,
             service_ns_per_byte: spec.service_ns_per_byte,
+            coalesce: spec.protocol.coalesce,
+            coalesce_window: spec.protocol.coalesce_window,
         },
     );
     let matrix = storage_matrix(spec);
@@ -670,6 +676,8 @@ pub fn run_megastore(
             seed: spec.seed,
             service_time: spec.service_time,
             service_ns_per_byte: spec.service_ns_per_byte,
+            coalesce: spec.protocol.coalesce,
+            coalesce_window: spec.protocol.coalesce_window,
         },
     );
     // Replicas for DCs 1..n spawn first (ids 0..n-1), master last — then

@@ -71,13 +71,19 @@ impl ClusterAudit {
 /// paper motivates (wide-area bytes are the scarce resource).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetReport {
-    /// Messages handed to the network.
+    /// Wire frames handed to the network. With envelope coalescing on
+    /// (`ProtocolConfig::coalesce`, the default) a batched envelope
+    /// counts once; `payload_msgs / msgs_sent` is the amortization
+    /// factor the outbox achieved.
     pub msgs_sent: u64,
+    /// Process-level messages carried by those frames (equals
+    /// `msgs_sent` when coalescing is off).
+    pub payload_msgs: u64,
     /// Wire bytes handed to the network.
     pub bytes_sent: u64,
-    /// Messages delivered to live processes.
+    /// Frames delivered to live processes.
     pub delivered: u64,
-    /// Messages lost (network loss, dead node, failed DC).
+    /// Frames lost (network loss, dead node, failed DC).
     pub dropped: u64,
     /// Commit-protocol traffic (proposals, votes, phases, visibility).
     pub protocol: TrafficTotals,
@@ -96,6 +102,7 @@ impl NetReport {
     pub fn from_world(stats: WorldStats) -> Self {
         Self {
             msgs_sent: stats.sent,
+            payload_msgs: stats.payload_msgs,
             bytes_sent: stats.bytes_sent,
             delivered: stats.delivered,
             dropped: stats.dropped,
@@ -183,15 +190,31 @@ impl Report {
         }
     }
 
+    /// Committed transactions of any kind inside the window — the
+    /// denominator of every per-commit wire figure.
+    pub fn committed_count(&self) -> usize {
+        self.records.iter().filter(|r| r.committed).count()
+    }
+
     /// Wire bytes spent per committed transaction (all classes), the
     /// figure-of-merit the byte-accurate transport enables. `None` when
     /// nothing committed.
     pub fn bytes_per_commit(&self) -> Option<f64> {
-        let commits = self.records.iter().filter(|r| r.committed).count();
-        if commits == 0 {
-            return None;
+        match self.committed_count() {
+            0 => None,
+            commits => Some(self.net.bytes_sent as f64 / commits as f64),
         }
-        Some(self.net.bytes_sent as f64 / commits as f64)
+    }
+
+    /// Wire frames spent per committed transaction (all classes) — the
+    /// figure-of-merit of envelope coalescing: every frame pays the
+    /// per-message service floor, so this is the count queueing theory
+    /// cares about. `None` when nothing committed.
+    pub fn msgs_per_commit(&self) -> Option<f64> {
+        match self.committed_count() {
+            0 => None,
+            commits => Some(self.net.msgs_sent as f64 / commits as f64),
+        }
     }
 
     /// Commits whose outcome was learned inside `[from, to)` — used to
@@ -239,7 +262,7 @@ impl Report {
         if secs == 0.0 {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.committed).count() as f64 / secs
+        self.committed_count() as f64 / secs
     }
 
     /// Median committed-write latency in ms (`None` when no writes
@@ -432,6 +455,21 @@ mod tests {
         assert!((series[0].1 - 200.0).abs() < 0.01);
         assert_eq!(series[1].2, 1);
         assert!((series[1].1 - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn per_commit_wire_figures() {
+        let mut r = report(vec![
+            rec(0, 10, true, true),
+            rec(0, 10, true, false),
+            rec(0, 10, false, true),
+        ]);
+        r.net.msgs_sent = 30;
+        r.net.bytes_sent = 600;
+        assert_eq!(r.msgs_per_commit(), Some(15.0));
+        assert_eq!(r.bytes_per_commit(), Some(300.0));
+        let nothing_committed = report(vec![rec(0, 10, false, true)]);
+        assert_eq!(nothing_committed.msgs_per_commit(), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use mdcc_cluster::{
     run_mdcc, run_qw, run_tpc, ClusterSpec, FaultEvent, FaultPlan, MdccMode, NetKind,
 };
 use mdcc_common::Row;
-use mdcc_common::{DcId, SimDuration, SimTime};
+use mdcc_common::{DcId, ProtocolConfig, SimDuration, SimTime};
 use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
 use mdcc_workloads::micro::{item_key, MicroConfig, MicroWorkload, MICRO_ITEMS, STOCK};
 use mdcc_workloads::Workload;
@@ -69,6 +69,14 @@ fn coordinator_death_spec(seed: u64, crash_at_ms: u64) -> ClusterSpec {
             at: SimDuration::from_millis(crash_at_ms),
             client: 0,
         }),
+        // The benign/blocking pair below is a razor on *where in the
+        // prepare cycle* the crash lands; the Nagle flush window would
+        // shift every cycle and blunt it. End-of-event flushing keeps
+        // this single-send-per-destination workload on legacy timing.
+        protocol: ProtocolConfig {
+            coalesce_window: SimDuration::ZERO,
+            ..ProtocolConfig::default()
+        },
         ..ClusterSpec::default()
     }
 }

@@ -55,6 +55,20 @@ pub struct ProtocolConfig {
     /// legacy full-cstruct votes (baseline for byte comparisons and
     /// equivalence testing).
     pub delta_votes: bool,
+    /// Coalesce same-destination, same-traffic-class sends into batched
+    /// envelope frames (`true`, the default): every sender's outbox is
+    /// flushed as one envelope per (destination, class) — one frame
+    /// header and one per-message service-time floor per envelope
+    /// instead of per message. `false` restores per-message frames,
+    /// byte-identical to the PR 3 transport (the equivalence baseline).
+    pub coalesce: bool,
+    /// Nagle-style flush delay for the coalescing outbox. Zero flushes
+    /// at the end of every event handling (messages produced by one
+    /// handler still batch); a positive window holds the outbox up to
+    /// this long so bursts *across* events coalesce too — the knob that
+    /// matters on hot nodes, where back-to-back handlings each fan out
+    /// to the same destinations.
+    pub coalesce_window: SimDuration,
 }
 
 impl Default for ProtocolConfig {
@@ -72,6 +86,8 @@ impl Default for ProtocolConfig {
             sync_batching: true,
             sync_chunk_keys: 32,
             delta_votes: true,
+            coalesce: true,
+            coalesce_window: SimDuration::from_micros(500),
         }
     }
 }

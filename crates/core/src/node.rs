@@ -113,8 +113,11 @@ pub struct StorageNodeProcess {
     /// every vote ships only the entry suffix the destination is
     /// missing. Volatile on purpose: losing the cursors after a crash
     /// just re-sends full votes, which receivers absorb by resetting
-    /// their shadows.
-    vote_cursors: HashMap<Key, HashMap<NodeId, mdcc_paxos::DeltaCursor>>,
+    /// their shadows. Bounded by evicting the least-recently-touched
+    /// half past [`VOTE_CURSORS_CAP`].
+    vote_cursors: HashMap<Key, CursorEntry>,
+    /// Monotone touch clock stamping [`CursorEntry::touched`].
+    vote_cursor_clock: u64,
     /// `stats.sync_adoptions` as of the previous sync sweep, plus the
     /// number of consecutive sweeps that adopted nothing — sweeping
     /// stops once a full peer rotation stays quiet (convergence).
@@ -129,10 +132,30 @@ pub struct StorageNodeProcess {
 /// worst re-allows one redirect per stale transaction).
 const REDIRECTED_FAST_CAP: usize = 4096;
 
-/// Bound on the per-record delta-cursor map; past the cap it resets,
-/// which at worst re-sends one full vote per (record, destination)
-/// pair.
+/// Bound on the per-record delta-cursor map. Past the cap the
+/// least-recently-touched half is evicted — records still voting keep
+/// their cursors, so one hot node crossing the cap no longer forces
+/// full-vote re-priming for every record at once (an evicted record
+/// re-sends at worst one full vote per destination).
 const VOTE_CURSORS_CAP: usize = 16384;
+
+/// One record's delta cursors plus its last-touch stamp (LRU eviction).
+#[derive(Debug, Default)]
+struct CursorEntry {
+    touched: u64,
+    by_dest: HashMap<NodeId, mdcc_paxos::DeltaCursor>,
+}
+
+/// Evicts the least-recently-touched half of a cursor map: entries at
+/// or below the median touch stamp go. Stamps are unique (a monotone
+/// clock), so this removes at least half deterministically regardless
+/// of map iteration order.
+fn evict_lru_half(cursors: &mut HashMap<Key, CursorEntry>) {
+    let mut stamps: Vec<u64> = cursors.values().map(|e| e.touched).collect();
+    stamps.sort_unstable();
+    let cutoff = stamps[stamps.len() / 2];
+    cursors.retain(|_, e| e.touched > cutoff);
+}
 
 /// Retries of a missed-commit peer pull (rotating target peers) before
 /// the node gives up and waits for the next instance close to repair
@@ -161,6 +184,7 @@ impl StorageNodeProcess {
             sync_cursor: 0,
             redirected_fast: HashSet::new(),
             vote_cursors: HashMap::new(),
+            vote_cursor_clock: 0,
             last_sync_adoptions: 0,
             sync_idle_rounds: 0,
             stats: NodeStats::default(),
@@ -424,7 +448,7 @@ impl StorageNodeProcess {
             return;
         }
         if self.vote_cursors.len() > VOTE_CURSORS_CAP {
-            self.vote_cursors.clear();
+            evict_lru_half(&mut self.vote_cursors);
         }
         let mut targets = vec![also];
         if let Some(rec) = self.store.record(key) {
@@ -437,7 +461,10 @@ impl StorageNodeProcess {
         // One digest (one cstruct serialization) covers every
         // destination's delta.
         let digest = vote.cstruct.digest();
-        let cursors = self.vote_cursors.entry(key.clone()).or_default();
+        self.vote_cursor_clock += 1;
+        let entry = self.vote_cursors.entry(key.clone()).or_default();
+        entry.touched = self.vote_cursor_clock;
+        let cursors = &mut entry.by_dest;
         for to in targets {
             match cursors.entry(to).or_default().position(&vote) {
                 Some(from_seq) => ctx.send(
@@ -1044,5 +1071,31 @@ impl Process<Msg> for StorageNodeProcess {
             }
             _ => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdcc_common::TableId;
+
+    #[test]
+    fn cursor_eviction_keeps_the_recently_touched_half() {
+        let mut cursors: HashMap<Key, CursorEntry> = HashMap::new();
+        for i in 0..101u64 {
+            cursors.insert(
+                Key::new(TableId(1), format!("k{i}")),
+                CursorEntry {
+                    touched: i + 1,
+                    by_dest: HashMap::new(),
+                },
+            );
+        }
+        evict_lru_half(&mut cursors);
+        assert_eq!(cursors.len(), 50, "at least half evicted");
+        // Exactly the most recently touched entries survive.
+        assert!(cursors.values().all(|e| e.touched > 51));
+        assert!(cursors.contains_key(&Key::new(TableId(1), "k100")));
+        assert!(!cursors.contains_key(&Key::new(TableId(1), "k0")));
     }
 }

@@ -75,6 +75,7 @@ fn multi_mode_contended() {
             seed: 1,
             service_time: SimDuration::from_micros(10),
             service_ns_per_byte: 0,
+            ..WorldConfig::default()
         },
     );
     let storage: Vec<NodeId> = (0..5).map(NodeId).collect();

@@ -99,6 +99,7 @@ fn build_cluster(seed: u64, master_policy: MasterPolicy) -> TestCluster {
             seed,
             service_time: SimDuration::from_micros(10),
             service_ns_per_byte: 0,
+            ..WorldConfig::default()
         },
     );
     // Storage node ids are assigned in spawn order: 0..5.

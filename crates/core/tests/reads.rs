@@ -91,6 +91,7 @@ fn build(consistency: ReadConsistency, read_delay: SimDuration) -> (World<Msg>, 
             seed: 5,
             service_time: SimDuration::from_micros(10),
             service_ns_per_byte: 0,
+            ..WorldConfig::default()
         },
     );
     let storage: Vec<NodeId> = (0..5).map(NodeId).collect();

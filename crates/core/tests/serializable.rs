@@ -72,6 +72,7 @@ fn build(seed: u64) -> Cluster {
             seed,
             service_time: SimDuration::from_micros(10),
             service_ns_per_byte: 0,
+            ..WorldConfig::default()
         },
     );
     let storage: Vec<NodeId> = (0..5).map(NodeId).collect();

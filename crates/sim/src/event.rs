@@ -22,6 +22,22 @@ pub enum EventKind<M> {
         /// deserialization cost.
         bytes: usize,
     },
+    /// Deliver a coalesced envelope of same-class messages from one
+    /// sender: the receiver pays one service-time floor (plus the
+    /// per-byte cost of the whole envelope) and then dispatches the
+    /// payloads in send order.
+    DeliverEnvelope {
+        /// Sender of every payload.
+        from: NodeId,
+        /// The coalesced payloads, oldest first.
+        msgs: Vec<M>,
+        /// Wire size of the whole envelope (frame header + per-message
+        /// length prefixes + payloads).
+        bytes: usize,
+    },
+    /// Flush `target`'s coalescing outbox (scheduled when a Nagle-style
+    /// `coalesce_window` holds sends past the end of their event).
+    FlushOutbox,
     /// Fire a timer previously set by `target` itself.
     Timer {
         /// Id returned by `set_timer`, checked against cancellations.
@@ -124,6 +140,11 @@ impl<M> EventQueue<M> {
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// Target of the earliest pending event.
+    pub fn peek_target(&self) -> Option<NodeId> {
+        self.heap.peek().map(|e| e.target)
     }
 
     /// Number of pending events.

@@ -1,7 +1,27 @@
 //! The world: clock, event queue, processes and failure injection.
+//!
+//! # Destination-coalesced envelopes
+//!
+//! With [`WorldConfig::coalesce`] on (the default), [`Ctx::send`] no
+//! longer hands each message straight to the network: sends accumulate
+//! in a per-(destination, traffic-class) outbox that the world flushes
+//! at the end of the event being handled — or, with a positive
+//! [`WorldConfig::coalesce_window`], after a Nagle-style delay so
+//! bursts across events coalesce too. Each flushed slot ships as one
+//! envelope wire frame: one frame header and one service-time floor
+//! per envelope instead of per message, with per-byte costs and
+//! per-class byte attribution preserved exactly (only same-class
+//! messages share an envelope). Slots flush in first-enqueue order and
+//! payloads dispatch in send order, so per-(src, dst, class) FIFO
+//! delivery holds whenever the jitter-free network would deliver FIFO.
+//! Messages of *different* classes to one destination ride different
+//! envelopes and may reorder relative to each other — the same
+//! reordering a jittered network already inflicts, which every
+//! protocol here must (and does) tolerate.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
+use mdcc_common::wire::envelope_wire_bytes;
 use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -29,6 +49,15 @@ pub struct WorldConfig {
     /// handling) puts a typical ~250-byte protocol message at the 50 µs
     /// the old flat model charged.
     pub service_ns_per_byte: u64,
+    /// Coalesce same-destination, same-class sends into envelope frames
+    /// (see the module docs). `false` restores the per-message transport
+    /// byte for byte — the equivalence baseline.
+    pub coalesce: bool,
+    /// How long the outbox may hold sends past the end of their event.
+    /// Zero (the default here) flushes at end-of-event-handling; the
+    /// cluster harness threads `ProtocolConfig::coalesce_window`
+    /// through for Nagle-style cross-event batching.
+    pub coalesce_window: SimDuration,
 }
 
 impl Default for WorldConfig {
@@ -37,6 +66,8 @@ impl Default for WorldConfig {
             seed: 0x4D44_4343, // "MDCC" in ASCII.
             service_time: SimDuration::from_micros(40),
             service_ns_per_byte: 40,
+            coalesce: true,
+            coalesce_window: SimDuration::ZERO,
         }
     }
 }
@@ -44,26 +75,33 @@ impl Default for WorldConfig {
 /// Per-traffic-class message/byte counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficTotals {
-    /// Messages handed to the network.
+    /// Wire frames handed to the network (envelopes count once).
     pub msgs: u64,
     /// Wire bytes handed to the network.
     pub bytes: u64,
+    /// Process-level messages carried by those frames; equals `msgs`
+    /// when coalescing is off, and `msgs / payloads` is the coalescing
+    /// (amortization) factor when it is on.
+    pub payloads: u64,
 }
 
 /// Counters the world maintains about itself.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorldStats {
-    /// Messages handed to the network.
+    /// Wire frames handed to the network (a coalesced envelope counts
+    /// once — it pays one frame header and one service floor).
     pub sent: u64,
-    /// Messages delivered to a live process.
+    /// Frames delivered to a live process.
     pub delivered: u64,
-    /// Messages lost (network loss, dead node, failed DC).
+    /// Frames lost (network loss, dead node, failed DC).
     pub dropped: u64,
     /// Timers that fired (excludes cancelled).
     pub timers_fired: u64,
     /// Wire bytes handed to the network.
     pub bytes_sent: u64,
-    /// Sent messages/bytes broken out by [`TrafficClass`] (indexed with
+    /// Process-level messages carried by all sent frames.
+    pub payload_msgs: u64,
+    /// Sent frames/bytes broken out by [`TrafficClass`] (indexed with
     /// [`TrafficClass::index`]).
     pub by_class: [TrafficTotals; TrafficClass::COUNT],
 }
@@ -95,11 +133,34 @@ pub struct World<M> {
     next_timer: u64,
     service_time: SimDuration,
     service_ns_per_byte: u64,
+    coalesce: bool,
+    coalesce_window: SimDuration,
+    /// Per-sender coalescing outboxes: slots in first-enqueue order,
+    /// one per (destination, traffic class). Only populated while
+    /// `coalesce` is on; cleared when the sender crashes (unsent
+    /// messages die with the process).
+    outbox: HashMap<u32, Vec<OutboxSlot<M>>>,
+    /// Senders with a `FlushOutbox` event already scheduled (window
+    /// mode only), mapped to its deadline: at most one pending flush
+    /// per sender, and a fired event only counts if its time matches —
+    /// a crash clears the entry, so a stale pre-crash flush event
+    /// cannot cut short the window of sends buffered after a revival.
+    flush_pending: HashMap<u32, SimTime>,
     /// FIFO occupancy of each directed DC-pair link: the earliest time a
     /// new transmission can start on `link_free_at[from][to]`.
     link_free_at: Vec<Vec<SimTime>>,
     stats: WorldStats,
     effects_scratch: Vec<Effect<M>>,
+}
+
+/// One pending envelope: same-destination, same-class messages awaiting
+/// flush, with the framed single-message size of each (captured at send
+/// time) for byte accounting.
+struct OutboxSlot<M> {
+    to: NodeId,
+    class: TrafficClass,
+    msgs: Vec<M>,
+    framed_sizes: Vec<usize>,
 }
 
 impl<M: 'static> World<M> {
@@ -122,6 +183,10 @@ impl<M: 'static> World<M> {
             next_timer: 0,
             service_time: config.service_time,
             service_ns_per_byte: config.service_ns_per_byte,
+            coalesce: config.coalesce,
+            coalesce_window: config.coalesce_window,
+            outbox: HashMap::new(),
+            flush_pending: HashMap::new(),
             link_free_at: vec![vec![SimTime::ZERO; dc_count]; dc_count],
             stats: WorldStats::default(),
             effects_scratch: Vec::new(),
@@ -178,9 +243,15 @@ impl<M: 'static> World<M> {
     }
 
     /// Marks a node crashed: inbound messages drop, timers are suppressed,
-    /// and the process is no longer invoked.
+    /// the process is no longer invoked, and whatever its coalescing
+    /// outbox still buffered dies unsent.
     pub fn crash_node(&mut self, node: NodeId) {
         self.alive[node.0 as usize] = false;
+        self.outbox.remove(&node.0);
+        // Orphan any scheduled flush: its deadline no longer matches
+        // the entry, so it fires as a no-op instead of prematurely
+        // flushing whatever a revived incarnation buffers later.
+        self.flush_pending.remove(&node.0);
     }
 
     /// Revives a crashed node (its state is whatever it was at crash time,
@@ -269,6 +340,7 @@ impl<M: 'static> World<M> {
                 self.now = ev.at;
                 if self.alive[idx] {
                     self.dispatch(target, DispatchKind::Start);
+                    self.flush_after_event(target);
                 }
             }
             EventKind::Timer {
@@ -285,6 +357,7 @@ impl<M: 'static> World<M> {
                 }
                 self.stats.timers_fired += 1;
                 self.dispatch(target, DispatchKind::Timer(msg));
+                self.flush_after_event(target);
             }
             EventKind::Deliver { from, msg, bytes } => {
                 if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
@@ -304,6 +377,43 @@ impl<M: 'static> World<M> {
                 self.busy_until[idx] = ev.at + self.service_cost(bytes);
                 self.stats.delivered += 1;
                 self.dispatch(target, DispatchKind::Message { from, msg });
+                self.flush_after_event(target);
+            }
+            EventKind::DeliverEnvelope { from, msgs, bytes } => {
+                if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
+                    self.now = ev.at;
+                    self.stats.dropped += 1;
+                    return true;
+                }
+                let busy = self.busy_until[idx];
+                if busy > ev.at {
+                    ev.at = busy;
+                    ev.kind = EventKind::DeliverEnvelope { from, msgs, bytes };
+                    self.queue.push_deferred(ev);
+                    return true;
+                }
+                self.now = ev.at;
+                // One service floor plus the per-byte cost of the whole
+                // envelope — the amortization coalescing buys.
+                self.busy_until[idx] = ev.at + self.service_cost(bytes);
+                self.stats.delivered += 1;
+                // Unpack before dispatch: payloads in send order, and
+                // everything the handlers send batches into the reply
+                // flush below.
+                for msg in msgs {
+                    self.dispatch(target, DispatchKind::Message { from, msg });
+                }
+                self.flush_after_event(target);
+            }
+            EventKind::FlushOutbox => {
+                self.now = ev.at;
+                // Only the currently scheduled flush counts; an event
+                // orphaned by a crash (which cleared the entry) must
+                // not flush a post-revival batch early.
+                if self.flush_pending.get(&target.0) == Some(&ev.at) {
+                    self.flush_pending.remove(&target.0);
+                    self.flush_outbox(target);
+                }
             }
         }
         true
@@ -331,6 +441,41 @@ impl<M: 'static> World<M> {
     /// [`World::run_until`] because closed-loop clients never go idle).
     pub fn run_to_quiescence(&mut self) {
         while self.step() {}
+    }
+
+    /// Drains the queue like [`World::run_to_quiescence`], but panics
+    /// after `max_steps` events instead of livelocking on a
+    /// self-perpetuating timer/message loop. The panic names the process
+    /// that handled the most events (the likely offender) and the next
+    /// pending event's target. Prefer this in tests: a buggy process
+    /// that re-arms itself forever turns into a diagnosable failure
+    /// instead of a hung run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_steps` events ran without reaching quiescence.
+    pub fn run_to_quiescence_bounded(&mut self, max_steps: u64) {
+        let mut steps = 0u64;
+        let mut handled: HashMap<u32, u64> = HashMap::new();
+        while let Some(next) = self.queue.peek_target() {
+            if steps >= max_steps {
+                let (&hottest, &count) = handled
+                    .iter()
+                    // Max count; ties break toward the smallest id so
+                    // the panic message is deterministic.
+                    .max_by_key(|(id, c)| (**c, std::cmp::Reverse(**id)))
+                    .expect("at least one event was handled");
+                panic!(
+                    "run_to_quiescence_bounded: no quiescence after {max_steps} steps; \
+                     process {} handled {count} of them (next event targets {})",
+                    NodeId(hottest),
+                    next
+                );
+            }
+            *handled.entry(next.0).or_default() += 1;
+            steps += 1;
+            self.step();
+        }
     }
 
     fn dispatch(&mut self, target: NodeId, kind: DispatchKind<M>) {
@@ -370,36 +515,32 @@ impl<M: 'static> World<M> {
                 bytes,
                 class,
             } => {
-                self.stats.sent += 1;
-                self.stats.bytes_sent += bytes as u64;
-                let totals = &mut self.stats.by_class[class.index()];
-                totals.msgs += 1;
-                totals.bytes += bytes as u64;
-                let from_dc = self.topology.dc_of(source);
-                let to_dc = self.topology.dc_of(to);
-                // Transmission: the message occupies the directed DC-pair
-                // link for `bytes / bandwidth`, FIFO behind whatever is
-                // already on it — a burst congests the link instead of
-                // teleporting. Lost messages occupy the link too: the
-                // sender transmits the bytes before the network eats them,
-                // so billed bytes and link congestion stay consistent.
-                let tx = self.net.transmission_delay(from_dc, to_dc, bytes);
-                let link = &mut self.link_free_at[from_dc.0 as usize][to_dc.0 as usize];
-                let start = (*link).max(self.now);
-                *link = start + tx;
-                match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
-                    Some(propagation) => {
-                        self.queue.push(
-                            start + tx + propagation,
+                if self.coalesce {
+                    // Coalescing transport: accumulate in the sender's
+                    // outbox; the flush at end-of-event (or after the
+                    // Nagle window) ships one envelope per slot.
+                    let slots = self.outbox.entry(source.0).or_default();
+                    match slots.iter_mut().find(|s| s.to == to && s.class == class) {
+                        Some(slot) => {
+                            slot.msgs.push(msg);
+                            slot.framed_sizes.push(bytes);
+                        }
+                        None => slots.push(OutboxSlot {
                             to,
-                            EventKind::Deliver {
-                                from: source,
-                                msg,
-                                bytes,
-                            },
-                        );
+                            class,
+                            msgs: vec![msg],
+                            framed_sizes: vec![bytes],
+                        }),
                     }
-                    None => self.stats.dropped += 1,
+                } else {
+                    // Legacy transport: one frame per message, pushed to
+                    // the network immediately (byte-identical baseline).
+                    let kind = EventKind::Deliver {
+                        from: source,
+                        msg,
+                        bytes,
+                    };
+                    self.push_to_network(source, to, bytes, class, 1, kind);
                 }
             }
             Effect::SetTimer { id, delay, msg } => {
@@ -416,6 +557,90 @@ impl<M: 'static> World<M> {
             }
             Effect::CancelTimer(id) => {
                 self.cancelled.insert(id);
+            }
+        }
+    }
+
+    /// Hands one wire frame (a bare message or an envelope carrying
+    /// `payloads` messages) to the network: accounts it, occupies the
+    /// directed DC-pair link FIFO for its transmission delay, and
+    /// schedules delivery (or drops it, per the loss model).
+    fn push_to_network(
+        &mut self,
+        source: NodeId,
+        to: NodeId,
+        bytes: usize,
+        class: TrafficClass,
+        payloads: u64,
+        kind: EventKind<M>,
+    ) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.stats.payload_msgs += payloads;
+        let totals = &mut self.stats.by_class[class.index()];
+        totals.msgs += 1;
+        totals.bytes += bytes as u64;
+        totals.payloads += payloads;
+        let from_dc = self.topology.dc_of(source);
+        let to_dc = self.topology.dc_of(to);
+        // Transmission: the frame occupies the directed DC-pair link
+        // for `bytes / bandwidth`, FIFO behind whatever is already on
+        // it — a burst congests the link instead of teleporting. Lost
+        // frames occupy the link too: the sender transmits the bytes
+        // before the network eats them, so billed bytes and link
+        // congestion stay consistent.
+        let tx = self.net.transmission_delay(from_dc, to_dc, bytes);
+        let link = &mut self.link_free_at[from_dc.0 as usize][to_dc.0 as usize];
+        let start = (*link).max(self.now);
+        *link = start + tx;
+        match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
+            Some(propagation) => self.queue.push(start + tx + propagation, to, kind),
+            None => self.stats.dropped += 1,
+        }
+    }
+
+    /// End-of-event hook of the coalescing transport: flush `src`'s
+    /// outbox now (window zero) or make sure a Nagle flush is scheduled.
+    fn flush_after_event(&mut self, src: NodeId) {
+        if !self.coalesce || self.outbox.get(&src.0).is_none_or(|s| s.is_empty()) {
+            return;
+        }
+        if self.coalesce_window == SimDuration::ZERO {
+            self.flush_outbox(src);
+        } else if !self.flush_pending.contains_key(&src.0) {
+            let deadline = self.now + self.coalesce_window;
+            self.flush_pending.insert(src.0, deadline);
+            self.queue.push(deadline, src, EventKind::FlushOutbox);
+        }
+    }
+
+    /// Ships every pending slot of `src`'s outbox, in first-enqueue
+    /// order: a single buffered message goes out as the same bare frame
+    /// the legacy transport would send; two or more ship as one
+    /// envelope (sized by [`envelope_wire_bytes`], matching the
+    /// `mdcc_common::wire::Envelope` codec byte for byte).
+    fn flush_outbox(&mut self, src: NodeId) {
+        let Some(slots) = self.outbox.remove(&src.0) else {
+            return;
+        };
+        for mut slot in slots {
+            if slot.msgs.len() == 1 {
+                let bytes = slot.framed_sizes[0];
+                let kind = EventKind::Deliver {
+                    from: src,
+                    msg: slot.msgs.pop().expect("one message"),
+                    bytes,
+                };
+                self.push_to_network(src, slot.to, bytes, slot.class, 1, kind);
+            } else {
+                let bytes = envelope_wire_bytes(slot.framed_sizes.iter().copied());
+                let count = slot.msgs.len() as u64;
+                let kind = EventKind::DeliverEnvelope {
+                    from: src,
+                    msgs: slot.msgs,
+                    bytes,
+                };
+                self.push_to_network(src, slot.to, bytes, slot.class, count, kind);
             }
         }
     }
@@ -461,6 +686,7 @@ mod tests {
                 seed,
                 service_time: SimDuration::ZERO,
                 service_ns_per_byte: 0,
+                ..WorldConfig::default()
             },
         );
         // Pre-assign ids: spawn order is deterministic.
@@ -484,7 +710,7 @@ mod tests {
     #[test]
     fn ping_pong_measures_one_way_latency() {
         let (mut w, _a, b) = two_node_world(1);
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         let pb: &Pinger = w.get(b).unwrap();
         // Both pingers initiate at t=0; each hop takes 50 ms one-way, so b
         // receives message k at (k+1)*50 ms.
@@ -498,8 +724,8 @@ mod tests {
     fn same_seed_same_execution() {
         let (mut w1, a1, _) = two_node_world(99);
         let (mut w2, a2, _) = two_node_world(99);
-        w1.run_to_quiescence();
-        w2.run_to_quiescence();
+        w1.run_to_quiescence_bounded(100_000);
+        w2.run_to_quiescence_bounded(100_000);
         let l1 = &w1.get::<Pinger>(a1).unwrap().log;
         let l2 = &w2.get::<Pinger>(a2).unwrap().log;
         assert_eq!(l1, l2);
@@ -510,7 +736,7 @@ mod tests {
     fn crashed_node_receives_nothing() {
         let (mut w, a, b) = two_node_world(5);
         w.crash_node(b);
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         // b was crashed before starting: it neither sends nor receives,
         // and a's initial ping to it is dropped.
         assert!(w.get::<Pinger>(b).unwrap().log.is_empty());
@@ -522,7 +748,7 @@ mod tests {
     fn failed_dc_drops_inbound_only() {
         let (mut w, a, b) = two_node_world(5);
         w.fail_dc(DcId(1));
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         // b never hears a's ping; a still received b's initial ping (sent
         // from inside the failed DC, which the paper's fault model allows).
         assert!(w.get::<Pinger>(b).unwrap().log.is_empty());
@@ -559,11 +785,15 @@ mod tests {
                 seed: 0,
                 service_time: SimDuration::from_millis(2),
                 service_ns_per_byte: 0,
+                // Per-message service accounting is what this test pins
+                // down; coalescing would batch the blast into one frame.
+                coalesce: false,
+                ..WorldConfig::default()
             },
         );
         let sink = w.spawn(DcId(0), Box::new(Sink { handled: vec![] }));
         let _ = w.spawn(DcId(0), Box::new(Blast { target: sink }));
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         let times: Vec<u64> = w
             .get::<Sink>(sink)
             .unwrap()
@@ -622,6 +852,10 @@ mod tests {
                 seed: 1,
                 service_time: SimDuration::ZERO,
                 service_ns_per_byte: 0,
+                // These tests measure per-message transmission and link
+                // queueing; the coalescing tests below cover envelopes.
+                coalesce: false,
+                ..WorldConfig::default()
             },
         );
         let sink = w.spawn(DcId(1), Box::new(BlobSink { arrived: vec![] }));
@@ -638,7 +872,7 @@ mod tests {
     #[test]
     fn transmission_delay_adds_to_propagation() {
         let (mut w, sink) = blob_world(vec![100_000]);
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         // 100 KB at 1 MB/s = 100 ms transmission + 50 ms propagation.
         let arrived = &w.get::<BlobSink>(sink).unwrap().arrived;
         assert_eq!(arrived.len(), 1);
@@ -650,7 +884,7 @@ mod tests {
         // Three 100 KB messages sent at t=0 share one 1 MB/s link: they
         // serialize at 100 ms apiece instead of teleporting in parallel.
         let (mut w, sink) = blob_world(vec![100_000, 100_000, 100_000]);
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         let times: Vec<u64> = w
             .get::<BlobSink>(sink)
             .unwrap()
@@ -666,7 +900,7 @@ mod tests {
         // A 1-byte message sent right after a 500 KB one waits for the
         // link: the burst congests it.
         let (mut w, sink) = blob_world(vec![500_000, 1]);
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         let times: Vec<u64> = w
             .get::<BlobSink>(sink)
             .unwrap()
@@ -682,12 +916,17 @@ mod tests {
     fn byte_and_class_accounting() {
         use crate::process::TrafficClass;
         let (mut w, _) = blob_world(vec![100_000, 200]);
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         let stats = w.stats();
         assert_eq!(stats.sent, 2);
         assert_eq!(stats.bytes_sent, 100_200);
+        assert_eq!(
+            stats.payload_msgs, 2,
+            "frames == messages without coalescing"
+        );
         assert_eq!(stats.class(TrafficClass::Sync).msgs, 2);
         assert_eq!(stats.class(TrafficClass::Sync).bytes, 100_200);
+        assert_eq!(stats.class(TrafficClass::Sync).payloads, 2);
         assert_eq!(stats.class(TrafficClass::Protocol).msgs, 0);
     }
 
@@ -719,11 +958,13 @@ mod tests {
                 seed: 0,
                 service_time: SimDuration::from_millis(1),
                 service_ns_per_byte: 1_000, // 1 µs per byte
+                coalesce: false,
+                ..WorldConfig::default()
             },
         );
         let sink = w.spawn(DcId(0), Box::new(Sink { handled: vec![] }));
         let _ = w.spawn(DcId(0), Box::new(Blast { target: sink }));
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         let times: Vec<u64> = w
             .get::<Sink>(sink)
             .unwrap()
@@ -757,7 +998,7 @@ mod tests {
         let net = NetworkModel::uniform(1, 0.0, 1.0);
         let mut w = World::new(net, WorldConfig::default());
         let n = w.spawn(DcId(0), Box::new(T { fired: vec![] }));
-        w.run_to_quiescence();
+        w.run_to_quiescence_bounded(100_000);
         assert_eq!(w.get::<T>(n).unwrap().fired, vec![1, 3]);
         assert_eq!(w.stats().timers_fired, 2);
     }
@@ -859,5 +1100,235 @@ mod tests {
         let mut w: World<u32> = World::new(net, WorldConfig::default());
         w.run_until(SimTime::from_secs(5));
         assert_eq!(w.now(), SimTime::from_secs(5));
+    }
+
+    // -----------------------------------------------------------------
+    // Destination-coalesced envelopes.
+    // -----------------------------------------------------------------
+
+    /// Sends every blob in one handler, coalescing on.
+    fn coalesced_blob_world(sizes: Vec<usize>) -> (World<Blob>, NodeId) {
+        let net = NetworkModel::uniform(2, 100.0, 1.0)
+            .with_jitter(0.0)
+            .with_inter_dc_bandwidth(1_000_000.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 1,
+                service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
+                ..WorldConfig::default()
+            },
+        );
+        let sink = w.spawn(DcId(1), Box::new(BlobSink { arrived: vec![] }));
+        let _ = w.spawn(
+            DcId(0),
+            Box::new(BlobBlast {
+                target: sink,
+                sizes,
+            }),
+        );
+        (w, sink)
+    }
+
+    #[test]
+    fn same_event_sends_coalesce_into_one_envelope() {
+        let sizes = vec![100_000usize, 200, 5_000];
+        let (mut w, sink) = coalesced_blob_world(sizes.clone());
+        w.run_to_quiescence_bounded(100);
+        let stats = w.stats();
+        assert_eq!(stats.sent, 1, "three same-slot sends ship as one frame");
+        assert_eq!(stats.payload_msgs, 3);
+        assert_eq!(
+            stats.bytes_sent,
+            mdcc_common::wire::envelope_wire_bytes(sizes) as u64,
+            "the envelope is billed exactly what its codec encoding costs"
+        );
+        assert_eq!(stats.class(TrafficClass::Sync).msgs, 1);
+        assert_eq!(stats.class(TrafficClass::Sync).payloads, 3);
+        // All three payloads dispatched at the envelope's arrival.
+        let arrived = &w.get::<BlobSink>(sink).unwrap().arrived;
+        assert_eq!(arrived.len(), 3);
+        assert!(arrived.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn singleton_flush_is_byte_identical_to_legacy() {
+        let (mut w_on, _) = coalesced_blob_world(vec![100_000]);
+        let (mut w_off, _) = blob_world(vec![100_000]);
+        w_on.run_to_quiescence_bounded(100);
+        w_off.run_to_quiescence_bounded(100);
+        assert_eq!(
+            w_on.stats(),
+            w_off.stats(),
+            "a lone message never pays envelope overhead"
+        );
+    }
+
+    /// One u32 per timer tick — cross-event traffic for the Nagle tests.
+    struct Ticker10 {
+        target: NodeId,
+        sent: u32,
+    }
+    impl Process<u32> for Ticker10 {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: u32, _ctx: &mut Ctx<'_, u32>) {}
+        fn on_timer(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.target, self.sent);
+            self.sent += 1;
+            if self.sent < 10 {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+    }
+
+    struct SeqSink {
+        got: Vec<u32>,
+    }
+    impl Process<u32> for SeqSink {
+        fn on_message(&mut self, _f: NodeId, m: u32, _ctx: &mut Ctx<'_, u32>) {
+            self.got.push(m);
+        }
+    }
+
+    #[test]
+    fn nagle_window_batches_across_events_and_keeps_fifo_order() {
+        let net = NetworkModel::uniform(2, 100.0, 1.0).with_jitter(0.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 9,
+                service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
+                coalesce: true,
+                coalesce_window: SimDuration::from_millis(5),
+            },
+        );
+        let sink = w.spawn(DcId(1), Box::new(SeqSink { got: vec![] }));
+        let _ = w.spawn(
+            DcId(0),
+            Box::new(Ticker10 {
+                target: sink,
+                sent: 0,
+            }),
+        );
+        w.run_to_quiescence_bounded(1_000);
+        let stats = w.stats();
+        // Ten one-per-millisecond sends collapse into two 5-wide
+        // envelopes (the window re-opens when the first flush drains).
+        assert_eq!(stats.payload_msgs, 10);
+        assert_eq!(stats.sent, 2, "got {} frames", stats.sent);
+        assert_eq!(
+            w.get::<SeqSink>(sink).unwrap().got,
+            (0..10).collect::<Vec<_>>(),
+            "per-(src,dst) FIFO order survives coalescing"
+        );
+    }
+
+    #[test]
+    fn crashed_sender_outbox_dies_unsent() {
+        let net = NetworkModel::uniform(2, 100.0, 1.0).with_jitter(0.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 9,
+                service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
+                coalesce: true,
+                coalesce_window: SimDuration::from_millis(50),
+            },
+        );
+        let sink = w.spawn(DcId(1), Box::new(SeqSink { got: vec![] }));
+        let ticker = w.spawn(
+            DcId(0),
+            Box::new(Ticker10 {
+                target: sink,
+                sent: 0,
+            }),
+        );
+        // Let a few sends buffer, then kill the sender before its
+        // 50 ms flush fires: the outbox dies with the process.
+        w.run_until(SimTime::from_millis(3));
+        w.crash_node(ticker);
+        w.run_to_quiescence_bounded(1_000);
+        assert_eq!(w.stats().sent, 0, "buffered sends died with the sender");
+        assert!(w.get::<SeqSink>(sink).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn stale_flush_event_cannot_cut_a_revived_senders_window_short() {
+        // A crash orphans the scheduled flush; sends buffered after the
+        // revival must still get their full Nagle window, not ship at
+        // the dead incarnation's deadline.
+        struct LateSender {
+            sink: NodeId,
+        }
+        impl Process<u32> for LateSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.send(self.sink, 1); // buffered; flush due at 50 ms
+                ctx.set_timer(SimDuration::from_millis(40), 0);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u32, _ctx: &mut Ctx<'_, u32>) {}
+            fn on_timer(&mut self, _m: u32, ctx: &mut Ctx<'_, u32>) {
+                ctx.send(self.sink, 2); // post-revival batch
+            }
+        }
+        let net = NetworkModel::uniform(2, 100.0, 1.0).with_jitter(0.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed: 9,
+                service_time: SimDuration::ZERO,
+                service_ns_per_byte: 0,
+                coalesce: true,
+                coalesce_window: SimDuration::from_millis(50),
+            },
+        );
+        let sink = w.spawn(DcId(1), Box::new(SeqSink { got: vec![] }));
+        let sender = w.spawn(DcId(0), Box::new(LateSender { sink }));
+        // Crash right after the first send buffered (killing it and
+        // orphaning the 50 ms flush event), then revive: the timer at
+        // 40 ms still belongs to this incarnation and sends msg 2.
+        w.run_until(SimTime::from_millis(1));
+        w.crash_node(sender);
+        w.revive_node(sender);
+        w.run_to_quiescence_bounded(1_000);
+        let got = &w.get::<SeqSink>(sink).unwrap().got;
+        assert_eq!(got, &[2], "only the post-revival send ships");
+        // Flush at 40 + 50 = 90 ms, plus 50 ms propagation — not at the
+        // stale 50 ms deadline (which would arrive at 100 < 140 only if
+        // honored; equality of the full schedule pins it).
+        assert_eq!(w.now(), SimTime::from_millis(140));
+    }
+
+    /// Re-arms its own timer forever — the livelock shape
+    /// `run_to_quiescence_bounded` exists to diagnose.
+    struct Perpetual;
+    impl Process<u32> for Perpetual {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: u32, _ctx: &mut Ctx<'_, u32>) {}
+        fn on_timer(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no quiescence after 500 steps")]
+    fn bounded_quiescence_names_the_livelocked_process() {
+        let net = NetworkModel::uniform(1, 0.0, 1.0);
+        let mut w: World<u32> = World::new(net, WorldConfig::default());
+        let _ = w.spawn(DcId(0), Box::new(Perpetual));
+        w.run_to_quiescence_bounded(500);
+    }
+
+    #[test]
+    fn bounded_quiescence_passes_terminating_runs() {
+        let (mut w, a, _) = two_node_world(3);
+        w.run_to_quiescence_bounded(10_000);
+        assert_eq!(w.get::<Pinger>(a).unwrap().log.len(), 11);
     }
 }

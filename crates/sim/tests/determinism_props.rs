@@ -45,6 +45,7 @@ fn run(
     jitter: f64,
     drop: f64,
     service_us: u64,
+    coalesce_window_us: u64,
 ) -> Trace {
     let net = NetworkModel::uniform(dcs, rtt, 1.0)
         .with_jitter(jitter)
@@ -54,6 +55,7 @@ fn run(
         WorldConfig {
             seed,
             service_time: SimDuration::from_micros(service_us),
+            coalesce_window: SimDuration::from_micros(coalesce_window_us),
             ..WorldConfig::default()
         },
     );
@@ -87,9 +89,10 @@ proptest! {
         jitter in 0.0f64..0.3,
         drop in 0.0f64..0.2,
         service_us in 0u64..500,
+        coalesce_window_us in 0u64..5_000,
     ) {
-        let a = run(seed, dcs, nodes_per_dc, rtt, jitter, drop, service_us);
-        let b = run(seed, dcs, nodes_per_dc, rtt, jitter, drop, service_us);
+        let a = run(seed, dcs, nodes_per_dc, rtt, jitter, drop, service_us, coalesce_window_us);
+        let b = run(seed, dcs, nodes_per_dc, rtt, jitter, drop, service_us, coalesce_window_us);
         prop_assert_eq!(a.1, b.1, "world stats diverged");
         prop_assert_eq!(a.0, b.0, "message logs diverged");
     }
@@ -101,8 +104,8 @@ proptest! {
     ) {
         // With jitter on, two different seeds should essentially never
         // produce identical delivery timestamps.
-        let a = run(seed, 3, 2, rtt, 0.2, 0.0, 50);
-        let b = run(seed.wrapping_add(1), 3, 2, rtt, 0.2, 0.0, 50);
+        let a = run(seed, 3, 2, rtt, 0.2, 0.0, 50, 0);
+        let b = run(seed.wrapping_add(1), 3, 2, rtt, 0.2, 0.0, 50, 0);
         prop_assert_ne!(a.0, b.0);
     }
 }
