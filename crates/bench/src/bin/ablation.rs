@@ -11,7 +11,7 @@
 //!   versus full serializability (read guards, §4.4) on the same
 //!   workload.
 
-use mdcc_bench::{micro_catalog, micro_factory, micro_spec, save_csv, Scale};
+use mdcc_bench::{micro_catalog, micro_factory, micro_spec, perf_summary, save_csv, Scale};
 use mdcc_cluster::{run_mdcc, ClusterSpec, MdccMode, NetKind};
 use mdcc_common::{ProtocolConfig, SimDuration};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
@@ -50,6 +50,7 @@ fn main() {
             stats.collisions,
             stats.classic_redirects
         );
+        println!("#   {}", perf_summary(&report));
         rows.push(format!(
             "gamma,{gamma},{median:.1},{},{},{}",
             report.write_commits(),
@@ -95,6 +96,7 @@ fn main() {
             protocol.fast_quorum,
             report.write_commits()
         );
+        println!("#   {}", perf_summary(&report));
         rows.push(format!(
             "replication,{dcs},{median:.1},{},{}",
             protocol.classic_quorum, protocol.fast_quorum
@@ -150,6 +152,7 @@ fn main() {
              msgs/commit={mpc:.1} (protocol {proto_mpc:.1}) bytes/commit={bpc:.0} \
              coalesce-factor={factor:.2}x"
         );
+        println!("#   {}", perf_summary(&report));
         rows.push(format!(
             "coalesce,{label},{median:.1},{mpc:.1},{proto_mpc:.1},{bpc:.0}"
         ));
@@ -179,6 +182,7 @@ fn main() {
             report.write_aborts(),
             stats.fast_commits
         );
+        println!("#   {}", perf_summary(&report));
         rows.push(format!(
             "isolation,{label},{median:.1},{},{}",
             report.write_commits(),

@@ -6,8 +6,8 @@
 //! (100 clients, SF 10 000, 1 min warm-up + 2 min measurement).
 
 use mdcc_bench::{
-    all_in_us_west, cdf_rows, net_summary, save_csv, tpcw_catalog, tpcw_data, tpcw_factory,
-    tpcw_spec, Scale,
+    all_in_us_west, cdf_rows, export_trace, net_summary, perf_summary, print_anatomy,
+    print_profile, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, tpcw_spec, Scale,
 };
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 
@@ -39,11 +39,12 @@ fn summarize(label: &str, report: &Report) -> String {
         report.write_aborts(),
         report.throughput_tps(),
         net_summary(report),
-    )
+    ) + &format!("\n#   {}", perf_summary(report))
 }
 
 fn main() {
     let scale = Scale::from_args();
+    let (trace_cfg, trace_out) = mdcc_bench::trace_flags();
     let (spec, items) = tpcw_spec(scale, 1003);
     let catalog = tpcw_catalog();
     let data = tpcw_data(items, 7);
@@ -62,9 +63,29 @@ fn main() {
     }
 
     {
+        // The MDCC run is traced at quick (CI) scale by default and at
+        // any scale on `--trace` / `--trace-out=`; tracing is proven
+        // outcome-identical, so the guards below still bind.
+        let mut mdcc_spec = spec.clone();
+        mdcc_spec.trace = if trace_cfg.enabled || scale == Scale::Quick {
+            mdcc_trace::TraceConfig::on()
+        } else {
+            trace_cfg
+        };
         let mut factory = tpcw_factory(items, true);
-        let (report, stats) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
+        let (report, stats) = run_mdcc(
+            &mdcc_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Full,
+        );
         println!("{}", summarize("MDCC", &report));
+        print_anatomy("MDCC (TPC-W)", &report);
+        print_profile(&report, 5);
+        if let Some(path) = &trace_out {
+            export_trace(&report, path);
+        }
         println!(
             "# MDCC internals: fast_commits={} collisions={} redirects={} repair_pulls={}",
             stats.fast_commits, stats.collisions, stats.classic_redirects, stats.repair_pulls

@@ -7,7 +7,8 @@
 //! (low and flat).
 
 use mdcc_bench::{
-    all_in_us_west, net_summary, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, Scale,
+    all_in_us_west, net_summary, perf_summary, save_csv, tpcw_catalog, tpcw_data, tpcw_factory,
+    Scale,
 };
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, ClusterSpec, MdccMode};
 use mdcc_common::SimDuration;
@@ -40,7 +41,11 @@ fn main() {
             let report = run_qw(&spec, catalog.clone(), &data, &mut factory, k);
             let tps = report.throughput_tps();
             println!("QW-{k} clients={clients}: {tps:.0} tps");
-            println!("#   {}", net_summary(&report));
+            println!(
+                "#   {}\n#   {}",
+                net_summary(&report),
+                perf_summary(&report)
+            );
             rows.push(format!("QW-{k},{clients},{tps:.1}"));
         }
         {
@@ -48,7 +53,11 @@ fn main() {
             let (report, _) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, MdccMode::Full);
             let tps = report.throughput_tps();
             println!("MDCC clients={clients}: {tps:.0} tps");
-            println!("#   {}", net_summary(&report));
+            println!(
+                "#   {}\n#   {}",
+                net_summary(&report),
+                perf_summary(&report)
+            );
             rows.push(format!("MDCC,{clients},{tps:.1}"));
         }
         {
@@ -56,7 +65,11 @@ fn main() {
             let report = run_tpc(&spec, catalog.clone(), &data, &mut factory);
             let tps = report.throughput_tps();
             println!("2PC clients={clients}: {tps:.0} tps");
-            println!("#   {}", net_summary(&report));
+            println!(
+                "#   {}\n#   {}",
+                net_summary(&report),
+                perf_summary(&report)
+            );
             rows.push(format!("2PC,{clients},{tps:.1}"));
         }
         {
@@ -66,7 +79,11 @@ fn main() {
             let (report, _) = run_megastore(&mega_spec, catalog, &data, &mut factory);
             let tps = report.throughput_tps();
             println!("Megastore* clients={clients}: {tps:.0} tps");
-            println!("#   {}", net_summary(&report));
+            println!(
+                "#   {}\n#   {}",
+                net_summary(&report),
+                perf_summary(&report)
+            );
             rows.push(format!("Megastore*,{clients},{tps:.1}"));
         }
     }

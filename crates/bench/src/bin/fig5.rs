@@ -7,9 +7,12 @@
 //! 276, 388 and 543 ms.
 
 use mdcc_bench::{
-    cdf_rows, micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale,
+    cdf_rows, export_trace, micro_catalog, micro_factory, micro_spec, net_summary, perf_summary,
+    print_anatomy, print_profile, save_csv, Scale,
 };
 use mdcc_cluster::{run_mdcc, run_tpc, MdccMode, Report};
+use mdcc_common::SimDuration;
+use mdcc_trace::TraceConfig;
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
 fn summarize(label: &str, report: &Report) -> String {
@@ -20,11 +23,12 @@ fn summarize(label: &str, report: &Report) -> String {
         report.write_commits(),
         report.write_aborts(),
         net_summary(report),
-    )
+    ) + &format!("\n#   {}", perf_summary(report))
 }
 
 fn main() {
     let scale = Scale::from_args();
+    let (_, trace_out) = mdcc_bench::trace_flags();
     let (spec, items) = micro_spec(scale, 1005);
     let catalog = micro_catalog();
     let data = initial_items(items, 7);
@@ -71,6 +75,49 @@ fn main() {
         );
         println!("{}", summarize("MDCC (no coalesce)", &report));
         rows.extend(cdf_rows("MDCC-nocoalesce", &report.write_cdf(200)));
+    }
+
+    {
+        // Latency-anatomy runs: full MDCC and the Multi (all-classic)
+        // ablation, durable with a 1 ms fsync, fully traced — the fast
+        // path versus classic breakdown tabulated in EXPERIMENTS.md.
+        // Separate runs so the headline schedules above stay
+        // byte-identical to untraced builds.
+        let mut anatomy_spec = spec.clone();
+        anatomy_spec.durability = true;
+        anatomy_spec.wal_fsync = SimDuration::from_millis(1);
+        anatomy_spec.trace = TraceConfig {
+            profile: true,
+            ..TraceConfig::on()
+        };
+        let mut factory = micro_factory(base.clone(), None);
+        let (report, _) = run_mdcc(
+            &anatomy_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Full,
+        );
+        println!(
+            "{}",
+            summarize("MDCC (anatomy: durable, 1ms fsync)", &report)
+        );
+        print_anatomy("MDCC full (fast path)", &report);
+        print_profile(&report, 5);
+        let path = trace_out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results/fig5_mdcc_trace.json"));
+        export_trace(&report, &path);
+
+        let mut factory = micro_factory(base.clone(), None);
+        let (multi_report, _) = run_mdcc(
+            &anatomy_spec,
+            catalog.clone(),
+            &data,
+            &mut factory,
+            MdccMode::Multi,
+        );
+        print_anatomy("Multi (all classic)", &multi_report);
     }
 
     {

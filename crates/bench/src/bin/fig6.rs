@@ -8,7 +8,9 @@
 //! round trips), and at 2 % both fast-ballot designs do very poorly
 //! compared to Multi.
 
-use mdcc_bench::{micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale};
+use mdcc_bench::{
+    micro_catalog, micro_factory, micro_spec, net_summary, perf_summary, save_csv, Scale,
+};
 use mdcc_cluster::{run_mdcc, run_tpc, MdccMode};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
@@ -44,7 +46,11 @@ fn main() {
             let commits = report.write_commits();
             let aborts = report.write_aborts();
             println!("hotspot={hot_pct}% {label}: commits={commits} aborts={aborts}");
-            println!("#   {}", net_summary(&report));
+            println!(
+                "#   {}\n#   {}",
+                net_summary(&report),
+                perf_summary(&report)
+            );
             rows.push(format!("{hot_pct},{label},{commits},{aborts}"));
         }
     }

@@ -7,7 +7,9 @@
 //! maximum grow as masters get remote (queueing behind the record's
 //! serialized instances).
 
-use mdcc_bench::{micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale};
+use mdcc_bench::{
+    micro_catalog, micro_factory, micro_spec, net_summary, perf_summary, save_csv, Scale,
+};
 use mdcc_cluster::{run_mdcc, MdccMode};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
@@ -40,7 +42,11 @@ fn main() {
                 "locality={local_pct}% {label}: min={:.0} q1={:.0} med={:.0} q3={:.0} max={:.0}",
                 b.min, b.q1, b.median, b.q3, b.max
             );
-            println!("#   {}", net_summary(&report));
+            println!(
+                "#   {}\n#   {}",
+                net_summary(&report),
+                perf_summary(&report)
+            );
             rows.push(format!(
                 "{local_pct},{label},{:.1},{:.1},{:.1},{:.1},{:.1}",
                 b.min, b.q1, b.median, b.q3, b.max

@@ -8,7 +8,8 @@
 //! farther region.
 
 use mdcc_bench::{
-    all_in_us_west, micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale,
+    all_in_us_west, micro_catalog, micro_factory, micro_spec, net_summary, perf_summary, save_csv,
+    Scale,
 };
 use mdcc_cluster::{run_mdcc, MdccMode};
 use mdcc_common::{DcId, SimDuration};
@@ -61,6 +62,6 @@ fn main() {
         "commits before/after: {}/{} — availability preserved",
         before_n, after_n
     );
-    println!("# {}", net_summary(&report));
+    println!("# {}\n# {}", net_summary(&report), perf_summary(&report));
     save_csv("fig8_dc_failure", "t_secs,avg_latency_ms,commits", &rows);
 }

@@ -8,7 +8,9 @@
 //! Phase2b wire-cost optimization turns into a latency/throughput win,
 //! not just a byte count.
 
-use mdcc_bench::{micro_catalog, micro_factory, micro_spec, net_summary, save_csv, Scale};
+use mdcc_bench::{
+    micro_catalog, micro_factory, micro_spec, net_summary, perf_summary, save_csv, Scale,
+};
 use mdcc_cluster::{run_mdcc, MdccMode};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
@@ -58,9 +60,10 @@ fn main() {
             let bpc = report.bytes_per_commit().unwrap_or(f64::NAN);
             println!(
                 "{bw_label} {label}: median={median:.0}ms p90={p90:.0}ms commits={commits} \
-                 repair_pulls={}\n#   {}",
+                 repair_pulls={}\n#   {}\n#   {}",
                 stats.repair_pulls,
-                net_summary(&report)
+                net_summary(&report),
+                perf_summary(&report)
             );
             rows.push(format!(
                 "{label},{bw_label},{median:.1},{p90:.1},{commits},{bpc:.0},{},{}",

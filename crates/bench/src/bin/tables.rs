@@ -6,10 +6,10 @@
 //! Multi 388 ms, 2PC 543 ms.
 
 use mdcc_bench::{
-    all_in_us_west, micro_catalog, micro_factory, micro_spec, save_csv, tpcw_catalog, tpcw_data,
-    tpcw_factory, tpcw_spec, Scale,
+    all_in_us_west, micro_catalog, micro_factory, micro_spec, perf_summary, save_csv, tpcw_catalog,
+    tpcw_data, tpcw_factory, tpcw_spec, Scale,
 };
-use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode};
+use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
 
 fn main() {
@@ -25,52 +25,36 @@ fn main() {
     let (spec, items) = tpcw_spec(scale, 2001);
     let catalog = tpcw_catalog();
     let data = tpcw_data(items, 7);
-    let table = |name: &str, median: f64, paper: f64, rows: &mut Vec<String>| {
-        println!("{name:<22} {median:>12.0} {paper:>12.0}");
+    let table = |name: &str, report: &Report, paper: f64, rows: &mut Vec<String>| {
+        let median = report.median_write_ms().unwrap_or(f64::NAN);
+        println!(
+            "{name:<22} {median:>12.0} {paper:>12.0}   # {}",
+            perf_summary(report)
+        );
         rows.push(format!("{name},{median:.1},{paper}"));
     };
 
     for (k, paper) in [(3usize, 188.0), (4usize, 260.0)] {
         let mut f = tpcw_factory(items, true);
         let report = run_qw(&spec, catalog.clone(), &data, &mut f, k);
-        table(
-            &format!("tpcw/QW-{k}"),
-            report.median_write_ms().unwrap_or(f64::NAN),
-            paper,
-            &mut rows,
-        );
+        table(&format!("tpcw/QW-{k}"), &report, paper, &mut rows);
     }
     {
         let mut f = tpcw_factory(items, true);
         let (report, _) = run_mdcc(&spec, catalog.clone(), &data, &mut f, MdccMode::Full);
-        table(
-            "tpcw/MDCC",
-            report.median_write_ms().unwrap_or(f64::NAN),
-            278.0,
-            &mut rows,
-        );
+        table("tpcw/MDCC", &report, 278.0, &mut rows);
     }
     {
         let mut f = tpcw_factory(items, true);
         let report = run_tpc(&spec, catalog.clone(), &data, &mut f);
-        table(
-            "tpcw/2PC",
-            report.median_write_ms().unwrap_or(f64::NAN),
-            668.0,
-            &mut rows,
-        );
+        table("tpcw/2PC", &report, 668.0, &mut rows);
     }
     {
         let mut mega_spec = spec.clone();
         all_in_us_west(&mut mega_spec);
         let mut f = tpcw_factory(items, true);
         let (report, _) = run_megastore(&mega_spec, catalog, &data, &mut f);
-        table(
-            "tpcw/Megastore*",
-            report.median_write_ms().unwrap_or(f64::NAN),
-            17_810.0,
-            &mut rows,
-        );
+        table("tpcw/Megastore*", &report, 17_810.0, &mut rows);
     }
 
     // ---------------- Micro ----------------
@@ -90,12 +74,7 @@ fn main() {
         };
         let mut f = micro_factory(cfg, None);
         let (report, _) = run_mdcc(&spec, catalog.clone(), &data, &mut f, mode);
-        table(
-            name,
-            report.median_write_ms().unwrap_or(f64::NAN),
-            paper,
-            &mut rows,
-        );
+        table(name, &report, paper, &mut rows);
     }
     {
         let cfg = MicroConfig {
@@ -104,12 +83,7 @@ fn main() {
         };
         let mut f = micro_factory(cfg, None);
         let report = run_tpc(&spec, catalog, &data, &mut f);
-        table(
-            "micro/2PC",
-            report.median_write_ms().unwrap_or(f64::NAN),
-            543.0,
-            &mut rows,
-        );
+        table("micro/2PC", &report, 543.0, &mut rows);
     }
 
     save_csv("tables_medians", "configuration,median_ms,paper_ms", &rows);

@@ -9,12 +9,13 @@
 
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use mdcc_cluster::{ClientPlacement, ClusterSpec};
+use mdcc_cluster::{ClientPlacement, ClusterSpec, Report};
 use mdcc_common::{DcId, Key, Row, SimDuration, StaticPlacement};
 use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
+use mdcc_trace::TraceConfig;
 use mdcc_workloads::micro::{self, MicroConfig, MicroWorkload};
 use mdcc_workloads::tpcw::{self, TpcwConfig, TpcwWorkload};
 use mdcc_workloads::Workload;
@@ -185,6 +186,99 @@ pub fn net_summary(report: &mdcc_cluster::Report) -> String {
         n.payload_msgs as f64 / n.msgs_sent.max(1) as f64,
         n.repair.msgs / 2,
     )
+}
+
+/// Parses the shared tracing flags from the process arguments:
+/// `--trace` turns span collection on for the driver's MDCC runs,
+/// `--trace-out=PATH` additionally names a Chrome-trace JSON export
+/// target (and implies `--trace`). Returns `(config, export path)`.
+pub fn trace_flags() -> (TraceConfig, Option<PathBuf>) {
+    let mut out = None;
+    let mut on = false;
+    for arg in std::env::args() {
+        if arg == "--trace" {
+            on = true;
+        } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+            out = Some(PathBuf::from(v));
+            on = true;
+        }
+    }
+    let cfg = if on {
+        TraceConfig::on()
+    } else {
+        TraceConfig::off()
+    };
+    (cfg, out)
+}
+
+/// One-line host-cost summary of a run: wall-clock runtime and event
+/// rate — printed by every driver so harness-level perf regressions
+/// show up in the logs, not just sim-time results.
+pub fn perf_summary(report: &Report) -> String {
+    let p = report.perf;
+    format!(
+        "host: {:.2}s wall, {} events, {:.0} events/sec",
+        p.wall.as_secs_f64(),
+        p.events,
+        p.events_per_sec()
+    )
+}
+
+/// Prints the per-phase latency anatomy of a traced run; quiet for
+/// untraced reports (every driver calls this unconditionally).
+pub fn print_anatomy(label: &str, report: &Report) {
+    if let Some(anatomy) = report.anatomy() {
+        println!("# {label} — latency anatomy (sim-time, per phase):");
+        print!("{anatomy}");
+    }
+}
+
+/// Prints the hottest `top` nodes of the event-loop profile: events
+/// handled, sim busy time and (when `TraceConfig::profile` was set)
+/// host wall time per node.
+pub fn print_profile(report: &Report, top: usize) {
+    if report.profile.is_empty() {
+        return;
+    }
+    println!(
+        "# event-loop profile — top {} of {} nodes by sim busy time:",
+        top.min(report.profile.len()),
+        report.profile.len()
+    );
+    println!(
+        "#   {:<6} {:>10} {:>14} {:>12}",
+        "node", "events", "sim busy ms", "host ms"
+    );
+    for entry in report.profile.iter().take(top) {
+        println!(
+            "#   {:<6} {:>10} {:>14.3} {:>12.3}",
+            entry.node.to_string(),
+            entry.events,
+            entry.sim_busy.as_millis_f64(),
+            entry.wall.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+/// Writes a traced run's Chrome-trace JSON (loadable in Perfetto /
+/// `chrome://tracing`) to `path` and echoes what it wrote.
+pub fn export_trace(report: &Report, path: &Path) {
+    let Some(trace) = &report.trace else {
+        eprintln!("# trace export requested but the run was not traced");
+        return;
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = fs::create_dir_all(dir);
+        }
+    }
+    fs::write(path, trace.to_chrome_json()).expect("write trace file");
+    println!(
+        "# wrote {} ({} spans, {} counter samples)",
+        path.display(),
+        trace.spans.len(),
+        trace.counters.len()
+    );
 }
 
 /// Writes rows as CSV under `results/` and echoes the path.

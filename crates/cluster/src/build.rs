@@ -13,11 +13,12 @@ use mdcc_common::{
 use mdcc_core::{StorageNodeProcess, TmConfig, TransactionManager, TxnStats};
 use mdcc_sim::{presets, NetworkModel, World, WorldConfig};
 use mdcc_storage::{Catalog, RecordStore};
+use mdcc_trace::{Phase, Span, TraceConfig, TraceHandle};
 use mdcc_workloads::Workload;
 
 use crate::clients::{MdccClient, MegastoreClient, QwClient, TpcClient};
 use crate::faults::{FaultEvent, FaultPlan};
-use crate::metrics::{ClusterAudit, NodeRecovery, Report, TxnRecord};
+use crate::metrics::{ClusterAudit, NodeRecovery, Report, RunPerf, TxnRecord};
 
 /// Which network model to deploy on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +105,15 @@ pub struct ClusterSpec {
     /// and checkpoint periodically. Required for `faults` that restart
     /// nodes; off by default because figure runs don't pay for it.
     pub durability: bool,
+    /// Simulated fsync latency charged to a node whenever one of its
+    /// handlers appended WAL bytes. Only meaningful with `durability`;
+    /// `ZERO` — the default — leaves the event schedule byte-identical
+    /// to runs predating the observability layer.
+    pub wal_fsync: SimDuration,
+    /// Deterministic tracing: causal spans, per-link gauges, event-loop
+    /// profiling. Off by default; a disabled tracer records nothing and
+    /// changes no outcome or wire byte.
+    pub trace: TraceConfig,
     /// Protocol parameters (quorums, timeouts, γ).
     pub protocol: ProtocolConfig,
 }
@@ -129,6 +139,8 @@ impl Default for ClusterSpec {
             fail_dcs: Vec::new(),
             faults: FaultPlan::new(),
             durability: false,
+            wal_fsync: SimDuration::ZERO,
+            trace: TraceConfig::off(),
             protocol: ProtocolConfig::default(),
         }
     }
@@ -272,6 +284,7 @@ pub fn run_mdcc(
     workload_factory: &mut WorkloadFactory<'_>,
     mode: MdccMode,
 ) -> (Report, TxnStats) {
+    let wall_start = std::time::Instant::now();
     let mut world: World<mdcc_core::Msg> = World::new(
         network(spec),
         WorldConfig {
@@ -280,8 +293,13 @@ pub fn run_mdcc(
             service_ns_per_byte: spec.service_ns_per_byte,
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
+            fsync_latency: spec.wal_fsync,
         },
     );
+    let tracer = TraceHandle::new(spec.trace);
+    if spec.trace.enabled {
+        world.set_tracer(tracer.clone());
+    }
     let matrix = storage_matrix(spec);
     let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
     let allow_fast = !matches!(mode, MdccMode::Multi);
@@ -296,6 +314,9 @@ pub fn run_mdcc(
             );
             if spec.durability {
                 node.enable_durability();
+            }
+            if spec.trace.enabled {
+                node.set_tracer(tracer.clone(), DcId(dc));
             }
             let id = world.spawn(DcId(dc), Box::new(node));
             assert_eq!(id, expected);
@@ -345,6 +366,9 @@ pub fn run_mdcc(
         if let Some(stop) = stop_issuing_at {
             client.stop_issuing_at(stop);
         }
+        if spec.trace.enabled {
+            client.set_tracer(tracer.clone());
+        }
         client_ids.push(world.spawn(dc, Box::new(client)));
     }
 
@@ -373,13 +397,29 @@ pub fn run_mdcc(
                     world.disk(node),
                 )
                 .expect("disk state parses: the simulated disk is never torn");
-                let proc_ = StorageNodeProcess::from_recovery(
+                let mut proc_ = StorageNodeProcess::from_recovery(
                     spec.protocol.clone(),
                     store,
                     placement.clone() as Arc<dyn Placement>,
                     allow_fast,
                     info,
                 );
+                if spec.trace.enabled {
+                    proc_.set_tracer(tracer.clone(), dc);
+                    // Replay is instantaneous in sim time; the span
+                    // still marks *when* the node recovered and what
+                    // run the replay belonged to.
+                    tracer.span(Span {
+                        node,
+                        dc,
+                        phase: Phase::WalReplay,
+                        start: world.now(),
+                        end: world.now(),
+                        txn: None,
+                        key: None,
+                        class: None,
+                    });
+                }
                 world.restart_node(node, Box::new(proc_));
                 recoveries.push(NodeRecovery {
                     node,
@@ -518,6 +558,14 @@ pub fn run_mdcc(
     report.recoveries = recoveries;
     report.audit = Some(audit);
     report.net = crate::metrics::NetReport::from_world(world.stats());
+    report.perf = RunPerf {
+        wall: wall_start.elapsed(),
+        events: world.stats().events_handled,
+    };
+    report.profile = world.profile();
+    if spec.trace.enabled {
+        report.trace = Some(tracer.take());
+    }
     (report, stats)
 }
 
@@ -533,6 +581,7 @@ pub fn run_qw(
     workload_factory: &mut WorkloadFactory<'_>,
     k: usize,
 ) -> Report {
+    let wall_start = std::time::Instant::now();
     let mut world: World<mdcc_baselines::qw::QwMsg> = World::new(
         network(spec),
         WorldConfig {
@@ -541,6 +590,7 @@ pub fn run_qw(
             service_ns_per_byte: spec.service_ns_per_byte,
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
+            fsync_latency: spec.wal_fsync,
         },
     );
     let matrix = storage_matrix(spec);
@@ -589,6 +639,10 @@ pub fn run_qw(
     }
     let mut report = Report::new(records, spec.warmup, spec.duration);
     report.net = crate::metrics::NetReport::from_world(world.stats());
+    report.perf = RunPerf {
+        wall: wall_start.elapsed(),
+        events: world.stats().events_handled,
+    };
     report
 }
 
@@ -603,6 +657,7 @@ pub fn run_tpc(
     data: &[(Key, Row)],
     workload_factory: &mut WorkloadFactory<'_>,
 ) -> Report {
+    let wall_start = std::time::Instant::now();
     let mut world: World<mdcc_baselines::twopc::TpcMsg> = World::new(
         network(spec),
         WorldConfig {
@@ -611,6 +666,7 @@ pub fn run_tpc(
             service_ns_per_byte: spec.service_ns_per_byte,
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
+            fsync_latency: spec.wal_fsync,
         },
     );
     let matrix = storage_matrix(spec);
@@ -654,6 +710,10 @@ pub fn run_tpc(
     }
     let mut report = Report::new(records, spec.warmup, spec.duration);
     report.net = crate::metrics::NetReport::from_world(world.stats());
+    report.perf = RunPerf {
+        wall: wall_start.elapsed(),
+        events: world.stats().events_handled,
+    };
     report
 }
 
@@ -670,6 +730,7 @@ pub fn run_megastore(
     data: &[(Key, Row)],
     workload_factory: &mut WorkloadFactory<'_>,
 ) -> (Report, MegaStats) {
+    let wall_start = std::time::Instant::now();
     let mut world: World<mdcc_baselines::megastore::MegaMsg> = World::new(
         network(spec),
         WorldConfig {
@@ -678,6 +739,7 @@ pub fn run_megastore(
             service_ns_per_byte: spec.service_ns_per_byte,
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
+            fsync_latency: spec.wal_fsync,
         },
     );
     // Replicas for DCs 1..n spawn first (ids 0..n-1), master last — then
@@ -736,5 +798,9 @@ pub fn run_megastore(
     let stats = world.get::<MegaMaster>(master).expect("master").stats();
     let mut report = Report::new(records, spec.warmup, spec.duration);
     report.net = crate::metrics::NetReport::from_world(world.stats());
+    report.perf = RunPerf {
+        wall: wall_start.elapsed(),
+        events: world.stats().events_handled,
+    };
     (report, stats)
 }

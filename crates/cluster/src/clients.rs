@@ -15,6 +15,7 @@ use mdcc_common::{DcId, Key, NodeId, Placement, Row, SimTime, TxnId, Version};
 use mdcc_core::{Msg, ReadConsistency, TmEvent, TransactionManager, TxnStats};
 use mdcc_paxos::TxnOutcome;
 use mdcc_sim::{Ctx, Process};
+use mdcc_trace::TraceHandle;
 use mdcc_workloads::{Transaction, TxnAction, Workload};
 
 use crate::metrics::TxnRecord;
@@ -59,6 +60,12 @@ impl MdccClient {
     /// (in-flight ones still run to completion).
     pub fn stop_issuing_at(&mut self, stop: SimTime) {
         self.stop_at = Some(stop);
+    }
+
+    /// Attaches the run's trace collector (forwarded to the embedded
+    /// transaction manager, which owns the per-txn protocol spans).
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tm.set_tracer(tracer);
     }
 
     /// Aggregated TM counters.

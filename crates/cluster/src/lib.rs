@@ -18,4 +18,4 @@ pub use build::{
     run_mdcc, run_megastore, run_qw, run_tpc, ClientPlacement, ClusterSpec, MdccMode, NetKind,
 };
 pub use faults::{FaultEvent, FaultPlan};
-pub use metrics::{BoxStats, ClusterAudit, NetReport, NodeRecovery, Report, TxnRecord};
+pub use metrics::{BoxStats, ClusterAudit, NetReport, NodeRecovery, Report, RunPerf, TxnRecord};

@@ -1,9 +1,12 @@
 //! Transaction records and the statistics the paper's figures plot,
 //! plus the durability/recovery telemetry of fault-schedule runs.
 
+use std::time::Duration;
+
 use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
 use mdcc_recovery::RecoveryInfo;
-use mdcc_sim::{TrafficClass, TrafficTotals, WorldStats};
+use mdcc_sim::{ProfileEntry, TrafficClass, TrafficTotals, WorldStats};
+use mdcc_trace::{Anatomy, TraceData};
 
 /// One storage-node restart as observed by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +117,28 @@ impl NetReport {
     }
 }
 
+/// Host-side cost of one run: how much real time and how many event
+/// dispatches the experiment burned. Purely observational — simulated
+/// results never depend on these numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunPerf {
+    /// Wall-clock time the run took on the host.
+    pub wall: Duration,
+    /// Handler invocations the event loop dispatched.
+    pub events: u64,
+}
+
+impl RunPerf {
+    /// Simulator events processed per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
+    }
+}
+
 /// One finished transaction as seen by a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxnRecord {
@@ -170,6 +195,14 @@ pub struct Report {
     /// including warm-up and drain (the wire does not stop billing
     /// outside the measurement window).
     pub net: NetReport,
+    /// Harvested spans and link gauges when the run traced
+    /// ([`ClusterSpec::trace`]); `None` otherwise.
+    pub trace: Option<TraceData>,
+    /// Host wall-clock cost of the run (always collected; cheap).
+    pub perf: RunPerf,
+    /// Per-node event-loop profile, hottest node first (MDCC runs; the
+    /// wall column is zero unless `TraceConfig::profile` was set).
+    pub profile: Vec<ProfileEntry>,
 }
 
 impl Report {
@@ -187,7 +220,16 @@ impl Report {
             recoveries: Vec::new(),
             audit: None,
             net: NetReport::default(),
+            trace: None,
+            perf: RunPerf::default(),
+            profile: Vec::new(),
         }
+    }
+
+    /// Per-phase latency anatomy from the run's trace (`None` when the
+    /// run did not trace).
+    pub fn anatomy(&self) -> Option<Anatomy> {
+        self.trace.as_ref().map(|t| t.anatomy())
     }
 
     /// Committed transactions of any kind inside the window — the
@@ -348,9 +390,19 @@ impl Report {
 }
 
 /// Nearest-rank percentile of a pre-sorted slice.
+///
+/// `p` is a percentage and is clamped to `[0, 100]`: anything at or
+/// below zero (including NaN) returns the minimum, anything at or above
+/// 100 the maximum — so `p = 1.0` is the 1st percentile, never an
+/// out-of-range index.
 pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
-    if sorted.is_empty() {
-        return None;
+    let (first, last) = (*sorted.first()?, *sorted.last()?);
+    // `p.is_nan() || p <= 0.0` spelled to catch NaN in one comparison.
+    if p.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Some(first);
+    }
+    if p >= 100.0 {
+        return Some(last);
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
     Some(sorted[rank.min(sorted.len()) - 1])
@@ -479,5 +531,41 @@ mod tests {
         assert_eq!(percentile(&v, 75.0), Some(3.0));
         assert_eq!(percentile(&v, 1.0), Some(1.0));
         assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_empty_set() {
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[], 1.0), None);
+        assert_eq!(percentile(&[], 100.0), None);
+        assert_eq!(percentile(&[], f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_every_percentile() {
+        let one = [7.5];
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&one, p), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, -5.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 250.0), Some(4.0));
+        assert_eq!(percentile(&v, f64::NAN), Some(1.0));
+    }
+
+    #[test]
+    fn run_perf_rate() {
+        let perf = RunPerf {
+            wall: Duration::from_millis(500),
+            events: 1_000,
+        };
+        assert!((perf.events_per_sec() - 2_000.0).abs() < 1e-9);
+        assert_eq!(RunPerf::default().events_per_sec(), 0.0);
     }
 }

@@ -14,13 +14,14 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use mdcc_common::{Key, NodeId, ProtocolConfig, SimDuration, TxnId};
+use mdcc_common::{DcId, Key, NodeId, ProtocolConfig, SimDuration, TxnId};
 use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase2b};
 use mdcc_paxos::leader::{LeaderAction, LeaderConfig};
 use mdcc_paxos::{LeaderRecord, LearnOutcome, Learner, OptionStatus, TxnOutcome};
 use mdcc_recovery::{wal, write_checkpoint, RecoveryInfo, WalRecord};
 use mdcc_sim::{Ctx, Process};
 use mdcc_storage::RecordStore;
+use mdcc_trace::{Phase, TraceHandle};
 
 use crate::msg::Msg;
 use crate::placement::Placement;
@@ -124,6 +125,11 @@ pub struct StorageNodeProcess {
     last_sync_adoptions: u64,
     sync_idle_rounds: u32,
     stats: NodeStats,
+    /// Shared trace collector for leader-ballot and visibility spans.
+    tracer: Option<TraceHandle>,
+    /// This node's data center, for span attribution (set with the
+    /// tracer; protocol logic never reads it).
+    my_dc: DcId,
 }
 
 /// Bound on the fast-redirect memo: entries normally clear on
@@ -188,7 +194,16 @@ impl StorageNodeProcess {
             last_sync_adoptions: 0,
             sync_idle_rounds: 0,
             stats: NodeStats::default(),
+            tracer: None,
+            my_dc: DcId(0),
         }
+    }
+
+    /// Attaches the run's trace collector. `my_dc` is this node's data
+    /// center (spans carry it; the world is not reachable from here).
+    pub fn set_tracer(&mut self, tracer: TraceHandle, my_dc: DcId) {
+        self.tracer = Some(tracer);
+        self.my_dc = my_dc;
     }
 
     /// Creates a storage node whose store was rebuilt from its disk
@@ -368,6 +383,18 @@ impl StorageNodeProcess {
             match action {
                 LeaderAction::Phase1a(ballot) => {
                     self.stats.recoveries_led += 1;
+                    if let Some(tracer) = &self.tracer {
+                        // Ballot acquisition: closes when a Phase1b
+                        // quorum makes this node the record's leader.
+                        tracer.begin(
+                            ctx.self_id,
+                            self.my_dc,
+                            None,
+                            Some(key.clone()),
+                            Phase::Phase1,
+                            ctx.now,
+                        );
+                    }
                     for &r in &replicas {
                         ctx.send(
                             r,
@@ -379,6 +406,18 @@ impl StorageNodeProcess {
                     }
                 }
                 LeaderAction::Phase2a(payload) => {
+                    if let Some(tracer) = &self.tracer {
+                        // Classic instance round: closes when the local
+                        // acceptor observes the instance advance.
+                        tracer.begin(
+                            ctx.self_id,
+                            self.my_dc,
+                            None,
+                            Some(key.clone()),
+                            Phase::Phase2a,
+                            ctx.now,
+                        );
+                    }
                     for &r in &replicas {
                         ctx.send(
                             r,
@@ -494,6 +533,17 @@ impl StorageNodeProcess {
         if let Some(leader) = self.leaders.get_mut(key) {
             let actions = leader.on_advance(snapshot);
             self.run_leader_actions(key, actions, ctx);
+            if let Some(tracer) = &self.tracer {
+                // The acceptor advanced past the instance the 2a round
+                // targeted; a no-op if no phase2a span is open.
+                tracer.end(
+                    ctx.self_id,
+                    None,
+                    Some(key.clone()),
+                    Phase::Phase2a,
+                    ctx.now,
+                );
+            }
         }
     }
 
@@ -719,6 +769,16 @@ impl Process<Msg> for StorageNodeProcess {
                 if let Some(leader) = self.leaders.get_mut(&key) {
                     let actions = leader.on_phase1b(idx, payload);
                     self.run_leader_actions(&key, actions, ctx);
+                    let leading = self
+                        .leaders
+                        .get(&key)
+                        .map(|l| l.is_leading())
+                        .unwrap_or(false);
+                    if leading {
+                        if let Some(tracer) = &self.tracer {
+                            tracer.end(ctx.self_id, None, Some(key), Phase::Phase1, ctx.now);
+                        }
+                    }
                 }
             }
             Msg::P2a { key, payload } => {
@@ -809,6 +869,12 @@ impl Process<Msg> for StorageNodeProcess {
                 let advanced =
                     self.store
                         .apply_visibility(&key, txn, outcome, learned_accepted, ctx.now);
+                if let Some(tracer) = &self.tracer {
+                    // Stretch the coordinator's visibility span to this
+                    // replica's application time; the harvest closes it
+                    // at the last replica reached.
+                    tracer.extend(txn.coordinator, Some(txn), None, Phase::Visibility, ctx.now);
+                }
                 if advanced {
                     self.notify_leader_advance(&key, ctx);
                 }

@@ -26,6 +26,7 @@ use mdcc_paxos::{
 };
 use mdcc_sim::event::TimerId;
 use mdcc_sim::Ctx;
+use mdcc_trace::{Phase, TraceHandle};
 
 use crate::msg::Msg;
 use crate::placement::Placement;
@@ -149,6 +150,9 @@ pub struct TransactionManager {
     /// `CstructPull` repair round trip on the record's next delta vote.
     shadows: HashMap<Key, Vec<ShadowView>>,
     stats: TxnStats,
+    /// Shared trace collector; spans are recorded only when attached
+    /// (and enabled), so the default TM pays one `Option` test.
+    tracer: Option<TraceHandle>,
 }
 
 /// Records whose shadow views this TM retains before the map resets.
@@ -170,7 +174,14 @@ impl TransactionManager {
             classic_cache: HashMap::new(),
             shadows: HashMap::new(),
             stats: TxnStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches the run's trace collector; commit/phase2b/visibility
+    /// spans are recorded into it. Purely observational.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
     }
 
     /// Aggregate counters.
@@ -331,6 +342,28 @@ impl TransactionManager {
                 ),
             );
             options.insert(u.key.clone(), opt);
+        }
+        if let Some(tracer) = &self.tracer {
+            // One commit span per attempt, one phase2b span per option:
+            // proposal fan-out → the quorum that decides the record.
+            tracer.begin(
+                ctx.self_id,
+                self.cfg.my_dc,
+                Some(txn),
+                None,
+                Phase::Commit,
+                ctx.now,
+            );
+            for key in options.keys() {
+                tracer.begin(
+                    ctx.self_id,
+                    self.cfg.my_dc,
+                    Some(txn),
+                    Some(key.clone()),
+                    Phase::Phase2b,
+                    ctx.now,
+                );
+            }
         }
         for opt in options.values() {
             self.propose(opt.clone(), ctx);
@@ -667,6 +700,15 @@ impl TransactionManager {
         let Some(active) = self.active.get_mut(&txn) else {
             return Vec::new();
         };
+        if let Some(tracer) = &self.tracer {
+            tracer.end(
+                ctx.self_id,
+                Some(txn),
+                Some(key.clone()),
+                Phase::Phase2b,
+                ctx.now,
+            );
+        }
         active.decided.insert(key, status);
         if active.decided.len() < active.options.len() {
             return Vec::new();
@@ -687,6 +729,20 @@ impl TransactionManager {
             TxnOutcome::Aborted
         };
         let finished = ctx.now;
+        if let Some(tracer) = &self.tracer {
+            tracer.end(ctx.self_id, Some(txn), None, Phase::Commit, finished);
+            // The visibility span opens at the commit point; each replica
+            // that applies the outcome extends it (node layer), and the
+            // harvest closes it at the last application.
+            tracer.begin(
+                ctx.self_id,
+                self.cfg.my_dc,
+                Some(txn),
+                None,
+                Phase::Visibility,
+                finished,
+            );
+        }
         // Visibility fan-out is asynchronous: it happens after the commit
         // point and does not add to transaction latency.
         for key in active.options.keys() {

@@ -31,4 +31,4 @@ pub use event::TimerId;
 pub use net::{LinkSpec, NetworkModel, DEFAULT_INTER_DC_BANDWIDTH, DEFAULT_INTRA_DC_BANDWIDTH};
 pub use process::{Ctx, NetMessage, Process, TrafficClass};
 pub use topology::Topology;
-pub use world::{TrafficTotals, World, WorldConfig, WorldStats};
+pub use world::{ProfileEntry, TrafficTotals, World, WorldConfig, WorldStats};

@@ -20,9 +20,11 @@
 //! protocol here must (and does) tolerate.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
 use mdcc_common::wire::envelope_wire_bytes;
 use mdcc_common::{DcId, NodeId, SimDuration, SimTime};
+use mdcc_trace::{CounterSample, Phase, Span, TraceHandle};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -58,6 +60,11 @@ pub struct WorldConfig {
     /// cluster harness threads `ProtocolConfig::coalesce_window`
     /// through for Nagle-style cross-event batching.
     pub coalesce_window: SimDuration,
+    /// Synchronous-flush latency charged to a node whenever an event
+    /// handler appended WAL bytes: the node stays busy that much longer
+    /// (an fsync on the commit path). Zero — the default — charges
+    /// nothing, preserving the pre-fsync schedule exactly.
+    pub fsync_latency: SimDuration,
 }
 
 impl Default for WorldConfig {
@@ -68,6 +75,7 @@ impl Default for WorldConfig {
             service_ns_per_byte: 40,
             coalesce: true,
             coalesce_window: SimDuration::ZERO,
+            fsync_latency: SimDuration::ZERO,
         }
     }
 }
@@ -101,6 +109,9 @@ pub struct WorldStats {
     pub bytes_sent: u64,
     /// Process-level messages carried by all sent frames.
     pub payload_msgs: u64,
+    /// Handler invocations dispatched (start/timer/message); divided by
+    /// host wall time this is the engine's events/sec throughput.
+    pub events_handled: u64,
     /// Sent frames/bytes broken out by [`TrafficClass`] (indexed with
     /// [`TrafficClass::index`]).
     pub by_class: [TrafficTotals; TrafficClass::COUNT],
@@ -110,6 +121,42 @@ impl WorldStats {
     /// Totals for one traffic class.
     pub fn class(&self, class: TrafficClass) -> TrafficTotals {
         self.by_class[class.index()]
+    }
+}
+
+/// One node's event-loop profile: how much work its handlers did, in
+/// events, virtual busy time, and (when host profiling is on) host wall
+/// time. The direct input to "which processes to parallelize first".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// The node.
+    pub node: NodeId,
+    /// Its data center.
+    pub dc: DcId,
+    /// Handler invocations dispatched to it.
+    pub events: u64,
+    /// Virtual CPU time its handlers were charged (service + fsync).
+    pub sim_busy: SimDuration,
+    /// Host wall time spent inside its handlers; zero unless the run
+    /// profiled wall time (`TraceConfig::profile`).
+    pub wall: Duration,
+}
+
+/// Per-node accumulator behind [`ProfileEntry`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ProfileCell {
+    events: u64,
+    sim_busy: SimDuration,
+    wall: Duration,
+}
+
+/// Anatomy label for a traffic class (trace-span detail).
+fn class_label(class: TrafficClass) -> &'static str {
+    match class {
+        TrafficClass::Protocol => "protocol",
+        TrafficClass::Read => "read",
+        TrafficClass::Sync => "sync",
+        TrafficClass::Repair => "repair",
     }
 }
 
@@ -151,6 +198,20 @@ pub struct World<M> {
     link_free_at: Vec<Vec<SimTime>>,
     stats: WorldStats,
     effects_scratch: Vec<Effect<M>>,
+    /// Synchronous WAL flush cost charged on durable appends.
+    fsync_latency: SimDuration,
+    /// Shared trace collector, when the harness attached one.
+    tracer: Option<TraceHandle>,
+    /// Cached `tracer.enabled()` — tested on every event.
+    trace_on: bool,
+    /// Cached `tracer.profile()` — whether to time handlers on the host.
+    profile_wall: bool,
+    /// First-arrival times of deferred deliveries, keyed by event seq
+    /// (which survives deferral); populated only while tracing, so the
+    /// receive span can start when the frame reached the busy node.
+    arrivals: HashMap<u64, SimTime>,
+    /// Per-node event-loop profile accumulators.
+    profile: Vec<ProfileCell>,
 }
 
 /// One pending envelope: same-destination, same-class messages awaiting
@@ -190,7 +251,44 @@ impl<M: 'static> World<M> {
             link_free_at: vec![vec![SimTime::ZERO; dc_count]; dc_count],
             stats: WorldStats::default(),
             effects_scratch: Vec::new(),
+            fsync_latency: config.fsync_latency,
+            tracer: None,
+            trace_on: false,
+            profile_wall: false,
+            arrivals: HashMap::new(),
+            profile: Vec::new(),
         }
+    }
+
+    /// Attaches a trace collector; the transport and the fsync model
+    /// record spans into it from now on. Tracing is observational only —
+    /// it never consumes randomness or reschedules an event, so a traced
+    /// run's execution is identical to an untraced one.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.trace_on = tracer.enabled();
+        self.profile_wall = tracer.profile();
+        self.tracer = Some(tracer);
+    }
+
+    /// Per-node event-loop profile, hottest (by virtual busy time,
+    /// events as tie-break) first.
+    pub fn profile(&self) -> Vec<ProfileEntry> {
+        let mut entries: Vec<ProfileEntry> = self
+            .profile
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| ProfileEntry {
+                node: NodeId(i as u32),
+                dc: self.topology.dc_of(NodeId(i as u32)),
+                events: cell.events,
+                sim_busy: cell.sim_busy,
+                wall: cell.wall,
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            (b.sim_busy, b.events, a.node.0).cmp(&(a.sim_busy, a.events, b.node.0))
+        });
+        entries
     }
 
     /// CPU cost of handling one `bytes`-sized message: the fixed floor
@@ -212,6 +310,7 @@ impl<M: 'static> World<M> {
         self.alive.push(true);
         self.incarnations.push(0);
         self.disks.push(Disk::new());
+        self.profile.push(ProfileCell::default());
         self.queue.push(self.now, id, EventKind::Start);
         id
     }
@@ -363,19 +462,33 @@ impl<M: 'static> World<M> {
                 if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
                     self.now = ev.at;
                     self.stats.dropped += 1;
+                    if self.trace_on {
+                        self.arrivals.remove(&ev.seq);
+                    }
                     return true;
                 }
                 // Model per-message CPU cost: a busy node defers handling.
                 let busy = self.busy_until[idx];
                 if busy > ev.at {
+                    if self.trace_on {
+                        // Remember when the frame first reached the busy
+                        // node: the receive span starts there, not at
+                        // the deferred handling time.
+                        self.arrivals.entry(ev.seq).or_insert(ev.at);
+                    }
                     ev.at = busy;
                     ev.kind = EventKind::Deliver { from, msg, bytes };
                     self.queue.push_deferred(ev);
                     return true;
                 }
                 self.now = ev.at;
-                self.busy_until[idx] = ev.at + self.service_cost(bytes);
+                let cost = self.service_cost(bytes);
+                self.busy_until[idx] = ev.at + cost;
+                self.profile[idx].sim_busy += cost;
                 self.stats.delivered += 1;
+                if self.trace_on {
+                    self.record_service_span(ev.seq, target, ev.at, cost);
+                }
                 self.dispatch(target, DispatchKind::Message { from, msg });
                 self.flush_after_event(target);
             }
@@ -383,10 +496,16 @@ impl<M: 'static> World<M> {
                 if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
                     self.now = ev.at;
                     self.stats.dropped += 1;
+                    if self.trace_on {
+                        self.arrivals.remove(&ev.seq);
+                    }
                     return true;
                 }
                 let busy = self.busy_until[idx];
                 if busy > ev.at {
+                    if self.trace_on {
+                        self.arrivals.entry(ev.seq).or_insert(ev.at);
+                    }
                     ev.at = busy;
                     ev.kind = EventKind::DeliverEnvelope { from, msgs, bytes };
                     self.queue.push_deferred(ev);
@@ -395,8 +514,13 @@ impl<M: 'static> World<M> {
                 self.now = ev.at;
                 // One service floor plus the per-byte cost of the whole
                 // envelope — the amortization coalescing buys.
-                self.busy_until[idx] = ev.at + self.service_cost(bytes);
+                let cost = self.service_cost(bytes);
+                self.busy_until[idx] = ev.at + cost;
+                self.profile[idx].sim_busy += cost;
                 self.stats.delivered += 1;
+                if self.trace_on {
+                    self.record_service_span(ev.seq, target, ev.at, cost);
+                }
                 // Unpack before dispatch: payloads in send order, and
                 // everything the handlers send batches into the reply
                 // flush below.
@@ -478,12 +602,42 @@ impl<M: 'static> World<M> {
         }
     }
 
+    /// Records the receive span of a delivered frame: from first arrival
+    /// (the original delivery time if it was deferred at a busy node)
+    /// through the end of its service cost.
+    fn record_service_span(&mut self, seq: u64, target: NodeId, at: SimTime, cost: SimDuration) {
+        let arrived = self.arrivals.remove(&seq).unwrap_or(at);
+        if let Some(tracer) = &self.tracer {
+            tracer.span(Span {
+                node: target,
+                dc: self.topology.dc_of(target),
+                phase: Phase::NetService,
+                start: arrived,
+                end: at + cost,
+                txn: None,
+                key: None,
+                class: None,
+            });
+        }
+    }
+
     fn dispatch(&mut self, target: NodeId, kind: DispatchKind<M>) {
         let idx = target.0 as usize;
         // Take the process out so effects application can borrow `self`.
         let Some(mut proc_) = self.procs[idx].take() else {
             return;
         };
+        self.stats.events_handled += 1;
+        self.profile[idx].events += 1;
+        // Detect durable appends by WAL-byte delta: the disk is the one
+        // source of truth, so no handler needs an explicit fsync call.
+        let watch_wal = self.fsync_latency > SimDuration::ZERO || self.trace_on;
+        let wal_before = if watch_wal {
+            self.disks[idx].stats().wal_bytes_written
+        } else {
+            0
+        };
+        let wall_start = self.profile_wall.then(std::time::Instant::now);
         let mut effects = std::mem::take(&mut self.effects_scratch);
         {
             let mut ctx = Ctx::with_disk(
@@ -498,6 +652,33 @@ impl<M: 'static> World<M> {
                 DispatchKind::Start => proc_.on_start(&mut ctx),
                 DispatchKind::Timer(msg) => proc_.on_timer(msg, &mut ctx),
                 DispatchKind::Message { from, msg } => proc_.on_message(from, msg, &mut ctx),
+            }
+        }
+        if let Some(t0) = wall_start {
+            self.profile[idx].wall += t0.elapsed();
+        }
+        if watch_wal && self.disks[idx].stats().wal_bytes_written > wal_before {
+            // The handler appended WAL: charge the synchronous flush on
+            // top of whatever CPU cost the event already cost the node.
+            let start = self.busy_until[idx].max(self.now);
+            let end = start + self.fsync_latency;
+            if self.fsync_latency > SimDuration::ZERO {
+                self.busy_until[idx] = end;
+                self.profile[idx].sim_busy += self.fsync_latency;
+            }
+            if self.trace_on {
+                if let Some(tracer) = &self.tracer {
+                    tracer.span(Span {
+                        node: target,
+                        dc: self.topology.dc_of(target),
+                        phase: Phase::WalFsync,
+                        start,
+                        end,
+                        txn: None,
+                        key: None,
+                        class: None,
+                    });
+                }
             }
         }
         self.procs[idx] = Some(proc_);
@@ -593,6 +774,41 @@ impl<M: 'static> World<M> {
         let link = &mut self.link_free_at[from_dc.0 as usize][to_dc.0 as usize];
         let start = (*link).max(self.now);
         *link = start + tx;
+        if self.trace_on {
+            if let Some(tracer) = &self.tracer {
+                let label = class_label(class);
+                if start > self.now {
+                    // The frame waited for earlier traffic on the link.
+                    tracer.span(Span {
+                        node: source,
+                        dc: from_dc,
+                        phase: Phase::NetQueue,
+                        start: self.now,
+                        end: start,
+                        txn: None,
+                        key: None,
+                        class: Some(label),
+                    });
+                }
+                tracer.span(Span {
+                    node: source,
+                    dc: from_dc,
+                    phase: Phase::NetTransmit,
+                    start,
+                    end: start + tx,
+                    txn: None,
+                    key: None,
+                    class: Some(label),
+                });
+                tracer.counter(CounterSample {
+                    name: "link",
+                    from: from_dc,
+                    to: to_dc,
+                    at: self.now,
+                    backlog_us: ((start + tx) - self.now).as_micros(),
+                });
+            }
+        }
         match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
             Some(propagation) => self.queue.push(start + tx + propagation, to, kind),
             None => self.stats.dropped += 1,
@@ -1204,6 +1420,7 @@ mod tests {
                 service_ns_per_byte: 0,
                 coalesce: true,
                 coalesce_window: SimDuration::from_millis(5),
+                ..WorldConfig::default()
             },
         );
         let sink = w.spawn(DcId(1), Box::new(SeqSink { got: vec![] }));
@@ -1238,6 +1455,7 @@ mod tests {
                 service_ns_per_byte: 0,
                 coalesce: true,
                 coalesce_window: SimDuration::from_millis(50),
+                ..WorldConfig::default()
             },
         );
         let sink = w.spawn(DcId(1), Box::new(SeqSink { got: vec![] }));
@@ -1284,6 +1502,7 @@ mod tests {
                 service_ns_per_byte: 0,
                 coalesce: true,
                 coalesce_window: SimDuration::from_millis(50),
+                ..WorldConfig::default()
             },
         );
         let sink = w.spawn(DcId(1), Box::new(SeqSink { got: vec![] }));

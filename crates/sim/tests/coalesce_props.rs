@@ -78,6 +78,7 @@ fn run_schedule(
             service_ns_per_byte: 10,
             coalesce,
             coalesce_window: SimDuration::from_micros(window_us),
+            ..WorldConfig::default()
         },
     );
     let sink = w.spawn(DcId(1), Box::new(Sink { got: Vec::new() }));
