@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the allocation-purged hot paths: the
+//! delta-vote pipeline (cursor extraction on the sender, shadow fold on
+//! the receiver), cstruct digesting, and envelope flush encoding. These
+//! are the per-message costs the engine pays millions of times in a
+//! paper-scale run, so a stray allocation here dominates wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdcc_common::wire::{to_bytes, with_scratch_encoding, Envelope};
+use mdcc_common::{CommutativeUpdate, Key, NodeId, TableId, TxnId, UpdateOp, Version};
+use mdcc_paxos::acceptor::Phase2b;
+use mdcc_paxos::shadow::{DeltaCursor, FoldOutcome, ShadowView};
+use mdcc_paxos::{Ballot, CStruct, OptionStatus, TxnOption};
+
+fn key() -> Key {
+    Key::new(TableId(0), "bench")
+}
+
+fn comm_option(seq: u64) -> TxnOption {
+    TxnOption::solo(
+        TxnId::new(NodeId(0), seq),
+        key(),
+        UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+    )
+}
+
+fn vote_of(n: u64) -> Phase2b {
+    let mut c = CStruct::new();
+    for i in 0..n {
+        c.append(comm_option(i), OptionStatus::Accepted);
+    }
+    Phase2b {
+        ballot: Ballot::INITIAL_FAST,
+        version: Version(1),
+        cstruct: c,
+        epoch: 0,
+    }
+}
+
+/// The sender+receiver delta pipeline over one growing record: the
+/// acceptor's cstruct gains one option per vote, the cursor ships the
+/// one-entry tail, the shadow folds it and checks the digest. This is
+/// the steady-state Phase2b path of a hot commutative record.
+fn bench_delta_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta");
+    for size in [8u64, 32, 64] {
+        let votes: Vec<Phase2b> = (1..=size).map(vote_of).collect();
+        group.bench_with_input(BenchmarkId::new("extract_fold", size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut cursor = DeltaCursor::new();
+                let mut shadow = ShadowView::new();
+                let mut folded = 0u64;
+                for vote in &votes {
+                    match cursor.extract(std::hint::black_box(vote)) {
+                        None => shadow.observe_full(vote),
+                        Some(dv) => match shadow.fold(&dv) {
+                            FoldOutcome::Vote(_) => folded += 1,
+                            other => panic!("unexpected {other:?}"),
+                        },
+                    }
+                }
+                folded
+            });
+        });
+        // The digest is recomputed on every emitted vote and every fold;
+        // it runs on the thread-local scratch encoder, not a fresh Vec.
+        let full = vote_of(size);
+        group.bench_with_input(BenchmarkId::new("digest", size), &size, |bench, _| {
+            bench.iter(|| std::hint::black_box(&full.cstruct).digest());
+        });
+    }
+    group.finish();
+}
+
+/// Envelope flush encoding: the transport coalesces every payload bound
+/// for one destination into a single frame. Scratch encoding reuses one
+/// thread-local buffer per flush; the fresh-`to_bytes` row is the
+/// allocating baseline it replaced.
+fn bench_envelope_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope");
+    for batch in [1usize, 4, 16] {
+        let envelope = Envelope {
+            class: 2,
+            payloads: (0..batch).map(|i| vec![i as u8; 96]).collect(),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("encode_scratch", batch),
+            &batch,
+            |bench, _| {
+                bench.iter(|| with_scratch_encoding(std::hint::black_box(&envelope), |b| b.len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_fresh", batch),
+            &batch,
+            |bench, _| {
+                bench.iter(|| to_bytes(std::hint::black_box(&envelope)).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_pipeline, bench_envelope_flush);
+criterion_main!(benches);

@@ -11,7 +11,9 @@
 //!   versus full serializability (read guards, §4.4) on the same
 //!   workload.
 
-use mdcc_bench::{micro_catalog, micro_factory, micro_spec, perf_summary, save_csv, Scale};
+use mdcc_bench::{
+    micro_catalog, micro_factory, micro_spec, parallel_flag, perf_summary, save_csv, PerfLog, Scale,
+};
 use mdcc_cluster::{run_mdcc, ClusterSpec, MdccMode, NetKind};
 use mdcc_common::{ProtocolConfig, SimDuration};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
@@ -19,12 +21,14 @@ use mdcc_workloads::micro::{initial_items, MicroConfig};
 fn main() {
     let scale = Scale::from_args();
     let mut rows: Vec<String> = Vec::new();
+    let mut perf = PerfLog::new();
 
     // ------------------------------------------------------------------
     // γ sweep under a hot-spot workload (collisions happen).
     // ------------------------------------------------------------------
     println!("# Ablation 1 — γ (classic window after a collision)");
-    let (spec, items) = micro_spec(scale, 3001);
+    let (mut spec, items) = micro_spec(scale, 3001);
+    spec.parallel = parallel_flag();
     let catalog = micro_catalog();
     let data = initial_items(items, 7);
     for gamma in [5u64, 25, 100, 400] {
@@ -51,6 +55,7 @@ fn main() {
             stats.classic_redirects
         );
         println!("#   {}", perf_summary(&report));
+        perf.record(format!("gamma {gamma}"), &report);
         rows.push(format!(
             "gamma,{gamma},{median:.1},{},{},{}",
             report.write_commits(),
@@ -66,15 +71,17 @@ fn main() {
     for dcs in [3u8, 5, 7] {
         let protocol = ProtocolConfig::for_replication(dcs as usize);
         let d = scale.div();
+        let m = scale.mult();
         let run_spec = ClusterSpec {
             seed: 3002,
             dcs,
-            clients: (50 / d).max(4) as usize,
+            clients: (50 * m / d).max(4) as usize,
             shards_per_dc: 1,
             net: NetKind::Uniform { rtt_ms: 100.0 },
             warmup: SimDuration::from_secs(20 / d),
             duration: SimDuration::from_secs(60 / d),
             protocol: protocol.clone(),
+            parallel: parallel_flag(),
             ..ClusterSpec::default()
         };
         let cfg = MicroConfig {
@@ -97,6 +104,7 @@ fn main() {
             report.write_commits()
         );
         println!("#   {}", perf_summary(&report));
+        perf.record(format!("replication N{dcs}"), &report);
         rows.push(format!(
             "replication,{dcs},{median:.1},{},{}",
             protocol.classic_quorum, protocol.fast_quorum
@@ -153,6 +161,7 @@ fn main() {
              coalesce-factor={factor:.2}x"
         );
         println!("#   {}", perf_summary(&report));
+        perf.record(format!("coalesce {label}"), &report);
         rows.push(format!(
             "coalesce,{label},{median:.1},{mpc:.1},{proto_mpc:.1},{bpc:.0}"
         ));
@@ -183,6 +192,7 @@ fn main() {
             stats.fast_commits
         );
         println!("#   {}", perf_summary(&report));
+        perf.record(format!("isolation {label}"), &report);
         rows.push(format!(
             "isolation,{label},{median:.1},{},{}",
             report.write_commits(),
@@ -191,4 +201,5 @@ fn main() {
     }
 
     save_csv("ablations", "study,x,median_ms,a,b,c", &rows);
+    perf.save("ablation", scale);
 }

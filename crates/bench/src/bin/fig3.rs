@@ -6,8 +6,9 @@
 //! (100 clients, SF 10 000, 1 min warm-up + 2 min measurement).
 
 use mdcc_bench::{
-    all_in_us_west, cdf_rows, export_trace, net_summary, perf_summary, print_anatomy,
-    print_profile, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, tpcw_spec, Scale,
+    all_in_us_west, cdf_rows, export_trace, net_summary, parallel_flag, perf_summary,
+    print_anatomy, print_profile, save_csv, tpcw_catalog, tpcw_data, tpcw_factory, tpcw_spec,
+    PerfLog, Scale,
 };
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, MdccMode, Report};
 
@@ -45,10 +46,12 @@ fn summarize(label: &str, report: &Report) -> String {
 fn main() {
     let scale = Scale::from_args();
     let (trace_cfg, trace_out) = mdcc_bench::trace_flags();
-    let (spec, items) = tpcw_spec(scale, 1003);
+    let (mut spec, items) = tpcw_spec(scale, 1003);
+    spec.parallel = parallel_flag();
     let catalog = tpcw_catalog();
     let data = tpcw_data(items, 7);
     let mut rows: Vec<String> = Vec::new();
+    let mut perf = PerfLog::new();
     println!("# Figure 3 — TPC-W write transaction response times (CDF)");
     println!(
         "# paper medians: QW-3 188ms < QW-4 260ms < MDCC 278ms < 2PC 668ms << Megastore* 17810ms"
@@ -59,6 +62,7 @@ fn main() {
         let report = run_qw(&spec, catalog.clone(), &data, &mut factory, k);
         let label = format!("QW-{k}");
         println!("{}", summarize(&label, &report));
+        perf.record(&label, &report);
         rows.extend(cdf_rows(&label, &report.write_cdf(200)));
     }
 
@@ -81,6 +85,7 @@ fn main() {
             MdccMode::Full,
         );
         println!("{}", summarize("MDCC", &report));
+        perf.record("MDCC", &report);
         print_anatomy("MDCC (TPC-W)", &report);
         print_profile(&report, 5);
         if let Some(path) = &trace_out {
@@ -123,6 +128,7 @@ fn main() {
         let mut factory = tpcw_factory(items, true);
         let report = run_tpc(&spec, catalog.clone(), &data, &mut factory);
         println!("{}", summarize("2PC", &report));
+        perf.record("2PC", &report);
         rows.extend(cdf_rows("2PC", &report.write_cdf(200)));
     }
 
@@ -134,6 +140,7 @@ fn main() {
         let mut factory = tpcw_factory(items, true);
         let (report, stats) = run_megastore(&mega_spec, catalog, &data, &mut factory);
         println!("{}", summarize("Megastore*", &report));
+        perf.record("Megastore*", &report);
         println!(
             "# Megastore* internals: committed={} aborted={} max_queue={}",
             stats.committed, stats.aborted, stats.max_queue
@@ -142,4 +149,5 @@ fn main() {
     }
 
     save_csv("fig3_tpcw_cdf", "protocol,latency_ms,fraction", &rows);
+    perf.save("fig3", scale);
 }

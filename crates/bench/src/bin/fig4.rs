@@ -7,8 +7,8 @@
 //! (low and flat).
 
 use mdcc_bench::{
-    all_in_us_west, net_summary, perf_summary, save_csv, tpcw_catalog, tpcw_data, tpcw_factory,
-    Scale,
+    all_in_us_west, net_summary, parallel_flag, perf_summary, save_csv, tpcw_catalog, tpcw_data,
+    tpcw_factory, PerfLog, Scale,
 };
 use mdcc_cluster::{run_mdcc, run_megastore, run_qw, run_tpc, ClusterSpec, MdccMode};
 use mdcc_common::SimDuration;
@@ -16,21 +16,25 @@ use mdcc_common::SimDuration;
 fn main() {
     let scale = Scale::from_args();
     let d = scale.div();
+    let m = scale.mult();
+    let parallel = parallel_flag();
     let mut rows: Vec<String> = Vec::new();
+    let mut perf = PerfLog::new();
     println!("# Figure 4 — TPC-W transactions per second vs concurrent clients");
     for (clients, items, shards) in [
         (50u64, 5_000u64, 2usize),
         (100, 10_000, 4),
         (200, 20_000, 8),
     ] {
-        let clients = (clients / d).max(2) as usize;
-        let items = items / d;
+        let clients = (clients * m / d).max(2) as usize;
+        let items = items * m / d;
         let spec = ClusterSpec {
             seed: 1004 + clients as u64,
             clients,
             shards_per_dc: shards,
             warmup: SimDuration::from_secs(30 / d),
             duration: SimDuration::from_secs(90 / d),
+            parallel,
             ..ClusterSpec::default()
         };
         let catalog = tpcw_catalog();
@@ -46,6 +50,7 @@ fn main() {
                 net_summary(&report),
                 perf_summary(&report)
             );
+            perf.record(format!("QW-{k} c{clients}"), &report);
             rows.push(format!("QW-{k},{clients},{tps:.1}"));
         }
         {
@@ -58,6 +63,7 @@ fn main() {
                 net_summary(&report),
                 perf_summary(&report)
             );
+            perf.record(format!("MDCC c{clients}"), &report);
             rows.push(format!("MDCC,{clients},{tps:.1}"));
         }
         {
@@ -70,6 +76,7 @@ fn main() {
                 net_summary(&report),
                 perf_summary(&report)
             );
+            perf.record(format!("2PC c{clients}"), &report);
             rows.push(format!("2PC,{clients},{tps:.1}"));
         }
         {
@@ -84,8 +91,10 @@ fn main() {
                 net_summary(&report),
                 perf_summary(&report)
             );
+            perf.record(format!("Megastore* c{clients}"), &report);
             rows.push(format!("Megastore*,{clients},{tps:.1}"));
         }
     }
     save_csv("fig4_tpcw_scaling", "protocol,clients,tps", &rows);
+    perf.save("fig4", scale);
 }

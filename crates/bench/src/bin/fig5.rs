@@ -7,8 +7,8 @@
 //! 276, 388 and 543 ms.
 
 use mdcc_bench::{
-    cdf_rows, export_trace, micro_catalog, micro_factory, micro_spec, net_summary, perf_summary,
-    print_anatomy, print_profile, save_csv, Scale,
+    cdf_rows, export_trace, micro_catalog, micro_factory, micro_spec, net_summary, parallel_flag,
+    perf_summary, print_anatomy, print_profile, save_csv, PerfLog, Scale,
 };
 use mdcc_cluster::{run_mdcc, run_tpc, MdccMode, Report};
 use mdcc_common::SimDuration;
@@ -29,10 +29,12 @@ fn summarize(label: &str, report: &Report) -> String {
 fn main() {
     let scale = Scale::from_args();
     let (_, trace_out) = mdcc_bench::trace_flags();
-    let (spec, items) = micro_spec(scale, 1005);
+    let (mut spec, items) = micro_spec(scale, 1005);
+    spec.parallel = parallel_flag();
     let catalog = micro_catalog();
     let data = initial_items(items, 7);
     let mut rows: Vec<String> = Vec::new();
+    let mut perf = PerfLog::new();
     println!("# Figure 5 — micro-benchmark response-time CDFs");
     println!("# paper medians: MDCC 245ms < Fast 276ms < Multi 388ms < 2PC 543ms");
 
@@ -52,6 +54,7 @@ fn main() {
         let mut factory = micro_factory(cfg, None);
         let (report, stats) = run_mdcc(&spec, catalog.clone(), &data, &mut factory, mode);
         println!("{}", summarize(label, &report));
+        perf.record(label, &report);
         println!(
             "#   internals: fast_commits={} collisions={} redirects={} timeouts={}",
             stats.fast_commits, stats.collisions, stats.classic_redirects, stats.timeouts
@@ -74,6 +77,7 @@ fn main() {
             MdccMode::Full,
         );
         println!("{}", summarize("MDCC (no coalesce)", &report));
+        perf.record("MDCC-nocoalesce", &report);
         rows.extend(cdf_rows("MDCC-nocoalesce", &report.write_cdf(200)));
     }
 
@@ -124,8 +128,10 @@ fn main() {
         let mut factory = micro_factory(base, None);
         let report = run_tpc(&spec, catalog, &data, &mut factory);
         println!("{}", summarize("2PC", &report));
+        perf.record("2PC", &report);
         rows.extend(cdf_rows("2PC", &report.write_cdf(200)));
     }
 
     save_csv("fig5_micro_cdf", "config,latency_ms,fraction", &rows);
+    perf.save("fig5", scale);
 }

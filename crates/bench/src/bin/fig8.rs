@@ -8,8 +8,8 @@
 //! farther region.
 
 use mdcc_bench::{
-    all_in_us_west, micro_catalog, micro_factory, micro_spec, net_summary, perf_summary, save_csv,
-    Scale,
+    all_in_us_west, micro_catalog, micro_factory, micro_spec, net_summary, parallel_flag,
+    perf_summary, save_csv, PerfLog, Scale,
 };
 use mdcc_cluster::{run_mdcc, MdccMode};
 use mdcc_common::{DcId, SimDuration};
@@ -18,6 +18,7 @@ use mdcc_workloads::micro::{initial_items, MicroConfig};
 fn main() {
     let scale = Scale::from_args();
     let (mut spec, items) = micro_spec(scale, 1008);
+    spec.parallel = parallel_flag();
     all_in_us_west(&mut spec);
     // Measure from t=0 (short warm-up) so the pre-failure baseline is
     // long; the failure lands mid-window.
@@ -64,4 +65,7 @@ fn main() {
     );
     println!("# {}\n# {}", net_summary(&report), perf_summary(&report));
     save_csv("fig8_dc_failure", "t_secs,avg_latency_ms,commits", &rows);
+    let mut perf = PerfLog::new();
+    perf.record("MDCC outage", &report);
+    perf.save("fig8", scale);
 }

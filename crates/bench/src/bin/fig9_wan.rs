@@ -9,7 +9,8 @@
 //! not just a byte count.
 
 use mdcc_bench::{
-    micro_catalog, micro_factory, micro_spec, net_summary, perf_summary, save_csv, Scale,
+    micro_catalog, micro_factory, micro_spec, net_summary, parallel_flag, perf_summary, save_csv,
+    PerfLog, Scale,
 };
 use mdcc_cluster::{run_mdcc, MdccMode};
 use mdcc_workloads::micro::{initial_items, MicroConfig};
@@ -30,10 +31,12 @@ const BANDWIDTHS: [(&str, f64); 5] = [
 
 fn main() {
     let scale = Scale::from_args();
-    let (base_spec, items) = micro_spec(scale, 1009);
+    let (mut base_spec, items) = micro_spec(scale, 1009);
+    base_spec.parallel = parallel_flag();
     let catalog = micro_catalog();
     let data = initial_items(items, 7);
     let mut rows: Vec<String> = Vec::new();
+    let mut perf = PerfLog::new();
     println!("# Figure 9 — WAN bandwidth sweep: MDCC full/fast ± delta votes");
 
     let configs: [(&str, MdccMode, bool, bool); 4] = [
@@ -65,6 +68,7 @@ fn main() {
                 net_summary(&report),
                 perf_summary(&report)
             );
+            perf.record(format!("{label} {bw_label}"), &report);
             rows.push(format!(
                 "{label},{bw_label},{median:.1},{p90:.1},{commits},{bpc:.0},{},{}",
                 stats.repair_pulls,
@@ -77,4 +81,5 @@ fn main() {
         "config,bandwidth,median_ms,p90_ms,commits,bytes_per_commit,repair_pulls,repair_rounds",
         &rows,
     );
+    perf.save("fig9_wan", scale);
 }

@@ -12,7 +12,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use mdcc_cluster::{ClientPlacement, ClusterSpec, Report};
+use mdcc_cluster::{ClientPlacement, ClusterSpec, Report, RunPerf};
 use mdcc_common::{DcId, Key, Row, SimDuration, StaticPlacement};
 use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
 use mdcc_trace::TraceConfig;
@@ -27,31 +27,67 @@ pub enum Scale {
     Quick,
     /// Minutes-long runs matching the paper's setup sizes.
     Paper,
+    /// Ten times the paper's client and data sizes at paper durations —
+    /// the headroom demonstration for the parallel engine.
+    X10,
 }
 
 impl Scale {
-    /// Parses `--scale=quick|paper` from the process arguments
-    /// (default: quick).
+    /// Parses one scale name; `None` for anything unknown.
+    pub fn parse(v: &str) -> Option<Scale> {
+        match v {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            "10x" => Some(Scale::X10),
+            _ => None,
+        }
+    }
+
+    /// Parses `--scale=quick|paper|10x` from the process arguments
+    /// (default: paper — drivers reproduce the paper's setup sizes
+    /// unless explicitly scaled down for CI smoke runs).
     pub fn from_args() -> Scale {
         for arg in std::env::args() {
             if let Some(v) = arg.strip_prefix("--scale=") {
-                return match v {
-                    "paper" => Scale::Paper,
-                    "quick" => Scale::Quick,
-                    other => panic!("unknown scale {other:?} (use quick|paper)"),
-                };
+                return Scale::parse(v)
+                    .unwrap_or_else(|| panic!("unknown scale {v:?} (use quick|paper|10x)"));
             }
         }
-        Scale::Quick
+        Scale::Paper
+    }
+
+    /// The name `--scale=` accepts for this scale.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::X10 => "10x",
+        }
     }
 
     /// Scale factor divisor applied to clients/items/duration.
     pub fn div(&self) -> u64 {
         match self {
             Scale::Quick => 4,
-            Scale::Paper => 1,
+            Scale::Paper | Scale::X10 => 1,
         }
     }
+
+    /// Multiplier applied to clients and items (durations stay at the
+    /// paper's lengths: `10x` grows the deployment, not the run).
+    pub fn mult(&self) -> u64 {
+        match self {
+            Scale::Quick | Scale::Paper => 1,
+            Scale::X10 => 10,
+        }
+    }
+}
+
+/// Parses the `--parallel` flag from the process arguments: run every
+/// experiment world on the conservative parallel per-DC engine (one
+/// worker thread per data center, byte-identical results).
+pub fn parallel_flag() -> bool {
+    std::env::args().any(|a| a == "--parallel")
 }
 
 /// The TPC-W catalog: eight tables, `stock ≥ 0` on items.
@@ -87,10 +123,11 @@ pub fn micro_catalog() -> Arc<Catalog> {
 /// four storage nodes per DC, 1 min warm-up + 2 min measurement.
 pub fn tpcw_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
     let d = scale.div();
-    let items = 10_000 / d;
+    let m = scale.mult();
+    let items = 10_000 * m / d;
     let spec = ClusterSpec {
         seed,
-        clients: (100 / d) as usize,
+        clients: (100 * m / d) as usize,
         shards_per_dc: ((4 / d) as usize).max(1),
         warmup: SimDuration::from_secs(60 / d),
         duration: SimDuration::from_secs(120 / d),
@@ -103,10 +140,11 @@ pub fn tpcw_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
 /// clients, two storage nodes per DC, 1 min warm-up + 3 min measurement.
 pub fn micro_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
     let d = scale.div();
-    let items = 10_000 / d;
+    let m = scale.mult();
+    let items = 10_000 * m / d;
     let spec = ClusterSpec {
         seed,
-        clients: (100 / d) as usize,
+        clients: (100 * m / d) as usize,
         shards_per_dc: 2,
         warmup: SimDuration::from_secs(60 / d),
         duration: SimDuration::from_secs(180 / d),
@@ -211,17 +249,100 @@ pub fn trace_flags() -> (TraceConfig, Option<PathBuf>) {
     (cfg, out)
 }
 
-/// One-line host-cost summary of a run: wall-clock runtime and event
-/// rate — printed by every driver so harness-level perf regressions
-/// show up in the logs, not just sim-time results.
+/// One-line host-cost summary of a run: wall-clock runtime, event rate
+/// and engine width — printed by every driver so harness-level perf
+/// regressions show up in the logs, not just sim-time results.
 pub fn perf_summary(report: &Report) -> String {
     let p = report.perf;
     format!(
-        "host: {:.2}s wall, {} events, {:.0} events/sec",
+        "host: {:.2}s wall, {} events, {:.0} events/sec, {} thread{}",
         p.wall.as_secs_f64(),
         p.events,
-        p.events_per_sec()
+        p.events_per_sec(),
+        p.threads.max(1),
+        if p.threads > 1 { "s" } else { "" }
     )
+}
+
+/// Collects each run's host-cost sample over one driver invocation and
+/// writes them as machine-readable JSON under `results/perf_<fig>.json`
+/// — record-only output for tracking engine throughput across commits;
+/// nothing reads it back.
+#[derive(Debug, Default)]
+pub struct PerfLog {
+    runs: Vec<(String, RunPerf)>,
+}
+
+impl PerfLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished run under `label`.
+    pub fn record(&mut self, label: impl Into<String>, report: &Report) {
+        self.runs.push((label.into(), report.perf));
+    }
+
+    /// Writes the collected samples to `results/perf_<fig>.json`
+    /// (hand-rolled JSON — the workspace has no serde) and echoes the
+    /// path.
+    pub fn save(&self, fig: &str, scale: Scale) {
+        let dir = PathBuf::from("results");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("perf_{fig}.json"));
+        let total_wall: f64 = self.runs.iter().map(|(_, p)| p.wall.as_secs_f64()).sum();
+        let total_events: u64 = self.runs.iter().map(|(_, p)| p.events).sum();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"fig\": {},\n", json_str(fig)));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
+        out.push_str("  \"runs\": [\n");
+        for (i, (label, p)) in self.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"wall_secs\": {:.6}, \"events\": {}, \
+                 \"events_per_sec\": {:.1}, \"threads\": {}}}{}\n",
+                json_str(label),
+                p.wall.as_secs_f64(),
+                p.events,
+                p.events_per_sec(),
+                p.threads.max(1),
+                if i + 1 < self.runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"total_wall_secs\": {total_wall:.6},\n"));
+        out.push_str(&format!("  \"total_events\": {total_events},\n"));
+        out.push_str(&format!(
+            "  \"total_events_per_sec\": {:.1}\n",
+            if total_wall > 0.0 {
+                total_events as f64 / total_wall
+            } else {
+                0.0
+            }
+        ));
+        out.push_str("}\n");
+        fs::write(&path, out).expect("write perf json");
+        println!("# wrote {}", path.display());
+    }
+}
+
+/// Minimal JSON string quoting (labels are ASCII identifiers; quote and
+/// backslash escapes keep the output valid regardless).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Prints the per-phase latency anatomy of a traced run; quiet for
@@ -304,6 +425,39 @@ pub fn cdf_rows(label: &str, cdf: &[(f64, f64)]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_parses_all_three_names() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("10x"), Some(Scale::X10));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::parse(""), None);
+        for s in [Scale::Quick, Scale::Paper, Scale::X10] {
+            assert_eq!(Scale::parse(s.name()), Some(s), "name round-trips");
+        }
+    }
+
+    #[test]
+    fn ten_x_grows_the_deployment_not_the_run() {
+        let (spec, items) = tpcw_spec(Scale::X10, 1);
+        assert_eq!(spec.clients, 1_000);
+        assert_eq!(items, 100_000);
+        let (paper, _) = tpcw_spec(Scale::Paper, 1);
+        assert_eq!(spec.warmup, paper.warmup);
+        assert_eq!(spec.duration, paper.duration);
+        let (mspec, mitems) = micro_spec(Scale::X10, 1);
+        assert_eq!(mspec.clients, 1_000);
+        assert_eq!(mitems, 100_000);
+        assert_eq!(mspec.duration, SimDuration::from_secs(180));
+    }
+
+    #[test]
+    fn perf_json_strings_are_escaped() {
+        assert_eq!(json_str("mdcc"), "\"mdcc\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+    }
 
     #[test]
     fn specs_scale_down_for_quick_runs() {

@@ -114,6 +114,11 @@ pub struct ClusterSpec {
     /// profiling. Off by default; a disabled tracer records nothing and
     /// changes no outcome or wire byte.
     pub trace: TraceConfig,
+    /// Run the simulation on the conservative parallel per-DC engine
+    /// (one worker thread per data center). Guaranteed byte-identical
+    /// to the sequential scheduler for any seed; traced runs always
+    /// fall back to sequential.
+    pub parallel: bool,
     /// Protocol parameters (quorums, timeouts, γ).
     pub protocol: ProtocolConfig,
 }
@@ -141,6 +146,7 @@ impl Default for ClusterSpec {
             durability: false,
             wal_fsync: SimDuration::ZERO,
             trace: TraceConfig::off(),
+            parallel: false,
             protocol: ProtocolConfig::default(),
         }
     }
@@ -233,7 +239,7 @@ fn fault_timeline(spec: &ClusterSpec) -> Vec<FaultEvent> {
 /// coordinator leaves its prepare locks held forever (the classic
 /// blocking window), while MDCC's storage-side dangling recovery
 /// resolves the orphaned transaction on its own.
-fn drive<M: 'static>(
+fn drive<M: Send + 'static>(
     world: &mut World<M>,
     spec: &ClusterSpec,
     matrix: &[Vec<NodeId>],
@@ -294,6 +300,7 @@ pub fn run_mdcc(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            parallel: spec.parallel,
         },
     );
     let tracer = TraceHandle::new(spec.trace);
@@ -561,6 +568,7 @@ pub fn run_mdcc(
     report.perf = RunPerf {
         wall: wall_start.elapsed(),
         events: world.stats().events_handled,
+        threads: world.worker_threads(),
     };
     report.profile = world.profile();
     if spec.trace.enabled {
@@ -591,6 +599,7 @@ pub fn run_qw(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            parallel: spec.parallel,
         },
     );
     let matrix = storage_matrix(spec);
@@ -642,6 +651,7 @@ pub fn run_qw(
     report.perf = RunPerf {
         wall: wall_start.elapsed(),
         events: world.stats().events_handled,
+        threads: world.worker_threads(),
     };
     report
 }
@@ -667,6 +677,7 @@ pub fn run_tpc(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            parallel: spec.parallel,
         },
     );
     let matrix = storage_matrix(spec);
@@ -713,6 +724,7 @@ pub fn run_tpc(
     report.perf = RunPerf {
         wall: wall_start.elapsed(),
         events: world.stats().events_handled,
+        threads: world.worker_threads(),
     };
     report
 }
@@ -740,6 +752,7 @@ pub fn run_megastore(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            parallel: spec.parallel,
         },
     );
     // Replicas for DCs 1..n spawn first (ids 0..n-1), master last — then
@@ -801,6 +814,7 @@ pub fn run_megastore(
     report.perf = RunPerf {
         wall: wall_start.elapsed(),
         events: world.stats().events_handled,
+        threads: world.worker_threads(),
     };
     (report, stats)
 }

@@ -118,6 +118,17 @@ impl Enc {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
+
+    /// Discards the contents but keeps the allocation — the reuse hook
+    /// behind the thread-local scratch encoders.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, without consuming the encoder.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
 }
 
 /// Byte-buffer decoder.
@@ -228,10 +239,44 @@ pub fn from_bytes<T: Wire>(bytes: &[u8]) -> WireResult<T> {
 }
 
 /// The encoded size of one value in bytes (without framing).
+///
+/// Encodes into a thread-local scratch buffer, so steady-state calls
+/// allocate nothing — this sits on the simulator's hottest path (every
+/// `Ctx::send` sizes its message through here).
 pub fn wire_len<T: Wire>(value: &T) -> usize {
-    let mut enc = Enc::new();
-    value.encode(&mut enc);
-    enc.len()
+    with_scratch_encoding(value, |bytes| bytes.len())
+}
+
+/// Encodes `value` into a thread-local scratch buffer and hands the
+/// bytes to `f`. The buffer's allocation is reused across calls, so
+/// hot-path size and digest computations stop churning fresh `Vec`s.
+///
+/// Re-entrancy (encoding *inside* `f`) falls back to a fresh encoder
+/// rather than aliasing the scratch buffer.
+pub fn with_scratch_encoding<T: Wire, R>(value: &T, f: impl FnOnce(&[u8]) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Enc> = std::cell::RefCell::new(Enc::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut enc) => {
+            enc.clear();
+            value.encode(&mut enc);
+            f(enc.as_slice())
+        }
+        Err(_) => {
+            let mut enc = Enc::new();
+            value.encode(&mut enc);
+            f(enc.as_slice())
+        }
+    })
+}
+
+/// FNV-1a/64 digest of `value`'s wire encoding, computed through the
+/// thread-local scratch buffer (no allocation in steady state). Equal
+/// values digest equal — the property cstruct delta-vote verification
+/// rests on.
+pub fn digest64<T: Wire>(value: &T) -> u64 {
+    with_scratch_encoding(value, fnv1a64)
 }
 
 // ---------------------------------------------------------------------
@@ -735,6 +780,24 @@ mod tests {
         let row = Row::new().with("stock", 42);
         assert_eq!(wire_len(&row), to_bytes(&row).len());
         assert_eq!(wire_len(&Version(1)), 8);
+    }
+
+    #[test]
+    fn scratch_helpers_match_fresh_encodings() {
+        let row = Row::new().with("stock", 42).with("title", "widget");
+        assert_eq!(wire_len(&row), to_bytes(&row).len());
+        assert_eq!(digest64(&row), fnv1a64(&to_bytes(&row)));
+        // Back-to-back calls reuse the buffer without cross-talk.
+        let key = Key::new(TableId(3), "i99");
+        assert_eq!(wire_len(&key), to_bytes(&key).len());
+        assert_eq!(digest64(&row), fnv1a64(&to_bytes(&row)));
+        // Re-entrant encoding inside the closure must not alias the
+        // scratch buffer.
+        let nested = with_scratch_encoding(&row, |outer| {
+            let inner = wire_len(&key);
+            (outer.len(), inner)
+        });
+        assert_eq!(nested, (to_bytes(&row).len(), to_bytes(&key).len()));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! traffic is [`TrafficClass::Sync`], everything else — proposals,
 //! votes, Phase1/2, visibility, recovery — is [`TrafficClass::Protocol`].
 
-use mdcc_common::wire::{err, frame, Dec, Enc, Wire, WireResult, FRAME_OVERHEAD};
+use mdcc_common::wire::{err, frame, wire_len, Dec, Enc, Wire, WireResult, FRAME_OVERHEAD};
 use mdcc_common::{Key, TxnId};
 use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
 use mdcc_paxos::{Ballot, DeltaVote, TxnOutcome};
@@ -320,11 +320,11 @@ impl Wire for Msg {
 
 impl NetMessage for Msg {
     /// Framed size of the message's canonical encoding — what the
-    /// message occupies on the simulated wire.
+    /// message occupies on the simulated wire. Sized through the codec's
+    /// thread-local scratch buffer: this runs once per send, so it must
+    /// not allocate.
     fn wire_bytes(&self) -> usize {
-        let mut enc = Enc::new();
-        self.encode(&mut enc);
-        enc.len() + FRAME_OVERHEAD
+        wire_len(self) + FRAME_OVERHEAD
     }
 
     fn traffic_class(&self) -> TrafficClass {

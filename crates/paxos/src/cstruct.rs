@@ -144,7 +144,14 @@ impl CStruct {
 
     /// Trace-prefix test: `self ⊑ other` iff `other` equals `self`
     /// followed by more options, modulo commutation.
+    ///
+    /// Runs on every `lub`, which Phase2 learning calls per vote, so the
+    /// common case (cstructs of ≤ 64 options) tracks consumed letters in
+    /// a bitmask instead of allocating a scratch vector.
     pub fn is_prefix_of(&self, other: &CStruct) -> bool {
+        if other.entries.len() <= 64 {
+            return self.is_prefix_of_small(other);
+        }
         let mut remaining: Vec<&Entry> = other.entries.iter().collect();
         // Consume self's letters in order. Non-commuting pairs keep a
         // fixed relative order across equivalent representatives, so
@@ -157,6 +164,32 @@ impl CStruct {
                 return false;
             }
             remaining.remove(pos);
+        }
+        true
+    }
+
+    /// Allocation-free [`CStruct::is_prefix_of`] for `other` of ≤ 64
+    /// entries: bit `i` of `consumed` marks `other.entries[i]` as
+    /// already matched against one of self's letters.
+    fn is_prefix_of_small(&self, other: &CStruct) -> bool {
+        debug_assert!(other.entries.len() <= 64);
+        let mut consumed: u64 = 0;
+        'outer: for e in &self.entries {
+            for (i, r) in other.entries.iter().enumerate() {
+                if consumed & (1 << i) != 0 {
+                    continue;
+                }
+                if r.letter() == e.letter() {
+                    consumed |= 1 << i;
+                    continue 'outer;
+                }
+                // An unconsumed letter stands between `e` and its match;
+                // the orders are only equivalent if the two commute.
+                if !r.commutes_with(e) {
+                    return false;
+                }
+            }
+            return false;
         }
         true
     }
@@ -335,6 +368,32 @@ mod tests {
         let b = cs(vec![acc(comm(2)), acc(comm(1))]);
         assert_eq!(a, b);
         assert!(a.is_prefix_of(&b) && b.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn small_and_general_prefix_paths_agree() {
+        // 70 entries pushes `other` past the 64-bit mask, forcing the
+        // allocating general path; the ≤ 64 slices run the bitmask path.
+        // Both must judge the same prefixes.
+        let mut big = CStruct::new();
+        for i in 0..70 {
+            assert!(big.append(comm(i), OptionStatus::Accepted));
+        }
+        let mut small = CStruct::new();
+        for i in 0..40 {
+            assert!(small.append(comm(i), OptionStatus::Accepted));
+        }
+        assert!(small.is_prefix_of(&big), "general path accepts");
+        assert!(small.is_prefix_of_small(&small), "bitmask path reflexive");
+        // A physical barrier out of order must fail on both paths.
+        let ordered = cs(vec![acc(phys(100)), acc(phys(101))]);
+        let swapped = cs(vec![acc(phys(101)), acc(phys(100))]);
+        assert!(!ordered.is_prefix_of_small(&swapped));
+        let mut swapped_big = swapped.clone();
+        for i in 0..70 {
+            assert!(swapped_big.append(comm(i), OptionStatus::Accepted));
+        }
+        assert!(!ordered.is_prefix_of(&swapped_big), "barrier holds >64");
     }
 
     #[test]

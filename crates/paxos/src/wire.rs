@@ -22,9 +22,10 @@ impl CStruct {
     /// FNV-1a digest of the cstruct's canonical wire encoding — the
     /// order-sensitive fingerprint delta votes carry so receivers can
     /// prove their folded shadow view equals the acceptor's exact
-    /// structure.
+    /// structure. Computed through the codec's thread-local scratch
+    /// buffer: digesting is per-vote work, so it must not allocate.
     pub fn digest(&self) -> u64 {
-        mdcc_common::wire::fnv1a64(&mdcc_common::wire::to_bytes(self))
+        mdcc_common::wire::digest64(self)
     }
 }
 

@@ -1,4 +1,25 @@
 //! The event queue: a time-ordered heap with deterministic tie-breaking.
+//!
+//! # Intrinsic event stamps
+//!
+//! Events used to be tie-broken by a global insertion counter, which
+//! made the pop order depend on *when* the scheduler happened to push —
+//! a property only a single sequential loop can reproduce. Every event
+//! now carries an [`EventKey`] derived from its *cause*: the time it
+//! was emitted, the node that emitted it, and that node's private
+//! monotone emit counter. The comparator `(at, cause, node, emit)` is a
+//! total order over events that is a pure function of the simulation's
+//! history, so per-DC shard queues and a single global queue pop events
+//! for any one node in exactly the same order — the property the
+//! parallel runner's byte-identity guarantee rests on.
+//!
+//! # Slab storage
+//!
+//! `BinaryHeap` sift operations move whole elements. Protocol message
+//! enums run to hundreds of bytes, so the heap stores fixed 32-byte
+//! entries (`at`, key, slot index) and parks each event's payload in a
+//! slab until it pops; deferring a delivery at a busy node re-pushes
+//! only the small entry, never touching the payload.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -8,6 +29,21 @@ use mdcc_common::{NodeId, SimTime};
 /// Identifier of a pending timer, used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub u64);
+
+/// Intrinsic identity of an event: when and by whom it was caused.
+///
+/// `(cause, node, emit)` is unique — `emit` is the emitting node's
+/// private counter — and totally ordered, so ties at equal delivery
+/// time resolve identically no matter which queue the event sat in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Time the causing handler ran (send/arm/spawn time).
+    pub cause: SimTime,
+    /// Emitting node (sender for deliveries, owner for timers).
+    pub node: u32,
+    /// The emitting node's monotone emit counter.
+    pub emit: u64,
+}
 
 /// What a popped event asks the world to do.
 #[derive(Debug, Clone)]
@@ -58,51 +94,57 @@ pub enum EventKind<M> {
 pub struct Event<M> {
     /// Virtual time at which the event fires.
     pub at: SimTime,
-    /// Insertion sequence number; breaks ties deterministically (FIFO).
-    pub seq: u64,
+    /// Intrinsic identity; breaks delivery-time ties deterministically.
+    pub key: EventKey,
     /// Node the event is addressed to.
     pub target: NodeId,
     /// Payload.
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Fixed-size heap entry: the payload stays in the slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    at: SimTime,
+    key: EventKey,
+    slot: u32,
 }
 
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for Event<M> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want the earliest event
-        // (smallest time, then smallest sequence number) on top.
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // event (smallest time, then smallest key) on top.
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
-/// Min-heap of events ordered by `(time, seq)`.
+/// Min-heap of events ordered by `(time, key)`.
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
-    next_seq: u64,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Option<(NodeId, EventKind<M>)>>,
+    free: Vec<u32>,
+    /// Emit counter for events pushed without an explicit key
+    /// (tests, benches, world-external injection).
+    auto_emit: u64,
 }
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         Self {
             heap: BinaryHeap::new(),
-            next_seq: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            auto_emit: 0,
         }
     }
 }
@@ -113,28 +155,61 @@ impl<M> EventQueue<M> {
         Self::default()
     }
 
-    /// Schedules `kind` for `target` at time `at`.
+    /// Schedules `kind` for `target` at time `at` with an automatically
+    /// derived key (`cause = at`, `node = target`, queue-local emit
+    /// counter). Ties at equal time pop in push order, matching the old
+    /// insertion-sequence semantics for single-queue callers.
     pub fn push(&mut self, at: SimTime, target: NodeId, kind: EventKind<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event {
+        let emit = self.auto_emit;
+        self.auto_emit += 1;
+        self.push_keyed(
             at,
-            seq,
+            EventKey {
+                cause: at,
+                node: target.0,
+                emit,
+            },
             target,
             kind,
-        });
+        );
     }
 
-    /// Re-inserts an already-sequenced event (used when a busy node defers
-    /// handling); the original sequence number keeps FIFO order among
-    /// deferred events.
+    /// Schedules `kind` for `target` at `at` under an explicit intrinsic
+    /// key (the world derives keys from the emitting node).
+    pub fn push_keyed(&mut self, at: SimTime, key: EventKey, target: NodeId, kind: EventKind<M>) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((target, kind));
+                s
+            }
+            None => {
+                self.slots.push(Some((target, kind)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(HeapEntry { at, key, slot });
+    }
+
+    /// Re-inserts an already-keyed event (used when a busy node defers
+    /// handling); the original key keeps FIFO order among deferred
+    /// events racing newly emitted ones at the same time.
     pub fn push_deferred(&mut self, event: Event<M>) {
-        self.heap.push(event);
+        self.push_keyed(event.at, event.key, event.target, event.kind);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        let entry = self.heap.pop()?;
+        let (target, kind) = self.slots[entry.slot as usize]
+            .take()
+            .expect("heap entry has a live slot");
+        self.free.push(entry.slot);
+        Some(Event {
+            at: entry.at,
+            key: entry.key,
+            target,
+            kind,
+        })
     }
 
     /// Time of the earliest pending event.
@@ -142,9 +217,17 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Time and key of the earliest pending event; the k-way shard
+    /// merge compares these pairs to reproduce the global pop order.
+    pub fn peek_rank(&self) -> Option<(SimTime, EventKey)> {
+        self.heap.peek().map(|e| (e.at, e.key))
+    }
+
     /// Target of the earliest pending event.
     pub fn peek_target(&self) -> Option<NodeId> {
-        self.heap.peek().map(|e| e.target)
+        self.heap
+            .peek()
+            .map(|e| self.slots[e.slot as usize].as_ref().expect("live slot").0)
     }
 
     /// Number of pending events.
@@ -194,13 +277,36 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_key_not_push_order() {
+        // Explicit keys override push order: the smaller (cause, node,
+        // emit) pops first regardless of which was pushed first.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        let late_cause = EventKey {
+            cause: SimTime::from_millis(4),
+            node: 9,
+            emit: 0,
+        };
+        let early_cause = EventKey {
+            cause: SimTime::from_millis(2),
+            node: 1,
+            emit: 7,
+        };
+        q.push_keyed(t, late_cause, NodeId(0), deliver(0));
+        q.push_keyed(t, early_cause, NodeId(1), deliver(1));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
+        assert_eq!(order, vec![1, 0], "earlier cause wins the tie");
+    }
+
+    #[test]
     fn deferred_events_keep_their_sequence() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_millis(1), NodeId(0), deliver(0));
         q.push(SimTime::from_millis(1), NodeId(1), deliver(1));
         let mut first = q.pop().unwrap();
         // Defer the first event to t=2; it now races the event at t=1 and
-        // must lose, but at t=2 it beats any *newly pushed* t=2 event.
+        // must lose, but at t=2 it beats any *newly pushed* t=2 event
+        // (its cause time is older).
         first.at = SimTime::from_millis(2);
         q.push_deferred(first);
         q.push(SimTime::from_millis(2), NodeId(2), deliver(2));
@@ -217,5 +323,21 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+        assert_eq!(q.peek_target(), Some(NodeId(0)));
+        let (t, k) = q.peek_rank().unwrap();
+        assert_eq!(t, SimTime::from_millis(4));
+        assert_eq!(k.node, 0);
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        let mut q = EventQueue::new();
+        for round in 0..3u64 {
+            for i in 0..8u32 {
+                q.push(SimTime(round * 10 + i as u64), NodeId(i), deliver(i));
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(q.slots.len() <= 8, "slab grew past peak occupancy");
     }
 }

@@ -1,7 +1,7 @@
 //! Deterministic discrete-event simulation of a multi-data-center deployment.
 //!
 //! The paper evaluates MDCC on five Amazon EC2 regions. This crate replaces
-//! that testbed with a seeded, single-threaded discrete-event simulator:
+//! that testbed with a seeded discrete-event simulator:
 //!
 //! * [`world::World`] owns the virtual clock, the event queue and every
 //!   simulated process;
@@ -15,8 +15,12 @@
 //!
 //! Determinism: given the same seed and the same sequence of API calls, a
 //! `World` produces byte-identical traces. Ties in the event queue are
-//! broken by insertion order, and all randomness flows from one
-//! [`rand::rngs::SmallRng`].
+//! broken by intrinsic event keys (cause time, emitting node, per-node
+//! emit counter), and all randomness flows from per-node
+//! [`rand::rngs::SmallRng`]s derived from the world seed — properties
+//! that hold whether the world runs its sequential k-way merge or the
+//! conservative parallel per-DC engine (`WorldConfig::parallel`), which
+//! is guaranteed byte-identical to sequential execution.
 
 pub mod disk;
 pub mod event;
@@ -27,7 +31,7 @@ pub mod topology;
 pub mod world;
 
 pub use disk::{Disk, DiskStats};
-pub use event::TimerId;
+pub use event::{Event, EventKey, EventKind, EventQueue, TimerId};
 pub use net::{LinkSpec, NetworkModel, DEFAULT_INTER_DC_BANDWIDTH, DEFAULT_INTRA_DC_BANDWIDTH};
 pub use process::{Ctx, NetMessage, Process, TrafficClass};
 pub use topology::Topology;

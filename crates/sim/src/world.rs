@@ -18,6 +18,39 @@
 //! envelopes and may reorder relative to each other — the same
 //! reordering a jittered network already inflicts, which every
 //! protocol here must (and does) tolerate.
+//!
+//! # A conservative parallel per-DC engine
+//!
+//! The world is partitioned into one [`Shard`] per data center. Each
+//! shard owns its nodes' state (processes, RNGs, disks, outboxes), its
+//! own event queue, and its own row of the link-FIFO matrix, so shards
+//! share nothing mutable. Every event carries an intrinsic
+//! [`EventKey`] — `(cause time, emitting node, that node's emit
+//! counter)` — and queues order by `(at, key)`, a total order that is a
+//! pure function of the simulation's history rather than of scheduler
+//! insertion order. Two schedulers run over the same shards:
+//!
+//! * **sequential** (the default and the off-switch): a k-way merge
+//!   that pops the globally smallest `(at, key)` across shards — one
+//!   totally ordered event loop, exactly as before;
+//! * **parallel** ([`WorldConfig::parallel`]): barrier-epoch
+//!   conservative parallel DES. The only cross-shard events are
+//!   inter-DC deliveries, whose one-way delay is bounded below by
+//!   [`NetworkModel::min_inter_dc_delay`] (the *lookahead* Δ). Each
+//!   epoch picks `T` = the earliest pending event anywhere and runs
+//!   every shard independently — on its own worker thread — through
+//!   the window `[T, T + Δ)`; an event at `t` in the window can only
+//!   reach another DC at `t + Δ ≥ T + Δ`, so nothing a peer shard does
+//!   in this window can affect it. Cross-DC arrivals buffer in the
+//!   sending shard and route at the epoch barrier.
+//!
+//! Because both schedulers process each shard's events in the same
+//! `(at, key)` order, and keys are intrinsic, the parallel runner is
+//! **byte-identical** to the sequential one for any seed: same commit
+//! outcomes, same wire bytes, same stats. Traced runs always take the
+//! sequential path (spans record into one shared collector), which is
+//! sound precisely because the two schedulers produce the same
+//! execution.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
@@ -29,7 +62,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::disk::Disk;
-use crate::event::{EventKind, EventQueue, TimerId};
+use crate::event::{Event, EventKey, EventKind, EventQueue, TimerId};
 use crate::net::NetworkModel;
 use crate::process::{Ctx, Effect, NetMessage, Process, TrafficClass};
 use crate::topology::Topology;
@@ -65,6 +98,11 @@ pub struct WorldConfig {
     /// (an fsync on the commit path). Zero — the default — charges
     /// nothing, preserving the pre-fsync schedule exactly.
     pub fsync_latency: SimDuration,
+    /// Run the per-DC shards on worker threads (conservative parallel
+    /// discrete-event simulation; see the module docs). Byte-identical
+    /// to the sequential scheduler for any seed — `false`, the default,
+    /// is the off-switch. Traced runs fall back to sequential.
+    pub parallel: bool,
 }
 
 impl Default for WorldConfig {
@@ -76,6 +114,7 @@ impl Default for WorldConfig {
             coalesce: true,
             coalesce_window: SimDuration::ZERO,
             fsync_latency: SimDuration::ZERO,
+            parallel: false,
         }
     }
 }
@@ -122,6 +161,24 @@ impl WorldStats {
     pub fn class(&self, class: TrafficClass) -> TrafficTotals {
         self.by_class[class.index()]
     }
+
+    /// Adds another stats block into this one (shard roll-up; every
+    /// field is a commutative counter, so the sum over shards equals
+    /// what a single global loop would have counted).
+    fn accumulate(&mut self, o: &WorldStats) {
+        self.sent += o.sent;
+        self.delivered += o.delivered;
+        self.dropped += o.dropped;
+        self.timers_fired += o.timers_fired;
+        self.bytes_sent += o.bytes_sent;
+        self.payload_msgs += o.payload_msgs;
+        self.events_handled += o.events_handled;
+        for i in 0..TrafficClass::COUNT {
+            self.by_class[i].msgs += o.by_class[i].msgs;
+            self.by_class[i].bytes += o.by_class[i].bytes;
+            self.by_class[i].payloads += o.by_class[i].payloads;
+        }
+    }
 }
 
 /// One node's event-loop profile: how much work its handlers did, in
@@ -160,58 +217,13 @@ fn class_label(class: TrafficClass) -> &'static str {
     }
 }
 
-/// A deterministic discrete-event simulation of one deployment.
-pub struct World<M> {
-    now: SimTime,
-    queue: EventQueue<M>,
-    procs: Vec<Option<Box<dyn Process<M>>>>,
-    topology: Topology,
-    net: NetworkModel,
-    rng: SmallRng,
-    busy_until: Vec<SimTime>,
-    alive: Vec<bool>,
-    /// Bumped on every `restart_node`; timers armed by an older
-    /// incarnation are dropped when they fire.
-    incarnations: Vec<u32>,
-    /// Per-node durable storage; survives crash/restart.
-    disks: Vec<Disk>,
-    dc_down: Vec<bool>,
-    cancelled: HashSet<TimerId>,
-    next_timer: u64,
-    service_time: SimDuration,
-    service_ns_per_byte: u64,
-    coalesce: bool,
-    coalesce_window: SimDuration,
-    /// Per-sender coalescing outboxes: slots in first-enqueue order,
-    /// one per (destination, traffic class). Only populated while
-    /// `coalesce` is on; cleared when the sender crashes (unsent
-    /// messages die with the process).
-    outbox: HashMap<u32, Vec<OutboxSlot<M>>>,
-    /// Senders with a `FlushOutbox` event already scheduled (window
-    /// mode only), mapped to its deadline: at most one pending flush
-    /// per sender, and a fired event only counts if its time matches —
-    /// a crash clears the entry, so a stale pre-crash flush event
-    /// cannot cut short the window of sends buffered after a revival.
-    flush_pending: HashMap<u32, SimTime>,
-    /// FIFO occupancy of each directed DC-pair link: the earliest time a
-    /// new transmission can start on `link_free_at[from][to]`.
-    link_free_at: Vec<Vec<SimTime>>,
-    stats: WorldStats,
-    effects_scratch: Vec<Effect<M>>,
-    /// Synchronous WAL flush cost charged on durable appends.
-    fsync_latency: SimDuration,
-    /// Shared trace collector, when the harness attached one.
-    tracer: Option<TraceHandle>,
-    /// Cached `tracer.enabled()` — tested on every event.
-    trace_on: bool,
-    /// Cached `tracer.profile()` — whether to time handlers on the host.
-    profile_wall: bool,
-    /// First-arrival times of deferred deliveries, keyed by event seq
-    /// (which survives deferral); populated only while tracing, so the
-    /// receive span can start when the frame reached the busy node.
-    arrivals: HashMap<u64, SimTime>,
-    /// Per-node event-loop profile accumulators.
-    profile: Vec<ProfileCell>,
+/// Derives a per-node RNG seed from the world seed (splitmix64-style
+/// finalizer, so adjacent node ids land far apart in seed space).
+fn node_rng_seed(world_seed: u64, node: u32) -> u64 {
+    let mut z = world_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// One pending envelope: same-destination, same-class messages awaiting
@@ -224,222 +236,150 @@ struct OutboxSlot<M> {
     framed_sizes: Vec<usize>,
 }
 
-impl<M: 'static> World<M> {
-    /// Creates a world over `net` with the given config.
-    pub fn new(net: NetworkModel, config: WorldConfig) -> Self {
-        let dc_count = net.dc_count();
-        Self {
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            procs: Vec::new(),
-            topology: Topology::new(),
-            net,
-            rng: SmallRng::seed_from_u64(config.seed),
-            busy_until: Vec::new(),
-            alive: Vec::new(),
-            incarnations: Vec::new(),
-            disks: Vec::new(),
-            dc_down: vec![false; dc_count],
-            cancelled: HashSet::new(),
-            next_timer: 0,
-            service_time: config.service_time,
-            service_ns_per_byte: config.service_ns_per_byte,
-            coalesce: config.coalesce,
-            coalesce_window: config.coalesce_window,
-            outbox: HashMap::new(),
-            flush_pending: HashMap::new(),
-            link_free_at: vec![vec![SimTime::ZERO; dc_count]; dc_count],
-            stats: WorldStats::default(),
-            effects_scratch: Vec::new(),
-            fsync_latency: config.fsync_latency,
-            tracer: None,
-            trace_on: false,
-            profile_wall: false,
-            arrivals: HashMap::new(),
-            profile: Vec::new(),
-        }
-    }
+/// The immutable environment shards read while stepping: network and
+/// topology by reference, config scalars by value, the trace handle.
+/// `Sync`, so one instance is shared by every worker thread of an epoch.
+struct Env<'a> {
+    net: &'a NetworkModel,
+    topology: &'a Topology,
+    /// Global node id → slot inside its shard.
+    slot_of: &'a [u32],
+    service_time: SimDuration,
+    service_ns_per_byte: u64,
+    coalesce: bool,
+    coalesce_window: SimDuration,
+    fsync_latency: SimDuration,
+    tracer: Option<&'a TraceHandle>,
+    trace_on: bool,
+    profile_wall: bool,
+}
 
-    /// Attaches a trace collector; the transport and the fsync model
-    /// record spans into it from now on. Tracing is observational only —
-    /// it never consumes randomness or reschedules an event, so a traced
-    /// run's execution is identical to an untraced one.
-    pub fn set_tracer(&mut self, tracer: TraceHandle) {
-        self.trace_on = tracer.enabled();
-        self.profile_wall = tracer.profile();
-        self.tracer = Some(tracer);
-    }
-
-    /// Per-node event-loop profile, hottest (by virtual busy time,
-    /// events as tie-break) first.
-    pub fn profile(&self) -> Vec<ProfileEntry> {
-        let mut entries: Vec<ProfileEntry> = self
-            .profile
-            .iter()
-            .enumerate()
-            .map(|(i, cell)| ProfileEntry {
-                node: NodeId(i as u32),
-                dc: self.topology.dc_of(NodeId(i as u32)),
-                events: cell.events,
-                sim_busy: cell.sim_busy,
-                wall: cell.wall,
-            })
-            .collect();
-        entries.sort_by(|a, b| {
-            (b.sim_busy, b.events, a.node.0).cmp(&(a.sim_busy, a.events, b.node.0))
-        });
-        entries
-    }
-
+impl Env<'_> {
     /// CPU cost of handling one `bytes`-sized message: the fixed floor
     /// plus the per-byte deserialization cost.
     fn service_cost(&self, bytes: usize) -> SimDuration {
         let per_byte_us = (bytes as u64 * self.service_ns_per_byte + 500) / 1_000;
         self.service_time + SimDuration::from_micros(per_byte_us)
     }
+}
 
-    /// Spawns a process in `dc`; its `on_start` runs at the current time.
-    pub fn spawn(&mut self, dc: DcId, proc_: Box<dyn Process<M>>) -> NodeId {
-        assert!(
-            (dc.0 as usize) < self.net.dc_count(),
-            "dc outside network model"
-        );
-        let id = self.topology.add_node(dc);
-        self.procs.push(Some(proc_));
-        self.busy_until.push(SimTime::ZERO);
-        self.alive.push(true);
-        self.incarnations.push(0);
-        self.disks.push(Disk::new());
-        self.profile.push(ProfileCell::default());
-        self.queue.push(self.now, id, EventKind::Start);
-        id
+/// One data center's slice of the world: its nodes' state, its event
+/// queue, its outgoing row of the link matrix. Shares nothing mutable
+/// with other shards, so shards step concurrently inside an epoch.
+struct Shard<M> {
+    dc: DcId,
+    now: SimTime,
+    queue: EventQueue<M>,
+    /// Global node ids, by slot.
+    nodes: Vec<u32>,
+    procs: Vec<Option<Box<dyn Process<M>>>>,
+    busy_until: Vec<SimTime>,
+    alive: Vec<bool>,
+    /// Bumped on every `restart_node`; timers armed by an older
+    /// incarnation are dropped when they fire.
+    incarnations: Vec<u32>,
+    /// Per-node durable storage; survives crash/restart.
+    disks: Vec<Disk>,
+    /// Per-node RNGs: protocol randomness and this node's outbound
+    /// network sampling, so randomness is a function of the node's own
+    /// history — identical under either scheduler.
+    rngs: Vec<SmallRng>,
+    /// Per-node monotone emit counters (the third component of every
+    /// [`EventKey`] this node's sends and timers stamp).
+    emit: Vec<u64>,
+    /// Per-node timer-id counters, based at `node_id << 40` so ids are
+    /// globally unique without any shared state.
+    next_timer: Vec<u64>,
+    profile: Vec<ProfileCell>,
+    /// Per-node coalescing outboxes: slots in first-enqueue order, one
+    /// per (destination, traffic class). Cleared when the sender
+    /// crashes (unsent messages die with the process).
+    outbox: Vec<Vec<OutboxSlot<M>>>,
+    /// Per-node deadline of the scheduled Nagle flush, if any; a fired
+    /// flush event only counts if its time matches — a crash clears the
+    /// entry, so a stale pre-crash flush event cannot cut short the
+    /// window of sends buffered after a revival.
+    flush_deadline: Vec<Option<SimTime>>,
+    cancelled: HashSet<TimerId>,
+    /// This shard's row of the link FIFO matrix: earliest time a new
+    /// transmission can start on the directed link `self.dc → to`.
+    link_free_at: Vec<SimTime>,
+    /// True while this data center is failed (inbound messages drop).
+    down: bool,
+    stats: WorldStats,
+    effects_scratch: Vec<Effect<M>>,
+    /// Cross-shard deliveries produced this step/epoch; routed by the
+    /// world after the step (sequential) or at the barrier (parallel).
+    outgoing: Vec<Event<M>>,
+    /// First-arrival times of deferred deliveries, keyed by the event
+    /// key's (node, emit) — which survives deferral; populated only
+    /// while tracing, so the receive span can start when the frame
+    /// reached the busy node.
+    arrivals: HashMap<(u32, u64), SimTime>,
+}
+
+impl<M: 'static> Shard<M> {
+    fn new(dc: DcId, dc_count: usize) -> Self {
+        Self {
+            dc,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            procs: Vec::new(),
+            busy_until: Vec::new(),
+            alive: Vec::new(),
+            incarnations: Vec::new(),
+            disks: Vec::new(),
+            rngs: Vec::new(),
+            emit: Vec::new(),
+            next_timer: Vec::new(),
+            profile: Vec::new(),
+            outbox: Vec::new(),
+            flush_deadline: Vec::new(),
+            cancelled: HashSet::new(),
+            link_free_at: vec![SimTime::ZERO; dc_count],
+            down: false,
+            stats: WorldStats::default(),
+            effects_scratch: Vec::new(),
+            outgoing: Vec::new(),
+            arrivals: HashMap::new(),
+        }
     }
 
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.now
+    /// Stamps a fresh event key from `slot`'s emit counter at `now`.
+    fn next_key(&mut self, node: NodeId, slot: usize) -> EventKey {
+        let emit = self.emit[slot];
+        self.emit[slot] += 1;
+        EventKey {
+            cause: self.now,
+            node: node.0,
+            emit,
+        }
     }
 
-    /// The node-to-DC mapping.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
+    /// Processes every pending event with `at < horizon`, in `(at,
+    /// key)` order. The parallel runner's per-epoch worker body.
+    fn run_window(&mut self, horizon: SimTime, env: &Env<'_>) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event");
+            self.step_event(ev, env);
+        }
     }
 
-    /// World-level counters.
-    pub fn stats(&self) -> WorldStats {
-        self.stats
-    }
-
-    /// Injects a message from outside the simulation (tests only; regular
-    /// traffic should originate in processes).
-    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M)
-    where
-        M: NetMessage,
-    {
-        let bytes = msg.wire_bytes();
-        self.queue
-            .push(self.now, to, EventKind::Deliver { from, msg, bytes });
-    }
-
-    /// Marks a node crashed: inbound messages drop, timers are suppressed,
-    /// the process is no longer invoked, and whatever its coalescing
-    /// outbox still buffered dies unsent.
-    pub fn crash_node(&mut self, node: NodeId) {
-        self.alive[node.0 as usize] = false;
-        self.outbox.remove(&node.0);
-        // Orphan any scheduled flush: its deadline no longer matches
-        // the entry, so it fires as a no-op instead of prematurely
-        // flushing whatever a revived incarnation buffers later.
-        self.flush_pending.remove(&node.0);
-    }
-
-    /// Revives a crashed node (its state is whatever it was at crash time,
-    /// mirroring a process *pause*; see [`World::restart_node`] for a real
-    /// restart that loses volatile state).
-    pub fn revive_node(&mut self, node: NodeId) {
-        self.alive[node.0 as usize] = true;
-    }
-
-    /// Restarts a crashed node as a fresh process: the old incarnation's
-    /// volatile state (including its pending timers) is gone, its disk is
-    /// preserved, and `proc_` — typically rebuilt from that disk — runs
-    /// `on_start` at the current time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node is still alive; crash it first.
-    pub fn restart_node(&mut self, node: NodeId, proc_: Box<dyn Process<M>>) {
-        let idx = node.0 as usize;
-        assert!(!self.alive[idx], "restart of a live node: crash it first");
-        self.procs[idx] = Some(proc_);
-        self.alive[idx] = true;
-        self.incarnations[idx] += 1;
-        self.busy_until[idx] = self.now;
-        self.queue.push(self.now, node, EventKind::Start);
-    }
-
-    /// True if the node is currently alive.
-    pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive[node.0 as usize]
-    }
-
-    /// Read access to a node's durable disk.
-    pub fn disk(&self, node: NodeId) -> &Disk {
-        &self.disks[node.0 as usize]
-    }
-
-    /// Write access to a node's durable disk (harness-side setup, e.g.
-    /// seeding an initial checkpoint before the simulation starts).
-    pub fn disk_mut(&mut self, node: NodeId) -> &mut Disk {
-        &mut self.disks[node.0 as usize]
-    }
-
-    /// Simulates a data-center outage the way the paper does (§5.3.4):
-    /// nodes in `dc` stop *receiving* messages. Their timers still fire,
-    /// so coordinators inside the failed DC keep timing out — which is the
-    /// externally observable behaviour of an unreachable region.
-    pub fn fail_dc(&mut self, dc: DcId) {
-        self.dc_down[dc.0 as usize] = true;
-    }
-
-    /// Ends a data-center outage.
-    pub fn heal_dc(&mut self, dc: DcId) {
-        self.dc_down[dc.0 as usize] = false;
-    }
-
-    /// True while `dc` is failed.
-    pub fn is_dc_down(&self, dc: DcId) -> bool {
-        self.dc_down[dc.0 as usize]
-    }
-
-    /// Immutable access to a process, downcast to its concrete type.
-    pub fn get<P: Process<M>>(&self, node: NodeId) -> Option<&P> {
-        self.procs[node.0 as usize]
-            .as_deref()
-            .and_then(|p| (p as &dyn std::any::Any).downcast_ref())
-    }
-
-    /// Mutable access to a process, downcast to its concrete type.
-    pub fn get_mut<P: Process<M>>(&mut self, node: NodeId) -> Option<&mut P> {
-        self.procs[node.0 as usize]
-            .as_deref_mut()
-            .and_then(|p| (p as &mut dyn std::any::Any).downcast_mut())
-    }
-
-    /// Executes a single event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(mut ev) = self.queue.pop() else {
-            return false;
-        };
+    /// Executes a single already-popped event.
+    fn step_event(&mut self, mut ev: Event<M>, env: &Env<'_>) {
         debug_assert!(ev.at >= self.now, "time went backwards");
         let target = ev.target;
-        let idx = target.0 as usize;
+        let slot = env.slot_of[target.0 as usize] as usize;
         match ev.kind {
             EventKind::Start => {
                 self.now = ev.at;
-                if self.alive[idx] {
-                    self.dispatch(target, DispatchKind::Start);
-                    self.flush_after_event(target);
+                if self.alive[slot] {
+                    self.dispatch(target, slot, DispatchKind::Start, env);
+                    self.flush_after_event(target, slot, env);
                 }
             }
             EventKind::Timer {
@@ -449,168 +389,119 @@ impl<M: 'static> World<M> {
             } => {
                 self.now = ev.at;
                 if self.cancelled.remove(&id)
-                    || !self.alive[idx]
-                    || incarnation != self.incarnations[idx]
+                    || !self.alive[slot]
+                    || incarnation != self.incarnations[slot]
                 {
-                    return true;
+                    return;
                 }
                 self.stats.timers_fired += 1;
-                self.dispatch(target, DispatchKind::Timer(msg));
-                self.flush_after_event(target);
+                self.dispatch(target, slot, DispatchKind::Timer(msg), env);
+                self.flush_after_event(target, slot, env);
             }
             EventKind::Deliver { from, msg, bytes } => {
-                if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
+                if !self.alive[slot] || self.down {
                     self.now = ev.at;
                     self.stats.dropped += 1;
-                    if self.trace_on {
-                        self.arrivals.remove(&ev.seq);
+                    if env.trace_on {
+                        self.arrivals.remove(&(ev.key.node, ev.key.emit));
                     }
-                    return true;
+                    return;
                 }
                 // Model per-message CPU cost: a busy node defers handling.
-                let busy = self.busy_until[idx];
+                let busy = self.busy_until[slot];
                 if busy > ev.at {
-                    if self.trace_on {
+                    if env.trace_on {
                         // Remember when the frame first reached the busy
                         // node: the receive span starts there, not at
                         // the deferred handling time.
-                        self.arrivals.entry(ev.seq).or_insert(ev.at);
+                        self.arrivals
+                            .entry((ev.key.node, ev.key.emit))
+                            .or_insert(ev.at);
                     }
                     ev.at = busy;
                     ev.kind = EventKind::Deliver { from, msg, bytes };
                     self.queue.push_deferred(ev);
-                    return true;
+                    return;
                 }
                 self.now = ev.at;
-                let cost = self.service_cost(bytes);
-                self.busy_until[idx] = ev.at + cost;
-                self.profile[idx].sim_busy += cost;
+                let cost = env.service_cost(bytes);
+                self.busy_until[slot] = ev.at + cost;
+                self.profile[slot].sim_busy += cost;
                 self.stats.delivered += 1;
-                if self.trace_on {
-                    self.record_service_span(ev.seq, target, ev.at, cost);
+                if env.trace_on {
+                    self.record_service_span(ev.key, target, ev.at, cost, env);
                 }
-                self.dispatch(target, DispatchKind::Message { from, msg });
-                self.flush_after_event(target);
+                self.dispatch(target, slot, DispatchKind::Message { from, msg }, env);
+                self.flush_after_event(target, slot, env);
             }
             EventKind::DeliverEnvelope { from, msgs, bytes } => {
-                if !self.alive[idx] || self.dc_down[self.topology.dc_of(target).0 as usize] {
+                if !self.alive[slot] || self.down {
                     self.now = ev.at;
                     self.stats.dropped += 1;
-                    if self.trace_on {
-                        self.arrivals.remove(&ev.seq);
+                    if env.trace_on {
+                        self.arrivals.remove(&(ev.key.node, ev.key.emit));
                     }
-                    return true;
+                    return;
                 }
-                let busy = self.busy_until[idx];
+                let busy = self.busy_until[slot];
                 if busy > ev.at {
-                    if self.trace_on {
-                        self.arrivals.entry(ev.seq).or_insert(ev.at);
+                    if env.trace_on {
+                        self.arrivals
+                            .entry((ev.key.node, ev.key.emit))
+                            .or_insert(ev.at);
                     }
                     ev.at = busy;
                     ev.kind = EventKind::DeliverEnvelope { from, msgs, bytes };
                     self.queue.push_deferred(ev);
-                    return true;
+                    return;
                 }
                 self.now = ev.at;
                 // One service floor plus the per-byte cost of the whole
                 // envelope — the amortization coalescing buys.
-                let cost = self.service_cost(bytes);
-                self.busy_until[idx] = ev.at + cost;
-                self.profile[idx].sim_busy += cost;
+                let cost = env.service_cost(bytes);
+                self.busy_until[slot] = ev.at + cost;
+                self.profile[slot].sim_busy += cost;
                 self.stats.delivered += 1;
-                if self.trace_on {
-                    self.record_service_span(ev.seq, target, ev.at, cost);
+                if env.trace_on {
+                    self.record_service_span(ev.key, target, ev.at, cost, env);
                 }
                 // Unpack before dispatch: payloads in send order, and
                 // everything the handlers send batches into the reply
                 // flush below.
                 for msg in msgs {
-                    self.dispatch(target, DispatchKind::Message { from, msg });
+                    self.dispatch(target, slot, DispatchKind::Message { from, msg }, env);
                 }
-                self.flush_after_event(target);
+                self.flush_after_event(target, slot, env);
             }
             EventKind::FlushOutbox => {
                 self.now = ev.at;
                 // Only the currently scheduled flush counts; an event
-                // orphaned by a crash (which cleared the entry) must
+                // orphaned by a crash (which cleared the deadline) must
                 // not flush a post-revival batch early.
-                if self.flush_pending.get(&target.0) == Some(&ev.at) {
-                    self.flush_pending.remove(&target.0);
-                    self.flush_outbox(target);
+                if self.flush_deadline[slot] == Some(ev.at) {
+                    self.flush_deadline[slot] = None;
+                    self.flush_outbox(target, slot, env);
                 }
             }
-        }
-        true
-    }
-
-    /// Runs all events up to and including time `until`, then sets the
-    /// clock to `until`.
-    pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            self.step();
-        }
-        self.now = self.now.max(until);
-    }
-
-    /// Runs for `d` of virtual time from now.
-    pub fn run_for(&mut self, d: SimDuration) {
-        let until = self.now + d;
-        self.run_until(until);
-    }
-
-    /// Drains the queue completely (tests; real experiments use
-    /// [`World::run_until`] because closed-loop clients never go idle).
-    pub fn run_to_quiescence(&mut self) {
-        while self.step() {}
-    }
-
-    /// Drains the queue like [`World::run_to_quiescence`], but panics
-    /// after `max_steps` events instead of livelocking on a
-    /// self-perpetuating timer/message loop. The panic names the process
-    /// that handled the most events (the likely offender) and the next
-    /// pending event's target. Prefer this in tests: a buggy process
-    /// that re-arms itself forever turns into a diagnosable failure
-    /// instead of a hung run.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `max_steps` events ran without reaching quiescence.
-    pub fn run_to_quiescence_bounded(&mut self, max_steps: u64) {
-        let mut steps = 0u64;
-        let mut handled: HashMap<u32, u64> = HashMap::new();
-        while let Some(next) = self.queue.peek_target() {
-            if steps >= max_steps {
-                let (&hottest, &count) = handled
-                    .iter()
-                    // Max count; ties break toward the smallest id so
-                    // the panic message is deterministic.
-                    .max_by_key(|(id, c)| (**c, std::cmp::Reverse(**id)))
-                    .expect("at least one event was handled");
-                panic!(
-                    "run_to_quiescence_bounded: no quiescence after {max_steps} steps; \
-                     process {} handled {count} of them (next event targets {})",
-                    NodeId(hottest),
-                    next
-                );
-            }
-            *handled.entry(next.0).or_default() += 1;
-            steps += 1;
-            self.step();
         }
     }
 
     /// Records the receive span of a delivered frame: from first arrival
     /// (the original delivery time if it was deferred at a busy node)
     /// through the end of its service cost.
-    fn record_service_span(&mut self, seq: u64, target: NodeId, at: SimTime, cost: SimDuration) {
-        let arrived = self.arrivals.remove(&seq).unwrap_or(at);
-        if let Some(tracer) = &self.tracer {
+    fn record_service_span(
+        &mut self,
+        key: EventKey,
+        target: NodeId,
+        at: SimTime,
+        cost: SimDuration,
+        env: &Env<'_>,
+    ) {
+        let arrived = self.arrivals.remove(&(key.node, key.emit)).unwrap_or(at);
+        if let Some(tracer) = env.tracer {
             tracer.span(Span {
                 node: target,
-                dc: self.topology.dc_of(target),
+                dc: self.dc,
                 phase: Phase::NetService,
                 start: arrived,
                 end: at + cost,
@@ -621,32 +512,31 @@ impl<M: 'static> World<M> {
         }
     }
 
-    fn dispatch(&mut self, target: NodeId, kind: DispatchKind<M>) {
-        let idx = target.0 as usize;
+    fn dispatch(&mut self, target: NodeId, slot: usize, kind: DispatchKind<M>, env: &Env<'_>) {
         // Take the process out so effects application can borrow `self`.
-        let Some(mut proc_) = self.procs[idx].take() else {
+        let Some(mut proc_) = self.procs[slot].take() else {
             return;
         };
         self.stats.events_handled += 1;
-        self.profile[idx].events += 1;
+        self.profile[slot].events += 1;
         // Detect durable appends by WAL-byte delta: the disk is the one
         // source of truth, so no handler needs an explicit fsync call.
-        let watch_wal = self.fsync_latency > SimDuration::ZERO || self.trace_on;
+        let watch_wal = env.fsync_latency > SimDuration::ZERO || env.trace_on;
         let wal_before = if watch_wal {
-            self.disks[idx].stats().wal_bytes_written
+            self.disks[slot].stats().wal_bytes_written
         } else {
             0
         };
-        let wall_start = self.profile_wall.then(std::time::Instant::now);
+        let wall_start = env.profile_wall.then(std::time::Instant::now);
         let mut effects = std::mem::take(&mut self.effects_scratch);
         {
             let mut ctx = Ctx::with_disk(
                 self.now,
                 target,
-                &mut self.rng,
+                &mut self.rngs[slot],
                 &mut effects,
-                &mut self.next_timer,
-                &mut self.disks[idx],
+                &mut self.next_timer[slot],
+                &mut self.disks[slot],
             );
             match kind {
                 DispatchKind::Start => proc_.on_start(&mut ctx),
@@ -655,22 +545,22 @@ impl<M: 'static> World<M> {
             }
         }
         if let Some(t0) = wall_start {
-            self.profile[idx].wall += t0.elapsed();
+            self.profile[slot].wall += t0.elapsed();
         }
-        if watch_wal && self.disks[idx].stats().wal_bytes_written > wal_before {
+        if watch_wal && self.disks[slot].stats().wal_bytes_written > wal_before {
             // The handler appended WAL: charge the synchronous flush on
             // top of whatever CPU cost the event already cost the node.
-            let start = self.busy_until[idx].max(self.now);
-            let end = start + self.fsync_latency;
-            if self.fsync_latency > SimDuration::ZERO {
-                self.busy_until[idx] = end;
-                self.profile[idx].sim_busy += self.fsync_latency;
+            let start = self.busy_until[slot].max(self.now);
+            let end = start + env.fsync_latency;
+            if env.fsync_latency > SimDuration::ZERO {
+                self.busy_until[slot] = end;
+                self.profile[slot].sim_busy += env.fsync_latency;
             }
-            if self.trace_on {
-                if let Some(tracer) = &self.tracer {
+            if env.trace_on {
+                if let Some(tracer) = env.tracer {
                     tracer.span(Span {
                         node: target,
-                        dc: self.topology.dc_of(target),
+                        dc: self.dc,
                         phase: Phase::WalFsync,
                         start,
                         end,
@@ -681,14 +571,14 @@ impl<M: 'static> World<M> {
                 }
             }
         }
-        self.procs[idx] = Some(proc_);
+        self.procs[slot] = Some(proc_);
         for effect in effects.drain(..) {
-            self.apply_effect(target, effect);
+            self.apply_effect(target, slot, effect, env);
         }
         self.effects_scratch = effects;
     }
 
-    fn apply_effect(&mut self, source: NodeId, effect: Effect<M>) {
+    fn apply_effect(&mut self, source: NodeId, src_slot: usize, effect: Effect<M>, env: &Env<'_>) {
         match effect {
             Effect::Send {
                 to,
@@ -696,11 +586,11 @@ impl<M: 'static> World<M> {
                 bytes,
                 class,
             } => {
-                if self.coalesce {
+                if env.coalesce {
                     // Coalescing transport: accumulate in the sender's
                     // outbox; the flush at end-of-event (or after the
                     // Nagle window) ships one envelope per slot.
-                    let slots = self.outbox.entry(source.0).or_default();
+                    let slots = &mut self.outbox[src_slot];
                     match slots.iter_mut().find(|s| s.to == to && s.class == class) {
                         Some(slot) => {
                             slot.msgs.push(msg);
@@ -721,13 +611,15 @@ impl<M: 'static> World<M> {
                         msg,
                         bytes,
                     };
-                    self.push_to_network(source, to, bytes, class, 1, kind);
+                    self.push_to_network(source, src_slot, to, bytes, class, 1, kind, env);
                 }
             }
             Effect::SetTimer { id, delay, msg } => {
-                let incarnation = self.incarnations[source.0 as usize];
-                self.queue.push(
+                let incarnation = self.incarnations[src_slot];
+                let key = self.next_key(source, src_slot);
+                self.queue.push_keyed(
                     self.now + delay,
+                    key,
                     source,
                     EventKind::Timer {
                         id,
@@ -745,15 +637,20 @@ impl<M: 'static> World<M> {
     /// Hands one wire frame (a bare message or an envelope carrying
     /// `payloads` messages) to the network: accounts it, occupies the
     /// directed DC-pair link FIFO for its transmission delay, and
-    /// schedules delivery (or drops it, per the loss model).
+    /// schedules delivery (or drops it, per the loss model). Same-DC
+    /// arrivals go straight onto this shard's queue; cross-DC arrivals
+    /// buffer in `outgoing` for the world to route.
+    #[allow(clippy::too_many_arguments)]
     fn push_to_network(
         &mut self,
         source: NodeId,
+        src_slot: usize,
         to: NodeId,
         bytes: usize,
         class: TrafficClass,
         payloads: u64,
         kind: EventKind<M>,
+        env: &Env<'_>,
     ) {
         self.stats.sent += 1;
         self.stats.bytes_sent += bytes as u64;
@@ -762,20 +659,20 @@ impl<M: 'static> World<M> {
         totals.msgs += 1;
         totals.bytes += bytes as u64;
         totals.payloads += payloads;
-        let from_dc = self.topology.dc_of(source);
-        let to_dc = self.topology.dc_of(to);
+        let from_dc = self.dc;
+        let to_dc = env.topology.dc_of(to);
         // Transmission: the frame occupies the directed DC-pair link
         // for `bytes / bandwidth`, FIFO behind whatever is already on
         // it — a burst congests the link instead of teleporting. Lost
         // frames occupy the link too: the sender transmits the bytes
         // before the network eats them, so billed bytes and link
         // congestion stay consistent.
-        let tx = self.net.transmission_delay(from_dc, to_dc, bytes);
-        let link = &mut self.link_free_at[from_dc.0 as usize][to_dc.0 as usize];
+        let tx = env.net.transmission_delay(from_dc, to_dc, bytes);
+        let link = &mut self.link_free_at[to_dc.0 as usize];
         let start = (*link).max(self.now);
         *link = start + tx;
-        if self.trace_on {
-            if let Some(tracer) = &self.tracer {
+        if env.trace_on {
+            if let Some(tracer) = env.tracer {
                 let label = class_label(class);
                 if start > self.now {
                     // The frame waited for earlier traffic on the link.
@@ -809,24 +706,42 @@ impl<M: 'static> World<M> {
                 });
             }
         }
-        match self.net.sample_delay(from_dc, to_dc, &mut self.rng) {
-            Some(propagation) => self.queue.push(start + tx + propagation, to, kind),
+        match env
+            .net
+            .sample_delay(from_dc, to_dc, &mut self.rngs[src_slot])
+        {
+            Some(propagation) => {
+                let at = start + tx + propagation;
+                let key = self.next_key(source, src_slot);
+                if to_dc == self.dc {
+                    self.queue.push_keyed(at, key, to, kind);
+                } else {
+                    self.outgoing.push(Event {
+                        at,
+                        key,
+                        target: to,
+                        kind,
+                    });
+                }
+            }
             None => self.stats.dropped += 1,
         }
     }
 
     /// End-of-event hook of the coalescing transport: flush `src`'s
     /// outbox now (window zero) or make sure a Nagle flush is scheduled.
-    fn flush_after_event(&mut self, src: NodeId) {
-        if !self.coalesce || self.outbox.get(&src.0).is_none_or(|s| s.is_empty()) {
+    fn flush_after_event(&mut self, src: NodeId, slot: usize, env: &Env<'_>) {
+        if !env.coalesce || self.outbox[slot].is_empty() {
             return;
         }
-        if self.coalesce_window == SimDuration::ZERO {
-            self.flush_outbox(src);
-        } else if !self.flush_pending.contains_key(&src.0) {
-            let deadline = self.now + self.coalesce_window;
-            self.flush_pending.insert(src.0, deadline);
-            self.queue.push(deadline, src, EventKind::FlushOutbox);
+        if env.coalesce_window == SimDuration::ZERO {
+            self.flush_outbox(src, slot, env);
+        } else if self.flush_deadline[slot].is_none() {
+            let deadline = self.now + env.coalesce_window;
+            self.flush_deadline[slot] = Some(deadline);
+            let key = self.next_key(src, slot);
+            self.queue
+                .push_keyed(deadline, key, src, EventKind::FlushOutbox);
         }
     }
 
@@ -835,11 +750,14 @@ impl<M: 'static> World<M> {
     /// the legacy transport would send; two or more ship as one
     /// envelope (sized by [`envelope_wire_bytes`], matching the
     /// `mdcc_common::wire::Envelope` codec byte for byte).
-    fn flush_outbox(&mut self, src: NodeId) {
-        let Some(slots) = self.outbox.remove(&src.0) else {
+    fn flush_outbox(&mut self, src: NodeId, src_slot: usize, env: &Env<'_>) {
+        if self.outbox[src_slot].is_empty() {
             return;
-        };
-        for mut slot in slots {
+        }
+        // Swap the slot list out (keeping its capacity for the next
+        // burst) so push_to_network can borrow `self`.
+        let mut slots = std::mem::take(&mut self.outbox[src_slot]);
+        for mut slot in slots.drain(..) {
             if slot.msgs.len() == 1 {
                 let bytes = slot.framed_sizes[0];
                 let kind = EventKind::Deliver {
@@ -847,7 +765,7 @@ impl<M: 'static> World<M> {
                     msg: slot.msgs.pop().expect("one message"),
                     bytes,
                 };
-                self.push_to_network(src, slot.to, bytes, slot.class, 1, kind);
+                self.push_to_network(src, src_slot, slot.to, bytes, slot.class, 1, kind, env);
             } else {
                 let bytes = envelope_wire_bytes(slot.framed_sizes.iter().copied());
                 let count = slot.msgs.len() as u64;
@@ -856,8 +774,487 @@ impl<M: 'static> World<M> {
                     msgs: slot.msgs,
                     bytes,
                 };
-                self.push_to_network(src, slot.to, bytes, slot.class, count, kind);
+                self.push_to_network(src, src_slot, slot.to, bytes, slot.class, count, kind, env);
             }
+        }
+        // `slots` is empty but holds its capacity; the field currently
+        // holds a fresh empty Vec — give the capacity back unless the
+        // handlers above re-buffered (flush during flush can't happen,
+        // but keep it robust).
+        if self.outbox[src_slot].is_empty() {
+            self.outbox[src_slot] = slots;
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation of one deployment.
+pub struct World<M> {
+    now: SimTime,
+    shards: Vec<Shard<M>>,
+    /// Global node id → slot inside its shard (the shard is the node's
+    /// DC, via `topology`).
+    slot_of: Vec<u32>,
+    topology: Topology,
+    net: NetworkModel,
+    config: WorldConfig,
+    /// Conservative-parallel lookahead: `net.min_inter_dc_delay()`.
+    lookahead: SimDuration,
+    /// Shared trace collector, when the harness attached one.
+    tracer: Option<TraceHandle>,
+    /// Cached `tracer.enabled()` — tested on every event.
+    trace_on: bool,
+    /// Cached `tracer.profile()` — whether to time handlers on the host.
+    profile_wall: bool,
+    /// Emit counter for world-level injections (tests), stamped under a
+    /// pseudo-node so they never collide with real emit streams.
+    inject_emit: u64,
+    /// Reusable buffer for routing cross-shard events.
+    route_scratch: Vec<Event<M>>,
+}
+
+impl<M: Send + 'static> World<M> {
+    /// Creates a world over `net` with the given config.
+    pub fn new(net: NetworkModel, config: WorldConfig) -> Self {
+        let dc_count = net.dc_count();
+        let lookahead = net.min_inter_dc_delay();
+        Self {
+            now: SimTime::ZERO,
+            shards: (0..dc_count)
+                .map(|d| Shard::new(DcId(d as u8), dc_count))
+                .collect(),
+            slot_of: Vec::new(),
+            topology: Topology::new(),
+            net,
+            config,
+            lookahead,
+            tracer: None,
+            trace_on: false,
+            profile_wall: false,
+            inject_emit: 0,
+            route_scratch: Vec::new(),
+        }
+    }
+
+    /// Attaches a trace collector; the transport and the fsync model
+    /// record spans into it from now on. Tracing is observational only —
+    /// it never consumes randomness or reschedules an event, so a traced
+    /// run's execution is identical to an untraced one. Traced runs use
+    /// the sequential scheduler even when `parallel` is set (which
+    /// changes nothing observable — the schedulers are byte-identical).
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.trace_on = tracer.enabled();
+        self.profile_wall = tracer.profile();
+        self.tracer = Some(tracer);
+    }
+
+    /// Whether runs will actually use the parallel epoch scheduler.
+    pub fn parallel_active(&self) -> bool {
+        self.config.parallel && self.shards.len() > 1 && !self.trace_on
+    }
+
+    /// Number of worker threads a parallel run uses (1 when sequential).
+    pub fn worker_threads(&self) -> usize {
+        if self.parallel_active() {
+            self.shards.len()
+        } else {
+            1
+        }
+    }
+
+    /// Per-node event-loop profile, hottest (by virtual busy time,
+    /// events as tie-break) first.
+    pub fn profile(&self) -> Vec<ProfileEntry> {
+        let mut entries: Vec<ProfileEntry> = Vec::new();
+        for shard in &self.shards {
+            for (slot, cell) in shard.profile.iter().enumerate() {
+                entries.push(ProfileEntry {
+                    node: NodeId(shard.nodes[slot]),
+                    dc: shard.dc,
+                    events: cell.events,
+                    sim_busy: cell.sim_busy,
+                    wall: cell.wall,
+                });
+            }
+        }
+        entries.sort_by(|a, b| {
+            (b.sim_busy, b.events, a.node.0).cmp(&(a.sim_busy, a.events, b.node.0))
+        });
+        entries
+    }
+
+    /// Spawns a process in `dc`; its `on_start` runs at the current time.
+    pub fn spawn(&mut self, dc: DcId, proc_: Box<dyn Process<M>>) -> NodeId {
+        assert!(
+            (dc.0 as usize) < self.net.dc_count(),
+            "dc outside network model"
+        );
+        let id = self.topology.add_node(dc);
+        let seed = node_rng_seed(self.config.seed, id.0);
+        let shard = &mut self.shards[dc.0 as usize];
+        let slot = shard.nodes.len();
+        self.slot_of.push(slot as u32);
+        shard.nodes.push(id.0);
+        shard.procs.push(Some(proc_));
+        shard.busy_until.push(SimTime::ZERO);
+        shard.alive.push(true);
+        shard.incarnations.push(0);
+        shard.disks.push(Disk::new());
+        shard.rngs.push(SmallRng::seed_from_u64(seed));
+        shard.emit.push(0);
+        shard.next_timer.push((id.0 as u64) << 40);
+        shard.profile.push(ProfileCell::default());
+        shard.outbox.push(Vec::new());
+        shard.flush_deadline.push(None);
+        shard.now = shard.now.max(self.now);
+        let key = EventKey {
+            cause: self.now,
+            node: id.0,
+            emit: shard.emit[slot],
+        };
+        shard.emit[slot] += 1;
+        shard.queue.push_keyed(self.now, key, id, EventKind::Start);
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node-to-DC mapping.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// World-level counters (summed over shards).
+    pub fn stats(&self) -> WorldStats {
+        let mut total = WorldStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.stats);
+        }
+        total
+    }
+
+    /// Shard and slot of a node.
+    fn loc(&self, node: NodeId) -> (usize, usize) {
+        (
+            self.topology.dc_of(node).0 as usize,
+            self.slot_of[node.0 as usize] as usize,
+        )
+    }
+
+    /// Injects a message from outside the simulation (tests only; regular
+    /// traffic should originate in processes).
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M)
+    where
+        M: NetMessage,
+    {
+        let bytes = msg.wire_bytes();
+        let key = EventKey {
+            cause: self.now,
+            node: u32::MAX,
+            emit: self.inject_emit,
+        };
+        self.inject_emit += 1;
+        let (shard, _) = self.loc(to);
+        self.shards[shard].queue.push_keyed(
+            self.now,
+            key,
+            to,
+            EventKind::Deliver { from, msg, bytes },
+        );
+    }
+
+    /// Marks a node crashed: inbound messages drop, timers are suppressed,
+    /// the process is no longer invoked, and whatever its coalescing
+    /// outbox still buffered dies unsent.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let (shard, slot) = self.loc(node);
+        let shard = &mut self.shards[shard];
+        shard.alive[slot] = false;
+        shard.outbox[slot].clear();
+        // Orphan any scheduled flush: its deadline no longer matches
+        // the entry, so it fires as a no-op instead of prematurely
+        // flushing whatever a revived incarnation buffers later.
+        shard.flush_deadline[slot] = None;
+    }
+
+    /// Revives a crashed node (its state is whatever it was at crash time,
+    /// mirroring a process *pause*; see [`World::restart_node`] for a real
+    /// restart that loses volatile state).
+    pub fn revive_node(&mut self, node: NodeId) {
+        let (shard, slot) = self.loc(node);
+        self.shards[shard].alive[slot] = true;
+    }
+
+    /// Restarts a crashed node as a fresh process: the old incarnation's
+    /// volatile state (including its pending timers) is gone, its disk is
+    /// preserved, and `proc_` — typically rebuilt from that disk — runs
+    /// `on_start` at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is still alive; crash it first.
+    pub fn restart_node(&mut self, node: NodeId, proc_: Box<dyn Process<M>>) {
+        let (shard, slot) = self.loc(node);
+        let now = self.now;
+        let shard = &mut self.shards[shard];
+        assert!(!shard.alive[slot], "restart of a live node: crash it first");
+        shard.procs[slot] = Some(proc_);
+        shard.alive[slot] = true;
+        shard.incarnations[slot] += 1;
+        shard.busy_until[slot] = now;
+        shard.now = shard.now.max(now);
+        let key = EventKey {
+            cause: now,
+            node: node.0,
+            emit: shard.emit[slot],
+        };
+        shard.emit[slot] += 1;
+        shard.queue.push_keyed(now, key, node, EventKind::Start);
+    }
+
+    /// True if the node is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        let (shard, slot) = self.loc(node);
+        self.shards[shard].alive[slot]
+    }
+
+    /// Read access to a node's durable disk.
+    pub fn disk(&self, node: NodeId) -> &Disk {
+        let (shard, slot) = self.loc(node);
+        &self.shards[shard].disks[slot]
+    }
+
+    /// Write access to a node's durable disk (harness-side setup, e.g.
+    /// seeding an initial checkpoint before the simulation starts).
+    pub fn disk_mut(&mut self, node: NodeId) -> &mut Disk {
+        let (shard, slot) = self.loc(node);
+        &mut self.shards[shard].disks[slot]
+    }
+
+    /// Simulates a data-center outage the way the paper does (§5.3.4):
+    /// nodes in `dc` stop *receiving* messages. Their timers still fire,
+    /// so coordinators inside the failed DC keep timing out — which is the
+    /// externally observable behaviour of an unreachable region.
+    pub fn fail_dc(&mut self, dc: DcId) {
+        self.shards[dc.0 as usize].down = true;
+    }
+
+    /// Ends a data-center outage.
+    pub fn heal_dc(&mut self, dc: DcId) {
+        self.shards[dc.0 as usize].down = false;
+    }
+
+    /// True while `dc` is failed.
+    pub fn is_dc_down(&self, dc: DcId) -> bool {
+        self.shards[dc.0 as usize].down
+    }
+
+    /// Immutable access to a process, downcast to its concrete type.
+    pub fn get<P: Process<M>>(&self, node: NodeId) -> Option<&P> {
+        let (shard, slot) = self.loc(node);
+        self.shards[shard].procs[slot]
+            .as_deref()
+            .and_then(|p| (p as &dyn std::any::Any).downcast_ref())
+    }
+
+    /// Mutable access to a process, downcast to its concrete type.
+    pub fn get_mut<P: Process<M>>(&mut self, node: NodeId) -> Option<&mut P> {
+        let (shard, slot) = self.loc(node);
+        self.shards[shard].procs[slot]
+            .as_deref_mut()
+            .and_then(|p| (p as &mut dyn std::any::Any).downcast_mut())
+    }
+
+    /// The shard holding the globally earliest pending event, with that
+    /// event's rank. `None` when every queue is empty.
+    fn peek_min(&self) -> Option<(SimTime, EventKey, usize)> {
+        let mut best: Option<(SimTime, EventKey, usize)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some((t, k)) = shard.queue.peek_rank() {
+                if best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
+                    best = Some((t, k, i));
+                }
+            }
+        }
+        best
+    }
+
+    /// Pops and executes shard `i`'s earliest event, then routes any
+    /// cross-shard deliveries it produced.
+    fn step_shard(&mut self, i: usize) {
+        let env = Env {
+            net: &self.net,
+            topology: &self.topology,
+            slot_of: &self.slot_of,
+            service_time: self.config.service_time,
+            service_ns_per_byte: self.config.service_ns_per_byte,
+            coalesce: self.config.coalesce,
+            coalesce_window: self.config.coalesce_window,
+            fsync_latency: self.config.fsync_latency,
+            tracer: self.tracer.as_ref(),
+            trace_on: self.trace_on,
+            profile_wall: self.profile_wall,
+        };
+        let shard = &mut self.shards[i];
+        let Some(ev) = shard.queue.pop() else {
+            return;
+        };
+        self.now = self.now.max(ev.at);
+        shard.step_event(ev, &env);
+        if !self.shards[i].outgoing.is_empty() {
+            self.route_from(i, None);
+        }
+    }
+
+    /// Routes shard `i`'s buffered cross-shard events to their
+    /// destination shards' queues. `min_at` (the epoch horizon in
+    /// parallel mode) asserts the lookahead contract.
+    fn route_from(&mut self, i: usize, min_at: Option<SimTime>) {
+        let mut buf = std::mem::take(&mut self.route_scratch);
+        std::mem::swap(&mut buf, &mut self.shards[i].outgoing);
+        for ev in buf.drain(..) {
+            if let Some(min_at) = min_at {
+                debug_assert!(
+                    ev.at >= min_at,
+                    "cross-shard event at {:?} violates lookahead horizon {:?}",
+                    ev.at,
+                    min_at
+                );
+            }
+            let dest = self.topology.dc_of(ev.target).0 as usize;
+            debug_assert_ne!(dest, i, "same-shard event took the cross-shard path");
+            self.shards[dest]
+                .queue
+                .push_keyed(ev.at, ev.key, ev.target, ev.kind);
+        }
+        std::mem::swap(&mut buf, &mut self.shards[i].outgoing);
+        self.route_scratch = buf;
+    }
+
+    /// Executes a single event (the globally earliest across shards).
+    /// Returns `false` when every queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.peek_min() {
+            Some((_, _, i)) => {
+                self.step_shard(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs all events up to and including time `until`, then sets the
+    /// clock to `until`. Uses the parallel epoch scheduler when
+    /// [`WorldConfig::parallel`] is set (and the run is untraced);
+    /// results are byte-identical either way.
+    pub fn run_until(&mut self, until: SimTime) {
+        if self.parallel_active() {
+            self.run_epochs(until);
+        } else {
+            while let Some((t, _, i)) = self.peek_min() {
+                if t > until {
+                    break;
+                }
+                self.step_shard(i);
+            }
+        }
+        self.now = self.now.max(until);
+        for shard in &mut self.shards {
+            shard.now = shard.now.max(until);
+        }
+    }
+
+    /// The conservative parallel loop: repeatedly pick the earliest
+    /// pending event time `T`, run every shard through `[T, T + Δ)` on
+    /// its own thread (Δ = the inter-DC lookahead), and exchange
+    /// cross-DC arrivals at the barrier.
+    fn run_epochs(&mut self, until: SimTime) {
+        while let Some(t0) = self.shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+            if t0 > until {
+                break;
+            }
+            // Events with `at <= until` must run; the window is
+            // exclusive at the horizon, hence `until + 1 µs`.
+            let horizon = (t0 + self.lookahead).min(until + SimDuration(1));
+            let env = Env {
+                net: &self.net,
+                topology: &self.topology,
+                slot_of: &self.slot_of,
+                service_time: self.config.service_time,
+                service_ns_per_byte: self.config.service_ns_per_byte,
+                coalesce: self.config.coalesce,
+                coalesce_window: self.config.coalesce_window,
+                fsync_latency: self.config.fsync_latency,
+                tracer: self.tracer.as_ref(),
+                trace_on: self.trace_on,
+                profile_wall: self.profile_wall,
+            };
+            let shards = &mut self.shards;
+            std::thread::scope(|scope| {
+                for shard in shards.iter_mut() {
+                    if shard.queue.peek_time().is_none_or(|t| t >= horizon) {
+                        continue;
+                    }
+                    let env = &env;
+                    scope.spawn(move || shard.run_window(horizon, env));
+                }
+            });
+            for i in 0..self.shards.len() {
+                if !self.shards[i].outgoing.is_empty() {
+                    self.route_from(i, Some(horizon));
+                }
+            }
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Drains the queue completely (tests; real experiments use
+    /// [`World::run_until`] because closed-loop clients never go idle).
+    /// Always sequential: quiescence detection needs the global view.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Drains the queue like [`World::run_to_quiescence`], but panics
+    /// after `max_steps` events instead of livelocking on a
+    /// self-perpetuating timer/message loop. The panic names the process
+    /// that handled the most events (the likely offender) and the next
+    /// pending event's target. Prefer this in tests: a buggy process
+    /// that re-arms itself forever turns into a diagnosable failure
+    /// instead of a hung run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_steps` events ran without reaching quiescence.
+    pub fn run_to_quiescence_bounded(&mut self, max_steps: u64) {
+        let mut steps = 0u64;
+        let mut handled: HashMap<u32, u64> = HashMap::new();
+        while let Some((_, _, i)) = self.peek_min() {
+            let next = self.shards[i].queue.peek_target().expect("peeked event");
+            if steps >= max_steps {
+                let (&hottest, &count) = handled
+                    .iter()
+                    // Max count; ties break toward the smallest id so
+                    // the panic message is deterministic.
+                    .max_by_key(|(id, c)| (**c, std::cmp::Reverse(**id)))
+                    .expect("at least one event was handled");
+                panic!(
+                    "run_to_quiescence_bounded: no quiescence after {max_steps} steps; \
+                     process {} handled {count} of them (next event targets {})",
+                    NodeId(hottest),
+                    next
+                );
+            }
+            *handled.entry(next.0).or_default() += 1;
+            steps += 1;
+            self.step_shard(i);
         }
     }
 }
@@ -1549,5 +1946,103 @@ mod tests {
         let (mut w, a, _) = two_node_world(3);
         w.run_to_quiescence_bounded(10_000);
         assert_eq!(w.get::<Pinger>(a).unwrap().log.len(), 11);
+    }
+
+    // -----------------------------------------------------------------
+    // The conservative parallel per-DC engine.
+    // -----------------------------------------------------------------
+
+    /// Full fingerprint of a jittered three-DC run with crash/revive
+    /// faults: world stats plus every pinger's receive log.
+    fn fingerprint(parallel: bool, seed: u64) -> (WorldStats, Vec<Vec<(SimTime, u32)>>) {
+        // Default 0.08 jitter ON: propagation delays draw from the
+        // per-node RNGs, so any scheduler divergence would cascade.
+        let net = NetworkModel::uniform(3, 80.0, 1.0);
+        let mut w = World::new(
+            net,
+            WorldConfig {
+                seed,
+                parallel,
+                ..WorldConfig::default()
+            },
+        );
+        let a = w.spawn(
+            DcId(0),
+            Box::new(Pinger {
+                peer: NodeId(1),
+                rounds: 500,
+                log: vec![],
+            }),
+        );
+        let b = w.spawn(
+            DcId(1),
+            Box::new(Pinger {
+                peer: NodeId(0),
+                rounds: 500,
+                log: vec![],
+            }),
+        );
+        let c = w.spawn(
+            DcId(2),
+            Box::new(Pinger {
+                peer: NodeId(0),
+                rounds: 500,
+                log: vec![],
+            }),
+        );
+        w.run_until(SimTime::from_secs(3));
+        w.crash_node(c);
+        w.run_until(SimTime::from_secs(4));
+        w.revive_node(c);
+        w.run_until(SimTime::from_secs(12));
+        let logs = [a, b, c]
+            .iter()
+            .map(|&n| w.get::<Pinger>(n).unwrap().log.clone())
+            .collect();
+        (w.stats(), logs)
+    }
+
+    #[test]
+    fn parallel_engine_is_byte_identical_to_sequential() {
+        for seed in [1u64, 7, 0xC0FFEE] {
+            let seq = fingerprint(false, seed);
+            let par = fingerprint(true, seed);
+            assert_eq!(seq.0, par.0, "stats diverged for seed {seed}");
+            assert_eq!(seq.1, par.1, "receive logs diverged for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_reports_worker_threads() {
+        let net = NetworkModel::uniform(3, 80.0, 1.0);
+        let w: World<u32> = World::new(
+            net.clone(),
+            WorldConfig {
+                parallel: true,
+                ..WorldConfig::default()
+            },
+        );
+        assert!(w.parallel_active());
+        assert_eq!(w.worker_threads(), 3);
+        let w_seq: World<u32> = World::new(net, WorldConfig::default());
+        assert!(!w_seq.parallel_active());
+        assert_eq!(w_seq.worker_threads(), 1);
+    }
+
+    #[test]
+    fn traced_runs_fall_back_to_the_sequential_scheduler() {
+        let net = NetworkModel::uniform(3, 80.0, 1.0);
+        let mut w: World<u32> = World::new(
+            net,
+            WorldConfig {
+                parallel: true,
+                ..WorldConfig::default()
+            },
+        );
+        w.set_tracer(mdcc_trace::TraceHandle::new(mdcc_trace::TraceConfig::on()));
+        assert!(
+            !w.parallel_active(),
+            "tracing must force the sequential merge path"
+        );
     }
 }

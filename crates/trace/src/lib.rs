@@ -19,10 +19,9 @@
 //! so the exported JSON is a pure function of the seed: same seed ⇒
 //! byte-identical trace.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mdcc_common::{DcId, Key, NodeId, SimDuration, SimTime, TxnId};
 
@@ -225,16 +224,18 @@ struct Collector {
 
 /// Shared, cloneable handle to one run's trace collector.
 ///
-/// The simulation is single-threaded, so an `Rc<RefCell<…>>` is safe;
-/// the world, every TM and every storage node hold clones of the same
-/// handle and append to one span stream.
+/// The world, every TM and every storage node hold clones of the same
+/// handle and append to one span stream. The collector sits behind an
+/// `Arc<Mutex<…>>` so the handle is `Send` — the parallel per-DC runner
+/// moves worlds across worker threads — but traced runs always use the
+/// sequential scheduler, so the lock is never contended in practice.
 #[derive(Debug, Clone)]
-pub struct TraceHandle(Rc<RefCell<Collector>>);
+pub struct TraceHandle(Arc<Mutex<Collector>>);
 
 impl TraceHandle {
     /// Creates a collector for one run.
     pub fn new(cfg: TraceConfig) -> Self {
-        TraceHandle(Rc::new(RefCell::new(Collector {
+        TraceHandle(Arc::new(Mutex::new(Collector {
             cfg,
             spans: Vec::new(),
             counters: Vec::new(),
@@ -244,24 +245,24 @@ impl TraceHandle {
 
     /// The configuration the collector was created with.
     pub fn config(&self) -> TraceConfig {
-        self.0.borrow().cfg
+        self.0.lock().unwrap().cfg
     }
 
     /// Whether any recording happens at all.
     pub fn enabled(&self) -> bool {
-        self.0.borrow().cfg.enabled
+        self.0.lock().unwrap().cfg.enabled
     }
 
     /// Whether the host-wall-clock profiler is requested.
     pub fn profile(&self) -> bool {
-        let cfg = self.0.borrow().cfg;
+        let cfg = self.0.lock().unwrap().cfg;
         cfg.enabled && cfg.profile
     }
 
     /// Deterministic 1-in-`sample` filter for txn-keyed protocol spans;
     /// spans with no transaction in scope are kept whenever tracing is on.
     pub fn sampled(&self, txn: Option<TxnId>) -> bool {
-        let cfg = self.0.borrow().cfg;
+        let cfg = self.0.lock().unwrap().cfg;
         cfg.enabled && txn.map(|t| t.seq % cfg.sample.max(1) == 0).unwrap_or(true)
     }
 
@@ -280,7 +281,8 @@ impl TraceHandle {
             return;
         }
         self.0
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .open
             .entry((node, txn, key, phase))
             .or_insert(OpenSpan {
@@ -303,7 +305,7 @@ impl TraceHandle {
         if !self.sampled(txn) {
             return;
         }
-        let mut c = self.0.borrow_mut();
+        let mut c = self.0.lock().unwrap();
         if let Some(open) = c.open.remove(&(node, txn, key.clone(), phase)) {
             c.spans.push(Span {
                 node,
@@ -332,7 +334,7 @@ impl TraceHandle {
         if !self.sampled(txn) {
             return;
         }
-        let mut c = self.0.borrow_mut();
+        let mut c = self.0.lock().unwrap();
         if let Some(open) = c.open.get_mut(&(node, txn, key, phase)) {
             open.end = open.end.max(at);
             open.closable = true;
@@ -342,7 +344,7 @@ impl TraceHandle {
     /// Records an already-closed span directly (transport / WAL spans
     /// whose bounds are known at record time).
     pub fn span(&self, span: Span) {
-        let mut c = self.0.borrow_mut();
+        let mut c = self.0.lock().unwrap();
         if !c.cfg.enabled {
             return;
         }
@@ -351,7 +353,7 @@ impl TraceHandle {
 
     /// Records one sample of a per-link backlog gauge.
     pub fn counter(&self, sample: CounterSample) {
-        let mut c = self.0.borrow_mut();
+        let mut c = self.0.lock().unwrap();
         if !c.cfg.enabled {
             return;
         }
@@ -362,7 +364,7 @@ impl TraceHandle {
     /// observed end, drops never-extended opens (in-flight at drain),
     /// and returns everything deterministically sorted.
     pub fn take(&self) -> TraceData {
-        let mut c = self.0.borrow_mut();
+        let mut c = self.0.lock().unwrap();
         let open = std::mem::take(&mut c.open);
         let mut closable: Vec<(SpanKey, OpenSpan)> =
             open.into_iter().filter(|(_, o)| o.closable).collect();
