@@ -1,0 +1,267 @@
+//! Criterion micro-benchmarks of the durability and storage-engine hot
+//! paths: WAL framing under the per-append and group-commit fsync
+//! disciplines, and record access through the two [`Storage`] backends.
+//!
+//! The simulated-latency amortization (N transactions, one
+//! `fsync_latency`) is fig10's story; what these benches pin down is
+//! the *host* cost of the same paths — frame encoding and checksum per
+//! append, transient decode on a cold log-structured read, and the
+//! copy-forward compaction rewrite.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mdcc_common::{
+    CommutativeUpdate, Key, NodeId, ProtocolConfig, Row, SimTime, TableId, TxnId, UpdateOp,
+};
+use mdcc_paxos::{AcceptorRecord, AttrConstraint, TxnOption};
+use mdcc_recovery::wal::{self, WalRecord};
+use mdcc_sim::Disk;
+use mdcc_storage::{Catalog, LogStructuredBackend, MemBackend, Storage, TableSchema};
+
+fn key(n: usize) -> Key {
+    Key::new(TableId(1), format!("k{n:05}"))
+}
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(Catalog::new().with(
+        TableSchema::new(TableId(1), "item").with_constraint(AttrConstraint::at_least("stock", 0)),
+    ))
+}
+
+fn record(cat: &Arc<Catalog>, k: &Key, stock: i64) -> AcceptorRecord {
+    let cfg = ProtocolConfig::default();
+    AcceptorRecord::with_value(
+        cat.constraints_for(k),
+        cfg.replication,
+        cfg.fast_quorum,
+        cfg.max_instance_options,
+        Row::new().with("stock", stock),
+    )
+}
+
+fn wal_record(seq: u64) -> WalRecord {
+    WalRecord::FastPropose {
+        at: SimTime::from_millis(seq),
+        opt: TxnOption::solo(
+            TxnId::new(NodeId(0), seq),
+            key(seq as usize),
+            UpdateOp::Commutative(CommutativeUpdate::delta("stock", -1)),
+        ),
+    }
+}
+
+/// WAL appends under the two fsync disciplines: one fsync per append
+/// versus one covering fsync per batch. The simulated disk's fsync is a
+/// watermark store, so the rows isolate the per-append framing cost the
+/// storage node pays either way.
+fn bench_wal_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    for batch in [1usize, 8, 32] {
+        let records: Vec<WalRecord> = (0..batch as u64).map(wal_record).collect();
+        group.bench_with_input(
+            BenchmarkId::new("append_fsync_each", batch),
+            &batch,
+            |bench, _| {
+                bench.iter_batched(
+                    Disk::new,
+                    |mut disk| {
+                        for r in &records {
+                            wal::append(&mut disk, r);
+                            disk.fsync();
+                        }
+                        disk.wal_len()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("append_group_fsync", batch),
+            &batch,
+            |bench, _| {
+                bench.iter_batched(
+                    Disk::new,
+                    |mut disk| {
+                        for r in &records {
+                            wal::append(&mut disk, r);
+                        }
+                        disk.fsync();
+                        disk.wal_len()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+const ENGINE_RECORDS: usize = 512;
+/// Small enough that the bulk-load rows overflow it several times —
+/// eviction (the encode-and-spill path) is part of what's measured.
+const CACHE_CAP: usize = 128;
+
+fn log_engine(cat: &Arc<Catalog>) -> LogStructuredBackend {
+    let cfg = ProtocolConfig {
+        log_cache_records: CACHE_CAP,
+        ..ProtocolConfig::default()
+    };
+    LogStructuredBackend::new(&cfg, Arc::clone(cat))
+}
+
+fn loaded_log_engine(cat: &Arc<Catalog>) -> LogStructuredBackend {
+    let mut log = log_engine(cat);
+    for i in 0..ENGINE_RECORDS {
+        let k = key(i);
+        log.insert(k.clone(), record(cat, &k, i as i64));
+    }
+    log
+}
+
+/// Bulk insert through both backends. The log-structured rows include
+/// the evictions the bounded cache forces (`ENGINE_RECORDS` is several
+/// times `CACHE_CAP`).
+fn bench_engine_put(c: &mut Criterion) {
+    let cat = catalog();
+    let records: Vec<(Key, AcceptorRecord)> = (0..ENGINE_RECORDS)
+        .map(|i| {
+            let k = key(i);
+            let r = record(&cat, &k, i as i64);
+            (k, r)
+        })
+        .collect();
+    let mut group = c.benchmark_group("engine_put");
+    group.sample_size(20);
+    group.bench_function("mem", |bench| {
+        bench.iter_batched(
+            MemBackend::new,
+            |mut mem| {
+                for (k, r) in &records {
+                    mem.insert(k.clone(), r.clone());
+                }
+                mem.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("log_structured", |bench| {
+        bench.iter_batched(
+            || log_engine(&cat),
+            |mut log| {
+                for (k, r) in &records {
+                    log.insert(k.clone(), r.clone());
+                }
+                log.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Point reads: the in-memory map, a log-structured cache hit, and a
+/// log-structured cold read (transient segment decode — the price of
+/// keeping the record unmaterialized).
+fn bench_engine_get(c: &mut Criterion) {
+    let cat = catalog();
+    let mut mem = MemBackend::new();
+    for i in 0..ENGINE_RECORDS {
+        let k = key(i);
+        mem.insert(k.clone(), record(&cat, &k, i as i64));
+    }
+    let log = loaded_log_engine(&cat);
+    // The newest insert is certainly cached; key 0 was evicted long ago,
+    // and reads materialize transiently so it stays cold.
+    let hot = key(ENGINE_RECORDS - 1);
+    let cold = key(0);
+    assert!(log.materialized() <= CACHE_CAP);
+    let mut group = c.benchmark_group("engine_get");
+    group.bench_function("mem", |bench| {
+        bench.iter(|| {
+            let mut v = 0;
+            mem.read(std::hint::black_box(&cold), &mut |r| {
+                v = r.version().0;
+            });
+            v
+        });
+    });
+    group.bench_function("log_hot", |bench| {
+        bench.iter(|| {
+            let mut v = 0;
+            log.read(std::hint::black_box(&hot), &mut |r| {
+                v = r.version().0;
+            });
+            v
+        });
+    });
+    group.bench_function("log_cold", |bench| {
+        bench.iter(|| {
+            let mut v = 0;
+            log.read(std::hint::black_box(&cold), &mut |r| {
+                v = r.version().0;
+            });
+            v
+        });
+    });
+    group.finish();
+}
+
+/// In-place update of a hot record — the steady-state path of every
+/// protocol-side mutation once the record is materialized.
+fn bench_engine_update(c: &mut Criterion) {
+    let cat = catalog();
+    let mut mem = MemBackend::new();
+    let k = key(0);
+    mem.insert(k.clone(), record(&cat, &k, 1));
+    let mut log = loaded_log_engine(&cat);
+    let hot = key(ENGINE_RECORDS - 1);
+    let mut group = c.benchmark_group("engine_update");
+    group.bench_function("mem", |bench| {
+        bench.iter(|| {
+            let mut v = 0;
+            mem.update(&k, &mut || unreachable!("record exists"), &mut |r| {
+                v = r.version().0;
+            });
+            v
+        });
+    });
+    group.bench_function("log_hot", |bench| {
+        bench.iter(|| {
+            let mut v = 0;
+            log.update(&hot, &mut || unreachable!("record exists"), &mut |r| {
+                v = r.version().0;
+            });
+            v
+        });
+    });
+    group.finish();
+}
+
+/// The copy-forward rewrite: every live entry re-appended into fresh
+/// segments in sorted-key order. Repeated calls rewrite the same live
+/// set, so each iteration measures one full compaction pass over
+/// `ENGINE_RECORDS` spilled records.
+fn bench_engine_compact(c: &mut Criterion) {
+    let cat = catalog();
+    let mut log = loaded_log_engine(&cat);
+    let mut group = c.benchmark_group("engine_compact");
+    group.sample_size(20);
+    group.bench_function("log_structured", |bench| {
+        bench.iter(|| {
+            log.compact();
+            log.engine_stats().live_bytes
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wal_commit,
+    bench_engine_put,
+    bench_engine_get,
+    bench_engine_update,
+    bench_engine_compact
+);
+criterion_main!(benches);

@@ -209,10 +209,14 @@ pub fn net_summary(report: &mdcc_cluster::Report) -> String {
     const MB: f64 = 1_000_000.0;
     let n = report.net;
     let commits = report.committed_count().max(1);
+    let fsyncs = match report.fsyncs_per_commit() {
+        Some(f) if n.fsyncs > 0 => format!(", {f:.2} fsyncs/commit"),
+        _ => String::new(),
+    };
     format!(
         "wire: {:.2} MB (protocol {:.2} / read {:.2} / sync {:.2} / repair {:.2}), \
          {:.0} bytes/commit, {:.1} msgs/commit ({:.1} protocol; {:.2}x coalesced), \
-         {} repair rounds",
+         {} repair rounds{fsyncs}",
         n.bytes_sent as f64 / MB,
         n.protocol.bytes as f64 / MB,
         n.read.bytes as f64 / MB,
@@ -270,7 +274,7 @@ pub fn perf_summary(report: &Report) -> String {
 /// nothing reads it back.
 #[derive(Debug, Default)]
 pub struct PerfLog {
-    runs: Vec<(String, RunPerf)>,
+    runs: Vec<(String, RunPerf, Option<f64>)>,
 }
 
 impl PerfLog {
@@ -279,9 +283,11 @@ impl PerfLog {
         Self::default()
     }
 
-    /// Records one finished run under `label`.
+    /// Records one finished run under `label` (host cost plus the run's
+    /// fsyncs/commit, the group-commit figure-of-merit).
     pub fn record(&mut self, label: impl Into<String>, report: &Report) {
-        self.runs.push((label.into(), report.perf));
+        self.runs
+            .push((label.into(), report.perf, report.fsyncs_per_commit()));
     }
 
     /// Writes the collected samples to `results/perf_<fig>.json`
@@ -291,22 +297,28 @@ impl PerfLog {
         let dir = PathBuf::from("results");
         let _ = fs::create_dir_all(&dir);
         let path = dir.join(format!("perf_{fig}.json"));
-        let total_wall: f64 = self.runs.iter().map(|(_, p)| p.wall.as_secs_f64()).sum();
-        let total_events: u64 = self.runs.iter().map(|(_, p)| p.events).sum();
+        let total_wall: f64 = self.runs.iter().map(|(_, p, _)| p.wall.as_secs_f64()).sum();
+        let total_events: u64 = self.runs.iter().map(|(_, p, _)| p.events).sum();
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"fig\": {},\n", json_str(fig)));
         out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
         out.push_str("  \"runs\": [\n");
-        for (i, (label, p)) in self.runs.iter().enumerate() {
+        for (i, (label, p, fsyncs)) in self.runs.iter().enumerate() {
+            let fsyncs = match fsyncs {
+                Some(f) => format!("{f:.4}"),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
                 "    {{\"label\": {}, \"wall_secs\": {:.6}, \"events\": {}, \
-                 \"events_per_sec\": {:.1}, \"threads\": {}}}{}\n",
+                 \"events_per_sec\": {:.1}, \"threads\": {}, \
+                 \"fsyncs_per_commit\": {}}}{}\n",
                 json_str(label),
                 p.wall.as_secs_f64(),
                 p.events,
                 p.events_per_sec(),
                 p.threads.max(1),
+                fsyncs,
                 if i + 1 < self.runs.len() { "," } else { "" }
             ));
         }

@@ -300,6 +300,9 @@ pub fn run_mdcc(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            group_commit: spec.protocol.group_commit,
+            group_commit_window: spec.protocol.group_commit_window,
+            group_commit_bytes: spec.protocol.group_commit_bytes,
             parallel: spec.parallel,
         },
     );
@@ -473,6 +476,7 @@ pub fn run_mdcc(
 
     // End-of-run consistency audit across every storage node.
     let mut audit = ClusterAudit::default();
+    let mut engine = mdcc_storage::EngineStats::default();
     let mut node_stats = mdcc_core::node::NodeStats::default();
     let mut minima: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
     for dc_nodes in &matrix {
@@ -505,6 +509,12 @@ pub fn run_mdcc(
                 }
             }
             audit.wal_bytes_written += world.disk(n).stats().wal_bytes_written;
+            let e = node.store().engine_stats();
+            engine.live_bytes += e.live_bytes;
+            engine.dead_bytes += e.dead_bytes;
+            engine.segments += e.segments;
+            engine.compactions += e.compactions;
+            engine.evictions += e.evictions;
         }
     }
     audit.stuck_clients = in_flight;
@@ -571,6 +581,7 @@ pub fn run_mdcc(
         threads: world.worker_threads(),
     };
     report.profile = world.profile();
+    report.engine = engine;
     if spec.trace.enabled {
         report.trace = Some(tracer.take());
     }
@@ -599,6 +610,9 @@ pub fn run_qw(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            group_commit: spec.protocol.group_commit,
+            group_commit_window: spec.protocol.group_commit_window,
+            group_commit_bytes: spec.protocol.group_commit_bytes,
             parallel: spec.parallel,
         },
     );
@@ -677,6 +691,9 @@ pub fn run_tpc(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            group_commit: spec.protocol.group_commit,
+            group_commit_window: spec.protocol.group_commit_window,
+            group_commit_bytes: spec.protocol.group_commit_bytes,
             parallel: spec.parallel,
         },
     );
@@ -752,6 +769,9 @@ pub fn run_megastore(
             coalesce: spec.protocol.coalesce,
             coalesce_window: spec.protocol.coalesce_window,
             fsync_latency: spec.wal_fsync,
+            group_commit: spec.protocol.group_commit,
+            group_commit_window: spec.protocol.group_commit_window,
+            group_commit_bytes: spec.protocol.group_commit_bytes,
             parallel: spec.parallel,
         },
     );

@@ -98,6 +98,12 @@ pub struct NetReport {
     /// `repair.msgs / 2` approximates the number of read-repair round
     /// trips the run needed.
     pub repair: TrafficTotals,
+    /// WAL fsyncs charged across all nodes. Zero when `fsync_latency`
+    /// is zero (appends are free); with group commit on, one covering
+    /// fsync serves every append in its batch, so
+    /// `fsyncs / committed_count` is the amortization the commit
+    /// buffer achieved.
+    pub fsyncs: u64,
 }
 
 impl NetReport {
@@ -113,6 +119,7 @@ impl NetReport {
             read: stats.class(TrafficClass::Read),
             sync: stats.class(TrafficClass::Sync),
             repair: stats.class(TrafficClass::Repair),
+            fsyncs: stats.fsyncs,
         }
     }
 }
@@ -206,6 +213,9 @@ pub struct Report {
     /// Per-node event-loop profile, hottest node first (MDCC runs; the
     /// wall column is zero unless `TraceConfig::profile` was set).
     pub profile: Vec<ProfileEntry>,
+    /// Storage-engine counters summed across every node (MDCC runs;
+    /// all-zero under the in-memory backend, which has no segments).
+    pub engine: mdcc_storage::EngineStats,
 }
 
 impl Report {
@@ -226,6 +236,7 @@ impl Report {
             trace: None,
             perf: RunPerf::default(),
             profile: Vec::new(),
+            engine: mdcc_storage::EngineStats::default(),
         }
     }
 
@@ -259,6 +270,17 @@ impl Report {
         match self.committed_count() {
             0 => None,
             commits => Some(self.net.msgs_sent as f64 / commits as f64),
+        }
+    }
+
+    /// WAL fsyncs charged per committed transaction — the
+    /// figure-of-merit of group commit, landing beside bytes/commit
+    /// (coalescing) and msgs/commit (enveloping). `None` when nothing
+    /// committed.
+    pub fn fsyncs_per_commit(&self) -> Option<f64> {
+        match self.committed_count() {
+            0 => None,
+            commits => Some(self.net.fsyncs as f64 / commits as f64),
         }
     }
 
@@ -521,10 +543,13 @@ mod tests {
         ]);
         r.net.msgs_sent = 30;
         r.net.bytes_sent = 600;
+        r.net.fsyncs = 7;
         assert_eq!(r.msgs_per_commit(), Some(15.0));
         assert_eq!(r.bytes_per_commit(), Some(300.0));
+        assert_eq!(r.fsyncs_per_commit(), Some(3.5));
         let nothing_committed = report(vec![rec(0, 10, false, true)]);
         assert_eq!(nothing_committed.msgs_per_commit(), None);
+        assert_eq!(nothing_committed.fsyncs_per_commit(), None);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Group-commit WAL and storage-backend acceptance tests.
+//!
+//! The per-node commit buffer (`ProtocolConfig::group_commit`, on by
+//! default) must be a pure durability-layer optimization: with fsync
+//! latency zero it is inert — byte-identical to the per-append
+//! discipline — and with real fsync latency it preserves every commit
+//! guarantee while paying several-fold fewer fsyncs per committed
+//! transaction. The storage backend knob (`ProtocolConfig::storage`)
+//! must be invisible one layer further down: cluster runs under the
+//! in-memory and log-structured engines are byte-identical, wire
+//! accounting included.
+
+use std::sync::Arc;
+
+use mdcc_cluster::{run_mdcc, ClusterSpec, FaultPlan, MdccMode, Report};
+use mdcc_common::{DcId, Key, Row, SimDuration, StorageKind};
+use mdcc_core::TxnStats;
+use mdcc_storage::{AttrConstraint, Catalog, TableSchema};
+use mdcc_workloads::micro::{item_key, MicroConfig, MicroWorkload, MICRO_ITEMS, STOCK};
+use mdcc_workloads::Workload;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(Catalog::new().with(
+        TableSchema::new(MICRO_ITEMS, "item").with_constraint(AttrConstraint::at_least("stock", 0)),
+    ))
+}
+
+const ITEMS: u64 = 120;
+
+/// A durable deployment: every storage-node state change WAL-appends,
+/// so the fsync discipline is on the critical path of every commit.
+fn wal_spec(seed: u64, fsync: SimDuration, group_commit: bool) -> ClusterSpec {
+    let s = SimDuration::from_secs;
+    let mut spec = ClusterSpec {
+        seed,
+        clients: 10,
+        shards_per_dc: 1,
+        warmup: s(2),
+        duration: s(12),
+        drain: s(8),
+        durability: true,
+        wal_fsync: fsync,
+        ..ClusterSpec::default()
+    };
+    spec.protocol.group_commit = group_commit;
+    spec
+}
+
+fn run_wal(spec: &ClusterSpec) -> (Report, TxnStats) {
+    // Effectively infinite stock: only the durability discipline (or
+    // the storage backend) differs between runs, so commit outcomes are
+    // comparable point to point — constraint exhaustion never decides.
+    let data: Vec<(Key, Row)> = (0..ITEMS)
+        .map(|i| (item_key(i), Row::new().with(STOCK, 1_000_000)))
+        .collect();
+    let mut factory = |_c: usize, _dc: DcId, _p: &_| -> Box<dyn Workload> {
+        Box::new(MicroWorkload::new(MicroConfig {
+            items: ITEMS,
+            ..MicroConfig::default()
+        }))
+    };
+    run_mdcc(spec, catalog(), &data, &mut factory, MdccMode::Full)
+}
+
+fn assert_healthy(label: &str, report: &Report) {
+    let audit = report.audit.as_ref().expect("mdcc runs audit the cluster");
+    assert_eq!(audit.pending_options, 0, "{label}: options left dangling");
+    assert_eq!(audit.stuck_clients, 0, "{label}: clients left stuck");
+    let min_stock = audit.min_of("stock").expect("stock audited");
+    assert!(min_stock >= 0, "{label}: stock constraint violated");
+}
+
+/// The off-switch contract: at zero fsync latency the commit buffer is
+/// inert, so toggling `group_commit` changes nothing — byte-identical
+/// wire accounting and audits, the seed behavior exactly.
+#[test]
+fn group_commit_is_inert_at_zero_fsync_latency() {
+    assert!(
+        ClusterSpec::default().protocol.group_commit,
+        "group commit is the default"
+    );
+    let (on, _) = run_wal(&wal_spec(91, SimDuration::ZERO, true));
+    let (off, _) = run_wal(&wal_spec(91, SimDuration::ZERO, false));
+    assert_healthy("gc-on", &on);
+    assert_healthy("gc-off", &off);
+    assert_eq!(on.net, off.net, "identical machines at fsync=0");
+    assert_eq!(on.audit, off.audit, "byte-identical audits at fsync=0");
+    assert_eq!(on.net.fsyncs, 0, "no explicit fsyncs at zero latency");
+}
+
+/// The acceptance headline: with real fsync latency both disciplines
+/// converge healthy with zero aborts, and group commit pays severalfold
+/// fewer fsyncs per committed transaction.
+#[test]
+fn group_commit_amortizes_fsyncs_without_changing_outcomes() {
+    let fsync = SimDuration::from_millis(1);
+    let (on, _) = run_wal(&wal_spec(92, fsync, true));
+    let (off, _) = run_wal(&wal_spec(92, fsync, false));
+    assert_healthy("gc-on", &on);
+    assert_healthy("gc-off", &off);
+    assert!(on.write_commits() > 100, "on-run barely committed");
+    assert!(off.write_commits() > 100, "off-run barely committed");
+    assert_eq!(on.write_aborts(), 0, "group commit introduced aborts");
+    assert_eq!(off.write_aborts(), 0, "baseline unexpectedly aborted");
+
+    // Per-append: every WAL append is its own fsync, so the rate per
+    // commit is the workload's append fan-out (3-item transactions
+    // across five replicas — far above the batched rate).
+    let on_fpc = on.fsyncs_per_commit().expect("on-run committed");
+    let off_fpc = off.fsyncs_per_commit().expect("off-run committed");
+    eprintln!(
+        "fsyncs/commit: group {on_fpc:.2} vs per-append {off_fpc:.2} ({:.1}x fewer)",
+        off_fpc / on_fpc
+    );
+    assert!(
+        on_fpc * 3.0 <= off_fpc,
+        "group commit must amortize fsyncs at least 3x per commit: \
+         {on_fpc:.2} vs {off_fpc:.2}"
+    );
+    assert!(
+        on.net.fsyncs * 3 <= off.net.fsyncs,
+        "and strictly fewer fsyncs outright: {} vs {}",
+        on.net.fsyncs,
+        off.net.fsyncs
+    );
+}
+
+/// The storage backend is wire-invisible: a run on the log-structured
+/// engine (with a cache small enough to force evictions and transient
+/// cold-record materialization throughout) is byte-identical to the
+/// in-memory reference — same frames, same bytes, same audits.
+#[test]
+fn log_structured_backend_is_byte_identical_to_mem() {
+    let fsync = SimDuration::from_millis(1);
+    let mem_spec = wal_spec(93, fsync, true);
+    assert_eq!(
+        mem_spec.protocol.storage,
+        StorageKind::Mem,
+        "the in-memory map is the default backend"
+    );
+    let mut log_spec = wal_spec(93, fsync, true);
+    log_spec.protocol.storage = StorageKind::LogStructured;
+    // ITEMS records per node through a 32-record cache: every node
+    // evicts and re-materializes constantly.
+    log_spec.protocol.log_cache_records = 32;
+
+    let (mem, _) = run_wal(&mem_spec);
+    let (log, _) = run_wal(&log_spec);
+    assert_healthy("mem", &mem);
+    assert_healthy("log-structured", &log);
+    assert_eq!(mem.net, log.net, "wire accounting is backend-independent");
+    assert_eq!(mem.audit, log.audit, "audits are byte-identical");
+    assert!(
+        log.engine.evictions > 0,
+        "the log-structured run never spilled its cache — the \
+         equivalence was not exercised"
+    );
+}
+
+/// A crash in the middle of the commit window: the unsynced WAL suffix
+/// is lost (write-back durability), but acks are held until the
+/// covering fsync, so nothing any client observed as committed can sit
+/// in the lost suffix. The restarted node replays its durable prefix
+/// and re-syncs to a byte-identical committed state.
+#[test]
+fn crash_mid_batch_loses_no_acked_commit() {
+    let s = SimDuration::from_secs;
+    let mut spec = wal_spec(94, SimDuration::from_millis(1), true);
+    spec.drain = s(20);
+    spec.faults = FaultPlan::new().crash_restart(DcId(1), 0, s(5), s(4));
+    let (report, _) = run_wal(&spec);
+    assert_eq!(report.recoveries.len(), 1, "the restart ran");
+    assert_healthy("crash-mid-batch", &report);
+    assert!(report.write_commits() > 100, "the cluster kept committing");
+    let audit = report.audit.as_ref().expect("audited");
+    let reference = audit.committed_digests[0];
+    for r in &report.recoveries {
+        assert_eq!(
+            audit.committed_digests[r.node.0 as usize], reference,
+            "restarted node diverged after replaying its durable prefix"
+        );
+    }
+}
+
+/// The commit window (deadline events, held acks, covering fsyncs)
+/// stays deterministic: same seed, same spec ⇒ byte-identical audits.
+#[test]
+fn group_commit_runs_are_deterministic() {
+    let spec = wal_spec(95, SimDuration::from_millis(1), true);
+    let (a, _) = run_wal(&spec);
+    let (b, _) = run_wal(&spec);
+    assert_eq!(a.write_commits(), b.write_commits());
+    assert_eq!(a.net, b.net, "wire accounting is reproducible");
+    assert_eq!(a.audit, b.audit, "audits are byte-identical across reruns");
+}

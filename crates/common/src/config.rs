@@ -4,6 +4,28 @@ use std::fmt;
 
 use crate::time::SimDuration;
 
+/// Which storage engine backs each storage node's record map.
+///
+/// Both backends are proven byte-identical at the cluster level: what a
+/// node says on the wire and persists in its WAL is a pure function of
+/// the records' logical state, which every backend round-trips exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Every record lives fully materialized in an in-memory hash map —
+    /// the reference backend (fastest reads, RSS grows with record
+    /// count × materialized-record size).
+    #[default]
+    Mem,
+    /// Log-structured: records are encoded into append-only in-memory
+    /// segments behind a sparse index, with a bounded cache of
+    /// materialized records (see
+    /// [`ProtocolConfig::log_cache_records`]) and copy-forward segment
+    /// compaction once dead bytes outweigh live ones. RSS stays
+    /// O(encoded state + working set) instead of O(materialized
+    /// records).
+    LogStructured,
+}
+
 /// Tunable parameters of the MDCC commit protocol.
 ///
 /// The defaults mirror the paper's deployment: replication factor `N = 5`
@@ -69,6 +91,32 @@ pub struct ProtocolConfig {
     /// matters on hot nodes, where back-to-back handlings each fan out
     /// to the same destinations.
     pub coalesce_window: SimDuration,
+    /// Batch WAL durability per node (`true`, the default): appends
+    /// accumulate in the disk's write-back cache and one covering fsync
+    /// — triggered by `group_commit_window` or `group_commit_bytes`,
+    /// mirroring the coalescing outbox's Nagle design — makes the whole
+    /// batch durable for a single `fsync_latency` charge, with every
+    /// ack held until its covering fsync fires. `false` restores one
+    /// synchronous fsync per append (the equivalence baseline). Inert
+    /// while `fsync_latency` is zero, where appends are free and
+    /// write-through anyway.
+    pub group_commit: bool,
+    /// How long an unsynced WAL append may wait for its covering group
+    /// fsync. Zero still batches every append made while handling one
+    /// event (an envelope delivering N messages pays one fsync); a
+    /// positive window lets bursts *across* events share a flush.
+    pub group_commit_window: SimDuration,
+    /// Unsynced-byte threshold that triggers an immediate group fsync
+    /// without waiting out the window (bounds both batch latency and
+    /// the data at risk in the write-back cache).
+    pub group_commit_bytes: usize,
+    /// Storage engine backing each node's record map.
+    pub storage: StorageKind,
+    /// Cache capacity (materialized records) of the log-structured
+    /// backend; ignored by [`StorageKind::Mem`]. When the cache
+    /// overflows, the least-recently-touched half is encoded back into
+    /// segments and dropped.
+    pub log_cache_records: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -88,6 +136,11 @@ impl Default for ProtocolConfig {
             delta_votes: true,
             coalesce: true,
             coalesce_window: SimDuration::from_micros(500),
+            group_commit: true,
+            group_commit_window: SimDuration::from_micros(500),
+            group_commit_bytes: 256 * 1024,
+            storage: StorageKind::Mem,
+            log_cache_records: 4096,
         }
     }
 }

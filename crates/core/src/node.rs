@@ -355,8 +355,7 @@ impl StorageNodeProcess {
     fn leader_for(&mut self, key: &Key, ctx: &Ctx<'_, Msg>) -> &mut LeaderRecord {
         let snapshot = self
             .store
-            .record(key)
-            .map(|r| r.snapshot())
+            .with_record(key, |r| r.snapshot())
             .unwrap_or_else(mdcc_paxos::RecordSnapshot::absent);
         let cfg = LeaderConfig {
             n: self.cfg.replication,
@@ -490,8 +489,11 @@ impl StorageNodeProcess {
             evict_lru_half(&mut self.vote_cursors);
         }
         let mut targets = vec![also];
-        if let Some(rec) = self.store.record(key) {
-            for coord in rec.learning_coordinators() {
+        if let Some(coords) = self
+            .store
+            .with_record(key, |rec| rec.learning_coordinators())
+        {
+            for coord in coords {
                 if !targets.contains(&coord) {
                     targets.push(coord);
                 }
@@ -527,7 +529,7 @@ impl StorageNodeProcess {
     /// Notifies the co-located leader (if any) that the local acceptor
     /// advanced past its instance.
     fn notify_leader_advance(&mut self, key: &Key, ctx: &mut Ctx<'_, Msg>) {
-        let Some(snapshot) = self.store.record(key).map(|r| r.snapshot()) else {
+        let Some(snapshot) = self.store.with_record(key, |r| r.snapshot()) else {
             return;
         };
         if let Some(leader) = self.leaders.get_mut(key) {
@@ -730,8 +732,7 @@ impl Process<Msg> for StorageNodeProcess {
                     .unwrap_or(false);
                 let record_fast = self
                     .store
-                    .record(&key)
-                    .map(|r| r.promised().is_fast())
+                    .with_record(&key, |r| r.promised().is_fast())
                     .unwrap_or(true);
                 if self.redirected_fast.len() > REDIRECTED_FAST_CAP {
                     self.redirected_fast.clear();
@@ -863,8 +864,7 @@ impl Process<Msg> for StorageNodeProcess {
                     && learned_accepted
                     && self
                         .store
-                        .record(&key)
-                        .map(|r| r.would_miss_execution(txn))
+                        .with_record(&key, |r| r.would_miss_execution(txn))
                         .unwrap_or(true);
                 let advanced =
                     self.store
@@ -887,15 +887,18 @@ impl Process<Msg> for StorageNodeProcess {
                 // snapshot plus the resolved options of the current
                 // instance for every record we hold.
                 for key in self.store.keys() {
-                    let Some(rec) = self.store.record(&key) else {
+                    let Some((snapshot, resolved)) = self
+                        .store
+                        .with_record(&key, |rec| (rec.snapshot(), rec.sync_payload()))
+                    else {
                         continue;
                     };
                     ctx.send(
                         from,
                         Msg::SyncKey {
                             key,
-                            snapshot: rec.snapshot(),
-                            resolved: rec.sync_payload(),
+                            snapshot,
+                            resolved,
                         },
                     );
                 }
@@ -963,16 +966,15 @@ impl Process<Msg> for StorageNodeProcess {
                 self.stats.repair_served += 1;
                 let vote = self
                     .store
-                    .record(&key)
-                    .map(|rec| rec.phase2b())
+                    .with_record(&key, |rec| rec.phase2b())
                     .unwrap_or_else(absent_vote);
                 ctx.send(from, Msg::CstructFull { key, vote });
             }
             Msg::QueryStatus { txn, key } => {
-                let (vote, outcome) = match self.store.record(&key) {
-                    Some(rec) => (rec.phase2b(), rec.outcome_of(txn)),
-                    None => (absent_vote(), None),
-                };
+                let (vote, outcome) = self
+                    .store
+                    .with_record(&key, |rec| (rec.phase2b(), rec.outcome_of(txn)))
+                    .unwrap_or_else(|| (absent_vote(), None));
                 ctx.send(
                     from,
                     Msg::StatusResp {
@@ -1105,8 +1107,7 @@ impl Process<Msg> for StorageNodeProcess {
             Msg::MissedPull { key, txn, attempt } => {
                 let still_missing = self
                     .store
-                    .record(&key)
-                    .map(|r| r.missing_execution(txn))
+                    .with_record(&key, |r| r.missing_execution(txn))
                     .unwrap_or(true);
                 if still_missing {
                     self.pull_missed_commit(key, txn, attempt, ctx);

@@ -141,7 +141,7 @@ fn multi_mode_contended() {
         if !leaders.is_empty() {
             for (k, leading, establishing, inflight, qlen) in leaders {
                 eprintln!("node {n} leader {k}: leading={leading} establishing={establishing} inflight={inflight} queue={qlen} version={:?} pending={}",
-                    node.store().record(&k).map(|r| r.version()), node.store().pending_len());
+                    node.store().with_record(&k, |r| r.version()), node.store().pending_len());
             }
         }
     }

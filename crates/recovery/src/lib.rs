@@ -28,4 +28,4 @@ pub use snapshot::{
     committed_bytes, committed_digest, committed_state_digest, read_checkpoint, recover_store,
     write_checkpoint, RecoveryInfo,
 };
-pub use wal::{ReplayStats, WalRecord};
+pub use wal::{CommitLog, MemLog, ReplayStats, WalRecord};

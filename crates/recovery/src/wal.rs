@@ -179,9 +179,56 @@ pub fn frame(record: &WalRecord) -> Vec<u8> {
     crate::codec::frame(record)
 }
 
-/// Appends one framed record to `disk`'s WAL area.
-pub fn append(disk: &mut Disk, record: &WalRecord) {
-    disk.append_wal(&frame(record));
+/// Where framed WAL records land. The storage node's live path appends
+/// to its simulated [`Disk`]; tests and benches can use a [`MemLog`]
+/// without standing up a world. The trait deliberately says nothing
+/// about durability timing — whether an appended frame is synchronously
+/// durable or awaits a covering group fsync is the simulator's
+/// write-back model ([`Disk::fsync`]), not the log's.
+pub trait CommitLog {
+    /// Appends one already-framed record.
+    fn append_frame(&mut self, frame: &[u8]);
+    /// Every appended byte, oldest first.
+    fn frames(&self) -> &[u8];
+}
+
+impl CommitLog for Disk {
+    fn append_frame(&mut self, frame: &[u8]) {
+        self.append_wal(frame);
+    }
+
+    fn frames(&self) -> &[u8] {
+        self.wal()
+    }
+}
+
+/// An in-memory commit log: a plain byte buffer (tests, benches).
+#[derive(Debug, Clone, Default)]
+pub struct MemLog {
+    bytes: Vec<u8>,
+}
+
+impl MemLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CommitLog for MemLog {
+    fn append_frame(&mut self, frame: &[u8]) {
+        self.bytes.extend_from_slice(frame);
+    }
+
+    fn frames(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Appends one framed record to `log` (usually a node's [`Disk`] WAL
+/// area).
+pub fn append<L: CommitLog + ?Sized>(log: &mut L, record: &WalRecord) {
+    log.append_frame(&frame(record));
 }
 
 /// Parses every framed record in `wal`, oldest first, verifying

@@ -19,6 +19,9 @@ pub struct DiskStats {
     pub wal_bytes_written: u64,
     /// Snapshots installed.
     pub snapshots_installed: u64,
+    /// Explicit flushes via [`Disk::fsync`] (group commit); zero when
+    /// the world treats every append as synchronously durable.
+    pub fsyncs: u64,
 }
 
 /// One process's durable storage: a WAL area plus a snapshot blob.
@@ -26,6 +29,11 @@ pub struct DiskStats {
 pub struct Disk {
     snapshot: Vec<u8>,
     wal: Vec<u8>,
+    /// WAL bytes known durable. Only meaningful while the world runs
+    /// the group-commit discipline (every append schedules a covering
+    /// [`Disk::fsync`]); otherwise appends are treated as write-through
+    /// and this watermark is never consulted.
+    synced_len: usize,
     stats: DiskStats,
 }
 
@@ -52,12 +60,38 @@ impl Disk {
         self.wal.len()
     }
 
+    /// Marks every appended WAL byte durable (the covering flush of a
+    /// group-commit batch).
+    pub fn fsync(&mut self) {
+        self.synced_len = self.wal.len();
+        self.stats.fsyncs += 1;
+    }
+
+    /// Bytes appended since the last [`Disk::fsync`].
+    pub fn unsynced_bytes(&self) -> usize {
+        self.wal.len() - self.synced_len
+    }
+
+    /// True when appends are awaiting their covering fsync.
+    pub fn has_unsynced(&self) -> bool {
+        self.wal.len() > self.synced_len
+    }
+
+    /// Truncates the WAL to its durable prefix — what a power loss does
+    /// to a write-back cache. Only the world's crash path calls this,
+    /// and only when the group-commit discipline is active (otherwise
+    /// every append was synchronously durable and nothing is lost).
+    pub fn discard_unsynced(&mut self) {
+        self.wal.truncate(self.synced_len);
+    }
+
     /// Atomically replaces the snapshot and truncates the WAL — the
     /// checkpoint/compaction step. (A real system writes the snapshot,
     /// fsyncs, then truncates; the simulated disk is never torn.)
     pub fn install_snapshot(&mut self, snapshot: Vec<u8>) {
         self.snapshot = snapshot;
         self.wal.clear();
+        self.synced_len = 0;
         self.stats.snapshots_installed += 1;
     }
 
@@ -109,5 +143,37 @@ mod tests {
         d.append_wal(b"new");
         assert_eq!(d.wal(), b"new");
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn fsync_advances_the_durable_watermark() {
+        let mut d = Disk::new();
+        d.append_wal(b"abc");
+        assert_eq!(d.unsynced_bytes(), 3);
+        assert!(d.has_unsynced());
+        d.fsync();
+        assert_eq!(d.unsynced_bytes(), 0);
+        assert_eq!(d.stats().fsyncs, 1);
+        d.append_wal(b"de");
+        assert!(d.has_unsynced());
+        // A crash discards exactly the unsynced suffix.
+        d.discard_unsynced();
+        assert_eq!(d.wal(), b"abc");
+        assert!(!d.has_unsynced());
+        assert_eq!(
+            d.stats().wal_bytes_written,
+            5,
+            "historical write count survives the discard"
+        );
+    }
+
+    #[test]
+    fn snapshot_install_resets_the_watermark() {
+        let mut d = Disk::new();
+        d.append_wal(b"tail");
+        d.install_snapshot(b"state".to_vec());
+        assert!(!d.has_unsynced(), "an installed snapshot is durable");
+        d.append_wal(b"x");
+        assert_eq!(d.unsynced_bytes(), 1);
     }
 }

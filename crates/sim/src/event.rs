@@ -74,6 +74,12 @@ pub enum EventKind<M> {
     /// Flush `target`'s coalescing outbox (scheduled when a Nagle-style
     /// `coalesce_window` holds sends past the end of their event).
     FlushOutbox,
+    /// Fire the covering fsync of `target`'s open group-commit batch:
+    /// every WAL append since the last sync becomes durable under one
+    /// `fsync_latency` charge and the batch's held acks are released
+    /// (scheduled when group commit holds appends past their event,
+    /// mirroring `FlushOutbox`).
+    GroupFsync,
     /// Fire a timer previously set by `target` itself.
     Timer {
         /// Id returned by `set_timer`, checked against cancellations.

@@ -98,6 +98,25 @@ pub struct WorldConfig {
     /// (an fsync on the commit path). Zero — the default — charges
     /// nothing, preserving the pre-fsync schedule exactly.
     pub fsync_latency: SimDuration,
+    /// Group commit: WAL appends accumulate in a per-node batch and are
+    /// made durable by one covering fsync (scheduled
+    /// `group_commit_window` after the batch opens, or forced early
+    /// once `group_commit_bytes` accumulate), with every send the
+    /// appending handlers produced held back until that fsync — so N
+    /// transactions pay one `fsync_latency` instead of N, exactly as
+    /// envelope coalescing amortized the per-message service floor.
+    /// Inert unless `fsync_latency` is non-zero; `false` restores the
+    /// per-append fsync schedule byte for byte.
+    pub group_commit: bool,
+    /// How long an open group-commit batch may wait for more appends
+    /// before its covering fsync fires (the Nagle window of the WAL).
+    /// Zero syncs at the end of the appending event — which still
+    /// batches all appends of that event under one fsync.
+    pub group_commit_window: SimDuration,
+    /// Size trigger: an open batch syncs immediately once this many
+    /// unsynced WAL bytes accumulate, bounding both the held-ack window
+    /// and the data lost to a crash mid-batch.
+    pub group_commit_bytes: usize,
     /// Run the per-DC shards on worker threads (conservative parallel
     /// discrete-event simulation; see the module docs). Byte-identical
     /// to the sequential scheduler for any seed — `false`, the default,
@@ -114,6 +133,9 @@ impl Default for WorldConfig {
             coalesce: true,
             coalesce_window: SimDuration::ZERO,
             fsync_latency: SimDuration::ZERO,
+            group_commit: true,
+            group_commit_window: SimDuration::from_micros(500),
+            group_commit_bytes: 256 * 1024,
             parallel: false,
         }
     }
@@ -151,6 +173,11 @@ pub struct WorldStats {
     /// Handler invocations dispatched (start/timer/message); divided by
     /// host wall time this is the engine's events/sec throughput.
     pub events_handled: u64,
+    /// Synchronous WAL flushes charged (`fsync_latency` each): one per
+    /// appending event without group commit, one per batch with it.
+    /// Zero when `fsync_latency` is zero — durability then costs
+    /// nothing and nothing is counted.
+    pub fsyncs: u64,
     /// Sent frames/bytes broken out by [`TrafficClass`] (indexed with
     /// [`TrafficClass::index`]).
     pub by_class: [TrafficTotals; TrafficClass::COUNT],
@@ -173,6 +200,7 @@ impl WorldStats {
         self.bytes_sent += o.bytes_sent;
         self.payload_msgs += o.payload_msgs;
         self.events_handled += o.events_handled;
+        self.fsyncs += o.fsyncs;
         for i in 0..TrafficClass::COUNT {
             self.by_class[i].msgs += o.by_class[i].msgs;
             self.by_class[i].bytes += o.by_class[i].bytes;
@@ -249,6 +277,9 @@ struct Env<'a> {
     coalesce: bool,
     coalesce_window: SimDuration,
     fsync_latency: SimDuration,
+    group_commit: bool,
+    group_commit_window: SimDuration,
+    group_commit_bytes: usize,
     tracer: Option<&'a TraceHandle>,
     trace_on: bool,
     profile_wall: bool,
@@ -260,6 +291,13 @@ impl Env<'_> {
     fn service_cost(&self, bytes: usize) -> SimDuration {
         let per_byte_us = (bytes as u64 * self.service_ns_per_byte + 500) / 1_000;
         self.service_time + SimDuration::from_micros(per_byte_us)
+    }
+
+    /// Whether the group-commit discipline is in force. With a zero
+    /// `fsync_latency` there is nothing to amortize and the knob stays
+    /// inert, so the default schedule is untouched.
+    fn group_commit_engaged(&self) -> bool {
+        self.group_commit && self.fsync_latency > SimDuration::ZERO
     }
 }
 
@@ -300,6 +338,17 @@ struct Shard<M> {
     /// entry, so a stale pre-crash flush event cannot cut short the
     /// window of sends buffered after a revival.
     flush_deadline: Vec<Option<SimTime>>,
+    /// Per-node deadline of the scheduled group-commit fsync, if any;
+    /// deadline-matched exactly like `flush_deadline` so crashes orphan
+    /// in-flight fsync events instead of letting them cover a
+    /// post-revival batch.
+    fsync_deadline: Vec<Option<SimTime>>,
+    /// Per-node held sends of the non-coalescing transport while the
+    /// node's WAL has unsynced appends: acks must not outrun the
+    /// covering fsync, and later sends must not overtake held acks.
+    /// (With coalescing on, the outbox itself is the holding pen — it
+    /// simply isn't flushed until the fsync.)
+    held_sends: Vec<Vec<(NodeId, M, usize, TrafficClass)>>,
     cancelled: HashSet<TimerId>,
     /// This shard's row of the link FIFO matrix: earliest time a new
     /// transmission can start on the directed link `self.dc → to`.
@@ -336,6 +385,8 @@ impl<M: 'static> Shard<M> {
             profile: Vec::new(),
             outbox: Vec::new(),
             flush_deadline: Vec::new(),
+            fsync_deadline: Vec::new(),
+            held_sends: Vec::new(),
             cancelled: HashSet::new(),
             link_free_at: vec![SimTime::ZERO; dc_count],
             down: false,
@@ -480,10 +531,78 @@ impl<M: 'static> Shard<M> {
                 // not flush a post-revival batch early.
                 if self.flush_deadline[slot] == Some(ev.at) {
                     self.flush_deadline[slot] = None;
-                    self.flush_outbox(target, slot, env);
+                    // A Nagle flush must not leak acks of an open
+                    // group-commit batch; the batch's covering fsync
+                    // (always pending while appends are unsynced)
+                    // flushes the outbox when durability lands.
+                    if !(env.group_commit_engaged() && self.disks[slot].has_unsynced()) {
+                        self.flush_outbox(target, slot, env);
+                    }
+                }
+            }
+            EventKind::GroupFsync => {
+                self.now = ev.at;
+                // Deadline-matched exactly like FlushOutbox: a crash
+                // clears the entry, so a stale pre-crash fsync event
+                // cannot cover a post-revival batch.
+                if self.fsync_deadline[slot] == Some(ev.at) {
+                    self.fsync_deadline[slot] = None;
+                    self.group_fsync(target, slot, env);
                 }
             }
         }
+    }
+
+    /// Fires the covering fsync of `src`'s open group-commit batch: one
+    /// `fsync_latency` charge makes every append since the last sync
+    /// durable, and the sends those appending events held back — their
+    /// acks — are released to the network.
+    fn group_fsync(&mut self, src: NodeId, slot: usize, env: &Env<'_>) {
+        let start = self.busy_until[slot].max(self.now);
+        let end = start + env.fsync_latency;
+        self.busy_until[slot] = end;
+        self.profile[slot].sim_busy += env.fsync_latency;
+        self.stats.fsyncs += 1;
+        self.disks[slot].fsync();
+        if env.trace_on {
+            if let Some(tracer) = env.tracer {
+                // One span covers the whole batch — the amortization is
+                // visible in the anatomy as fewer, not longer, fsyncs.
+                tracer.span(Span {
+                    node: src,
+                    dc: self.dc,
+                    phase: Phase::WalFsync,
+                    start,
+                    end,
+                    txn: None,
+                    key: None,
+                    class: None,
+                });
+            }
+        }
+        self.release_held(src, slot, env);
+    }
+
+    /// Releases everything `src` buffered while its batch was open:
+    /// held per-message sends first (non-coalescing transport, in send
+    /// order), then the coalescing outbox.
+    fn release_held(&mut self, src: NodeId, slot: usize, env: &Env<'_>) {
+        if !self.held_sends[slot].is_empty() {
+            let mut held = std::mem::take(&mut self.held_sends[slot]);
+            for (to, msg, bytes, class) in held.drain(..) {
+                let kind = EventKind::Deliver {
+                    from: src,
+                    msg,
+                    bytes,
+                };
+                self.push_to_network(src, slot, to, bytes, class, 1, kind, env);
+            }
+            // Hand the capacity back for the next batch.
+            if self.held_sends[slot].is_empty() {
+                self.held_sends[slot] = held;
+            }
+        }
+        self.flush_outbox(src, slot, env);
     }
 
     /// Records the receive span of a delivered frame: from first arrival
@@ -548,26 +667,48 @@ impl<M: 'static> Shard<M> {
             self.profile[slot].wall += t0.elapsed();
         }
         if watch_wal && self.disks[slot].stats().wal_bytes_written > wal_before {
-            // The handler appended WAL: charge the synchronous flush on
-            // top of whatever CPU cost the event already cost the node.
-            let start = self.busy_until[slot].max(self.now);
-            let end = start + env.fsync_latency;
-            if env.fsync_latency > SimDuration::ZERO {
-                self.busy_until[slot] = end;
-                self.profile[slot].sim_busy += env.fsync_latency;
-            }
-            if env.trace_on {
-                if let Some(tracer) = env.tracer {
-                    tracer.span(Span {
-                        node: target,
-                        dc: self.dc,
-                        phase: Phase::WalFsync,
-                        start,
-                        end,
-                        txn: None,
-                        key: None,
-                        class: None,
-                    });
+            if env.group_commit_engaged() {
+                // Group commit: the append joins the node's open batch
+                // instead of paying its own flush. One covering fsync —
+                // at the window deadline, or right now if the batch hit
+                // its size trigger — will charge a single
+                // `fsync_latency` for every append it covers.
+                if self.disks[slot].unsynced_bytes() >= env.group_commit_bytes {
+                    // Orphan any scheduled windowed fsync (its deadline
+                    // no longer matches) and sync at end of this event.
+                    self.fsync_deadline[slot] = None;
+                    self.group_fsync(target, slot, env);
+                } else if self.fsync_deadline[slot].is_none() {
+                    let deadline = self.now + env.group_commit_window;
+                    self.fsync_deadline[slot] = Some(deadline);
+                    let key = self.next_key(target, slot);
+                    self.queue
+                        .push_keyed(deadline, key, target, EventKind::GroupFsync);
+                }
+            } else {
+                // Per-append fsync: charge the synchronous flush on top
+                // of whatever CPU cost the event already cost the node.
+                let start = self.busy_until[slot].max(self.now);
+                let end = start + env.fsync_latency;
+                if env.fsync_latency > SimDuration::ZERO {
+                    self.busy_until[slot] = end;
+                    self.profile[slot].sim_busy += env.fsync_latency;
+                    self.stats.fsyncs += 1;
+                    self.disks[slot].fsync();
+                }
+                if env.trace_on {
+                    if let Some(tracer) = env.tracer {
+                        tracer.span(Span {
+                            node: target,
+                            dc: self.dc,
+                            phase: Phase::WalFsync,
+                            start,
+                            end,
+                            txn: None,
+                            key: None,
+                            class: None,
+                        });
+                    }
                 }
             }
         }
@@ -603,6 +744,12 @@ impl<M: 'static> Shard<M> {
                             framed_sizes: vec![bytes],
                         }),
                     }
+                } else if env.group_commit_engaged() && self.disks[src_slot].has_unsynced() {
+                    // Legacy transport during an open group-commit
+                    // batch: the send waits with the batch (acks must
+                    // not outrun the covering fsync, and FIFO per
+                    // destination must survive the wait).
+                    self.held_sends[src_slot].push((to, msg, bytes, class));
                 } else {
                     // Legacy transport: one frame per message, pushed to
                     // the network immediately (byte-identical baseline).
@@ -731,6 +878,13 @@ impl<M: 'static> Shard<M> {
     /// End-of-event hook of the coalescing transport: flush `src`'s
     /// outbox now (window zero) or make sure a Nagle flush is scheduled.
     fn flush_after_event(&mut self, src: NodeId, slot: usize, env: &Env<'_>) {
+        if env.group_commit_engaged() && self.disks[slot].has_unsynced() {
+            // The node's WAL has an open group-commit batch: everything
+            // it buffered — the batch's acks included — waits for the
+            // covering fsync (always pending while appends are
+            // unsynced), which flushes the outbox itself.
+            return;
+        }
         if !env.coalesce || self.outbox[slot].is_empty() {
             return;
         }
@@ -905,6 +1059,8 @@ impl<M: Send + 'static> World<M> {
         shard.profile.push(ProfileCell::default());
         shard.outbox.push(Vec::new());
         shard.flush_deadline.push(None);
+        shard.fsync_deadline.push(None);
+        shard.held_sends.push(Vec::new());
         shard.now = shard.now.max(self.now);
         let key = EventKey {
             cause: self.now,
@@ -969,14 +1125,27 @@ impl<M: Send + 'static> World<M> {
     /// the process is no longer invoked, and whatever its coalescing
     /// outbox still buffered dies unsent.
     pub fn crash_node(&mut self, node: NodeId) {
+        let group_commit =
+            self.config.group_commit && self.config.fsync_latency > SimDuration::ZERO;
         let (shard, slot) = self.loc(node);
         let shard = &mut self.shards[shard];
         shard.alive[slot] = false;
         shard.outbox[slot].clear();
+        shard.held_sends[slot].clear();
         // Orphan any scheduled flush: its deadline no longer matches
         // the entry, so it fires as a no-op instead of prematurely
         // flushing whatever a revived incarnation buffers later.
         shard.flush_deadline[slot] = None;
+        shard.fsync_deadline[slot] = None;
+        if group_commit {
+            // Power loss mid-batch: the WAL keeps exactly its durable
+            // prefix. The batch's acks were held (cleared above with
+            // the outbox), so no acknowledged transaction dies
+            // un-logged — the crash-consistency contract of group
+            // commit. Without group commit every append was
+            // synchronously durable and there is nothing to discard.
+            shard.disks[slot].discard_unsynced();
+        }
     }
 
     /// Revives a crashed node (its state is whatever it was at crash time,
@@ -1093,6 +1262,9 @@ impl<M: Send + 'static> World<M> {
             coalesce: self.config.coalesce,
             coalesce_window: self.config.coalesce_window,
             fsync_latency: self.config.fsync_latency,
+            group_commit: self.config.group_commit,
+            group_commit_window: self.config.group_commit_window,
+            group_commit_bytes: self.config.group_commit_bytes,
             tracer: self.tracer.as_ref(),
             trace_on: self.trace_on,
             profile_wall: self.profile_wall,
@@ -1187,6 +1359,9 @@ impl<M: Send + 'static> World<M> {
                 coalesce: self.config.coalesce,
                 coalesce_window: self.config.coalesce_window,
                 fsync_latency: self.config.fsync_latency,
+                group_commit: self.config.group_commit,
+                group_commit_window: self.config.group_commit_window,
+                group_commit_bytes: self.config.group_commit_bytes,
                 tracer: self.tracer.as_ref(),
                 trace_on: self.trace_on,
                 profile_wall: self.profile_wall,

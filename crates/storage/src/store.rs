@@ -1,6 +1,6 @@
 //! The per-node record store: key → acceptor state, plus bookkeeping.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mdcc_common::{Key, ProtocolConfig, Row, SimTime, TxnId, Version};
@@ -10,6 +10,7 @@ use mdcc_paxos::{
     TxnOutcome,
 };
 
+use crate::engine::{backend_for, EngineStats, Storage};
 use crate::log::{LogEvent, OptionLog};
 use crate::schema::Catalog;
 
@@ -76,7 +77,11 @@ pub struct PendingTxn {
 pub struct RecordStore {
     cfg: ProtocolConfig,
     catalog: Arc<Catalog>,
-    records: HashMap<Key, AcceptorRecord>,
+    /// Where record bytes live — [`crate::engine::MemBackend`] or
+    /// [`crate::engine::LogStructuredBackend`], chosen by
+    /// `cfg.storage`. Both round-trip logical record state exactly, so
+    /// the choice is invisible on the wire and in the WAL.
+    records: Box<dyn Storage>,
     log: OptionLog,
     /// txn → (first-accept time, peers). Ordered so that dangling
     /// sweeps emit recovery traffic deterministically.
@@ -86,10 +91,11 @@ pub struct RecordStore {
 impl RecordStore {
     /// An empty store for the given schema and protocol config.
     pub fn new(cfg: ProtocolConfig, catalog: Arc<Catalog>) -> Self {
+        let records = backend_for(&cfg, &catalog);
         Self {
             cfg,
             catalog,
-            records: HashMap::new(),
+            records,
             log: OptionLog::new(),
             pending: BTreeMap::new(),
         }
@@ -116,7 +122,7 @@ impl RecordStore {
 
     /// True when no record was ever touched.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.records.len() == 0
     }
 
     /// The learned-option log.
@@ -127,40 +133,61 @@ impl RecordStore {
     /// Committed (read-committed) local read: version and value.
     /// Uncommitted options are never visible (§4.1).
     pub fn read_committed(&self, key: &Key) -> Option<(Version, Row)> {
-        let rec = self.records.get(key)?;
-        rec.value().map(|row| (rec.version(), row.clone()))
+        self.with_record(key, |rec| {
+            rec.value().map(|row| (rec.version(), row.clone()))
+        })
+        .flatten()
     }
 
     /// The record's committed version even if the value is absent
     /// (deleted records report their tombstone version).
     pub fn version_of(&self, key: &Key) -> Version {
-        self.records
-            .get(key)
-            .map(|r| r.version())
+        self.with_record(key, |r| r.version())
             .unwrap_or(Version::ZERO)
     }
 
-    /// Immutable acceptor access (tests, recovery audit).
-    pub fn record(&self, key: &Key) -> Option<&AcceptorRecord> {
-        self.records.get(key)
+    /// Calls `f` with the acceptor record under `key` (tests, recovery
+    /// audit, read-only message handling). `None` when the key was
+    /// never touched. Access is closure-shaped rather than a returned
+    /// reference because the log-structured backend materializes cold
+    /// records transiently.
+    pub fn with_record<R>(&self, key: &Key, f: impl FnOnce(&AcceptorRecord) -> R) -> Option<R> {
+        let mut f = Some(f);
+        let mut out = None;
+        self.records.read(key, &mut |rec| {
+            if let Some(f) = f.take() {
+                out = Some(f(rec));
+            }
+        });
+        out
     }
 
-    fn record_mut(&mut self, key: &Key) -> &mut AcceptorRecord {
+    /// Calls `f` with mutable access to the record under `key`,
+    /// creating an absent record first.
+    fn with_record_mut<R>(&mut self, key: &Key, f: impl FnOnce(&mut AcceptorRecord) -> R) -> R {
         let cfg = &self.cfg;
         let catalog = &self.catalog;
-        self.records.entry(key.clone()).or_insert_with(|| {
+        let mut make = || {
             AcceptorRecord::new(
                 catalog.constraints_for(key),
                 cfg.replication,
                 cfg.fast_quorum,
                 cfg.max_instance_options,
             )
-        })
+        };
+        let mut f = Some(f);
+        let mut out = None;
+        self.records.update(key, &mut make, &mut |rec| {
+            if let Some(f) = f.take() {
+                out = Some(f(rec));
+            }
+        });
+        out.expect("update invokes the access closure")
     }
 
     /// Phase1a for one record.
     pub fn phase1a(&mut self, key: &Key, ballot: Ballot) -> Phase1b {
-        self.record_mut(key).phase1a(ballot)
+        self.with_record_mut(key, |rec| rec.phase1a(ballot))
     }
 
     /// Fast-ballot proposal for one record, with logging and pending
@@ -169,7 +196,7 @@ impl RecordStore {
         let key = opt.key.clone();
         let txn = opt.txn;
         let peers = Arc::clone(&opt.peers);
-        let result = self.record_mut(&key).fast_propose(opt);
+        let result = self.with_record_mut(&key, |rec| rec.fast_propose(opt));
         if let FastPropose::Vote(vote) = &result {
             if let Some(status) = vote.cstruct.status_of(txn) {
                 self.note_decided(now, txn, key, status, peers);
@@ -185,7 +212,7 @@ impl RecordStore {
             .iter()
             .map(|o| (o.txn, Arc::clone(&o.peers)))
             .collect();
-        let result = self.record_mut(key).classic_accept(p2a);
+        let result = self.with_record_mut(key, |rec| rec.classic_accept(p2a));
         if let ClassicAccept::Vote(vote) = &result {
             for (txn, peers) in new_txns {
                 if let Some(status) = vote.cstruct.status_of(txn) {
@@ -208,9 +235,9 @@ impl RecordStore {
         learned_accepted: bool,
         now: SimTime,
     ) -> bool {
-        let advanced = self
-            .record_mut(key)
-            .apply_visibility(txn, outcome, learned_accepted);
+        let advanced = self.with_record_mut(key, |rec| {
+            rec.apply_visibility(txn, outcome, learned_accepted)
+        });
         self.log.push(
             now,
             LogEvent::Outcome {
@@ -226,32 +253,48 @@ impl RecordStore {
     /// All keys this store holds, sorted (deterministic iteration for
     /// sync sweeps and checkpoints).
     pub fn keys(&self) -> Vec<Key> {
-        let mut keys: Vec<Key> = self.records.keys().cloned().collect();
-        keys.sort();
-        keys
+        self.records.keys_sorted()
+    }
+
+    /// Records currently materialized in memory (the whole store under
+    /// the in-memory backend; the cache under the log-structured one).
+    pub fn materialized(&self) -> usize {
+        self.records.materialized()
+    }
+
+    /// The storage engine's counters (segments, live/dead bytes,
+    /// compactions); all-zero for the in-memory backend.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.records.engine_stats()
     }
 
     /// The committed state of every record — `(key, version, value)`
     /// sorted by key. This is the paper-visible state of a storage node:
     /// the recovery audit compares it byte-for-byte across replicas.
     pub fn committed_state(&self) -> Vec<(Key, Version, Option<Row>)> {
-        let mut out: Vec<(Key, Version, Option<Row>)> = self
-            .records
-            .iter()
-            .map(|(k, r)| (k.clone(), r.version(), r.value().cloned()))
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+        self.keys()
+            .into_iter()
+            .map(|k| {
+                let (version, value) = self
+                    .with_record(&k, |r| (r.version(), r.value().cloned()))
+                    .expect("listed key exists");
+                (k, version, value)
+            })
+            .collect()
     }
 
     /// Exports the store's full durable state for a checkpoint.
     pub fn export_state(&self) -> StoreState {
-        let mut records: Vec<(Key, AcceptorState)> = self
-            .records
-            .iter()
-            .map(|(k, r)| (k.clone(), r.export_state()))
+        let records: Vec<(Key, AcceptorState)> = self
+            .keys()
+            .into_iter()
+            .map(|k| {
+                let state = self
+                    .with_record(&k, |r| r.export_state())
+                    .expect("listed key exists");
+                (k, state)
+            })
             .collect();
-        records.sort_by(|a, b| a.0.cmp(&b.0));
         StoreState {
             records,
             pending: self.pending.values().cloned().collect(),
@@ -288,8 +331,8 @@ impl RecordStore {
         snapshot: &RecordSnapshot,
         resolved: &[(TxnOption, Resolution)],
     ) -> bool {
-        match self.records.get(key) {
-            Some(rec) => rec.sync_would_change(snapshot, resolved),
+        match self.with_record(key, |rec| rec.sync_would_change(snapshot, resolved)) {
+            Some(would) => would,
             None => snapshot.version > Version::ZERO || !resolved.is_empty(),
         }
     }
@@ -307,13 +350,14 @@ impl RecordStore {
         if snapshot.version == Version::ZERO && resolved.is_empty() {
             return false;
         }
-        let rec = self.record_mut(key);
-        let newly_resolved: Vec<TxnId> = resolved
-            .iter()
-            .map(|(opt, _)| opt.txn)
-            .filter(|txn| rec.outcome_of(*txn).is_none())
-            .collect();
-        let changed = rec.sync_from_peer(snapshot, resolved);
+        let (newly_resolved, changed) = self.with_record_mut(key, |rec| {
+            let newly: Vec<TxnId> = resolved
+                .iter()
+                .map(|(opt, _)| opt.txn)
+                .filter(|txn| rec.outcome_of(*txn).is_none())
+                .collect();
+            (newly, rec.sync_from_peer(snapshot, resolved))
+        });
         if changed {
             for (opt, resolution) in resolved {
                 if newly_resolved.contains(&opt.txn) {
@@ -338,8 +382,7 @@ impl RecordStore {
 
     /// The anti-entropy payload for one record this store holds.
     pub fn sync_item(&self, key: &Key) -> Option<SyncItem> {
-        let rec = self.records.get(key)?;
-        Some(SyncItem {
+        self.with_record(key, |rec| SyncItem {
             key: key.clone(),
             snapshot: rec.snapshot(),
             resolved: rec.sync_payload(),
@@ -397,10 +440,12 @@ impl RecordStore {
     fn digest_of(&self, keys: &[Key]) -> u64 {
         let mut enc = mdcc_common::wire::Enc::new();
         for key in keys {
-            let rec = self.records.get(key).expect("digested key exists");
-            mdcc_common::wire::Wire::encode(key, &mut enc);
-            mdcc_common::wire::Wire::encode(&rec.version(), &mut enc);
-            mdcc_common::wire::Wire::encode(&rec.value().cloned(), &mut enc);
+            self.with_record(key, |rec| {
+                mdcc_common::wire::Wire::encode(key, &mut enc);
+                mdcc_common::wire::Wire::encode(&rec.version(), &mut enc);
+                mdcc_common::wire::Wire::encode(&rec.value().cloned(), &mut enc);
+            })
+            .expect("digested key exists");
         }
         mdcc_common::wire::fnv1a64(&enc.finish())
     }
@@ -417,13 +462,8 @@ impl RecordStore {
 
     /// Keys this store holds in `[lo, hi]`, sorted.
     fn keys_in(&self, lo: &Key, hi: &Key) -> Vec<Key> {
-        let mut keys: Vec<Key> = self
-            .records
-            .keys()
-            .filter(|k| *k >= lo && *k <= hi)
-            .cloned()
-            .collect();
-        keys.sort();
+        let mut keys = self.keys();
+        keys.retain(|k| k >= lo && k <= hi);
         keys
     }
 
