@@ -1,0 +1,246 @@
+//! Figure 11 (extension): dynamic mastership under shifting locality.
+//!
+//! Every data center's clients spend each phase buying items of one
+//! shard, and every phase boundary rotates each DC to the next shard —
+//! the access pattern record-mastership exists for. Three Multi-Paxos
+//! configurations run the same workload:
+//!
+//! * **floor** — phases never shift and leases migrate once, so every
+//!   DC commits through a local master: the latency floor.
+//! * **static** — mastership off; masters sit wherever the hash put
+//!   them, and most commits pay a full extra WAN round trip.
+//! * **dynamic** — mastership on; after each shift the lease follows
+//!   the dominant-origin DC within a few heartbeat rounds and latency
+//!   returns to the floor.
+//!
+//! A master-crash drill follows: the initial lease holder of a
+//! single-shard deployment is killed mid-tenure and the commit outage
+//! (the recovery window) is measured. Two environment guards make the
+//! driver CI-enforceable:
+//!
+//! * `MDCC_ELECTION_ROUNDS_CEILING` — fail if the dynamic run held
+//!   more elections than this (a regressed election loop churns).
+//! * `MDCC_UNAVAILABILITY_MS_CEILING` — fail if the drill's commit
+//!   outage exceeds this many milliseconds.
+
+use std::sync::Arc;
+
+use mdcc_bench::{
+    micro_catalog, net_summary, parallel_flag, perf_summary, save_csv, PerfLog, Scale,
+};
+use mdcc_cluster::{run_mdcc, ClusterSpec, FaultPlan, MdccMode, NetKind, Report};
+use mdcc_common::{
+    DcId, Key, MastershipConfig, Placement as _, Row, SimDuration, SimTime, StaticPlacement,
+};
+use mdcc_workloads::micro::{item_key, STOCK};
+use mdcc_workloads::{ShiftingConfig, ShiftingLocalityWorkload, Workload};
+
+const SHARDS: u32 = 5;
+
+fn base_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
+    let d = scale.div();
+    let m = scale.mult();
+    // Pools sized so keys stay warm (repeat touches keep classic
+    // instances open — no per-commit Phase1) while commutative deltas
+    // keep concurrent touches conflict-free.
+    let items = 2_000 * m / d;
+    let spec = ClusterSpec {
+        seed,
+        dcs: 5,
+        shards_per_dc: SHARDS as usize,
+        // Migration triggers on absolute per-tick request counts
+        // (`migrate_min_requests`), so the client pool must stay large
+        // enough at every scale for a dominant DC to clear the bar.
+        clients: ((50 * m / d) as usize).max(50),
+        net: NetKind::Uniform { rtt_ms: 100.0 },
+        warmup: SimDuration::from_secs(5 / d.min(4)),
+        duration: SimDuration::from_secs(40 / d),
+        drain: SimDuration::from_secs(6),
+        ..ClusterSpec::default()
+    };
+    (spec, items)
+}
+
+/// A shifting-locality factory: each client buys only from its DC's
+/// phase shard. `phase_len` at least as long as the run is the
+/// never-shifting floor configuration.
+fn shifting_factory(
+    items: u64,
+    phase_len: SimDuration,
+) -> impl FnMut(usize, DcId, &Arc<StaticPlacement>) -> Box<dyn Workload> {
+    move |_client, dc, placement| {
+        let p = Arc::clone(placement);
+        let shards = p.shard_count();
+        Box::new(ShiftingLocalityWorkload::new(ShiftingConfig {
+            items,
+            items_per_txn: 3,
+            max_decrement: 3,
+            // Commutative deltas: stale reads never abort, so the
+            // boxplots measure routing, not conflict retries.
+            commutative: true,
+            my_dc: dc.0,
+            shard_of: Arc::new(move |key: &Key| p.shard_id(key)),
+            shards,
+            phase_len,
+        }))
+    }
+}
+
+fn run(spec: &ClusterSpec, items: u64, phase_len: SimDuration) -> Report {
+    let catalog = micro_catalog();
+    // Effectively infinite stock: this figure isolates routing latency,
+    // so demarcation exhaustion must never decide an outcome.
+    let data: Vec<(Key, Row)> = (0..items)
+        .map(|i| (item_key(i), Row::new().with(STOCK, 1_000_000)))
+        .collect();
+    let mut factory = shifting_factory(items, phase_len);
+    let (report, _) = run_mdcc(spec, catalog, &data, &mut factory, MdccMode::Multi);
+    report
+}
+
+fn env_ceiling(name: &str) -> Option<u64> {
+    std::env::var(name).ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}"))
+    })
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (mut spec, items) = base_spec(scale, 1011);
+    spec.parallel = parallel_flag();
+    let phase_len = SimDuration::from_secs(4);
+    let forever = SimDuration::from_secs(100_000);
+    let mut rows: Vec<String> = Vec::new();
+    let mut perf = PerfLog::new();
+    println!("# Figure 11 — dynamic mastership vs shifting locality");
+
+    let mut medians = [0.0f64; 3];
+    let configs = [
+        ("floor", forever, true),
+        ("static", phase_len, false),
+        ("dynamic", phase_len, true),
+    ];
+    let mut dynamic_elections = 0u64;
+    for (i, (label, phases, mastership)) in configs.iter().enumerate() {
+        let mut s = spec.clone();
+        s.seed = spec.seed + i as u64;
+        if *mastership {
+            s.protocol.mastership = MastershipConfig::enabled();
+        }
+        let report = run(&s, items, *phases);
+        let b = report.write_boxplot().expect("commits exist");
+        medians[i] = b.median;
+        let ms = &report.mastership;
+        println!(
+            "{label}: med={:.0}ms q3={:.0}ms max={:.0}ms commits={} \
+             elections={} leases={} handoffs={} served={} forwarded={}",
+            b.median,
+            b.q3,
+            b.max,
+            report.write_commits(),
+            ms.elections,
+            ms.leases_acquired,
+            ms.handoffs,
+            ms.served,
+            ms.forwarded,
+        );
+        println!(
+            "#   {}\n#   {}",
+            net_summary(&report),
+            perf_summary(&report)
+        );
+        if *label == "dynamic" {
+            dynamic_elections = ms.elections;
+        }
+        perf.record(*label, &report);
+        rows.push(format!(
+            "{label},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{}",
+            b.min, b.q1, b.median, b.q3, b.max, ms.elections, ms.leases_acquired, ms.handoffs
+        ));
+    }
+    println!(
+        "# medians: dynamic/floor = {:.2}x, static/floor = {:.2}x",
+        medians[2] / medians[0],
+        medians[1] / medians[0]
+    );
+    if let Some(ceiling) = env_ceiling("MDCC_ELECTION_ROUNDS_CEILING") {
+        assert!(
+            dynamic_elections <= ceiling,
+            "dynamic run held {dynamic_elections} elections, ceiling {ceiling}"
+        );
+        println!("# election guard ok: {dynamic_elections} <= {ceiling}");
+    }
+
+    // ------------------------------------------------------------------
+    // Master-crash drill: one shard, kill the holder, measure the
+    // commit outage.
+    // ------------------------------------------------------------------
+    let d = scale.div();
+    let crash_at = SimDuration::from_secs(8 / d.min(2));
+    let mut drill = spec.clone();
+    drill.seed = spec.seed + 100;
+    drill.shards_per_dc = 1;
+    drill.clients = (20 / d as usize).max(5);
+    drill.durability = true;
+    drill.duration = SimDuration::from_secs(20 / d);
+    drill.drain = SimDuration::from_secs(10);
+    drill.protocol.mastership = MastershipConfig::enabled();
+
+    // Probe (fault-free, same prefix) for the initial holder's DC.
+    let mut probe = drill.clone();
+    probe.duration = SimDuration::from_secs(2);
+    probe.drain = SimDuration::from_secs(2);
+    let holder = run(&probe, items, forever)
+        .lease_spans
+        .first()
+        .map(|l| DcId(l.node.0 as u8))
+        .expect("probe run granted a lease");
+
+    drill.faults =
+        FaultPlan::new().crash_restart(holder, 0, crash_at, SimDuration::from_secs(6 / d.min(2)));
+    let report = run(&drill, items, forever);
+    let crash = SimTime::ZERO + crash_at;
+    let mut commits: Vec<SimTime> = report
+        .records
+        .iter()
+        .filter(|r| r.committed && r.is_write)
+        .map(|r| r.finished)
+        .collect();
+    commits.sort();
+    let before = commits.iter().rev().find(|t| **t <= crash);
+    let after = commits.iter().find(|t| **t > crash);
+    let window_ms = match (before, after) {
+        (Some(b), Some(a)) => (*a - *b).as_micros() as f64 / 1_000.0,
+        _ => f64::NAN,
+    };
+    let cfg = &drill.protocol.mastership;
+    println!(
+        "drill: master (dc {}) crashed at {:.0}ms, recovery window {window_ms:.0}ms \
+         (lease {:.0}ms + heartbeat {:.0}ms), elections={}",
+        holder.0,
+        crash_at.as_micros() as f64 / 1_000.0,
+        cfg.lease_duration.as_micros() as f64 / 1_000.0,
+        cfg.heartbeat_interval.as_micros() as f64 / 1_000.0,
+        report.mastership.elections,
+    );
+    perf.record("drill", &report);
+    rows.push(format!(
+        "drill,,,{window_ms:.1},,,{},{},{}",
+        report.mastership.elections, report.mastership.leases_acquired, report.mastership.handoffs
+    ));
+    if let Some(ceiling) = env_ceiling("MDCC_UNAVAILABILITY_MS_CEILING") {
+        assert!(
+            window_ms.is_finite() && window_ms <= ceiling as f64,
+            "recovery window {window_ms:.0}ms exceeds ceiling {ceiling}ms"
+        );
+        println!("# unavailability guard ok: {window_ms:.0}ms <= {ceiling}ms");
+    }
+
+    save_csv(
+        "fig11_mastership",
+        "config,min_ms,q1_ms,median_ms,q3_ms,max_ms,elections,leases,handoffs",
+        &rows,
+    );
+    perf.save("fig11", scale);
+}

@@ -313,6 +313,13 @@ pub fn run_mdcc(
     let matrix = storage_matrix(spec);
     let placement = StaticPlacement::new(matrix.clone(), spec.master_policy);
     let allow_fast = !matches!(mode, MdccMode::Multi);
+    // One shared lease-tenure collector across every node, restarted
+    // ones included — the no-two-masters audit needs the full history.
+    let lease_audit = spec
+        .protocol
+        .mastership
+        .enabled
+        .then(mdcc_mastership::LeaseAudit::new);
     for dc in 0..spec.dcs {
         for &expected in &matrix[dc as usize] {
             let store = RecordStore::new(spec.protocol.clone(), Arc::clone(&catalog));
@@ -327,6 +334,9 @@ pub fn run_mdcc(
             }
             if spec.trace.enabled {
                 node.set_tracer(tracer.clone(), DcId(dc));
+            }
+            if let Some(audit) = &lease_audit {
+                node.set_lease_audit(audit.clone());
             }
             let id = world.spawn(DcId(dc), Box::new(node));
             assert_eq!(id, expected);
@@ -414,6 +424,9 @@ pub fn run_mdcc(
                     allow_fast,
                     info,
                 );
+                if let Some(audit) = &lease_audit {
+                    proc_.set_lease_audit(audit.clone());
+                }
                 if spec.trace.enabled {
                     proc_.set_tracer(tracer.clone(), dc);
                     // Replay is instantaneous in sim time; the span
@@ -477,6 +490,7 @@ pub fn run_mdcc(
     // End-of-run consistency audit across every storage node.
     let mut audit = ClusterAudit::default();
     let mut engine = mdcc_storage::EngineStats::default();
+    let mut ms_stats = mdcc_mastership::MastershipStats::default();
     let mut node_stats = mdcc_core::node::NodeStats::default();
     let mut minima: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
     for dc_nodes in &matrix {
@@ -509,6 +523,14 @@ pub fn run_mdcc(
                 }
             }
             audit.wal_bytes_written += world.disk(n).stats().wal_bytes_written;
+            if let Some(m) = node.mastership_stats() {
+                ms_stats.elections += m.elections;
+                ms_stats.leases_acquired += m.leases_acquired;
+                ms_stats.renewals += m.renewals;
+                ms_stats.handoffs += m.handoffs;
+                ms_stats.served += m.served;
+                ms_stats.forwarded += m.forwarded;
+            }
             let e = node.store().engine_stats();
             engine.live_bytes += e.live_bytes;
             engine.dead_bytes += e.dead_bytes;
@@ -582,6 +604,10 @@ pub fn run_mdcc(
     };
     report.profile = world.profile();
     report.engine = engine;
+    report.mastership = ms_stats;
+    if let Some(audit) = &lease_audit {
+        report.lease_spans = audit.spans();
+    }
     if spec.trace.enabled {
         report.trace = Some(tracer.take());
     }

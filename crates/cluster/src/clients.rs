@@ -83,7 +83,7 @@ impl MdccClient {
         if self.stop_at.is_some_and(|stop| ctx.now >= stop) {
             return;
         }
-        let txn = self.workload.next_txn(ctx.rng);
+        let txn = self.workload.next_txn_at(ctx.now, ctx.rng);
         self.started = ctx.now;
         let reads = txn.read_set();
         self.current = Some(txn);
@@ -202,7 +202,7 @@ impl QwClient {
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_, QwMsg>) {
-        let txn = self.workload.next_txn(ctx.rng);
+        let txn = self.workload.next_txn_at(ctx.now, ctx.rng);
         self.started = ctx.now;
         let reads = txn.read_set();
         self.current = Some(txn);
@@ -339,7 +339,7 @@ impl TpcClient {
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_, TpcMsg>) {
-        let txn = self.workload.next_txn(ctx.rng);
+        let txn = self.workload.next_txn_at(ctx.now, ctx.rng);
         self.started = ctx.now;
         let reads = txn.read_set();
         self.current = Some(txn);
@@ -468,7 +468,7 @@ impl MegastoreClient {
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_, MegaMsg>) {
-        let txn = self.workload.next_txn(ctx.rng);
+        let txn = self.workload.next_txn_at(ctx.now, ctx.rng);
         self.started = ctx.now;
         let reads = txn.read_set();
         self.current = Some(txn);

@@ -216,6 +216,13 @@ pub struct Report {
     /// Storage-engine counters summed across every node (MDCC runs;
     /// all-zero under the in-memory backend, which has no segments).
     pub engine: mdcc_storage::EngineStats,
+    /// Dynamic-mastership counters summed across every node (MDCC runs
+    /// with `protocol.mastership.enabled`; all-zero otherwise).
+    pub mastership: mdcc_mastership::MastershipStats,
+    /// Every lease tenure granted during the run, sorted by
+    /// `(shard, from, ballot)` — the raw material of the no-two-masters
+    /// audit. Empty unless dynamic mastership ran.
+    pub lease_spans: Vec<mdcc_mastership::LeaseSpan>,
 }
 
 impl Report {
@@ -237,6 +244,8 @@ impl Report {
             perf: RunPerf::default(),
             profile: Vec::new(),
             engine: mdcc_storage::EngineStats::default(),
+            mastership: mdcc_mastership::MastershipStats::default(),
+            lease_spans: Vec::new(),
         }
     }
 

@@ -117,9 +117,14 @@ fn group_commit_amortizes_fsyncs_without_changing_outcomes() {
         "group commit must amortize fsyncs at least 3x per commit: \
          {on_fpc:.2} vs {off_fpc:.2}"
     );
+    // Outright counts are only loosely comparable: the group-commit run
+    // also releases read replies early, so its clients cycle faster and
+    // issue more transactions in the same wall of virtual time. The
+    // per-commit ratio above is the amortization guarantee; outright the
+    // batched run must still fsync strictly less.
     assert!(
-        on.net.fsyncs * 3 <= off.net.fsyncs,
-        "and strictly fewer fsyncs outright: {} vs {}",
+        on.net.fsyncs < off.net.fsyncs,
+        "batched run must fsync strictly less outright: {} vs {}",
         on.net.fsyncs,
         off.net.fsyncs
     );

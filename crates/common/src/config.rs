@@ -26,6 +26,68 @@ pub enum StorageKind {
     LogStructured,
 }
 
+/// Dynamic-mastership knobs: shard-granular master leases renewed by
+/// heartbeat, omnipaxos-style ballot leader election, and access-driven
+/// master migration.
+///
+/// Disabled by default. With `enabled = false` no mastership timer is
+/// armed, no mastership message is sent and no RNG is consumed — runs
+/// are byte-identical to static placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MastershipConfig {
+    /// Master switch. Off reproduces static per-record placement
+    /// byte-identically.
+    pub enabled: bool,
+    /// Base interval between heartbeat/lease ticks at every replica.
+    /// Each tick closes the previous heartbeat round, renews any held
+    /// lease, and checks the migration hysteresis.
+    pub heartbeat_interval: SimDuration,
+    /// How long one lease grant is valid. A holder renews every tick,
+    /// so this should be at least 3× the heartbeat interval to ride out
+    /// a lost renewal round; it also bounds the unavailability window
+    /// after a master crash (a successor must wait out the acked
+    /// expiry).
+    pub lease_duration: SimDuration,
+    /// Added to the tick delay after a contested election round
+    /// (omnipaxos-style increasing heartbeat delay), decayed back to
+    /// the base once a lease settles.
+    pub hb_delay_increment: SimDuration,
+    /// Access-driven migration fires when a remote data center's
+    /// mastered-request count reaches this percentage of the holder's
+    /// local count (200 = twice the local traffic).
+    pub migrate_threshold_pct: u32,
+    /// A remote data center must additionally send at least this many
+    /// mastered requests in the current observation window.
+    pub migrate_min_requests: u64,
+    /// The same remote data center must stay dominant for this many
+    /// consecutive ticks before the lease is handed off (hysteresis).
+    pub migrate_rounds: u32,
+}
+
+impl Default for MastershipConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            heartbeat_interval: SimDuration::from_millis(100),
+            lease_duration: SimDuration::from_millis(400),
+            hb_delay_increment: SimDuration::from_millis(25),
+            migrate_threshold_pct: 200,
+            migrate_min_requests: 8,
+            migrate_rounds: 2,
+        }
+    }
+}
+
+impl MastershipConfig {
+    /// An enabled config with the defaults above.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Tunable parameters of the MDCC commit protocol.
 ///
 /// The defaults mirror the paper's deployment: replication factor `N = 5`
@@ -117,6 +179,17 @@ pub struct ProtocolConfig {
     /// overflows, the least-recently-touched half is encoded back into
     /// segments and dropped.
     pub log_cache_records: usize,
+    /// Incremental-compaction budget of the log-structured backend:
+    /// once compaction triggers, at most this many bytes are
+    /// copied forward per storage event instead of rewriting the whole
+    /// store inside one event. Zero (the default) keeps the
+    /// stop-the-world behaviour; the final store state is byte-identical
+    /// either way.
+    pub compact_budget_bytes: usize,
+    /// Dynamic mastership: shard-granular leases, ballot leader
+    /// election, access-driven migration. Off by default (static
+    /// placement, byte-identical to earlier revisions).
+    pub mastership: MastershipConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -141,6 +214,8 @@ impl Default for ProtocolConfig {
             group_commit_bytes: 256 * 1024,
             storage: StorageKind::Mem,
             log_cache_records: 4096,
+            compact_budget_bytes: 0,
+            mastership: MastershipConfig::default(),
         }
     }
 }

@@ -18,7 +18,7 @@ pub mod update;
 pub mod value;
 pub mod wire;
 
-pub use config::{ProtocolConfig, StorageKind};
+pub use config::{MastershipConfig, ProtocolConfig, StorageKind};
 pub use error::{MdccError, Result};
 pub use ids::{DcId, Key, NodeId, TableId, TxnId};
 pub use placement::{MasterPolicy, Placement, StaticPlacement};

@@ -33,6 +33,17 @@ pub trait Placement: Send + Sync {
     fn acceptor_index(&self, key: &Key, node: NodeId) -> Option<usize> {
         self.replicas(key).iter().position(|n| *n == node)
     }
+
+    /// Number of shards (replica groups) the key space maps onto —
+    /// the granularity of dynamic master leases.
+    fn shard_count(&self) -> u32;
+
+    /// The shard a record hashes to (stable cluster-wide).
+    fn shard_id(&self, key: &Key) -> u32;
+
+    /// The replica group of one shard, one node per data center in
+    /// [`DcId`] order (same order as [`Placement::replicas`]).
+    fn shard_replicas(&self, shard: u32) -> Vec<NodeId>;
 }
 
 /// How default masters are assigned.
@@ -115,6 +126,21 @@ impl Placement for StaticPlacement {
                 DcId(((fnv1a(key) >> 32) % self.dcs() as u64) as u8)
             }
         }
+    }
+
+    fn shard_count(&self) -> u32 {
+        self.shards as u32
+    }
+
+    fn shard_id(&self, key: &Key) -> u32 {
+        self.shard_of(key) as u32
+    }
+
+    fn shard_replicas(&self, shard: u32) -> Vec<NodeId> {
+        self.storage_matrix
+            .iter()
+            .map(|dc| dc[shard as usize])
+            .collect()
     }
 }
 

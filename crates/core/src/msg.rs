@@ -4,7 +4,8 @@
 //! [`crate::wire`]); the simulator charges transmission delay, link
 //! queueing and per-byte service cost for exactly those bytes.
 
-use mdcc_common::{Key, Row, TxnId, Version};
+use mdcc_common::{DcId, Key, NodeId, Row, TxnId, Version};
+use mdcc_mastership::MsMsg;
 use mdcc_paxos::acceptor::{Phase1b, Phase2a, Phase2b, RecordSnapshot};
 use mdcc_paxos::{Ballot, DeltaVote, Resolution, TxnOption, TxnOutcome};
 use mdcc_storage::{SyncItem, SyncRange};
@@ -281,4 +282,30 @@ pub enum Msg {
     /// Client processes: issue the next transaction (used by harness
     /// clients; carried here so every process shares one message type).
     ClientTick,
+
+    // ------------------------------------------------------------------
+    // Dynamic mastership (lease/election plane + mastered proposals).
+    // ------------------------------------------------------------------
+    /// Lease/election-plane message between the replicas of one shard
+    /// (heartbeats, acquires, grants, handoffs — see `mdcc_mastership`).
+    Mastership(MsMsg),
+    /// Classic-path proposal routed to the shard's *lease holder* instead
+    /// of the static per-record master. Carries the requesting data
+    /// center so the holder can observe access locality and migrate.
+    ProposeMastered {
+        /// Data center the issuing TM lives in.
+        origin_dc: DcId,
+        /// The proposal itself.
+        opt: TxnOption,
+    },
+    /// A node that is not (or no longer) the lease holder redirects the
+    /// proposer: route this shard's classic traffic to `node`.
+    MasterHint {
+        /// Shard concerned.
+        shard: u32,
+        /// Current lease holder as far as the sender knows.
+        node: NodeId,
+    },
+    /// Storage node: mastership heartbeat/lease timer.
+    MsTick,
 }

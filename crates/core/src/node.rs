@@ -15,6 +15,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mdcc_common::{DcId, Key, NodeId, ProtocolConfig, SimDuration, TxnId};
+use mdcc_mastership::{Action as MsAction, LeaseAudit, Mastership, MastershipStats};
 use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase2b};
 use mdcc_paxos::leader::{LeaderAction, LeaderConfig};
 use mdcc_paxos::{LeaderRecord, LearnOutcome, Learner, OptionStatus, TxnOutcome};
@@ -130,6 +131,14 @@ pub struct StorageNodeProcess {
     /// This node's data center, for span attribution (set with the
     /// tracer; protocol logic never reads it).
     my_dc: DcId,
+    /// Dynamic-mastership layer (leases + ballot leader election),
+    /// constructed in `on_start` when `cfg.mastership.enabled`. `None`
+    /// reproduces static placement byte-identically: no extra timers,
+    /// messages or state.
+    mastership: Option<Mastership>,
+    /// Shared lease-tenure collector handed to the mastership layer
+    /// (consistency audits assert no overlapping tenures).
+    lease_audit: Option<LeaseAudit>,
 }
 
 /// Bound on the fast-redirect memo: entries normally clear on
@@ -196,7 +205,20 @@ impl StorageNodeProcess {
             stats: NodeStats::default(),
             tracer: None,
             my_dc: DcId(0),
+            mastership: None,
+            lease_audit: None,
         }
+    }
+
+    /// Attaches the run's shared lease audit; must be set before spawn
+    /// so `on_start` hands it to the mastership layer.
+    pub fn set_lease_audit(&mut self, audit: LeaseAudit) {
+        self.lease_audit = Some(audit);
+    }
+
+    /// Mastership counters, if the dynamic-mastership layer is active.
+    pub fn mastership_stats(&self) -> Option<MastershipStats> {
+        self.mastership.as_ref().map(|m| m.stats())
     }
 
     /// Attaches the run's trace collector. `my_dc` is this node's data
@@ -350,6 +372,58 @@ impl StorageNodeProcess {
             .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
+    }
+
+    /// Leads one classic proposal locally: redirect it back to the fast
+    /// path when the record reopened fast (at most once per txn), else
+    /// enqueue it on this node's leader for the record. Shared by the
+    /// static `ProposeToMaster` path and the lease-holder path.
+    fn lead_classic(&mut self, from: NodeId, opt: mdcc_paxos::TxnOption, ctx: &mut Ctx<'_, Msg>) {
+        let key = opt.key.clone();
+        // If the record is actually in fast mode and fast ballots
+        // are allowed, redirect the TM back to the fast path —
+        // but at most once per transaction. Under message loss
+        // the replicas' ballot modes can diverge (this record
+        // reopened fast, another replica never heard the reopen
+        // and still bounces NotFast), and honoring the redirect
+        // every time ping-pongs the proposal between fast and
+        // classic forever. The second arrival takes mastership:
+        // the classic round re-synchronizes every replica.
+        let leading = self
+            .leaders
+            .get(&key)
+            .map(|l| l.is_leading())
+            .unwrap_or(false);
+        let record_fast = self
+            .store
+            .with_record(&key, |r| r.promised().is_fast())
+            .unwrap_or(true);
+        if self.redirected_fast.len() > REDIRECTED_FAST_CAP {
+            self.redirected_fast.clear();
+        }
+        if self.allow_fast && !leading && record_fast && self.redirected_fast.insert(opt.txn) {
+            ctx.send(from, Msg::GoFast { key, opt });
+            return;
+        }
+        // A fresh lease holder starts its classic ballots above the
+        // election ballot so its Phase1a outranks the predecessor's.
+        if let Some(ms) = &self.mastership {
+            if let Some(floor) = ms.ballot_floor(self.placement.shard_id(&key)) {
+                let self_id = ctx.self_id;
+                self.leader_for(&key, ctx)
+                    .observe_ballot(mdcc_paxos::Ballot::classic(floor, self_id));
+            }
+        }
+        let actions = self.leader_for(&key, ctx).enqueue(opt);
+        self.run_leader_actions(&key, actions, ctx);
+    }
+
+    /// Emits the mastership layer's queued sends as wrapped messages.
+    fn flush_ms_actions(&mut self, out: Vec<MsAction>, ctx: &mut Ctx<'_, Msg>) {
+        for action in out {
+            let MsAction::Send { to, msg } = action;
+            ctx.send(to, Msg::Mastership(msg));
+        }
     }
 
     fn leader_for(&mut self, key: &Key, ctx: &Ctx<'_, Msg>) -> &mut LeaderRecord {
@@ -682,6 +756,41 @@ impl Process<Msg> for StorageNodeProcess {
             self.run_sync_round(ctx);
             ctx.set_timer(self.cfg.recovery_sync_interval, Msg::SyncSweep);
         }
+        if self.cfg.mastership.enabled {
+            // Host the lease/election layer for every shard this node
+            // replicates. The node's DC is its acceptor position in the
+            // replica group (one replica per DC, in DcId order).
+            let mut shards = Vec::new();
+            let mut my_dc = DcId(0);
+            for shard in 0..self.placement.shard_count() {
+                let replicas = self.placement.shard_replicas(shard);
+                if let Some(idx) = replicas.iter().position(|n| *n == ctx.self_id) {
+                    my_dc = DcId(idx as u8);
+                    shards.push((shard, replicas));
+                }
+            }
+            if !shards.is_empty() {
+                let recovered_at = self.recovered.is_some().then_some(ctx.now);
+                let mut ms = Mastership::new(
+                    self.cfg.mastership.clone(),
+                    ctx.self_id,
+                    my_dc,
+                    shards,
+                    recovered_at,
+                );
+                if let Some(audit) = &self.lease_audit {
+                    ms.set_audit(audit.clone());
+                }
+                self.mastership = Some(ms);
+                // Stagger first ticks by node id so heartbeats across
+                // nodes do not land on the same instants.
+                let stagger = SimDuration::from_micros((ctx.self_id.0 as u64 % 17) * 313);
+                ctx.set_timer(
+                    self.cfg.mastership.heartbeat_interval + stagger,
+                    Msg::MsTick,
+                );
+            }
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
@@ -715,38 +824,45 @@ impl Process<Msg> for StorageNodeProcess {
                 }
             }
             Msg::ProposeToMaster(opt) => {
-                let key = opt.key.clone();
-                // If the record is actually in fast mode and fast ballots
-                // are allowed, redirect the TM back to the fast path —
-                // but at most once per transaction. Under message loss
-                // the replicas' ballot modes can diverge (this record
-                // reopened fast, another replica never heard the reopen
-                // and still bounces NotFast), and honoring the redirect
-                // every time ping-pongs the proposal between fast and
-                // classic forever. The second arrival takes mastership:
-                // the classic round re-synchronizes every replica.
-                let leading = self
-                    .leaders
-                    .get(&key)
-                    .map(|l| l.is_leading())
-                    .unwrap_or(false);
-                let record_fast = self
-                    .store
-                    .with_record(&key, |r| r.promised().is_fast())
-                    .unwrap_or(true);
-                if self.redirected_fast.len() > REDIRECTED_FAST_CAP {
-                    self.redirected_fast.clear();
+                self.lead_classic(from, opt, ctx);
+            }
+            Msg::ProposeMastered { origin_dc, opt } => {
+                let shard = self.placement.shard_id(&opt.key);
+                let (serving, holder) = match &self.mastership {
+                    Some(ms) => (ms.is_serving(shard, ctx.now), ms.holder(shard, ctx.now)),
+                    None => (false, None),
+                };
+                if serving {
+                    if let Some(ms) = self.mastership.as_mut() {
+                        ms.note_served(shard, origin_dc);
+                    }
+                    self.lead_classic(from, opt, ctx);
+                } else if let Some(node) = holder.filter(|n| *n != ctx.self_id) {
+                    // Not the holder, but we know who is: forward the
+                    // proposal and teach the coordinator the route.
+                    if let Some(ms) = self.mastership.as_mut() {
+                        ms.note_forwarded();
+                    }
+                    ctx.send(opt.txn.coordinator, Msg::MasterHint { shard, node });
+                    ctx.send(node, Msg::ProposeMastered { origin_dc, opt });
+                } else {
+                    // No live lease this node knows of (election still in
+                    // progress, or mastership disabled here): lead
+                    // classically. Safe regardless of leases — classic
+                    // Paxos ballots arbitrate — and keeps writes
+                    // available through election windows.
+                    self.lead_classic(from, opt, ctx);
                 }
-                if self.allow_fast
-                    && !leading
-                    && record_fast
-                    && self.redirected_fast.insert(opt.txn)
-                {
-                    ctx.send(from, Msg::GoFast { key, opt });
-                    return;
+            }
+            Msg::MasterHint { .. } => {
+                // TM-side routing hint; nothing for a storage node.
+            }
+            Msg::Mastership(inner) => {
+                let mut out = Vec::new();
+                if let Some(ms) = self.mastership.as_mut() {
+                    ms.on_msg(from, inner, ctx.now, &mut out);
                 }
-                let actions = self.leader_for(&key, ctx).enqueue(opt);
-                self.run_leader_actions(&key, actions, ctx);
+                self.flush_ms_actions(out, ctx);
             }
             Msg::StartRecovery { key } => {
                 let actions = self.leader_for(&key, ctx).start_recovery();
@@ -1040,7 +1156,8 @@ impl Process<Msg> for StorageNodeProcess {
             | Msg::MissedPull { .. }
             | Msg::CheckpointTick
             | Msg::SyncSweep
-            | Msg::ClientTick => {
+            | Msg::ClientTick
+            | Msg::MsTick => {
                 // Timer payloads arrive via on_timer, not as messages.
             }
         }
@@ -1119,6 +1236,15 @@ impl Process<Msg> for StorageNodeProcess {
                     self.stats.checkpoints += 1;
                 }
                 ctx.set_timer(self.cfg.checkpoint_interval, Msg::CheckpointTick);
+            }
+            Msg::MsTick => {
+                let mut out = Vec::new();
+                let Some(ms) = self.mastership.as_mut() else {
+                    return;
+                };
+                let next = ms.on_tick(ctx.now, &mut out);
+                self.flush_ms_actions(out, ctx);
+                ctx.set_timer(next, Msg::MsTick);
             }
             Msg::SyncSweep => {
                 if self.stats.sync_adoptions == self.last_sync_adoptions {

@@ -144,6 +144,10 @@ pub struct TransactionManager {
     reads: HashMap<u64, ReadTask>,
     /// Records believed to be under a classic ballot, with their master.
     classic_cache: HashMap<Key, NodeId>,
+    /// Dynamic mastership: believed lease holder per shard, learned from
+    /// `MasterHint` redirects. Only consulted when
+    /// `protocol.mastership.enabled`.
+    lease_cache: HashMap<u32, NodeId>,
     /// Per-record, per-acceptor shadow views reconstructing each
     /// acceptor's cstruct from delta votes. Bounded by
     /// [`SHADOW_KEYS_CAP`]; a dropped shadow merely costs one
@@ -172,6 +176,7 @@ impl TransactionManager {
             active: BTreeMap::new(),
             reads: HashMap::new(),
             classic_cache: HashMap::new(),
+            lease_cache: HashMap::new(),
             shadows: HashMap::new(),
             stats: TxnStats::default(),
             tracer: None,
@@ -401,13 +406,41 @@ impl TransactionManager {
     /// Routes one proposal per the record's believed mode (SENDPROPOSAL,
     /// Algorithm 1 lines 9–13).
     fn propose(&mut self, opt: TxnOption, ctx: &mut Ctx<'_, Msg>) {
+        self.propose_attempt(opt, 0, ctx);
+    }
+
+    /// `propose`, parameterized by the retry attempt. With dynamic
+    /// mastership on, classic proposals go to the shard's believed lease
+    /// holder; retries rotate through the replica group instead, because
+    /// the believed holder may be the crashed node (any replica either
+    /// serves, forwards to the live holder, or leads classically).
+    fn propose_attempt(&mut self, opt: TxnOption, attempt: u32, ctx: &mut Ctx<'_, Msg>) {
         let master = self.classic_cache.get(&opt.key).copied().or_else(|| {
             self.cfg
                 .assume_classic
                 .then(|| self.placement.master(&opt.key))
         });
         match master {
-            Some(m) => ctx.send(m, Msg::ProposeToMaster(opt)),
+            Some(m) => {
+                if self.cfg.protocol.mastership.enabled {
+                    let shard = self.placement.shard_id(&opt.key);
+                    let target = if attempt == 0 {
+                        self.lease_cache.get(&shard).copied().unwrap_or(m)
+                    } else {
+                        let replicas = self.placement.shard_replicas(shard);
+                        replicas[(self.cfg.my_dc.0 as usize + attempt as usize) % replicas.len()]
+                    };
+                    ctx.send(
+                        target,
+                        Msg::ProposeMastered {
+                            origin_dc: self.cfg.my_dc,
+                            opt,
+                        },
+                    );
+                } else {
+                    ctx.send(m, Msg::ProposeToMaster(opt));
+                }
+            }
             None => {
                 for r in self.placement.replicas(&opt.key) {
                     ctx.send(r, Msg::Propose(opt.clone()));
@@ -516,6 +549,12 @@ impl TransactionManager {
                 version,
                 value,
             } => self.on_read_resp(from, req, key, version, value, ctx),
+            Msg::MasterHint { shard, node } => {
+                // A replica redirected us: route this shard's mastered
+                // traffic to the current lease holder.
+                self.lease_cache.insert(shard, node);
+                Vec::new()
+            }
             _ => Vec::new(),
         }
     }
@@ -563,7 +602,12 @@ impl TransactionManager {
                 // fast proposals, which any live node can vote on.
                 self.classic_cache.remove(&key);
             }
-            self.propose(opt, ctx);
+            if self.cfg.protocol.mastership.enabled {
+                // The believed lease holder may be the crashed node; drop
+                // the route and let the rotated retry relearn it.
+                self.lease_cache.remove(&self.placement.shard_id(&key));
+            }
+            self.propose_attempt(opt, attempt, ctx);
         }
         Vec::new()
     }

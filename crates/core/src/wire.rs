@@ -192,6 +192,21 @@ impl Wire for Msg {
                 txn.encode(out);
                 out.u32(*attempt);
             }
+            Msg::Mastership(inner) => {
+                out.u8(35);
+                inner.encode(out);
+            }
+            Msg::ProposeMastered { origin_dc, opt } => {
+                out.u8(36);
+                origin_dc.encode(out);
+                opt.encode(out);
+            }
+            Msg::MasterHint { shard, node } => {
+                out.u8(37);
+                out.u32(*shard);
+                node.encode(out);
+            }
+            Msg::MsTick => out.u8(38),
         }
     }
 
@@ -313,6 +328,16 @@ impl Wire for Msg {
                 txn: TxnId::decode(inp)?,
                 attempt: inp.u32()?,
             },
+            35 => Msg::Mastership(Wire::decode(inp)?),
+            36 => Msg::ProposeMastered {
+                origin_dc: Wire::decode(inp)?,
+                opt: Wire::decode(inp)?,
+            },
+            37 => Msg::MasterHint {
+                shard: inp.u32()?,
+                node: Wire::decode(inp)?,
+            },
+            38 => Msg::MsTick,
             _ => return err("msg tag"),
         })
     }
@@ -352,7 +377,8 @@ pub fn frame_msg(msg: &Msg) -> Vec<u8> {
 mod tests {
     use super::*;
     use mdcc_common::wire::{from_bytes, to_bytes};
-    use mdcc_common::{CommutativeUpdate, NodeId, Row, TableId, UpdateOp, Version};
+    use mdcc_common::{CommutativeUpdate, DcId, NodeId, Row, TableId, UpdateOp, Version};
+    use mdcc_mastership::{Ballot as MsBallot, HolderHint, MsMsg};
     use mdcc_paxos::{CStruct, OptionStatus, Resolution, TxnOption};
     use mdcc_storage::{SyncItem, SyncRange};
 
@@ -553,6 +579,50 @@ mod tests {
             Msg::CheckpointTick,
             Msg::SyncSweep,
             Msg::ClientTick,
+            Msg::Mastership(MsMsg::HbReq { shard: 3, round: 7 }),
+            Msg::Mastership(MsMsg::HbReply {
+                shard: 3,
+                round: 7,
+                ballot: MsBallot::new(2, 4),
+                holder: Some(HolderHint {
+                    ballot: MsBallot::new(2, 4),
+                    node: NodeId(4),
+                    expiry: mdcc_common::SimTime::ZERO + mdcc_common::SimDuration::from_millis(500),
+                }),
+            }),
+            Msg::Mastership(MsMsg::Acquire {
+                shard: 1,
+                ballot: MsBallot::new(3, 2),
+                expiry: mdcc_common::SimTime::ZERO + mdcc_common::SimDuration::from_millis(900),
+                relinquished: Some(MsBallot::new(2, 0)),
+            }),
+            Msg::Mastership(MsMsg::Grant {
+                shard: 1,
+                ballot: MsBallot::new(3, 2),
+                expiry: mdcc_common::SimTime::ZERO + mdcc_common::SimDuration::from_millis(900),
+                prev: Some((
+                    MsBallot::new(2, 0),
+                    mdcc_common::SimTime::ZERO + mdcc_common::SimDuration::from_millis(650),
+                )),
+            }),
+            Msg::Mastership(MsMsg::Reject {
+                shard: 1,
+                max: MsBallot::new(5, 4),
+            }),
+            Msg::Mastership(MsMsg::Handoff {
+                shard: 2,
+                ballot: MsBallot::new(4, 1),
+                relinquished: MsBallot::new(3, 0),
+            }),
+            Msg::ProposeMastered {
+                origin_dc: DcId(2),
+                opt: opt(14),
+            },
+            Msg::MasterHint {
+                shard: 4,
+                node: NodeId(12),
+            },
+            Msg::MsTick,
         ]
     }
 
@@ -617,6 +687,19 @@ mod tests {
                 key: key("a"),
                 outcome: TxnOutcome::Committed,
                 learned_accepted: true,
+            }
+            .traffic_class(),
+            TrafficClass::Protocol
+        );
+        assert_eq!(
+            Msg::Mastership(MsMsg::HbReq { shard: 0, round: 1 }).traffic_class(),
+            TrafficClass::Protocol,
+            "lease/election plane is protocol traffic"
+        );
+        assert_eq!(
+            Msg::ProposeMastered {
+                origin_dc: DcId(0),
+                opt: opt(1),
             }
             .traffic_class(),
             TrafficClass::Protocol

@@ -537,6 +537,10 @@ impl<M: 'static> Shard<M> {
                     // flushes the outbox when durability lands.
                     if !(env.group_commit_engaged() && self.disks[slot].has_unsynced()) {
                         self.flush_outbox(target, slot, env);
+                    } else {
+                        // The batch holds everything except read
+                        // replies, which never wait on durability.
+                        self.flush_outbox_reads(target, slot, env);
                     }
                 }
             }
@@ -744,11 +748,17 @@ impl<M: 'static> Shard<M> {
                             framed_sizes: vec![bytes],
                         }),
                     }
-                } else if env.group_commit_engaged() && self.disks[src_slot].has_unsynced() {
+                } else if env.group_commit_engaged()
+                    && self.disks[src_slot].has_unsynced()
+                    && class != TrafficClass::Read
+                {
                     // Legacy transport during an open group-commit
                     // batch: the send waits with the batch (acks must
                     // not outrun the covering fsync, and FIFO per
-                    // destination must survive the wait).
+                    // destination must survive the wait). Read replies
+                    // are exempt: they promise no durability, so they
+                    // ship immediately instead of queueing behind a
+                    // stranger's fsync.
                     self.held_sends[src_slot].push((to, msg, bytes, class));
                 } else {
                     // Legacy transport: one frame per message, pushed to
@@ -882,7 +892,10 @@ impl<M: 'static> Shard<M> {
             // The node's WAL has an open group-commit batch: everything
             // it buffered — the batch's acks included — waits for the
             // covering fsync (always pending while appends are
-            // unsynced), which flushes the outbox itself.
+            // unsynced), which flushes the outbox itself. Read replies
+            // promise no durability, so they ship now instead of
+            // queueing behind the batch.
+            self.flush_outbox_reads(src, slot, env);
             return;
         }
         if !env.coalesce || self.outbox[slot].is_empty() {
@@ -937,6 +950,38 @@ impl<M: 'static> Shard<M> {
         // but keep it robust).
         if self.outbox[src_slot].is_empty() {
             self.outbox[src_slot] = slots;
+        }
+    }
+
+    /// Ships only the [`TrafficClass::Read`] slots of `src`'s outbox,
+    /// leaving everything else buffered for the covering fsync. Stable
+    /// index walk so the surviving slots keep their first-enqueue order.
+    fn flush_outbox_reads(&mut self, src: NodeId, src_slot: usize, env: &Env<'_>) {
+        let mut i = 0;
+        while i < self.outbox[src_slot].len() {
+            if self.outbox[src_slot][i].class != TrafficClass::Read {
+                i += 1;
+                continue;
+            }
+            let mut slot = self.outbox[src_slot].remove(i);
+            if slot.msgs.len() == 1 {
+                let bytes = slot.framed_sizes[0];
+                let kind = EventKind::Deliver {
+                    from: src,
+                    msg: slot.msgs.pop().expect("one message"),
+                    bytes,
+                };
+                self.push_to_network(src, src_slot, slot.to, bytes, slot.class, 1, kind, env);
+            } else {
+                let bytes = envelope_wire_bytes(slot.framed_sizes.iter().copied());
+                let count = slot.msgs.len() as u64;
+                let kind = EventKind::DeliverEnvelope {
+                    from: src,
+                    msgs: slot.msgs,
+                    bytes,
+                };
+                self.push_to_network(src, src_slot, slot.to, bytes, slot.class, count, kind, env);
+            }
         }
     }
 }
@@ -2219,5 +2264,84 @@ mod tests {
             !w.parallel_active(),
             "tracing must force the sequential merge path"
         );
+    }
+
+    /// A payload tagged with its traffic class, for the group-commit
+    /// read carve-out tests.
+    #[derive(Debug, Clone, Copy)]
+    struct Classed(crate::process::TrafficClass);
+    impl crate::process::NetMessage for Classed {
+        fn wire_bytes(&self) -> usize {
+            100
+        }
+        fn traffic_class(&self) -> crate::process::TrafficClass {
+            self.0
+        }
+    }
+
+    /// Appends to its WAL (opening a group-commit batch), then sends
+    /// one read reply and one protocol message in the same event.
+    struct BatchedWriter {
+        target: NodeId,
+    }
+    impl Process<Classed> for BatchedWriter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Classed>) {
+            if let Some(disk) = ctx.disk() {
+                disk.append_wal(&[1, 2, 3]);
+            }
+            ctx.send(self.target, Classed(crate::process::TrafficClass::Read));
+            ctx.send(self.target, Classed(crate::process::TrafficClass::Protocol));
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Classed, _ctx: &mut Ctx<'_, Classed>) {}
+    }
+
+    struct ClassSink {
+        arrived: Vec<(crate::process::TrafficClass, SimTime)>,
+    }
+    impl Process<Classed> for ClassSink {
+        fn on_message(&mut self, _f: NodeId, m: Classed, ctx: &mut Ctx<'_, Classed>) {
+            self.arrived.push((m.0, ctx.now));
+        }
+    }
+
+    /// Read replies escape an open group-commit batch immediately;
+    /// protocol traffic (the acks whose durability the batch covers)
+    /// waits for the covering fsync — on both transports.
+    #[test]
+    fn group_commit_releases_reads_before_the_covering_fsync() {
+        use crate::process::TrafficClass;
+        for coalesce in [false, true] {
+            let net = NetworkModel::uniform(2, 100.0, 1.0).with_jitter(0.0);
+            let mut w = World::new(
+                net,
+                WorldConfig {
+                    seed: 3,
+                    service_time: SimDuration::ZERO,
+                    service_ns_per_byte: 0,
+                    coalesce,
+                    fsync_latency: SimDuration::from_millis(5),
+                    group_commit: true,
+                    group_commit_window: SimDuration::from_millis(20),
+                    ..WorldConfig::default()
+                },
+            );
+            let sink = w.spawn(DcId(1), Box::new(ClassSink { arrived: vec![] }));
+            let _ = w.spawn(DcId(0), Box::new(BatchedWriter { target: sink }));
+            w.run_to_quiescence_bounded(100_000);
+            let arrived = &w.get::<ClassSink>(sink).unwrap().arrived;
+            assert_eq!(arrived.len(), 2, "coalesce={coalesce}");
+            let at = |class: TrafficClass| {
+                arrived
+                    .iter()
+                    .find(|(c, _)| *c == class)
+                    .map(|(_, t)| t.as_millis())
+                    .unwrap()
+            };
+            // One-way latency is 50 ms: the read ships at t=0 and lands
+            // at 50 ms; the protocol message waits for the 20 ms window
+            // deadline and lands at 70 ms.
+            assert_eq!(at(TrafficClass::Read), 50, "coalesce={coalesce}");
+            assert_eq!(at(TrafficClass::Protocol), 70, "coalesce={coalesce}");
+        }
     }
 }

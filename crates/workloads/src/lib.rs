@@ -9,9 +9,10 @@
 
 pub mod micro;
 pub mod mix;
+pub mod shifting;
 pub mod tpcw;
 
-use mdcc_common::{Key, RecordUpdate, Row, Version};
+use mdcc_common::{Key, RecordUpdate, Row, SimTime, Version};
 use rand::rngs::SmallRng;
 
 /// What a transaction wants to do after its read phase.
@@ -46,7 +47,17 @@ pub trait Transaction: Send {
 pub trait Workload: Send {
     /// Produces the client's next transaction.
     fn next_txn(&mut self, rng: &mut SmallRng) -> Box<dyn Transaction>;
+
+    /// Produces the next transaction knowing the current virtual time.
+    /// Time-varying workloads (e.g. [`shifting::ShiftingLocalityWorkload`])
+    /// override this; the default ignores `now`, so existing workloads
+    /// behave identically.
+    fn next_txn_at(&mut self, now: SimTime, rng: &mut SmallRng) -> Box<dyn Transaction> {
+        let _ = now;
+        self.next_txn(rng)
+    }
 }
 
 pub use micro::{MicroConfig, MicroWorkload};
+pub use shifting::{ShiftingConfig, ShiftingLocalityWorkload};
 pub use tpcw::{TpcwConfig, TpcwWorkload};

@@ -187,6 +187,18 @@ pub struct BuyTxn {
     commutative: bool,
 }
 
+impl BuyTxn {
+    /// Builds a buy over explicit `(key, decrement)` pairs; `browse`
+    /// keys become read guards (serializable mode).
+    pub fn new(items: Vec<(Key, i64)>, browse: Vec<Key>, commutative: bool) -> Self {
+        Self {
+            items,
+            browse,
+            commutative,
+        }
+    }
+}
+
 impl Transaction for BuyTxn {
     fn read_set(&self) -> Vec<Key> {
         self.items

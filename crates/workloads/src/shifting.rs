@@ -1,0 +1,173 @@
+//! Shifting-locality workload: the access-driven-migration experiment.
+//!
+//! Clients in data center `d` spend each *phase* buying only items of
+//! one shard — `(d + phase) mod shards` — so every phase boundary moves
+//! each DC's traffic to the next shard. Under static placement a shard's
+//! master stays wherever the hash put it, and most phases pay the full
+//! WAN round trip to a remote master; with dynamic mastership the lease
+//! migrates to the dominant-origin DC within a few heartbeat rounds and
+//! the latency returns to the local-master floor.
+//!
+//! A `phase_len` at least as long as the run reduces to a fixed
+//! per-DC-per-shard assignment — the 100 %-local floor the experiment
+//! compares against.
+
+use std::sync::Arc;
+
+use mdcc_common::{Key, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::micro::{item_key, BuyTxn};
+use crate::{Transaction, Workload};
+
+/// Shifting-locality knobs.
+#[derive(Clone)]
+pub struct ShiftingConfig {
+    /// Number of items in the table.
+    pub items: u64,
+    /// Items per buy transaction.
+    pub items_per_txn: usize,
+    /// Maximum decrement per item (uniform `1..=max`).
+    pub max_decrement: i64,
+    /// Use commutative deltas (MDCC) instead of physical writes.
+    pub commutative: bool,
+    /// The client's data center.
+    pub my_dc: u8,
+    /// Shard count of the deployment (phases rotate through it).
+    pub shard_of: Arc<dyn Fn(&Key) -> u32 + Send + Sync>,
+    /// Number of shards (the rotation modulus).
+    pub shards: u32,
+    /// Length of one locality phase. Phases at least as long as the run
+    /// never shift — the local floor configuration.
+    pub phase_len: SimDuration,
+}
+
+impl std::fmt::Debug for ShiftingConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShiftingConfig")
+            .field("items", &self.items)
+            .field("my_dc", &self.my_dc)
+            .field("shards", &self.shards)
+            .field("phase_len", &self.phase_len)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The shifting-locality generator for one client.
+pub struct ShiftingLocalityWorkload {
+    cfg: ShiftingConfig,
+    /// Item ids of each shard (materialized once).
+    pools: Vec<Vec<u64>>,
+}
+
+impl ShiftingLocalityWorkload {
+    /// Builds a generator; partitions the item space by shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard's pool would hold fewer items than one
+    /// transaction needs (the experiment would deadlock picking
+    /// distinct items).
+    pub fn new(cfg: ShiftingConfig) -> Self {
+        let mut pools = vec![Vec::new(); cfg.shards as usize];
+        for i in 0..cfg.items {
+            let shard = (cfg.shard_of)(&item_key(i)) as usize;
+            pools[shard].push(i);
+        }
+        for (shard, pool) in pools.iter().enumerate() {
+            assert!(
+                pool.len() >= cfg.items_per_txn,
+                "shard {shard} holds only {} of {} items needed per txn",
+                pool.len(),
+                cfg.items_per_txn
+            );
+        }
+        Self { cfg, pools }
+    }
+
+    /// The shard this client's DC targets at `now`.
+    pub fn target_shard(&self, now: SimTime) -> u32 {
+        let phase = now.as_micros() / self.cfg.phase_len.as_micros().max(1);
+        ((self.cfg.my_dc as u64 + phase) % self.cfg.shards as u64) as u32
+    }
+}
+
+impl Workload for ShiftingLocalityWorkload {
+    fn next_txn(&mut self, rng: &mut SmallRng) -> Box<dyn Transaction> {
+        // Timeless callers get phase 0 (the non-shifting assignment).
+        self.next_txn_at(SimTime::ZERO, rng)
+    }
+
+    fn next_txn_at(&mut self, now: SimTime, rng: &mut SmallRng) -> Box<dyn Transaction> {
+        let pool = &self.pools[self.target_shard(now) as usize];
+        let mut items: Vec<(Key, i64)> = Vec::with_capacity(self.cfg.items_per_txn);
+        while items.len() < self.cfg.items_per_txn {
+            let id = pool[rng.gen_range(0..pool.len())];
+            let key = item_key(id);
+            if items.iter().all(|(k, _)| *k != key) {
+                let amount = rng.gen_range(1..=self.cfg.max_decrement);
+                items.push((key, amount));
+            }
+        }
+        Box::new(BuyTxn::new(items, Vec::new(), self.cfg.commutative))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg(phase_ms: u64) -> ShiftingConfig {
+        ShiftingConfig {
+            items: 500,
+            items_per_txn: 3,
+            max_decrement: 3,
+            commutative: true,
+            my_dc: 1,
+            shard_of: Arc::new(|k: &Key| {
+                let id: u64 = k.pk[1..].parse().unwrap();
+                (id % 5) as u32
+            }),
+            shards: 5,
+            phase_len: SimDuration::from_millis(phase_ms),
+        }
+    }
+
+    #[test]
+    fn all_items_come_from_the_phase_shard() {
+        let mut w = ShiftingLocalityWorkload::new(cfg(100));
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Phase 0 for dc1 targets shard 1; phase 3 targets shard 4.
+        for (now_ms, want) in [(0u64, 1u64), (350, 4)] {
+            let now = SimTime::from_millis(now_ms);
+            assert_eq!(w.target_shard(now) as u64, want);
+            for _ in 0..20 {
+                let txn = w.next_txn_at(now, &mut rng);
+                for k in txn.read_set() {
+                    let id: u64 = k.pk[1..].parse().unwrap();
+                    assert_eq!(id % 5, want, "item {id} off-shard at t={now_ms}ms");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_phases_never_shift() {
+        let w = ShiftingLocalityWorkload::new(cfg(1_000_000));
+        assert_eq!(w.target_shard(SimTime::ZERO), 1);
+        assert_eq!(w.target_shard(SimTime::from_secs(900)), 1);
+    }
+
+    #[test]
+    fn timeless_callers_get_phase_zero() {
+        let mut w = ShiftingLocalityWorkload::new(cfg(100));
+        let mut rng = SmallRng::seed_from_u64(8);
+        let txn = w.next_txn(&mut rng);
+        for k in txn.read_set() {
+            let id: u64 = k.pk[1..].parse().unwrap();
+            assert_eq!(id % 5, 1);
+        }
+    }
+}
