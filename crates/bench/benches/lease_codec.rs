@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the per-record lease-table codec: the
+//! range-run wire encoding a migrating holder ships to its successor
+//! (`LeaseTable::runs` / `install_runs` plus the byte-level
+//! `OverrideRun` codec) and the hot-path override lookup every mastered
+//! proposal pays (`override_of` hit and miss).
+//!
+//! The table is bounded (LRU-half spill), so the interesting sizes are
+//! empty, the default cap (64), and a deliberately oversized 4096 —
+//! the codec must stay linear and the lookup flat across all three.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mdcc_common::wire::{Dec, Enc, Wire};
+use mdcc_mastership::{Ballot, LeaseTable, OverrideRun};
+
+/// A table with `n` overrides: half clustered in one contiguous id
+/// range (the run encoding's best case), half scattered (its worst —
+/// singleton runs), mirroring a real mix of range leases and hashed
+/// hot keys.
+fn table(n: usize) -> LeaseTable {
+    let mut t = LeaseTable::new(n.max(1));
+    for i in 0..n / 2 {
+        t.raise(1_000 + i as u64, Ballot::new(7, 3));
+    }
+    for i in n / 2..n {
+        // fnv-like scatter: consecutive inserts land far apart.
+        t.raise(
+            (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            Ballot::new(7, 3),
+        );
+    }
+    t
+}
+
+fn encode_runs(t: &LeaseTable) -> Vec<u8> {
+    let runs = t.runs();
+    let mut enc = Enc::new();
+    enc.u32(runs.len() as u32);
+    for run in &runs {
+        run.encode(&mut enc);
+    }
+    enc.finish()
+}
+
+fn decode_runs(bytes: &[u8]) -> Vec<OverrideRun> {
+    let mut dec = Dec::new(bytes);
+    let n = dec.u32().expect("count") as usize;
+    (0..n)
+        .map(|_| OverrideRun::decode(&mut dec).expect("run"))
+        .collect()
+}
+
+/// Encoding a table to wire runs, and decoding + installing the runs
+/// into a fresh successor table — the two halves of a migration
+/// handoff's override payload.
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lease_codec");
+    for n in [0usize, 64, 4096] {
+        let t = table(n);
+        let bytes = encode_runs(&t);
+        group.bench_with_input(BenchmarkId::new("encode", n), &t, |b, t| {
+            b.iter(|| encode_runs(t))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_install", n), &bytes, |b, bytes| {
+            b.iter_batched(
+                || LeaseTable::new(n.max(1)),
+                |mut fresh| {
+                    let runs = decode_runs(bytes);
+                    fresh.install_runs(&runs);
+                    fresh
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The per-proposal lookup: an override hit (hot record, LRU touch)
+/// versus a miss (cold record falling through to the shard floor).
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lease_lookup");
+    for n in [64usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
+            b.iter_batched(
+                || table(n),
+                |mut t| t.override_of(1_000),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
+            b.iter_batched(
+                || table(n),
+                |mut t| t.override_of(0xdead_beef),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_lookup);
+criterion_main!(benches);

@@ -22,11 +22,30 @@
 //!   more elections than this (a regressed election loop churns).
 //! * `MDCC_UNAVAILABILITY_MS_CEILING` — fail if the drill's commit
 //!   outage exceeds this many milliseconds.
+//!
+//! A cold-key drill closes the figure: all clients in one DC, a key
+//! pool large enough that nearly every write is a first touch, and the
+//! same run twice — `lease_phase1` on (the granted lease ballot is the
+//! promise floor, so a cold record's first Phase2a is immediately
+//! valid: one WAN round trip) versus off (explicit Phase1a/Phase1b
+//! first: two). The first-touch latency CDFs land in
+//! `results/fig11_cold_first_touch.csv`, and a third guard makes the
+//! optimization CI-enforceable:
+//!
+//! * `MDCC_COLD_FIRST_COMMIT_RTT_CEILING` — fail if the lease-on run's
+//!   median first-touch commit exceeds this many WAN round trips (half
+//!   an RTT of slack for the propose hop), or if lease coverage stops
+//!   eliminating in-tenure Phase1 rounds (at most a quarter of the off
+//!   baseline's may remain). A fully cold record pays no Phase1 at
+//!   all; the residue is records first touched before the lease
+//!   existed, or contested across the migration, where the warm-record
+//!   guard deliberately falls back to a full Phase1 for safety.
 
 use std::sync::Arc;
 
 use mdcc_bench::{
-    micro_catalog, net_summary, parallel_flag, perf_summary, save_csv, PerfLog, Scale,
+    all_in_us_west, cdf_rows, micro_catalog, net_summary, parallel_flag, perf_summary, save_csv,
+    PerfLog, Scale,
 };
 use mdcc_cluster::{run_mdcc, ClusterSpec, FaultPlan, MdccMode, NetKind, Report};
 use mdcc_common::{
@@ -48,9 +67,9 @@ fn base_spec(scale: Scale, seed: u64) -> (ClusterSpec, u64) {
         seed,
         dcs: 5,
         shards_per_dc: SHARDS as usize,
-        // Migration triggers on absolute per-tick request counts
-        // (`migrate_min_requests`), so the client pool must stay large
-        // enough at every scale for a dominant DC to clear the bar.
+        // Migration triggers on a rate-over-window (`migrate_min_rate`
+        // per `migrate_window`), so the client pool must stay large
+        // enough at every scale for a dominant DC to clear the rate bar.
         clients: ((50 * m / d) as usize).max(50),
         net: NetKind::Uniform { rtt_ms: 100.0 },
         warmup: SimDuration::from_secs(5 / d.min(4)),
@@ -134,7 +153,8 @@ fn main() {
         let ms = &report.mastership;
         println!(
             "{label}: med={:.0}ms q3={:.0}ms max={:.0}ms commits={} \
-             elections={} leases={} handoffs={} served={} forwarded={}",
+             elections={} leases={} handoffs={} served={} forwarded={} \
+             p1_skipped={} p1_covered={}",
             b.median,
             b.q3,
             b.max,
@@ -144,6 +164,8 @@ fn main() {
             ms.handoffs,
             ms.served,
             ms.forwarded,
+            ms.phase1_skipped,
+            ms.phase1_covered,
         );
         println!(
             "#   {}\n#   {}",
@@ -235,6 +257,97 @@ fn main() {
             "recovery window {window_ms:.0}ms exceeds ceiling {ceiling}ms"
         );
         println!("# unavailability guard ok: {window_ms:.0}ms <= {ceiling}ms");
+    }
+
+    // ------------------------------------------------------------------
+    // Cold-key drill: lease-carried Phase1, on versus off. All clients
+    // in one DC and a key pool sized so ~90% of writes are first
+    // touches; dynamic mastership migrates the lease to the clients'
+    // DC during warm-up, so the measured window is local-master
+    // first-touch commits: one WAN round trip with the lease ballot as
+    // the implicit Phase1 promise, two with explicit Phase1.
+    // ------------------------------------------------------------------
+    let m = scale.mult();
+    let cold_items = 32_000 * m / d;
+    let mut cold = spec.clone();
+    cold.seed = spec.seed + 200;
+    cold.shards_per_dc = 1;
+    cold.clients = ((20 * m / d) as usize).max(10);
+    cold.warmup = SimDuration::from_secs(3);
+    cold.duration = SimDuration::from_secs(12 / d.min(2));
+    cold.drain = SimDuration::from_secs(8);
+    all_in_us_west(&mut cold);
+    cold.protocol.mastership = MastershipConfig::enabled();
+    let mut cold_off = cold.clone();
+    cold_off.protocol.mastership = MastershipConfig {
+        lease_phase1: false,
+        ..MastershipConfig::enabled()
+    };
+
+    let on = run(&cold, cold_items, forever);
+    let off = run(&cold_off, cold_items, forever);
+    let bon = on.write_boxplot().expect("cold drill committed (on)");
+    let boff = off.write_boxplot().expect("cold drill committed (off)");
+    for (label, report, b) in [
+        ("cold_lease_on", &on, &bon),
+        ("cold_lease_off", &off, &boff),
+    ] {
+        let ms = &report.mastership;
+        println!(
+            "{label}: med={:.0}ms q3={:.0}ms max={:.0}ms commits={} \
+             phase1_skipped={} phase1_covered={} cold_rtts={}",
+            b.median,
+            b.q3,
+            b.max,
+            report.write_commits(),
+            ms.phase1_skipped,
+            ms.phase1_covered,
+            ms.cold_first_commit_rtts,
+        );
+        println!("#   {}", net_summary(report));
+        perf.record(label, report);
+        rows.push(format!(
+            "{label},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{}",
+            b.min, b.q1, b.median, b.q3, b.max, ms.elections, ms.leases_acquired, ms.handoffs
+        ));
+    }
+    println!(
+        "# cold first-touch medians: off/on = {:.2}x (>= 1.5x required)",
+        boff.median / bon.median
+    );
+    assert!(
+        on.mastership.phase1_skipped > 0,
+        "lease-carried Phase1 never engaged in the cold drill"
+    );
+    assert!(
+        boff.median >= 1.5 * bon.median,
+        "cold first-touch median only improved {:.2}x (off {:.0}ms, on {:.0}ms)",
+        boff.median / bon.median,
+        boff.median,
+        bon.median
+    );
+    let mut cdf = cdf_rows("lease_phase1_on", &on.write_cdf(200));
+    cdf.extend(cdf_rows("lease_phase1_off", &off.write_cdf(200)));
+    save_csv("fig11_cold_first_touch", "config,latency_ms,fraction", &cdf);
+    if let Some(ceiling) = env_ceiling("MDCC_COLD_FIRST_COMMIT_RTT_CEILING") {
+        // The drill's WAN RTT is the Uniform net's 100 ms; half an RTT
+        // of slack covers the client->master propose hop and jitter.
+        let rtts = bon.median / 100.0;
+        assert!(
+            rtts <= ceiling as f64 + 0.5,
+            "cold first-touch median {rtts:.2} RTTs exceeds ceiling {ceiling}"
+        );
+        let (covered_on, covered_off) =
+            (on.mastership.phase1_covered, off.mastership.phase1_covered);
+        assert!(
+            covered_on * 4 <= covered_off,
+            "lease coverage left {covered_on} in-tenure Phase1 rounds \
+             (off baseline ran {covered_off})"
+        );
+        println!(
+            "# cold first-commit guard ok: {rtts:.2} RTTs <= {ceiling} + 0.5, \
+             in-tenure Phase1 rounds {covered_on} vs {covered_off} off"
+        );
     }
 
     save_csv(

@@ -303,6 +303,7 @@ impl PerfLog {
         out.push_str("{\n");
         out.push_str(&format!("  \"fig\": {},\n", json_str(fig)));
         out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name()));
+        out.push_str(&meta_json(scale));
         out.push_str("  \"runs\": [\n");
         for (i, (label, p, fsyncs)) in self.runs.iter().enumerate() {
             let fsyncs = match fsyncs {
@@ -337,6 +338,47 @@ impl PerfLog {
         fs::write(&path, out).expect("write perf json");
         println!("# wrote {}", path.display());
     }
+}
+
+/// The run-metadata JSON fragment stamped into every `perf_<fig>.json`:
+/// scale, the parallel-engine flag, the repository's `git describe`
+/// (`"unknown"` when git is unavailable), the driver's own argument
+/// list, and every `MDCC_*` environment knob in effect — enough to
+/// reproduce the exact invocation behind any recorded sample.
+fn meta_json(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!("    \"scale\": \"{}\",\n", scale.name()));
+    out.push_str(&format!("    \"parallel\": {},\n", parallel_flag()));
+    out.push_str(&format!("    \"git\": {},\n", json_str(&git_describe())));
+    let args: Vec<String> = std::env::args().skip(1).map(|a| json_str(&a)).collect();
+    out.push_str(&format!("    \"args\": [{}],\n", args.join(", ")));
+    let mut knobs: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("MDCC_"))
+        .collect();
+    knobs.sort();
+    let knobs: Vec<String> = knobs
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_str(k), json_str(v)))
+        .collect();
+    out.push_str(&format!("    \"env\": {{{}}}\n", knobs.join(", ")));
+    out.push_str("  },\n");
+    out
+}
+
+/// `git describe --always --dirty --tags` of the working tree, or
+/// `"unknown"` when git (or the repository) is unavailable — results
+/// directories travel, so the stamp must never fail the driver.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Minimal JSON string quoting (labels are ASCII identifiers; quote and
@@ -469,6 +511,17 @@ mod tests {
         assert_eq!(json_str("mdcc"), "\"mdcc\"");
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn perf_meta_stamps_scale_parallel_and_git() {
+        let meta = meta_json(Scale::Quick);
+        assert!(meta.contains("\"scale\": \"quick\""));
+        assert!(meta.contains("\"parallel\": "));
+        assert!(meta.contains("\"git\": \""));
+        assert!(meta.contains("\"args\": ["));
+        assert!(meta.contains("\"env\": {"));
+        assert!(!git_describe().is_empty(), "describe always yields a stamp");
     }
 
     #[test]

@@ -427,6 +427,13 @@ pub fn run_mdcc(
                 if let Some(audit) = &lease_audit {
                     proc_.set_lease_audit(audit.clone());
                 }
+                // Re-install the lease floors and per-record overrides
+                // persisted in the WAL tail so the restarted node keeps
+                // *fencing* deposed ballots (its own serving rights
+                // stay quarantined inside the mastership layer).
+                let leases = mdcc_recovery::recovered_leases(world.disk(node))
+                    .expect("disk state parses: the simulated disk is never torn");
+                proc_.install_recovered_leases(leases);
                 if spec.trace.enabled {
                     proc_.set_tracer(tracer.clone(), dc);
                     // Replay is instantaneous in sim time; the span
@@ -530,6 +537,9 @@ pub fn run_mdcc(
                 ms_stats.handoffs += m.handoffs;
                 ms_stats.served += m.served;
                 ms_stats.forwarded += m.forwarded;
+                ms_stats.phase1_skipped += m.phase1_skipped;
+                ms_stats.phase1_covered += m.phase1_covered;
+                ms_stats.cold_first_commit_rtts += m.cold_first_commit_rtts;
             }
             let e = node.store().engine_stats();
             engine.live_bytes += e.live_bytes;

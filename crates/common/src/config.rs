@@ -56,12 +56,36 @@ pub struct MastershipConfig {
     /// mastered-request count reaches this percentage of the holder's
     /// local count (200 = twice the local traffic).
     pub migrate_threshold_pct: u32,
-    /// A remote data center must additionally send at least this many
-    /// mastered requests in the current observation window.
-    pub migrate_min_requests: u64,
+    /// A remote data center must additionally sustain at least this
+    /// many mastered requests *per second* over the observation window.
+    /// Rate-normalized, so the knob means the same thing at
+    /// `--scale=quick`, `paper` and `10x` (a per-tick count would not:
+    /// client pools and tick cadence change with scale).
+    pub migrate_min_rate: u64,
+    /// Observation window for the migration rate. The holder only
+    /// evaluates the hysteresis once a window's worth of traffic has
+    /// accumulated; the window then decays exponentially (counts halve,
+    /// the window start moves halfway forward).
+    pub migrate_window: SimDuration,
     /// The same remote data center must stay dominant for this many
-    /// consecutive ticks before the lease is handed off (hysteresis).
+    /// consecutive evaluations before the lease is handed off
+    /// (hysteresis).
     pub migrate_rounds: u32,
+    /// Lease-carried Phase1 (on by default): a granted lease ballot
+    /// doubles as the Phase1-promised classic ballot for every record
+    /// in the lease's scope. Granting replicas enforce the lease ballot
+    /// as a per-record promise floor, so the holder's first Phase2a for
+    /// a cold record is immediately valid — no per-record
+    /// Phase1a/Phase1b exchange, cutting a cold key's first mastered
+    /// commit from two WAN round trips to one. `false` restores the
+    /// per-record classic Phase1 on first touch, byte-identical to the
+    /// shard-lease baseline.
+    pub lease_phase1: bool,
+    /// Bound on the per-shard record-override table (records whose
+    /// promise rose above the shard's base lease ballot). Past the cap
+    /// the least-recently-touched half is spilled deterministically;
+    /// a spilled record merely falls back to the base lease floor.
+    pub lease_record_overrides: usize,
 }
 
 impl Default for MastershipConfig {
@@ -72,8 +96,11 @@ impl Default for MastershipConfig {
             lease_duration: SimDuration::from_millis(400),
             hb_delay_increment: SimDuration::from_millis(25),
             migrate_threshold_pct: 200,
-            migrate_min_requests: 8,
+            migrate_min_rate: 20,
+            migrate_window: SimDuration::from_millis(400),
             migrate_rounds: 2,
+            lease_phase1: true,
+            lease_record_overrides: 64,
         }
     }
 }

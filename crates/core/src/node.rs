@@ -15,7 +15,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mdcc_common::{DcId, Key, NodeId, ProtocolConfig, SimDuration, TxnId};
-use mdcc_mastership::{Action as MsAction, LeaseAudit, Mastership, MastershipStats};
+use mdcc_mastership::{
+    record_id, Action as MsAction, Ballot as MsBallot, LeaseAudit, LeaseTable, Mastership,
+    MastershipStats, MsMsg, OverrideRun,
+};
 use mdcc_paxos::acceptor::{ClassicAccept, FastPropose, Phase2b};
 use mdcc_paxos::leader::{LeaderAction, LeaderConfig};
 use mdcc_paxos::{LeaderRecord, LearnOutcome, Learner, OptionStatus, TxnOutcome};
@@ -110,6 +113,11 @@ pub struct StorageNodeProcess {
     /// (GoFast); a re-bounced proposal is accepted for classic leading
     /// instead of ping-ponging. Entries clear on resolution.
     redirected_fast: HashSet<TxnId>,
+    /// Transactions already forwarded once to a record-override target;
+    /// a proposal that comes back (the target is deposed, crashed, or
+    /// bouncing) retires the override and is led locally instead of
+    /// ping-ponging between holder and target forever.
+    override_forwarded: HashSet<TxnId>,
     /// Per-record, per-destination delta cursors: each tracks how much
     /// of which cstruct epoch that destination has already been sent, so
     /// every vote ships only the entry suffix the destination is
@@ -139,6 +147,19 @@ pub struct StorageNodeProcess {
     /// Shared lease-tenure collector handed to the mastership layer
     /// (consistency audits assert no overlapping tenures).
     lease_audit: Option<LeaseAudit>,
+    /// Lease-carried Phase1 (`lease_phase1`): shard-level promise
+    /// floors installed whenever this node *granted* a lease. The
+    /// granted ballot doubles as the Phase1-promised classic ballot for
+    /// every record in the shard, enforced lazily on the acceptor right
+    /// before it judges a proposal — so the holder's first Phase2a for
+    /// a cold record is immediately valid and a deposed holder's stale
+    /// ballot Nacks without any per-record Phase1 exchange.
+    lease_floors: HashMap<u32, MsBallot>,
+    /// Per-record override ballots for hot keys whose classic ballot
+    /// diverged from the shard lease (contested records, collision
+    /// recovery led elsewhere). Bounded per shard by
+    /// `lease_record_overrides`; handed to the successor on migration.
+    lease_overrides: HashMap<u32, LeaseTable>,
 }
 
 /// Bound on the fast-redirect memo: entries normally clear on
@@ -198,6 +219,7 @@ impl StorageNodeProcess {
             recovered: None,
             sync_cursor: 0,
             redirected_fast: HashSet::new(),
+            override_forwarded: HashSet::new(),
             vote_cursors: HashMap::new(),
             vote_cursor_clock: 0,
             last_sync_adoptions: 0,
@@ -207,6 +229,8 @@ impl StorageNodeProcess {
             my_dc: DcId(0),
             mastership: None,
             lease_audit: None,
+            lease_floors: HashMap::new(),
+            lease_overrides: HashMap::new(),
         }
     }
 
@@ -219,6 +243,159 @@ impl StorageNodeProcess {
     /// Mastership counters, if the dynamic-mastership layer is active.
     pub fn mastership_stats(&self) -> Option<MastershipStats> {
         self.mastership.as_ref().map(|m| m.stats())
+    }
+
+    /// Whether lease-carried Phase1 is in force on this node.
+    fn lease_phase1_on(&self) -> bool {
+        self.cfg.mastership.enabled && self.cfg.mastership.lease_phase1
+    }
+
+    /// Installs lease floors and per-record overrides recovered from
+    /// the WAL tail (see [`mdcc_recovery::recovered_leases`]) into this
+    /// node's *enforcement* tables only. The mastership layer's restart
+    /// quarantine is untouched: recovered floors keep fencing deposed
+    /// ballots, they never let this node serve.
+    pub fn install_recovered_leases(&mut self, leases: mdcc_recovery::RecoveredLeases) {
+        if !self.lease_phase1_on() {
+            return;
+        }
+        for (shard, (n, pid)) in leases.floors {
+            let b = MsBallot::new(n, pid);
+            let e = self.lease_floors.entry(shard).or_insert(b);
+            if b > *e {
+                *e = b;
+            }
+        }
+        let cap = self.cfg.mastership.lease_record_overrides;
+        if cap == 0 {
+            return;
+        }
+        for ((shard, record), (n, pid)) in leases.overrides {
+            self.lease_overrides
+                .entry(shard)
+                .or_insert_with(|| LeaseTable::new(cap))
+                .raise(record, MsBallot::new(n, pid));
+        }
+    }
+
+    /// Lazily enforces the lease-promise floor on one record's acceptor
+    /// state before it judges a proposal: the effective floor is the
+    /// max of the shard-level lease ballot and any per-record override.
+    /// A raise is mirrored into the WAL as the Phase1a it stands in
+    /// for, so crash replay reproduces the exact same Nacks.
+    fn enforce_floor(&mut self, key: &Key, ctx: &mut Ctx<'_, Msg>) {
+        if !self.lease_phase1_on() {
+            return;
+        }
+        let shard = self.placement.shard_id(key);
+        let mut best = self.lease_floors.get(&shard).copied();
+        if let Some(table) = self.lease_overrides.get_mut(&shard) {
+            if let Some(b) = table.override_of(record_id(key.pk.as_bytes())) {
+                best = Some(best.map_or(b, |f| f.max(b)));
+            }
+        }
+        let Some(msb) = best else { return };
+        let ballot = mdcc_paxos::Ballot::lease(msb.n, msb.node());
+        if self.store.raise_promise(key, ballot) {
+            self.wal_append(
+                &WalRecord::Phase1a {
+                    key: key.clone(),
+                    ballot,
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// Remembers a per-record divergence from the shard lease: a
+    /// classic ballot above the lease floor is in force for this record
+    /// (contested takeover, collision recovery led elsewhere). Future
+    /// routing and promise enforcement honor it record-granularly.
+    fn note_record_override(
+        &mut self,
+        key: &Key,
+        promised: mdcc_paxos::Ballot,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        if !self.lease_phase1_on() || promised.is_fast() {
+            return;
+        }
+        if self.cfg.mastership.lease_record_overrides == 0 {
+            return;
+        }
+        let shard = self.placement.shard_id(key);
+        let msb = MsBallot::new(promised.round, promised.proposer.0 as u64);
+        if self.lease_floors.get(&shard).is_some_and(|f| msb <= *f) {
+            return; // Within the shard lease: no divergence to record.
+        }
+        let record = record_id(key.pk.as_bytes());
+        let cap = self.cfg.mastership.lease_record_overrides;
+        let table = self
+            .lease_overrides
+            .entry(shard)
+            .or_insert_with(|| LeaseTable::new(cap));
+        if table.raise(record, msb) {
+            self.wal_append(
+                &WalRecord::LeaseOverride {
+                    shard,
+                    record,
+                    n: msb.n,
+                    pid: msb.pid,
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// Where one record's classic traffic should go when it diverges
+    /// from the shard lease this node is serving: the override ballot's
+    /// proposer, if it outranks the shard floor and is another node.
+    fn record_override_target(&mut self, key: &Key, me: NodeId) -> Option<NodeId> {
+        if !self.lease_phase1_on() {
+            return None;
+        }
+        let shard = self.placement.shard_id(key);
+        let over = self
+            .lease_overrides
+            .get_mut(&shard)?
+            .override_of(record_id(key.pk.as_bytes()))?;
+        if self.lease_floors.get(&shard).is_some_and(|f| over <= *f) {
+            return None;
+        }
+        (over.node() != me).then(|| over.node())
+    }
+
+    /// Installs a predecessor's per-record override runs (shipped on
+    /// migration so hot-key promises survive the handoff).
+    fn install_override_runs(&mut self, shard: u32, runs: &[OverrideRun], ctx: &mut Ctx<'_, Msg>) {
+        let cap = self.cfg.mastership.lease_record_overrides;
+        if !self.lease_phase1_on() || cap == 0 {
+            return;
+        }
+        let mut raised: Vec<(u64, MsBallot)> = Vec::new();
+        let table = self
+            .lease_overrides
+            .entry(shard)
+            .or_insert_with(|| LeaseTable::new(cap));
+        for run in runs {
+            for i in 0..u64::from(run.len) {
+                let record = run.start.wrapping_add(i);
+                if table.raise(record, run.ballot) {
+                    raised.push((record, run.ballot));
+                }
+            }
+        }
+        for (record, b) in raised {
+            self.wal_append(
+                &WalRecord::LeaseOverride {
+                    shard,
+                    record,
+                    n: b.n,
+                    pid: b.pid,
+                },
+                ctx,
+            );
+        }
     }
 
     /// Attaches the run's trace collector. `my_dc` is this node's data
@@ -380,6 +557,29 @@ impl StorageNodeProcess {
     /// static `ProposeToMaster` path and the lease-holder path.
     fn lead_classic(&mut self, from: NodeId, opt: mdcc_paxos::TxnOption, ctx: &mut Ctx<'_, Msg>) {
         let key = opt.key.clone();
+        // Stale retry of a settled transaction: answer with the
+        // recorded outcome, exactly as the fast path does. Once every
+        // replica has resolved the transaction (e.g. storage-side
+        // dangling recovery finished while the coordinator was
+        // partitioned away), re-leading appends nothing new and the
+        // delta-vote fan-out skips its coordinator as settled
+        // business — without this reply the retrying TM never hears
+        // back and the transaction wedges at the coordinator forever.
+        if let Some(outcome) = self
+            .store
+            .with_record(&key, |r| r.settled_outcome(opt.txn))
+            .flatten()
+        {
+            ctx.send(
+                opt.txn.coordinator,
+                Msg::AlreadyResolved {
+                    key,
+                    txn: opt.txn,
+                    outcome,
+                },
+            );
+            return;
+        }
         // If the record is actually in fast mode and fast ballots
         // are allowed, redirect the TM back to the fast path —
         // but at most once per transaction. Under message loss
@@ -406,23 +606,98 @@ impl StorageNodeProcess {
             return;
         }
         // A fresh lease holder starts its classic ballots above the
-        // election ballot so its Phase1a outranks the predecessor's.
+        // election ballot so its Phase1a outranks the predecessor's —
+        // and, with lease-carried Phase1 on, skips Phase1 entirely for
+        // cold records: the granted lease ballot is already the promise
+        // floor on a grant quorum of acceptors, so the first Phase2a at
+        // that ballot is immediately valid (one WAN round trip).
+        let mut skipped_phase1 = false;
         if let Some(ms) = &self.mastership {
-            if let Some(floor) = ms.ballot_floor(self.placement.shard_id(&key)) {
+            let shard = self.placement.shard_id(&key);
+            if let Some(floor) = ms.ballot_floor(shard) {
                 let self_id = ctx.self_id;
-                self.leader_for(&key, ctx)
-                    .observe_ballot(mdcc_paxos::Ballot::classic(floor, self_id));
+                let ballot = mdcc_paxos::Ballot::lease(floor, self_id);
+                // Only worth attempting when the local replica (this
+                // node is one of the record's acceptors) says a
+                // pipelined append at the lease ballot could actually
+                // land: the record is already in this ballot's stream,
+                // or it is cold AND the lease ballot clears the local
+                // promise. A record warm under a predecessor's ballot
+                // would bounce off the warm-record guard, and one whose
+                // promise is a deposed holder's higher classic ballot
+                // would be Nacked outright — either way the wasted WAN
+                // round trip (and the spurious record override the Nack
+                // would raise) costs more than running Phase1 up front.
+                let locally_cold = self
+                    .store
+                    .with_record(&key, |r| {
+                        r.accepted_ballot() == Some(ballot)
+                            || (r.cstruct().is_empty() && r.promised() <= ballot)
+                    })
+                    .unwrap_or(true);
+                if self.cfg.mastership.lease_phase1
+                    && ms.is_serving(shard, ctx.now)
+                    && locally_cold
+                    && self.leader_for(&key, ctx).assume_leadership(ballot)
+                {
+                    skipped_phase1 = true;
+                } else {
+                    self.leader_for(&key, ctx).observe_ballot(ballot);
+                }
+            }
+        }
+        if skipped_phase1 {
+            if let Some(ms) = self.mastership.as_mut() {
+                ms.note_phase1_skipped();
             }
         }
         let actions = self.leader_for(&key, ctx).enqueue(opt);
         self.run_leader_actions(&key, actions, ctx);
     }
 
-    /// Emits the mastership layer's queued sends as wrapped messages.
+    /// Emits the mastership layer's queued sends as wrapped messages
+    /// and absorbs its host-level effects: lease grants raise this
+    /// node's promise floor, migrations ship the override table to the
+    /// successor. Both effects are gated on `lease_phase1` so the off
+    /// switch stays byte-identical to plain shard leases.
     fn flush_ms_actions(&mut self, out: Vec<MsAction>, ctx: &mut Ctx<'_, Msg>) {
         for action in out {
-            let MsAction::Send { to, msg } = action;
-            ctx.send(to, Msg::Mastership(msg));
+            match action {
+                MsAction::Send { to, msg } => ctx.send(to, Msg::Mastership(msg)),
+                MsAction::FloorRaised { shard, ballot } => {
+                    if !self.lease_phase1_on() {
+                        continue;
+                    }
+                    let rose = self
+                        .lease_floors
+                        .get(&shard)
+                        .is_none_or(|cur| ballot > *cur);
+                    if rose {
+                        self.lease_floors.insert(shard, ballot);
+                        self.wal_append(
+                            &WalRecord::LeaseFloor {
+                                shard,
+                                n: ballot.n,
+                                pid: ballot.pid,
+                            },
+                            ctx,
+                        );
+                    }
+                }
+                MsAction::Relinquished { shard, to } => {
+                    if !self.lease_phase1_on() {
+                        continue;
+                    }
+                    // Hand the per-record override table to the
+                    // successor so hot-key promises survive migration.
+                    if let Some(table) = self.lease_overrides.get(&shard) {
+                        let runs = table.runs();
+                        if !runs.is_empty() {
+                            ctx.send(to, Msg::Mastership(MsMsg::Overrides { shard, runs }));
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -456,6 +731,17 @@ impl StorageNodeProcess {
             match action {
                 LeaderAction::Phase1a(ballot) => {
                     self.stats.recoveries_led += 1;
+                    // A per-record Phase1 round run while this node
+                    // serves the shard's lease — the two-round-trip
+                    // first-touch cliff `lease_phase1` removes (the
+                    // fig11 cold-key drill asserts this stays zero
+                    // when the optimization is on).
+                    let shard = self.placement.shard_id(key);
+                    if let Some(ms) = self.mastership.as_mut() {
+                        if ms.is_serving(shard, ctx.now) {
+                            ms.note_phase1_covered();
+                        }
+                    }
                     if let Some(tracer) = &self.tracer {
                         // Ballot acquisition: closes when a Phase1b
                         // quorum makes this node the record's leader.
@@ -676,7 +962,14 @@ impl StorageNodeProcess {
                 .get(key)
                 .map(|s| s.is_accepted())
                 .unwrap_or(outcome == TxnOutcome::Committed);
+            // This node applies its own verdict directly: routing the
+            // self-notification through the (lossy) network risks the
+            // one message whose loss leaves the recovery coordinator
+            // itself dangling after everyone else has moved on.
             for r in self.placement.replicas(key) {
+                if r == ctx.self_id {
+                    continue;
+                }
                 ctx.send(
                     r,
                     Msg::Visibility {
@@ -687,6 +980,67 @@ impl StorageNodeProcess {
                     },
                 );
             }
+            if self.placement.replicas(key).contains(&ctx.self_id) {
+                self.apply_visibility_local(txn, key.clone(), outcome, learned_accepted, ctx);
+            }
+        }
+    }
+
+    /// Applies one transaction outcome to one record on this node —
+    /// the body of the `Visibility` message handler, also invoked
+    /// directly when this node is itself a replica of a record whose
+    /// recovery it just finished.
+    fn apply_visibility_local(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        outcome: TxnOutcome,
+        learned_accepted: bool,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        self.wal_append(
+            &WalRecord::Visibility {
+                at: ctx.now,
+                key: key.clone(),
+                txn,
+                outcome,
+                learned_accepted,
+            },
+            ctx,
+        );
+        // A visibility also settles any recovery we were running.
+        if self.recoveries.contains_key(&txn) {
+            self.finish_recovery(txn, outcome, ctx);
+        }
+        self.redirected_fast.remove(&txn);
+        self.override_forwarded.remove(&txn);
+        // A committed option this node never accepted (bounced
+        // proposal, divergent ballot mode) lands as a bare
+        // outcome: the update cannot execute here and the value
+        // silently falls behind every peer that held the entry.
+        // Detect it and read-repair the key from a peer replica
+        // (the peer ships its committed snapshot plus resolved
+        // options; `install_learned` executes what was missed).
+        let missed = outcome == TxnOutcome::Committed
+            && learned_accepted
+            && self
+                .store
+                .with_record(&key, |r| r.would_miss_execution(txn))
+                .unwrap_or(true);
+        let advanced = self
+            .store
+            .apply_visibility(&key, txn, outcome, learned_accepted, ctx.now);
+        if let Some(tracer) = &self.tracer {
+            // Stretch the coordinator's visibility span to this
+            // replica's application time; the harvest closes it
+            // at the last replica reached.
+            tracer.extend(txn.coordinator, Some(txn), None, Phase::Visibility, ctx.now);
+        }
+        if advanced {
+            self.notify_leader_advance(&key, ctx);
+        }
+        if missed {
+            self.pull_missed_commit(key, txn, 0, ctx);
         }
     }
 
@@ -833,6 +1187,47 @@ impl Process<Msg> for StorageNodeProcess {
                     None => (false, None),
                 };
                 if serving {
+                    // Record-level override: this record's classic
+                    // traffic belongs elsewhere even though we hold the
+                    // shard lease. Forward and teach the coordinator
+                    // the record-granular route.
+                    if let Some(node) = self.record_override_target(&opt.key, ctx.self_id) {
+                        if self.override_forwarded.len() > REDIRECTED_FAST_CAP {
+                            self.override_forwarded.clear();
+                        }
+                        if self.override_forwarded.insert(opt.txn) {
+                            if let Some(ms) = self.mastership.as_mut() {
+                                ms.note_forwarded();
+                            }
+                            ctx.send(
+                                opt.txn.coordinator,
+                                Msg::RecordHint {
+                                    key: opt.key.clone(),
+                                    node,
+                                },
+                            );
+                            ctx.send(node, Msg::ProposeMastered { origin_dc, opt });
+                            return;
+                        }
+                        // Forwarded once already and the proposal came
+                        // back: the target is deposed, crashed, or not
+                        // serving this record anymore. Retire the
+                        // override (routing only — acceptor promises
+                        // still arbitrate) and lead locally; classic
+                        // ballots outrank any stale promise. Re-teach
+                        // the coordinator so future traffic for this
+                        // record routes here directly.
+                        if let Some(table) = self.lease_overrides.get_mut(&shard) {
+                            table.remove(record_id(opt.key.pk.as_bytes()));
+                        }
+                        ctx.send(
+                            opt.txn.coordinator,
+                            Msg::RecordHint {
+                                key: opt.key.clone(),
+                                node: ctx.self_id,
+                            },
+                        );
+                    }
                     if let Some(ms) = self.mastership.as_mut() {
                         ms.note_served(shard, origin_dc);
                     }
@@ -854,10 +1249,16 @@ impl Process<Msg> for StorageNodeProcess {
                     self.lead_classic(from, opt, ctx);
                 }
             }
-            Msg::MasterHint { .. } => {
-                // TM-side routing hint; nothing for a storage node.
+            Msg::MasterHint { .. } | Msg::RecordHint { .. } => {
+                // TM-side routing hints; nothing for a storage node.
             }
             Msg::Mastership(inner) => {
+                if let MsMsg::Overrides { shard, runs } = inner {
+                    // Host-level payload: a migrating predecessor ships
+                    // its per-record override table to this successor.
+                    self.install_override_runs(shard, &runs, ctx);
+                    return;
+                }
                 let mut out = Vec::new();
                 if let Some(ms) = self.mastership.as_mut() {
                     ms.on_msg(from, inner, ctx.now, &mut out);
@@ -869,6 +1270,7 @@ impl Process<Msg> for StorageNodeProcess {
                 self.run_leader_actions(&key, actions, ctx);
             }
             Msg::P1a { key, ballot } => {
+                self.enforce_floor(&key, ctx);
                 self.wal_append(
                     &WalRecord::Phase1a {
                         key: key.clone(),
@@ -899,6 +1301,39 @@ impl Process<Msg> for StorageNodeProcess {
                 }
             }
             Msg::P2a { key, payload } => {
+                self.enforce_floor(&key, ctx);
+                // Lease-carried-Phase1 warm guard: a pipelined append
+                // (`safe = None`) from a ballot this record has not
+                // accepted yet, landing on a non-empty current-instance
+                // cstruct, would fork that ballot's serialized stream —
+                // acceptors in the stream hold the leader's entries,
+                // this one would hold strays from a deposed leader, and
+                // the learner's quorum-GLB can never converge across
+                // the fork. Classic Phase1 prevents this by re-basing
+                // every acceptor with a proved-safe cstruct; a lease
+                // holder that skipped Phase1 never sent one, so the
+                // warm record bounces the append and the holder falls
+                // back to a full Phase1 round. Cold records (empty
+                // cstruct — the first-touch case the optimization
+                // exists for) are unaffected. Nothing is logged or
+                // mutated here, so crash replay cannot diverge.
+                if self.lease_phase1_on()
+                    && payload.safe.is_none()
+                    && self
+                        .store
+                        .with_record(&key, |r| {
+                            r.accepted_ballot() != Some(payload.ballot) && !r.cstruct().is_empty()
+                        })
+                        .unwrap_or(false)
+                {
+                    let promised = self
+                        .store
+                        .with_record(&key, |r| r.promised())
+                        .unwrap_or(payload.ballot)
+                        .max(payload.ballot);
+                    ctx.send(from, Msg::P2aNack { key, promised });
+                    return;
+                }
                 self.wal_append(
                     &WalRecord::ClassicAccept {
                         at: ctx.now,
@@ -937,6 +1372,7 @@ impl Process<Msg> for StorageNodeProcess {
                 }
             }
             Msg::P2aNack { key, promised } => {
+                self.note_record_override(&key, promised, ctx);
                 if let Some(leader) = self.leaders.get_mut(&key) {
                     let actions = leader.on_nack(promised);
                     self.run_leader_actions(&key, actions, ctx);
@@ -954,49 +1390,7 @@ impl Process<Msg> for StorageNodeProcess {
                 outcome,
                 learned_accepted,
             } => {
-                self.wal_append(
-                    &WalRecord::Visibility {
-                        at: ctx.now,
-                        key: key.clone(),
-                        txn,
-                        outcome,
-                        learned_accepted,
-                    },
-                    ctx,
-                );
-                // A visibility also settles any recovery we were running.
-                if self.recoveries.contains_key(&txn) {
-                    self.finish_recovery(txn, outcome, ctx);
-                }
-                self.redirected_fast.remove(&txn);
-                // A committed option this node never accepted (bounced
-                // proposal, divergent ballot mode) lands as a bare
-                // outcome: the update cannot execute here and the value
-                // silently falls behind every peer that held the entry.
-                // Detect it and read-repair the key from a peer replica
-                // (the peer ships its committed snapshot plus resolved
-                // options; `install_learned` executes what was missed).
-                let missed = outcome == TxnOutcome::Committed
-                    && learned_accepted
-                    && self
-                        .store
-                        .with_record(&key, |r| r.would_miss_execution(txn))
-                        .unwrap_or(true);
-                let advanced =
-                    self.store
-                        .apply_visibility(&key, txn, outcome, learned_accepted, ctx.now);
-                if let Some(tracer) = &self.tracer {
-                    // Stretch the coordinator's visibility span to this
-                    // replica's application time; the harvest closes it
-                    // at the last replica reached.
-                    tracer.extend(txn.coordinator, Some(txn), None, Phase::Visibility, ctx.now);
-                }
-                if advanced {
-                    self.notify_leader_advance(&key, ctx);
-                }
-                if missed {
-                    self.pull_missed_commit(key, txn, 0, ctx);
-                }
+                self.apply_visibility_local(txn, key, outcome, learned_accepted, ctx);
             }
             Msg::SyncReq => {
                 // A restarted peer wants to catch up: ship the committed
@@ -1234,6 +1628,43 @@ impl Process<Msg> for StorageNodeProcess {
                 if let Some(disk) = ctx.disk() {
                     write_checkpoint(disk, &self.store);
                     self.stats.checkpoints += 1;
+                }
+                // A checkpoint truncates the WAL; re-append the live
+                // lease floors and overrides in deterministic order so
+                // the tail alone always carries the full lease state
+                // (`mdcc_recovery::recovered_leases` reads only it).
+                let mut floors: Vec<(u32, MsBallot)> =
+                    self.lease_floors.iter().map(|(s, b)| (*s, *b)).collect();
+                floors.sort_unstable_by_key(|(s, _)| *s);
+                for (shard, b) in floors {
+                    self.wal_append(
+                        &WalRecord::LeaseFloor {
+                            shard,
+                            n: b.n,
+                            pid: b.pid,
+                        },
+                        ctx,
+                    );
+                }
+                let mut shards: Vec<u32> = self.lease_overrides.keys().copied().collect();
+                shards.sort_unstable();
+                for shard in shards {
+                    let entries = self
+                        .lease_overrides
+                        .get(&shard)
+                        .map(|t| t.iter_sorted())
+                        .unwrap_or_default();
+                    for (record, b) in entries {
+                        self.wal_append(
+                            &WalRecord::LeaseOverride {
+                                shard,
+                                record,
+                                n: b.n,
+                                pid: b.pid,
+                            },
+                            ctx,
+                        );
+                    }
                 }
                 ctx.set_timer(self.cfg.checkpoint_interval, Msg::CheckpointTick);
             }

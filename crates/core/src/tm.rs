@@ -148,6 +148,12 @@ pub struct TransactionManager {
     /// `MasterHint` redirects. Only consulted when
     /// `protocol.mastership.enabled`.
     lease_cache: HashMap<u32, NodeId>,
+    /// Record-granular routes learned from `RecordHint` redirects:
+    /// records whose classic traffic diverges from the shard lease
+    /// (per-record lease overrides). Consulted before `lease_cache`;
+    /// bounded by [`RECORD_ROUTES_CAP`] (a dropped route costs one
+    /// forward hop through the shard holder).
+    record_cache: HashMap<Key, NodeId>,
     /// Per-record, per-acceptor shadow views reconstructing each
     /// acceptor's cstruct from delta votes. Bounded by
     /// [`SHADOW_KEYS_CAP`]; a dropped shadow merely costs one
@@ -165,6 +171,11 @@ pub struct TransactionManager {
 /// repair round trips for memory.
 const SHADOW_KEYS_CAP: usize = 4096;
 
+/// Record-granular route entries this TM retains before the map resets.
+/// Eviction is safe — the shard holder re-forwards and re-teaches the
+/// route on the record's next proposal.
+const RECORD_ROUTES_CAP: usize = 4096;
+
 impl TransactionManager {
     /// Creates a TM for the app server in `cfg.my_dc`.
     pub fn new(cfg: TmConfig, placement: Arc<dyn Placement>) -> Self {
@@ -177,6 +188,7 @@ impl TransactionManager {
             reads: HashMap::new(),
             classic_cache: HashMap::new(),
             lease_cache: HashMap::new(),
+            record_cache: HashMap::new(),
             shadows: HashMap::new(),
             stats: TxnStats::default(),
             tracer: None,
@@ -425,7 +437,13 @@ impl TransactionManager {
                 if self.cfg.protocol.mastership.enabled {
                     let shard = self.placement.shard_id(&opt.key);
                     let target = if attempt == 0 {
-                        self.lease_cache.get(&shard).copied().unwrap_or(m)
+                        // Record-granular routes (per-record lease
+                        // overrides) outrank the shard-level route.
+                        self.record_cache
+                            .get(&opt.key)
+                            .copied()
+                            .or_else(|| self.lease_cache.get(&shard).copied())
+                            .unwrap_or(m)
                     } else {
                         let replicas = self.placement.shard_replicas(shard);
                         replicas[(self.cfg.my_dc.0 as usize + attempt as usize) % replicas.len()]
@@ -555,6 +573,17 @@ impl TransactionManager {
                 self.lease_cache.insert(shard, node);
                 Vec::new()
             }
+            Msg::RecordHint { key, node } => {
+                // The shard holder redirected us record-granularly:
+                // this record's classic ballot lives on `node`.
+                if self.record_cache.len() > RECORD_ROUTES_CAP
+                    && !self.record_cache.contains_key(&key)
+                {
+                    self.record_cache.clear();
+                }
+                self.record_cache.insert(key, node);
+                Vec::new()
+            }
             _ => Vec::new(),
         }
     }
@@ -604,8 +633,9 @@ impl TransactionManager {
             }
             if self.cfg.protocol.mastership.enabled {
                 // The believed lease holder may be the crashed node; drop
-                // the route and let the rotated retry relearn it.
+                // both routes and let the rotated retry relearn them.
                 self.lease_cache.remove(&self.placement.shard_id(&key));
+                self.record_cache.remove(&key);
             }
             self.propose_attempt(opt, attempt, ctx);
         }

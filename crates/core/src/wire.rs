@@ -207,6 +207,11 @@ impl Wire for Msg {
                 node.encode(out);
             }
             Msg::MsTick => out.u8(38),
+            Msg::RecordHint { key, node } => {
+                out.u8(39);
+                key.encode(out);
+                node.encode(out);
+            }
         }
     }
 
@@ -338,6 +343,10 @@ impl Wire for Msg {
                 node: Wire::decode(inp)?,
             },
             38 => Msg::MsTick,
+            39 => Msg::RecordHint {
+                key: Key::decode(inp)?,
+                node: Wire::decode(inp)?,
+            },
             _ => return err("msg tag"),
         })
     }
@@ -378,7 +387,7 @@ mod tests {
     use super::*;
     use mdcc_common::wire::{from_bytes, to_bytes};
     use mdcc_common::{CommutativeUpdate, DcId, NodeId, Row, TableId, UpdateOp, Version};
-    use mdcc_mastership::{Ballot as MsBallot, HolderHint, MsMsg};
+    use mdcc_mastership::{Ballot as MsBallot, HolderHint, MsMsg, OverrideRun};
     use mdcc_paxos::{CStruct, OptionStatus, Resolution, TxnOption};
     use mdcc_storage::{SyncItem, SyncRange};
 
@@ -623,6 +632,25 @@ mod tests {
                 node: NodeId(12),
             },
             Msg::MsTick,
+            Msg::Mastership(MsMsg::Overrides {
+                shard: 2,
+                runs: vec![
+                    OverrideRun {
+                        start: 10,
+                        len: 3,
+                        ballot: MsBallot::new(4, 1),
+                    },
+                    OverrideRun {
+                        start: 0xdead_beef_cafe,
+                        len: 1,
+                        ballot: MsBallot::new(5, 2),
+                    },
+                ],
+            }),
+            Msg::RecordHint {
+                key: key("hot"),
+                node: NodeId(9),
+            },
         ]
     }
 

@@ -173,6 +173,16 @@ pub enum MsMsg {
         /// The relinquished (old holder's) ballot.
         relinquished: Ballot,
     },
+    /// The per-record override table a relinquishing holder ships to
+    /// its handoff target, range-run encoded, so record-granular
+    /// promise floors survive migration. Handled by the host storage
+    /// node (which owns the table), not by this layer.
+    Overrides {
+        /// Shard concerned.
+        shard: u32,
+        /// Override runs, sorted by starting record id.
+        runs: Vec<OverrideRun>,
+    },
 }
 
 impl MsMsg {
@@ -184,7 +194,8 @@ impl MsMsg {
             | MsMsg::Acquire { shard, .. }
             | MsMsg::Grant { shard, .. }
             | MsMsg::Reject { shard, .. }
-            | MsMsg::Handoff { shard, .. } => *shard,
+            | MsMsg::Handoff { shard, .. }
+            | MsMsg::Overrides { shard, .. } => *shard,
         }
     }
 }
@@ -248,6 +259,11 @@ impl Wire for MsMsg {
                 ballot.encode(out);
                 relinquished.encode(out);
             }
+            MsMsg::Overrides { shard, runs } => {
+                out.u8(6);
+                out.u32(*shard);
+                runs.encode(out);
+            }
         }
     }
 
@@ -284,8 +300,203 @@ impl Wire for MsMsg {
                 ballot: Ballot::decode(inp)?,
                 relinquished: Ballot::decode(inp)?,
             },
+            6 => MsMsg::Overrides {
+                shard: inp.u32()?,
+                runs: Vec::decode(inp)?,
+            },
             _ => return err("mastership msg tag"),
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-record lease overrides.
+// ---------------------------------------------------------------------
+
+/// Stable 64-bit record id: FNV-1a over the key's wire encoding. The
+/// override table and its wire codec work in id space so they stay
+/// key-type-agnostic and fixed-width.
+pub fn record_id(key_bytes: &[u8]) -> u64 {
+    mdcc_common::wire::fnv1a64(key_bytes)
+}
+
+/// A run of consecutive record ids sharing one override ballot — the
+/// compact wire form of the override table. Sequentially inserted keys
+/// hash to scattered ids, so most runs are length 1; the run encoding
+/// wins when ids cluster (range leases, enumerated record spaces) and
+/// costs only 4 bytes over a bare `(id, ballot)` pair otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverrideRun {
+    /// First record id of the run.
+    pub start: u64,
+    /// Number of consecutive ids covered (≥ 1).
+    pub len: u32,
+    /// Override ballot, the promise floor for every record in the run.
+    pub ballot: Ballot,
+}
+
+impl Wire for OverrideRun {
+    fn encode(&self, out: &mut Enc) {
+        out.u64(self.start);
+        out.u32(self.len);
+        self.ballot.encode(out);
+    }
+    fn decode(inp: &mut Dec<'_>) -> WireResult<Self> {
+        Ok(Self {
+            start: inp.u64()?,
+            len: inp.u32()?,
+            ballot: Ballot::decode(inp)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OverrideEntry {
+    ballot: Ballot,
+    touched: u64,
+}
+
+/// Bounded per-shard table of per-record promise-floor overrides: hot
+/// records whose promise rose past the shard's base lease ballot (a
+/// contested classic round, or state inherited from a predecessor).
+/// Capacity is enforced by a deterministic LRU-half spill — when an
+/// insert would exceed `cap`, the least-recently-touched half is
+/// dropped and those records fall back to the shard's base floor
+/// (safe: the base floor is a lower bound, never wrong, just colder).
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    cap: usize,
+    /// Monotone touch clock backing the LRU order (deterministic, no
+    /// wall time).
+    clock: u64,
+    overrides: HashMap<u64, OverrideEntry>,
+}
+
+impl LeaseTable {
+    /// Creates a table bounded to `cap` overrides (0 disables it).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            clock: 0,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Number of overrides currently held.
+    pub fn len(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Whether the table holds no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// The override ballot for `record`, touching its LRU stamp.
+    pub fn override_of(&mut self, record: u64) -> Option<Ballot> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.overrides.get_mut(&record).map(|e| {
+            e.touched = clock;
+            e.ballot
+        })
+    }
+
+    /// The override ballot for `record` without touching LRU state.
+    pub fn peek(&self, record: u64) -> Option<Ballot> {
+        self.overrides.get(&record).map(|e| e.ballot)
+    }
+
+    /// Retires the override for `record`, if any — the holder observed
+    /// the override target bounce traffic back (stale promise or a
+    /// crashed node), so record routing reverts to the shard lease.
+    /// Routing only: dropping a floor is always safe, the acceptors'
+    /// actual Paxos promises remain the ground truth.
+    pub fn remove(&mut self, record: u64) -> bool {
+        self.overrides.remove(&record).is_some()
+    }
+
+    /// Raises (or inserts) the override for `record` to `ballot`;
+    /// returns whether the stored floor rose. Spills the
+    /// least-recently-touched half when the bound is exceeded.
+    pub fn raise(&mut self, record: u64, ballot: Ballot) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let rose = match self.overrides.entry(record) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let e = e.get_mut();
+                e.touched = clock;
+                if ballot > e.ballot {
+                    e.ballot = ballot;
+                    true
+                } else {
+                    false
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(OverrideEntry {
+                    ballot,
+                    touched: clock,
+                });
+                true
+            }
+        };
+        if self.overrides.len() > self.cap {
+            self.spill_lru_half();
+        }
+        rose
+    }
+
+    /// Drops the least-recently-touched half of the table
+    /// (deterministic: the touch clock is monotone and collision-free).
+    fn spill_lru_half(&mut self) {
+        let mut stamps: Vec<u64> = self.overrides.values().map(|e| e.touched).collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[stamps.len() / 2];
+        self.overrides.retain(|_, e| e.touched > cutoff);
+    }
+
+    /// The table as sorted, coalesced runs (consecutive ids with equal
+    /// ballots merge) — the wire form shipped on handoff.
+    pub fn runs(&self) -> Vec<OverrideRun> {
+        let mut entries = self.iter_sorted();
+        let mut runs: Vec<OverrideRun> = Vec::new();
+        for (id, ballot) in entries.drain(..) {
+            match runs.last_mut() {
+                Some(r) if r.ballot == ballot && r.start + r.len as u64 == id => r.len += 1,
+                _ => runs.push(OverrideRun {
+                    start: id,
+                    len: 1,
+                    ballot,
+                }),
+            }
+        }
+        runs
+    }
+
+    /// Installs decoded runs (a predecessor's table), raising each
+    /// record's floor to at least the run's ballot.
+    pub fn install_runs(&mut self, runs: &[OverrideRun]) {
+        for run in runs {
+            for i in 0..run.len as u64 {
+                self.raise(run.start + i, run.ballot);
+            }
+        }
+    }
+
+    /// All `(record id, ballot)` pairs sorted by id — deterministic
+    /// iteration for WAL re-logging at checkpoints.
+    pub fn iter_sorted(&self) -> Vec<(u64, Ballot)> {
+        let mut entries: Vec<(u64, Ballot)> = self
+            .overrides
+            .iter()
+            .map(|(id, e)| (*id, e.ballot))
+            .collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        entries
     }
 }
 
@@ -388,6 +599,15 @@ pub struct MastershipStats {
     pub served: u64,
     /// Mastered requests forwarded to the believed holder.
     pub forwarded: u64,
+    /// Cold first-touch mastered commits served without a per-record
+    /// Phase1 exchange — the lease ballot carried the promise.
+    pub phase1_skipped: u64,
+    /// Classic Phase1 rounds run for lease-covered records while
+    /// serving (zero when `lease_phase1` is on and working).
+    pub phase1_covered: u64,
+    /// WAN round trips spent on cold first-touch mastered commits
+    /// (1 per skipped Phase1, 2 per classic establish while serving).
+    pub cold_first_commit_rtts: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -403,6 +623,27 @@ pub enum Action {
         to: NodeId,
         /// Message to deliver.
         msg: MsMsg,
+    },
+    /// This replica's granted lease ballot for `shard` strictly rose:
+    /// the host must enforce `ballot` as the Phase1 promise floor for
+    /// every record acceptor in the shard (lease-carried Phase1), so a
+    /// deposed holder's stale ballots are fenced without per-record
+    /// Phase1a/Phase1b exchanges.
+    FloorRaised {
+        /// Shard concerned.
+        shard: u32,
+        /// The new lease ballot, now the shard-wide promise floor.
+        ballot: Ballot,
+    },
+    /// This node voluntarily handed the lease for `shard` to `to`: the
+    /// host should ship its per-record override table (as
+    /// [`MsMsg::Overrides`]) so the successor inherits record-granular
+    /// coverage.
+    Relinquished {
+        /// Shard concerned.
+        shard: u32,
+        /// The handoff target.
+        to: NodeId,
     },
 }
 
@@ -451,6 +692,8 @@ struct ShardState {
     pending: Option<Pending>,
     // --- migration ---
     origin_counts: Vec<u64>,
+    /// Start of the current rate-measurement window.
+    window_start: SimTime,
     dominant_streak: u32,
     last_dominant: Option<u8>,
 }
@@ -473,6 +716,7 @@ impl ShardState {
             holding: None,
             pending: None,
             origin_counts: vec![0; dcs],
+            window_start: SimTime::ZERO,
             dominant_streak: 0,
             last_dominant: None,
         }
@@ -636,6 +880,22 @@ impl Mastership {
         self.stats.forwarded += 1;
     }
 
+    /// Records a cold first-touch mastered commit that skipped the
+    /// per-record Phase1 exchange because the lease ballot already
+    /// carried the promise (one WAN round trip instead of two).
+    pub fn note_phase1_skipped(&mut self) {
+        self.stats.phase1_skipped += 1;
+        self.stats.cold_first_commit_rtts += 1;
+    }
+
+    /// Records a classic Phase1 round run for a lease-covered record
+    /// while serving — the latency cliff `lease_phase1` exists to
+    /// remove (two WAN round trips for the first commit).
+    pub fn note_phase1_covered(&mut self) {
+        self.stats.phase1_covered += 1;
+        self.stats.cold_first_commit_rtts += 2;
+    }
+
     /// One heartbeat tick: closes the previous round, renews or
     /// campaigns, checks migration, opens the next round. Returns the
     /// delay until the next tick (base interval plus the current
@@ -672,6 +932,21 @@ impl Mastership {
 
         let state = self.shards.get_mut(&shard).expect("shard state");
         if let Some(holding) = state.holding {
+            // Self-deposition: a holder whose renewals have failed to
+            // reach a grant majority for a full lease beyond its expiry
+            // is on the wrong side of a partition — possibly an
+            // *asymmetric* one where its Acquires still reach the
+            // grantors (keeping their routing hints alive and elections
+            // suppressed) while the grants can never come back. It
+            // stopped serving at the expiry; now it also stops
+            // renewing, so the survivors' hints lapse and the
+            // connected majority can elect. Dropping `holding` is
+            // always safe — it only ever stops this node from serving.
+            if now.since(holding.expiry) > lease {
+                state.holding = None;
+                state.pending = None;
+                return contested;
+            }
             // Renew (also re-acquires an expired-but-unchallenged
             // lease: replicas treat the same ballot from the same
             // holder as a renewal).
@@ -684,7 +959,7 @@ impl Mastership {
                 floor: SimTime::ZERO,
                 renewal: true,
             });
-            Self::self_grant(state, me, now, &mut self.stats, &self.audit);
+            Self::self_grant(state, me, now, &mut self.stats, &self.audit, out);
             for peer in state.peers.clone() {
                 if peer != me {
                     out.push(Action::Send {
@@ -727,7 +1002,7 @@ impl Mastership {
                     floor: SimTime::ZERO,
                     renewal: false,
                 });
-                Self::self_grant(state, me, now, &mut self.stats, &self.audit);
+                Self::self_grant(state, me, now, &mut self.stats, &self.audit, out);
                 for peer in state.peers.clone() {
                     if peer != me {
                         out.push(Action::Send {
@@ -769,16 +1044,24 @@ impl Mastership {
         now: SimTime,
         stats: &mut MastershipStats,
         audit: &Option<LeaseAudit>,
+        out: &mut Vec<Action>,
     ) {
         let Some(pending) = state.pending.clone() else {
             return;
         };
         let renewal = state.granted == pending.ballot && state.granted.pid == me.0 as u64;
         if pending.ballot > state.granted || renewal {
+            let rose = pending.ballot > state.granted;
             let prev = (state.granted != Ballot::default() && !renewal)
                 .then_some((state.granted, state.granted_expiry));
             state.granted = pending.ballot;
             state.granted_expiry = pending.expiry;
+            if rose {
+                out.push(Action::FloorRaised {
+                    shard: state.shard,
+                    ballot: pending.ballot,
+                });
+            }
             Self::apply_grant(
                 state,
                 me,
@@ -856,13 +1139,20 @@ impl Mastership {
         }
     }
 
-    /// Access-driven migration: if a remote data center dominated the
-    /// mastered traffic for `migrate_rounds` consecutive ticks, hand
-    /// the lease to its replica.
+    /// Access-driven migration: if a remote data center's mastered
+    /// traffic sustained at least `migrate_min_rate` req/s *and*
+    /// dominated the holder's local traffic for `migrate_rounds`
+    /// consecutive window evaluations, hand the lease to its replica.
+    ///
+    /// Dominance is judged on request *rate over a window*
+    /// (`migrate_window`), not raw per-tick counts, so the knob is
+    /// scale-free: quick/paper/10x scales shift absolute traffic by an
+    /// order of magnitude but leave req/s-per-client untouched.
     fn check_migration(&mut self, shard: u32, now: SimTime, out: &mut Vec<Action>) {
         let my_dc = self.my_dc.0 as usize;
         let cfg_ratio = self.cfg.migrate_threshold_pct as u64;
-        let cfg_min = self.cfg.migrate_min_requests;
+        let cfg_rate = self.cfg.migrate_min_rate;
+        let cfg_window = self.cfg.migrate_window;
         let cfg_rounds = self.cfg.migrate_rounds;
         let state = self.shards.get_mut(&shard).expect("shard state");
         let serving = state
@@ -872,9 +1162,15 @@ impl Mastership {
         if !serving {
             state.dominant_streak = 0;
             state.last_dominant = None;
+            state.window_start = now;
             for c in &mut state.origin_counts {
                 *c = 0;
             }
+            return;
+        }
+        // Evaluate only once a full window of traffic has accumulated.
+        let elapsed = now.since(state.window_start);
+        if elapsed < cfg_window {
             return;
         }
         let local = state.origin_counts.get(my_dc).copied().unwrap_or(0);
@@ -886,7 +1182,8 @@ impl Mastership {
             .filter(|(dc, _)| *dc != my_dc)
             .max_by_key(|(dc, c)| (*c, std::cmp::Reverse(*dc)))
             .unwrap_or((my_dc, 0));
-        let dominant = dom_count >= cfg_min && dom_count * 100 >= cfg_ratio * local.max(1);
+        let dom_rate = dom_count * 1_000 / elapsed.as_millis().max(1);
+        let dominant = dom_rate >= cfg_rate && dom_count * 100 >= cfg_ratio * local.max(1);
         if dominant && state.last_dominant == Some(dom_dc as u8) {
             state.dominant_streak += 1;
         } else if dominant {
@@ -896,10 +1193,12 @@ impl Mastership {
             state.last_dominant = None;
             state.dominant_streak = 0;
         }
-        // Halve the window every tick so old traffic ages out.
+        // Exponential decay: halve both the counts and the elapsed
+        // window so the rate estimate tracks recent traffic.
         for c in &mut state.origin_counts {
             *c /= 2;
         }
+        state.window_start += elapsed / 2;
         if state.dominant_streak < cfg_rounds.max(1) {
             return;
         }
@@ -912,6 +1211,7 @@ impl Mastership {
         state.pending = None;
         state.dominant_streak = 0;
         state.last_dominant = None;
+        state.window_start = now;
         for c in &mut state.origin_counts {
             *c = 0;
         }
@@ -934,6 +1234,9 @@ impl Mastership {
                 relinquished: holding.ballot,
             },
         });
+        // Let the host ship its per-record override table after the
+        // handoff message.
+        out.push(Action::Relinquished { shard, to: target });
     }
 
     /// Handles one mastership message.
@@ -993,10 +1296,14 @@ impl Mastership {
                 state.max_seen = state.max_seen.max(ballot);
                 let renewal = ballot == state.granted && ballot.pid == from.0 as u64;
                 if ballot > state.granted || renewal {
+                    let rose = ballot > state.granted;
                     let prev = (state.granted != Ballot::default() && !renewal)
                         .then_some((state.granted, state.granted_expiry));
                     state.granted = ballot;
                     state.granted_expiry = expiry;
+                    if rose {
+                        out.push(Action::FloorRaised { shard, ballot });
+                    }
                     state.observe_hint(HolderHint {
                         ballot,
                         node: ballot.node(),
@@ -1082,7 +1389,7 @@ impl Mastership {
                     floor: SimTime::ZERO,
                     renewal: false,
                 });
-                Self::self_grant(state, me, now, &mut self.stats, &self.audit);
+                Self::self_grant(state, me, now, &mut self.stats, &self.audit, out);
                 for peer in state.peers.clone() {
                     if peer != me {
                         out.push(Action::Send {
@@ -1096,6 +1403,12 @@ impl Mastership {
                         });
                     }
                 }
+            }
+            MsMsg::Overrides { .. } => {
+                // The host storage node owns the override table and
+                // intercepts this message before it reaches here; a
+                // stray delivery (e.g. `lease_phase1` off at the
+                // receiver) is safely ignored.
             }
         }
     }
@@ -1164,6 +1477,21 @@ mod tests {
                 ballot: Ballot::new(8, 3),
                 relinquished: Ballot::new(7, 1),
             },
+            MsMsg::Overrides {
+                shard: 2,
+                runs: vec![
+                    OverrideRun {
+                        start: 10,
+                        len: 3,
+                        ballot: Ballot::new(9, 3),
+                    },
+                    OverrideRun {
+                        start: 0xdead_beef_cafe,
+                        len: 1,
+                        ballot: Ballot::new(11, 0),
+                    },
+                ],
+            },
         ];
         for msg in samples {
             let bytes = to_bytes(&msg);
@@ -1186,8 +1514,9 @@ mod tests {
                 let mut out = Vec::new();
                 node.on_tick(t, &mut out);
                 for a in out {
-                    let Action::Send { to, msg } = a;
-                    mail.push((node.me, to, msg));
+                    if let Action::Send { to, msg } = a {
+                        mail.push((node.me, to, msg));
+                    }
                 }
             }
             // Deliver until quiescent (messages are instantaneous here).
@@ -1198,8 +1527,9 @@ mod tests {
                     let mut out = Vec::new();
                     node.on_msg(from, msg, t, &mut out);
                     for a in out {
-                        let Action::Send { to: t2, msg } = a;
-                        mail.push((node.me, t2, msg));
+                        if let Action::Send { to: t2, msg } = a {
+                            mail.push((node.me, t2, msg));
+                        }
                     }
                 }
             }
@@ -1400,27 +1730,34 @@ mod tests {
         assert!(
             matches!(
                 out.as_slice(),
-                [Action::Send {
-                    msg: MsMsg::Grant { .. },
-                    ..
-                }]
+                [
+                    Action::FloorRaised { .. },
+                    Action::Send {
+                        msg: MsMsg::Grant { .. },
+                        ..
+                    }
+                ]
             ),
             "grants resume after quarantine: {out:?}"
         );
     }
 
-    /// The migration hysteresis: sustained remote-dominant traffic
-    /// hands the lease off; the holder stops serving at once.
+    /// The migration hysteresis: remote-dominant traffic sustained at
+    /// a sufficient *rate* over the window hands the lease off; the
+    /// holder stops serving at once and tells the host to ship its
+    /// override table.
     #[test]
     fn remote_traffic_triggers_handoff() {
         let mut holder = layer(4);
-        // Install a held lease directly.
+        // Install a held lease directly (window starts at t=0).
         let state = holder.shards.get_mut(&0).unwrap();
         state.holding = Some(Holding {
             ballot: Ballot::new(2, 4),
             serve_from: ms(0),
             expiry: ms(10_000),
         });
+        // 40 remote requests over the first 500 ms window = 80 req/s,
+        // well past the 20 req/s rate floor and 200 % dominance ratio.
         for _ in 0..40 {
             holder.note_served(0, DcId(1));
         }
@@ -1428,13 +1765,13 @@ mod tests {
             holder.note_served(0, DcId(4));
         }
         let mut out = Vec::new();
-        holder.on_tick(ms(100), &mut out); // streak 1
-        assert!(holder.is_serving(0, ms(150)));
+        holder.on_tick(ms(500), &mut out); // window full → streak 1
+        assert!(holder.is_serving(0, ms(550)));
         for _ in 0..40 {
             holder.note_served(0, DcId(1));
         }
         let mut out = Vec::new();
-        holder.on_tick(ms(200), &mut out); // streak 2 → handoff
+        holder.on_tick(ms(1000), &mut out); // streak 2 → handoff
         let handoff = out.iter().find_map(|a| match a {
             Action::Send {
                 to,
@@ -1443,9 +1780,46 @@ mod tests {
             _ => None,
         });
         assert_eq!(handoff, Some((NodeId(1), Ballot::new(3, 1))));
-        assert!(!holder.is_serving(0, ms(201)), "relinquished immediately");
-        assert_eq!(holder.holder(0, ms(201)), Some(NodeId(1)));
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, Action::Relinquished { shard: 0, to } if *to == NodeId(1))),
+            "host is told to ship overrides: {out:?}"
+        );
+        assert!(!holder.is_serving(0, ms(1001)), "relinquished immediately");
+        assert_eq!(holder.holder(0, ms(1001)), Some(NodeId(1)));
         assert_eq!(holder.stats().handoffs, 1);
+    }
+
+    /// Sparse traffic never migrates, no matter how lopsided: the
+    /// rate floor filters out low-volume noise at any scale.
+    #[test]
+    fn low_rate_traffic_never_migrates() {
+        let mut holder = layer(4);
+        let state = holder.shards.get_mut(&0).unwrap();
+        state.holding = Some(Holding {
+            ballot: Ballot::new(2, 4),
+            serve_from: ms(0),
+            expiry: ms(60_000),
+        });
+        // 5 remote requests per 500 ms window = 10 req/s < 20 req/s.
+        for round in 1u64..=8 {
+            for _ in 0..5 {
+                holder.note_served(0, DcId(1));
+            }
+            let mut out = Vec::new();
+            holder.on_tick(ms(500 * round), &mut out);
+            assert!(
+                !out.iter().any(|a| matches!(
+                    a,
+                    Action::Send {
+                        msg: MsMsg::Handoff { .. },
+                        ..
+                    }
+                )),
+                "below the rate floor, the lease stays put"
+            );
+        }
+        assert_eq!(holder.stats().handoffs, 0);
     }
 
     /// Lease audit spans never overlap across holders, and renewal
@@ -1470,6 +1844,7 @@ mod tests {
             ms(0),
             &mut a.stats,
             &a.audit,
+            &mut Vec::new(),
         );
         for peer in [0u32, 1] {
             a.on_msg(
@@ -1488,5 +1863,161 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].node, NodeId(4));
         assert_eq!(spans[0].until, ms(400));
+    }
+
+    /// Granting a lease (self or remote) tells the host to raise the
+    /// shard's promise floor exactly when the granted ballot rises.
+    #[test]
+    fn grants_emit_floor_raises() {
+        let mut replica = layer(1);
+        let mut out = Vec::new();
+        replica.on_msg(
+            NodeId(4),
+            MsMsg::Acquire {
+                shard: 0,
+                ballot: Ballot::new(3, 4),
+                expiry: ms(400),
+                relinquished: None,
+            },
+            ms(10),
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                Action::FloorRaised {
+                    shard: 0,
+                    ballot
+                } if *ballot == Ballot::new(3, 4)
+            )),
+            "fresh grant raises the floor: {out:?}"
+        );
+        // A renewal of the same ballot does not re-raise.
+        let mut out = Vec::new();
+        replica.on_msg(
+            NodeId(4),
+            MsMsg::Acquire {
+                shard: 0,
+                ballot: Ballot::new(3, 4),
+                expiry: ms(800),
+                relinquished: None,
+            },
+            ms(410),
+            &mut out,
+        );
+        assert!(
+            !out.iter().any(|a| matches!(a, Action::FloorRaised { .. })),
+            "renewal leaves the floor alone: {out:?}"
+        );
+        // A stale ballot is rejected and raises nothing.
+        let mut out = Vec::new();
+        replica.on_msg(
+            NodeId(2),
+            MsMsg::Acquire {
+                shard: 0,
+                ballot: Ballot::new(2, 2),
+                expiry: ms(1200),
+                relinquished: None,
+            },
+            ms(420),
+            &mut out,
+        );
+        assert!(
+            out.iter().all(|a| matches!(
+                a,
+                Action::Send {
+                    msg: MsMsg::Reject { .. },
+                    ..
+                }
+            )),
+            "stale acquire only rejects: {out:?}"
+        );
+    }
+
+    #[test]
+    fn lease_table_raises_and_looks_up() {
+        let mut table = LeaseTable::new(8);
+        assert!(table.is_empty());
+        assert!(table.raise(7, Ballot::new(2, 4)));
+        assert!(!table.raise(7, Ballot::new(1, 9)), "lower ballot ignored");
+        assert!(table.raise(7, Ballot::new(3, 1)));
+        assert_eq!(table.override_of(7), Some(Ballot::new(3, 1)));
+        assert_eq!(table.override_of(8), None);
+        assert_eq!(table.peek(7), Some(Ballot::new(3, 1)));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn lease_table_spills_lru_half_deterministically() {
+        let mut table = LeaseTable::new(4);
+        for id in 0u64..4 {
+            table.raise(id, Ballot::new(1, 0));
+        }
+        // Touch 2 and 3 so they are the recent half.
+        table.override_of(2);
+        table.override_of(3);
+        // The fifth insert overflows: everything at or below the
+        // median touch stamp spills, keeping only the freshest (3, 4).
+        table.raise(4, Ballot::new(1, 0));
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.peek(0), None);
+        assert_eq!(table.peek(1), None);
+        assert_eq!(table.peek(2), None);
+        assert_eq!(table.peek(3), Some(Ballot::new(1, 0)));
+        assert_eq!(table.peek(4), Some(Ballot::new(1, 0)));
+    }
+
+    #[test]
+    fn lease_table_zero_cap_is_inert() {
+        let mut table = LeaseTable::new(0);
+        assert!(!table.raise(1, Ballot::new(5, 5)));
+        assert!(table.is_empty());
+        assert_eq!(table.override_of(1), None);
+    }
+
+    #[test]
+    fn runs_coalesce_and_round_trip() {
+        let mut table = LeaseTable::new(64);
+        let b = Ballot::new(4, 2);
+        // Two adjacent clusters with a gap and one ballot change.
+        for id in [10u64, 11, 12, 14, 15, 100] {
+            table.raise(id, b);
+        }
+        table.raise(15, Ballot::new(5, 2));
+        let runs = table.runs();
+        assert_eq!(
+            runs,
+            vec![
+                OverrideRun {
+                    start: 10,
+                    len: 3,
+                    ballot: b
+                },
+                OverrideRun {
+                    start: 14,
+                    len: 1,
+                    ballot: b
+                },
+                OverrideRun {
+                    start: 15,
+                    len: 1,
+                    ballot: Ballot::new(5, 2)
+                },
+                OverrideRun {
+                    start: 100,
+                    len: 1,
+                    ballot: b
+                },
+            ]
+        );
+        // Wire round trip and re-install reproduce the table.
+        let bytes = to_bytes(&MsMsg::Overrides { shard: 0, runs });
+        let back: MsMsg = from_bytes(&bytes).expect("decode");
+        let MsMsg::Overrides { runs: decoded, .. } = back else {
+            panic!("wrong variant");
+        };
+        let mut fresh = LeaseTable::new(64);
+        fresh.install_runs(&decoded);
+        assert_eq!(fresh.iter_sorted(), table.iter_sorted());
     }
 }

@@ -333,6 +333,13 @@ impl AcceptorRecord {
         &self.cstruct
     }
 
+    /// Ballot of the last Phase2a accepted into the current instance, if
+    /// any — a record is "in ballot `b`'s stream" exactly when this is
+    /// `Some(b)` (the lease-carried-Phase1 warm guard keys off it).
+    pub fn accepted_ballot(&self) -> Option<Ballot> {
+        self.accepted_ballot
+    }
+
     /// The current cstruct epoch (tests and shadow-view inspection).
     pub fn cstruct_epoch(&self) -> u64 {
         self.cstruct_epoch
@@ -508,6 +515,23 @@ impl AcceptorRecord {
         }
     }
 
+    /// Raises the promised ballot to `b` without producing a Phase1b —
+    /// the lease-carried Phase1 (a mastership lease grant stands in for
+    /// the per-record Phase1a/Phase1b exchange). Returns whether the
+    /// promise rose. Unlike [`AcceptorRecord::phase1a`] this never
+    /// lowers anything and sends no reply: the leaseholder's first
+    /// Phase2a at the lease ballot is immediately valid here, while a
+    /// deposed holder's older ballot now Nacks and fast proposals of
+    /// the floored round bounce `NotFast`.
+    pub fn raise_promise(&mut self, b: Ballot) -> bool {
+        if b > self.promised {
+            self.promised = b;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Direct fast-ballot proposal (Algorithm 3, line 78): accept the
     /// option iff the record is still in a fast ballot, validating it
     /// against local state ("the active decision", §3.2.1).
@@ -665,6 +689,25 @@ impl AcceptorRecord {
             settle_log: state.settle_log.into_iter().collect(),
             settle_seq: state.settle_seq,
             cstruct_epoch: state.cstruct_epoch,
+        }
+    }
+
+    /// The settled outcome of `txn` if this replica already resolved
+    /// *and processed* it — the answer owed to a stale retried
+    /// proposal, on the classic path as much as the fast one (mirrors
+    /// [`Self::fast_propose`]'s `AlreadyResolved` arm). A settled
+    /// transaction whose outcome record is gone (snapshot-folded or
+    /// truncated metadata) can only have committed — aborted options
+    /// never fold into values.
+    pub fn settled_outcome(&self, txn: TxnId) -> Option<TxnOutcome> {
+        if self.resolved_entries.contains(&txn) {
+            Some(
+                self.outcomes
+                    .get(&txn)
+                    .map_or(TxnOutcome::Committed, |r| r.outcome),
+            )
+        } else {
+            None
         }
     }
 
@@ -1269,6 +1312,50 @@ mod tests {
         a.phase1a(m);
         match a.fast_propose(dec(1, 1)) {
             FastPropose::NotFast { promised } => assert_eq!(promised, m),
+            other => panic!("expected NotFast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lease_floor_admits_holder_and_fences_the_deposed() {
+        // Lease-carried Phase1: installing the lease ballot as the
+        // promise floor replaces the per-record Phase1a/Phase1b round.
+        let mut a = acceptor_with_stock(4);
+        let floor = Ballot::lease(3, NodeId(2));
+        assert!(a.raise_promise(floor));
+        assert!(
+            !a.raise_promise(Ballot::classic(2, NodeId(4))),
+            "no regress"
+        );
+        // The holder's first Phase2a at the floor ballot is valid with
+        // no prior Phase1a on this record.
+        let r = a.classic_accept(Phase2a {
+            ballot: floor,
+            version: Version(1),
+            snapshot: a.snapshot(),
+            safe: None,
+            new_options: vec![dec(1, 1)],
+            close_instance: false,
+            reopen_fast: None,
+        });
+        assert!(matches!(r, ClassicAccept::Vote(_)), "floor admits holder");
+        // A deposed holder's lower lease ballot Nacks...
+        let deposed = Ballot::lease(2, NodeId(4));
+        match a.classic_accept(Phase2a {
+            ballot: deposed,
+            version: Version(1),
+            snapshot: a.snapshot(),
+            safe: None,
+            new_options: vec![dec(2, 1)],
+            close_instance: false,
+            reopen_fast: None,
+        }) {
+            ClassicAccept::Nack { promised } => assert_eq!(promised, floor),
+            other => panic!("expected nack, got {other:?}"),
+        }
+        // ...and fast proposals bounce to the master while floored.
+        match a.fast_propose(dec(3, 1)) {
+            FastPropose::NotFast { promised } => assert_eq!(promised, floor),
             other => panic!("expected NotFast, got {other:?}"),
         }
     }

@@ -84,6 +84,16 @@ impl Ballot {
         Ballot::fast(self.round + 1, proposer)
     }
 
+    /// The promise floor a mastership lease at election-ballot number
+    /// `n` carries for every record in its scope (lease-carried
+    /// Phase1). Classic by construction: a floor must fence fast
+    /// proposals of its round and is always led by the lease `holder`,
+    /// so the holder's first Phase2a at this ballot is immediately
+    /// valid on any acceptor that installed the floor.
+    pub fn lease(n: u32, holder: NodeId) -> Self {
+        Ballot::classic(n, holder)
+    }
+
     fn rank(&self) -> (u32, u8, u32) {
         let kind = match self.kind {
             BallotKind::Fast => 0,
@@ -158,6 +168,15 @@ mod tests {
     fn initial_fast_is_the_minimum_fast_ballot() {
         assert!(Ballot::INITIAL_FAST <= Ballot::fast(0, NodeId(0)));
         assert!(Ballot::INITIAL_FAST < Ballot::classic(0, NodeId(0)));
+    }
+
+    #[test]
+    fn lease_floor_fences_its_rounds_fast_ballots() {
+        let floor = Ballot::lease(3, NodeId(2));
+        assert!(!floor.is_fast());
+        assert!(floor > Ballot::fast(3, NodeId(9)), "fences fast of round");
+        assert!(floor > Ballot::classic(3, NodeId(1)), "pid breaks ties");
+        assert!(Ballot::classic(4, NodeId(0)) > floor, "higher round wins");
     }
 
     #[test]

@@ -155,6 +155,28 @@ impl LeaderRecord {
         }
     }
 
+    /// Lease-carried Phase1: the mastership lease ballot is already the
+    /// promise floor on every acceptor of this record, so the lease
+    /// holder may start Leading at that ballot with no Phase1a/Phase1b
+    /// exchange — its first Phase2a is immediately valid. Only allowed
+    /// from `Idle` with a classic ballot at least as high as anything
+    /// observed; a contested record (higher ballot seen) falls back to
+    /// classic Phase1. Value-safe: an idle leader has no recovery open,
+    /// classic instances grow cstructs only by validated appends, and
+    /// an acceptor ahead on committed state answers `Stale`, which the
+    /// usual catch-up path handles.
+    pub fn assume_leadership(&mut self, ballot: Ballot) -> bool {
+        if !matches!(self.phase, Phase::Idle) || ballot.is_fast() || ballot < self.max_seen {
+            return false;
+        }
+        self.max_seen = ballot;
+        self.phase = Phase::Leading { ballot };
+        self.gamma_remaining = self.cfg.gamma;
+        self.closing = false;
+        self.recovery_requested = false;
+        true
+    }
+
     /// A proposer (or the learner rule of Algorithm 1 line 19/26) asked
     /// for recovery of the current instance — a collision happened or the
     /// demarcation base must move.
@@ -572,6 +594,41 @@ mod tests {
         );
         assert!(l.is_leading());
         assert!(l.is_inflight(), "close outstanding");
+    }
+
+    #[test]
+    fn assumed_leadership_appends_without_phase1() {
+        // Lease-carried Phase1: a lease holder goes straight to Leading
+        // and its first enqueue emits a Phase2a, no Phase1a round.
+        let mut l = LeaderRecord::new(cfg(), NodeId(2), snapshot());
+        let lease = Ballot::lease(3, NodeId(2));
+        assert!(l.assume_leadership(lease));
+        assert!(l.is_leading());
+        let actions = l.enqueue(comm_opt(1));
+        let LeaderAction::Phase2a(p2a) = &actions[0] else {
+            panic!("expected immediate phase2a, got {actions:?}");
+        };
+        assert_eq!(p2a.ballot, lease);
+        assert!(p2a.safe.is_none(), "no recovery cstruct needed");
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, LeaderAction::Phase1a(_))));
+    }
+
+    #[test]
+    fn assume_leadership_defers_to_contested_records() {
+        let mut l = LeaderRecord::new(cfg(), NodeId(2), snapshot());
+        // A higher ballot was seen: the lease ballot is contested and
+        // the holder must fall back to classic Phase1.
+        l.observe_ballot(Ballot::classic(7, NodeId(4)));
+        assert!(!l.assume_leadership(Ballot::lease(3, NodeId(2))));
+        assert!(!l.is_leading());
+        // Fast ballots never carry leadership.
+        assert!(!l.assume_leadership(Ballot::fast(9, NodeId(2))));
+        // Established leaders are not re-entered.
+        let mut busy = LeaderRecord::new(cfg(), NodeId(2), snapshot());
+        establish(&mut busy);
+        assert!(!busy.assume_leadership(Ballot::lease(9, NodeId(2))));
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod wal;
 pub use codec::{from_bytes, to_bytes, Wire, WireError, WireResult};
 pub use snapshot::{
     committed_bytes, committed_digest, committed_state_digest, read_checkpoint, recover_store,
-    write_checkpoint, RecoveryInfo,
+    recovered_leases, write_checkpoint, RecoveryInfo,
 };
-pub use wal::{CommitLog, MemLog, ReplayStats, WalRecord};
+pub use wal::{recovered_lease_state, CommitLog, MemLog, RecoveredLeases, ReplayStats, WalRecord};

@@ -73,6 +73,15 @@ pub fn recover_store(
     Ok((store, info))
 }
 
+/// Lease-floor state a restarting node must re-enforce (see
+/// [`wal::recovered_lease_state`]). Read from the WAL tail alone: a
+/// checkpoint truncates the WAL, but the node re-appends its live
+/// floors and overrides right after each checkpoint, so the tail is
+/// always complete.
+pub fn recovered_leases(disk: &Disk) -> WireResult<wal::RecoveredLeases> {
+    Ok(wal::recovered_lease_state(&wal::read_all(disk.wal())?))
+}
+
 /// The committed state of a store as canonical bytes: `(key, version,
 /// value)` sorted by key. Two replicas that have converged produce equal
 /// bytes — the recovery audit's byte-equality check.

@@ -190,6 +190,13 @@ impl RecordStore {
         self.with_record_mut(key, |rec| rec.phase1a(ballot))
     }
 
+    /// Raises one record's promise floor without a Phase1b (the
+    /// lease-carried Phase1: a mastership lease grant stands in for the
+    /// per-record Phase1a exchange). Returns whether the promise rose.
+    pub fn raise_promise(&mut self, key: &Key, ballot: Ballot) -> bool {
+        self.with_record_mut(key, |rec| rec.raise_promise(ballot))
+    }
+
     /// Fast-ballot proposal for one record, with logging and pending
     /// tracking.
     pub fn fast_propose(&mut self, opt: TxnOption, now: SimTime) -> FastPropose {
